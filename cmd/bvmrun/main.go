@@ -1,0 +1,111 @@
+// Command bvmrun runs Boolean Vector Machine demonstrations: the machine
+// layout and the §4 algorithm figures of the paper.
+//
+// Usage:
+//
+//	bvmrun [-r 2] <demo>
+//
+// Demos:
+//
+//	layout        Figure 2: the registers × PEs bit array
+//	cycle-id      Figure 3: the cycle-ID pattern
+//	processor-id  Figures 4-5: processor-ID generation stages
+//	broadcast     Figure 6: the 16-PE broadcast schedule
+//	disasm        instruction listing of the cycle-ID program (§4.1)
+//	trace         instruction-by-instruction state trace of cycle-ID (8 PEs)
+//	info          machine geometry and link census
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bvm"
+	"repro/internal/bvmalg"
+	"repro/internal/ccc"
+	"repro/internal/experiments"
+)
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bvmrun", flag.ContinueOnError)
+	r := fs.Int("r", 2, "CCC parameter r (machine has 2^r·2^(2^r) PEs)")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("bvmrun: want exactly one demo (layout, cycle-id, processor-id, broadcast, disasm, trace, info)")
+	}
+	var (
+		out string
+		err error
+	)
+	switch fs.Arg(0) {
+	case "layout":
+		out, err = experiments.Fig2Layout(*r)
+	case "cycle-id":
+		out, err = experiments.Fig3CycleID()
+	case "processor-id":
+		out, err = experiments.Fig45ProcessorID()
+	case "broadcast":
+		out, err = experiments.Fig6Broadcast()
+	case "disasm":
+		m, e := bvm.New(*r, bvm.DefaultRegisters)
+		if e != nil {
+			return e
+		}
+		m.StartRecording("cycle-ID")
+		bvmalg.CycleID(m, bvm.R(0))
+		prog := m.StopRecording()
+		out = prog.Disassemble() + "route profile: " + prog.ProfileString() + "\n"
+	case "trace":
+		m, e := bvm.New(1, bvm.DefaultRegisters)
+		if e != nil {
+			return e
+		}
+		var sb strings.Builder
+		sb.WriteString("cycle-ID on the 8-PE machine, register A after each instruction:\n")
+		m.SetTracer(func(step int64, in bvm.Instr, mm *bvm.Machine) {
+			fmt.Fprintf(&sb, "%2d  %-38s A=", step, in.String())
+			v := mm.Peek(bvm.A)
+			for pe := 0; pe < mm.N(); pe++ {
+				if v.Get(pe) {
+					sb.WriteByte('1')
+				} else {
+					sb.WriteByte('0')
+				}
+			}
+			sb.WriteByte('\n')
+		})
+		bvmalg.CycleID(m, bvm.R(0))
+		m.SetTracer(nil)
+		sb.WriteString("final (cycle-ID in R[0]):\n")
+		sb.WriteString(m.DumpRegisters(0, bvm.R(0)))
+		out = sb.String()
+	case "info":
+		top, e := ccc.New(*r)
+		if e != nil {
+			return e
+		}
+		out = fmt.Sprintf("%v\nhypercube of the same size would need %d links (%.2fx)\n",
+			top, ccc.HypercubeLinkCount(top.AddrBits),
+			float64(ccc.HypercubeLinkCount(top.AddrBits))/float64(top.LinkCount()))
+	default:
+		return fmt.Errorf("bvmrun: unknown demo %q", fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(stdout, out)
+	return err
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDemos(t *testing.T) {
+	cases := map[string]string{
+		"layout":       "Reg. A",
+		"cycle-id":     "cycle\\pos",
+		"processor-id": "processor-ID planes",
+		"broadcast":    "0000 -> 0001",
+		"disasm":       "program cycle-ID",
+		"trace":        "register A after each instruction",
+		"info":         "links",
+	}
+	for demo, want := range cases {
+		var out strings.Builder
+		if err := run([]string{demo}, &out); err != nil {
+			t.Fatalf("%s: %v", demo, err)
+		}
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("%s: output missing %q", demo, want)
+		}
+	}
+}
+
+func TestInfoWithR(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-r", "3", "info"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "n=2048") {
+		t.Errorf("info -r 3 output: %s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no demo accepted")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Error("unknown demo accepted")
+	}
+	if err := run([]string{"-r", "9", "info"}, &out); err == nil {
+		t.Error("bad r accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// Command ttbench regenerates the paper's figures and quantitative claims
+// (the experiment index E1–E14 plus ablations A1/A3/A4 of DESIGN.md).
+//
+// Usage:
+//
+//	ttbench -list
+//	ttbench -run all            # the full report (EXPERIMENTS.md source)
+//	ttbench -run speedup        # one experiment by name ...
+//	ttbench -run E10            # ... or by index
+//	ttbench -run all -o report.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ttbench", flag.ContinueOnError)
+	which := fs.String("run", "", "experiment name/ID, or 'all'")
+	list := fs.Bool("list", false, "list available experiments")
+	outFile := fs.String("o", "", "write the report to a file instead of stdout")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintf(stdout, "experiments: all, %s\n", strings.Join(experiments.Names(), ", "))
+		return nil
+	}
+	if *which == "" {
+		return fmt.Errorf("ttbench: -run or -list required")
+	}
+	w := stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *which == "all" {
+		return experiments.RunAll(w)
+	}
+	exp := experiments.Lookup(*which)
+	if exp == nil {
+		return fmt.Errorf("ttbench: unknown experiment %q (try -list)", *which)
+	}
+	return exp.Run(w)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

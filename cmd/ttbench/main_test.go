@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"all", "speedup", "slowdown", "fig1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q: %s", want, out.String())
+		}
+	}
+}
+
+func TestRunSingleByNameAndID(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "links"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E11") {
+		t.Errorf("links output: %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-run", "E6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 7") {
+		t.Errorf("E6 output: %s", out.String())
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var out strings.Builder
+	if err := run([]string{"-run", "fig6", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "0000 -> 0001") {
+		t.Errorf("file output: %s", data)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -run accepted")
+	}
+	if err := run([]string{"-run", "bogus"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

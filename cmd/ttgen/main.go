@@ -1,0 +1,75 @@
+// Command ttgen emits test-and-treatment instances from the synthetic
+// workload generators, in the JSON format cmd/ttsolve consumes.
+//
+// Usage:
+//
+//	ttgen -domain medical -k 10 -seed 7 > instance.json
+//	ttgen -domain fault -k 12 -board 4
+//	ttgen -domain biology -k 8
+//	ttgen -domain binary -k 16
+//	ttgen -domain random -k 8 -tests 6 -treatments 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/instio"
+	"repro/internal/workload"
+)
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ttgen", flag.ContinueOnError)
+	domain := fs.String("domain", "medical", "workload: medical, fault, biology, laboratory, logistics, binary, random")
+	k := fs.Int("k", 8, "universe size (number of objects)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	board := fs.Int("board", 4, "board size (fault domain)")
+	tests := fs.Int("tests", 6, "test count (random domain)")
+	treatments := fs.Int("treatments", 4, "treatment count (random domain)")
+	treatCost := fs.Uint64("treatcost", 60, "terminal treatment cost (binary domain)")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		p       *core.Problem
+		comment string
+	)
+	switch *domain {
+	case "medical":
+		p = workload.MedicalDiagnosis(*seed, *k)
+		comment = fmt.Sprintf("medical diagnosis, %d diseases, seed %d", *k, *seed)
+	case "fault":
+		p = workload.FaultLocation(*seed, *k, *board)
+		comment = fmt.Sprintf("machine fault location, %d components, boards of %d, seed %d", *k, *board, *seed)
+	case "biology":
+		p = workload.SystematicBiology(*seed, *k)
+		comment = fmt.Sprintf("systematic biology identification key, %d taxa, seed %d", *k, *seed)
+	case "laboratory":
+		p = workload.LaboratoryAnalysis(*seed, *k)
+		comment = fmt.Sprintf("laboratory analysis, %d analytes, seed %d", *k, *seed)
+	case "logistics":
+		p = workload.Logistics(*seed, *k, *board)
+		comment = fmt.Sprintf("logistics breakdown correction, %d subsystems, assemblies of %d, seed %d", *k, *board, *seed)
+	case "binary":
+		p = workload.BinaryTestingUniform(*k, *treatCost)
+		comment = fmt.Sprintf("uniform binary testing, %d objects", *k)
+	case "random":
+		p = workload.Random(*seed, *k, *tests, *treatments)
+		comment = fmt.Sprintf("random instance, %d objects, seed %d", *k, *seed)
+	default:
+		return fmt.Errorf("ttgen: unknown domain %q", *domain)
+	}
+	return instio.Write(stdout, p, comment)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/instio"
+)
+
+func TestGenerateAllDomains(t *testing.T) {
+	for _, domain := range []string{"medical", "fault", "biology", "laboratory", "logistics", "binary", "random"} {
+		var out strings.Builder
+		if err := run([]string{"-domain", domain, "-k", "6", "-seed", "3"}, &out); err != nil {
+			t.Fatalf("%s: %v", domain, err)
+		}
+		p, err := instio.Read(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("%s: generated instance unreadable: %v", domain, err)
+		}
+		if p.K != 6 {
+			t.Errorf("%s: k = %d, want 6", domain, p.K)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-domain", "fault", "-k", "5", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-domain", "fault", "-k", "5", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed gave different output")
+	}
+}
+
+func TestUnknownDomain(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-domain", "quantum"}, &out); err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+}

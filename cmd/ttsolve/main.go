@@ -1,0 +1,176 @@
+// Command ttsolve solves a test-and-treatment instance given as JSON, with a
+// choice of solver engines: the sequential DP, the parallel ASCEND algorithm
+// on the lockstep/goroutine/CCC engines, or the instruction-level BVM
+// program.
+//
+// Usage:
+//
+//	ttsolve [-engine seq|lockstep|goroutine|ccc|bvm] [-tree] [-greedy] [file.json]
+//
+// Reading from stdin when no file is given. The instance format:
+//
+//	{
+//	  "weights": [8, 4, 2, 1],
+//	  "actions": [
+//	    {"name": "swab", "objects": [0, 1], "cost": 2, "treatment": false},
+//	    {"name": "rest", "objects": [0],   "cost": 3, "treatment": true}
+//	  ]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bvmtt"
+	"repro/internal/core"
+	"repro/internal/instio"
+	"repro/internal/parttsolve"
+	"repro/internal/simulate"
+)
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ttsolve", flag.ContinueOnError)
+	engine := fs.String("engine", "seq", "solver: seq, lockstep, goroutine, ccc, or bvm")
+	showTree := fs.Bool("tree", false, "print the optimal procedure tree (seq engine)")
+	showDOT := fs.Bool("dot", false, "print the optimal tree as Graphviz DOT (seq engine)")
+	showStats := fs.Bool("stats", false, "print procedure-tree statistics (seq engine)")
+	mcTrials := fs.Int("simulate", 0, "Monte-Carlo trials validating the tree's expected cost (seq engine)")
+	policyOut := fs.String("policy", "", "write the reachable-state policy as JSON to this file (seq engine)")
+	explain := fs.Bool("explain", false, "print the per-action M[U,i] pricing table (seq engine)")
+	showGreedy := fs.Bool("greedy", false, "also report the greedy heuristic's cost")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	p, err := instio.Read(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "instance: %d objects, %d tests, %d treatments\n",
+		p.K, p.NumTests(), p.NumTreatments())
+
+	var cost uint64
+	switch *engine {
+	case "seq":
+		sol, err := core.Solve(p)
+		if err != nil {
+			return err
+		}
+		cost = sol.Cost
+		if *explain {
+			fmt.Fprintln(stdout, "action pricing at the full universe (M[U,i]):")
+			for _, row := range core.Explain(p, sol, core.Universe(p.K)) {
+				mark := " "
+				if row.Optimal {
+					mark = "*"
+				}
+				val := "excluded"
+				if row.Applicable {
+					val = fmt.Sprintf("%d", row.M)
+				}
+				fmt.Fprintf(stdout, "  %s %-18s %s\n", mark, row.Name, val)
+			}
+		}
+		if *policyOut != "" && sol.Adequate() {
+			pol, err := core.NewPolicy(p, sol)
+			if err != nil {
+				return err
+			}
+			data, err := json.MarshalIndent(pol, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*policyOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "policy with %d reachable states written to %s\n", pol.States(), *policyOut)
+		}
+		if (*showTree || *showDOT || *showStats || *mcTrials > 0) && sol.Adequate() {
+			tree, err := sol.Tree(p)
+			if err != nil {
+				return err
+			}
+			if *showTree {
+				fmt.Fprint(stdout, tree.Render(p))
+			}
+			if *showDOT {
+				fmt.Fprint(stdout, tree.DOT(p, "procedure"))
+			}
+			if *showStats {
+				st, err := core.Stats(p, tree)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "stats: %v\n", st)
+			}
+			if *mcTrials > 0 {
+				est, err := simulate.EstimateCost(p, tree, 1, *mcTrials)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "monte-carlo (%d trials): %.1f ± %.1f\n",
+					est.Trials, est.Mean, est.StdErr)
+			}
+		}
+	case "lockstep", "goroutine", "ccc":
+		kind := map[string]parttsolve.EngineKind{
+			"lockstep": parttsolve.Lockstep, "goroutine": parttsolve.Goroutine, "ccc": parttsolve.CCC,
+		}[*engine]
+		res, err := parttsolve.Solve(p, kind)
+		if err != nil {
+			return err
+		}
+		cost = res.Cost
+		fmt.Fprintf(stdout, "parallel machine: %d PEs, %d dimension steps", res.PEs, res.DimSteps)
+		if res.CCCSteps > 0 {
+			fmt.Fprintf(stdout, ", %d CCC steps", res.CCCSteps)
+		}
+		fmt.Fprintln(stdout)
+	case "bvm":
+		res, err := bvmtt.Solve(p, 0)
+		if err != nil {
+			return err
+		}
+		cost = res.Cost
+		fmt.Fprintf(stdout, "BVM: %d PEs, %d-bit words, %d instructions (%d loading)\n",
+			res.PEs, res.Width, res.Instructions, res.LoadInstructions)
+	default:
+		return fmt.Errorf("ttsolve: unknown engine %q", *engine)
+	}
+
+	if cost == core.Inf {
+		fmt.Fprintln(stdout, "result: INADEQUATE — no successful procedure exists")
+	} else {
+		fmt.Fprintf(stdout, "minimum expected cost C(U) = %d\n", cost)
+	}
+	if *showGreedy {
+		g, err := core.GreedyCost(p)
+		if err != nil {
+			fmt.Fprintf(stdout, "greedy: failed (%v)\n", err)
+		} else {
+			fmt.Fprintf(stdout, "greedy heuristic cost = %d\n", g)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

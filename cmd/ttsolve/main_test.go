@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const sample = `{
+  "weights": [1, 1],
+  "actions": [
+    {"name": "t0", "objects": [0], "cost": 1, "treatment": true},
+    {"name": "t1", "objects": [1], "cost": 1, "treatment": true},
+    {"name": "probe", "objects": [0], "cost": 1}
+  ]
+}`
+
+func TestRejectsGarbageInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(`{"bogus": 1}`), &out); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestRunEngines(t *testing.T) {
+	for _, engine := range []string{"seq", "lockstep", "goroutine", "ccc", "bvm"} {
+		var out strings.Builder
+		err := run([]string{"-engine", engine}, strings.NewReader(sample), &out)
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		if !strings.Contains(out.String(), "C(U) = 3") {
+			t.Errorf("engine %s: output missing cost 3:\n%s", engine, out.String())
+		}
+	}
+}
+
+func TestRunTreeAndGreedy(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tree", "-greedy"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "treat") || !strings.Contains(s, "greedy heuristic cost") {
+		t.Errorf("missing tree or greedy output:\n%s", s)
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dot"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph") {
+		t.Errorf("missing DOT output:\n%s", out.String())
+	}
+}
+
+func TestRunStatsAndSimulate(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-stats", "-simulate", "2000"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "stats: ") || !strings.Contains(s, "monte-carlo") {
+		t.Errorf("missing stats/simulate output:\n%s", s)
+	}
+}
+
+func TestRunPolicyAndExplain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "policy.json")
+	var out strings.Builder
+	if err := run([]string{"-policy", path, "-explain"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "action pricing") || !strings.Contains(out.String(), "reachable states written") {
+		t.Errorf("missing policy/explain output:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pol core.Policy
+	if err := json.Unmarshal(data, &pol); err != nil {
+		t.Fatalf("written policy unreadable: %v", err)
+	}
+	tree, err := pol.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree == nil {
+		t.Fatal("empty policy tree")
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-engine", "warp"}, strings.NewReader(sample), &out); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"/no/such/file.json"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

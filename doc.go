@@ -1,0 +1,45 @@
+// Package repro reproduces "Finding Test-and-Treatment Procedures Using
+// Parallel Computation" (Duval, Wagner, Han, Loveland — Duke University,
+// 1985/ICPP 1986) as a complete Go system.
+//
+// The test-and-treatment (TT) problem generalizes binary testing: a universe
+// of weighted objects, one of which is faulty; tests that split the
+// candidate set; treatments that cure the objects they cover; and the goal
+// of a minimum-expected-cost decision procedure. The paper solves the
+// NP-hard problem by dynamic programming, transforms the DP into the
+// ASCEND/DESCEND scheme, and realizes it on the Boolean Vector Machine —
+// a bit-serial SIMD computer of up to 2^20 processing elements wired as a
+// cube-connected-cycles network with only 3p/2 links — achieving speedup
+// O(p / log p).
+//
+// The packages, bottom up:
+//
+//   - internal/bitvec     — packed bit vectors (the BVM's register storage)
+//   - internal/ccc        — cube-connected-cycles topology and link census
+//   - internal/hypercube  — hypercube SIMD machine; ASCEND/DESCEND drivers;
+//     broadcast and the two propagation kinds
+//   - internal/cccsim     — pipelined simulation of hypercube ASCEND/DESCEND
+//     on the CCC (the paper's slowdown-4-to-6 result)
+//   - internal/bvm        — the Boolean Vector Machine instruction simulator
+//   - internal/bvmalg     — cycle-ID, processor-ID, bit-serial arithmetic,
+//     partner fetch, and instruction-level dataflow algorithms
+//   - internal/core       — the TT problem, sequential DP, tree extraction,
+//     exhaustive and greedy baselines
+//   - internal/parttsolve — the parallel TT algorithm (word level, three
+//     engines: lockstep, goroutine-per-PE, CCC)
+//   - internal/bvmtt      — the TT algorithm compiled to BVM instructions
+//   - internal/workload   — seeded generators for the paper's application
+//     domains
+//   - internal/simulate   — transcript execution of procedures against
+//     concrete faults; Monte-Carlo cost validation
+//   - internal/instio     — the JSON instance wire format
+//   - internal/experiments — the figure/claim reproduction harness
+//
+// Binaries: cmd/ttsolve (solve JSON instances; trees, policies, pricing
+// tables, Monte-Carlo validation), cmd/bvmrun (BVM demos, disassembly,
+// tracing), cmd/ttbench (regenerate every experiment), cmd/ttgen (instance
+// generation). Runnable walkthroughs live in examples/; docs/TUTORIAL.md
+// and docs/PAPER-NOTES.md are the guided tours. The benchmark suite in
+// bench_test.go has one benchmark per experiment row; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for measured-vs-paper results.
+package repro

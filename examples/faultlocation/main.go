@@ -1,0 +1,72 @@
+// Faultlocation: machine fault location and correction (another of the
+// paper's motivating applications), solved both sequentially and with the
+// paper's parallel ASCEND algorithm on the cube-connected-cycles engine —
+// demonstrating the step accounting behind the O(p/log p) speedup claim.
+//
+//	go run ./examples/faultlocation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/parttsolve"
+	"repro/internal/workload"
+)
+
+func main() {
+	problem := workload.FaultLocation(7, 7, 4) // 7 components, boards of 4
+	fmt.Printf("fault-location instance: %d components, %d probes, %d repairs\n",
+		problem.K, problem.NumTests(), problem.NumTreatments())
+
+	seq, err := core.Solve(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential DP: C(U) = %d in %d operations\n", seq.Cost, seq.Ops)
+
+	tree, err := seq.Tree(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boardSwaps, partSwaps, probes := 0, 0, 0
+	var walk func(n *core.Node)
+	walk = func(n *core.Node) {
+		if n == nil {
+			return
+		}
+		a := problem.Actions[n.Action]
+		switch {
+		case !a.Treatment:
+			probes++
+		case a.Set.Size() > 1:
+			boardSwaps++
+		default:
+			partSwaps++
+		}
+		walk(n.Pos)
+		walk(n.Neg)
+	}
+	walk(tree)
+	fmt.Printf("optimal repair policy uses %d probes, %d part replacements, %d board swaps\n",
+		probes, partSwaps, boardSwaps)
+
+	// The same instance on the paper's parallel machine.
+	par, err := parttsolve.Solve(problem, parttsolve.CCC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if par.Cost != seq.Cost {
+		log.Fatalf("parallel cost %d != sequential %d", par.Cost, seq.Cost)
+	}
+	fmt.Printf("\nparallel (CCC engine): same C(U) = %d\n", par.Cost)
+	fmt.Printf("  machine: %d PEs (one per (S,i) pair), 3·p/2 = %d links\n",
+		par.PEs, 3*par.PEs/2)
+	fmt.Printf("  hypercube word steps: %d; CCC word steps: %d (slowdown %.1f)\n",
+		par.DimSteps, par.CCCSteps, float64(par.CCCSteps)/float64(par.DimSteps))
+	pes := float64(par.PEs)
+	fmt.Printf("  speedup model: T1/Tp ~ %.0f vs p/log p = %.0f\n",
+		float64(seq.Ops)/float64(par.DimSteps), pes/math.Log2(pes))
+}

@@ -1,0 +1,334 @@
+// Package bitvec provides packed boolean vectors.
+//
+// A Vector holds n bits in 64-bit words. It is the storage substrate for the
+// Boolean Vector Machine's registers (internal/bvm): one Vector per register
+// row, one bit per processing element. The package supplies the word-parallel
+// primitives the BVM instruction cycle needs — arbitrary three-input Boolean
+// combination via an 8-bit truth table, masked assignment for the
+// enable/activate machinery, and permutation gathers for neighbor operands.
+//
+// All vectors maintain the invariant that bits at positions >= Len() in the
+// final word are zero, so Count and Equal never see garbage.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length sequence of bits.
+// The zero value is an empty vector of length 0; use New for a sized one.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed Vector of n bits. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromString parses a vector from a string of '0' and '1' runes, most
+// significant position last; that is, s[i] is bit i. Whitespace is ignored.
+func FromString(s string) (*Vector, error) {
+	s = strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' {
+			return -1
+		}
+		return r
+	}, s)
+	v := New(len(s))
+	for i, r := range s {
+		switch r {
+		case '0':
+		case '1':
+			v.Set(i, true)
+		default:
+			return nil, fmt.Errorf("bitvec: invalid rune %q at position %d", r, i)
+		}
+	}
+	return v, nil
+}
+
+// MustFromString is FromString that panics on error; for tests and literals.
+func MustFromString(s string) *Vector {
+	v, err := FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Get reports whether bit i is set. It panics if i is out of range.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]>>(uint(i)%wordBits)&1 == 1
+}
+
+// Bit returns bit i as a uint64 (0 or 1). It panics if i is out of range.
+func (v *Vector) Bit(i int) uint64 {
+	v.check(i)
+	return v.words[i/wordBits] >> (uint(i) % wordBits) & 1
+}
+
+// Set sets bit i to b. It panics if i is out of range.
+func (v *Vector) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+	} else {
+		v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+	}
+}
+
+// SetBit sets bit i to the low bit of bit01. It panics if i is out of range.
+func (v *Vector) SetBit(i int, bit01 uint64) { v.Set(i, bit01&1 == 1) }
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Fill sets every bit to b.
+func (v *Vector) Fill(b bool) {
+	var w uint64
+	if b {
+		w = ^uint64(0)
+	}
+	for i := range v.words {
+		v.words[i] = w
+	}
+	v.maskTail()
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	c := New(v.n)
+	copy(c.words, v.words)
+	return c
+}
+
+// CopyFrom overwrites v with src. The lengths must match.
+func (v *Vector) CopyFrom(src *Vector) {
+	v.sameLen(src)
+	copy(v.words, src.words)
+}
+
+// Equal reports whether v and o have the same length and bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (v *Vector) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// OnesIndices returns the positions of all set bits, in increasing order.
+func (v *Vector) OnesIndices() []int {
+	idx := make([]int, 0, v.Count())
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			idx = append(idx, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return idx
+}
+
+// And sets v = a AND b. All three must have equal length; v may alias a or b.
+func (v *Vector) And(a, b *Vector) {
+	v.sameLen(a)
+	v.sameLen(b)
+	for i := range v.words {
+		v.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// Or sets v = a OR b.
+func (v *Vector) Or(a, b *Vector) {
+	v.sameLen(a)
+	v.sameLen(b)
+	for i := range v.words {
+		v.words[i] = a.words[i] | b.words[i]
+	}
+}
+
+// Xor sets v = a XOR b.
+func (v *Vector) Xor(a, b *Vector) {
+	v.sameLen(a)
+	v.sameLen(b)
+	for i := range v.words {
+		v.words[i] = a.words[i] ^ b.words[i]
+	}
+}
+
+// AndNot sets v = a AND NOT b.
+func (v *Vector) AndNot(a, b *Vector) {
+	v.sameLen(a)
+	v.sameLen(b)
+	for i := range v.words {
+		v.words[i] = a.words[i] &^ b.words[i]
+	}
+}
+
+// Not sets v = NOT a.
+func (v *Vector) Not(a *Vector) {
+	v.sameLen(a)
+	for i := range v.words {
+		v.words[i] = ^a.words[i]
+	}
+	v.maskTail()
+}
+
+// Apply3 sets v[i] = tt(a[i], b[i], c[i]) for every i, where tt is an 8-bit
+// truth table: output bit for inputs (x,y,z) is bit x<<2|y<<1|z of tt.
+// This is the workhorse of the BVM instruction cycle, which allows any
+// Boolean function of three one-bit operands. v may alias any input.
+func (v *Vector) Apply3(tt uint8, a, b, c *Vector) {
+	v.sameLen(a)
+	v.sameLen(b)
+	v.sameLen(c)
+	for i := range v.words {
+		aw, bw, cw := a.words[i], b.words[i], c.words[i]
+		var out uint64
+		for m := uint8(0); m < 8; m++ {
+			if tt>>(m)&1 == 0 {
+				continue
+			}
+			t := ^uint64(0)
+			if m&4 != 0 {
+				t &= aw
+			} else {
+				t &^= aw
+			}
+			if m&2 != 0 {
+				t &= bw
+			} else {
+				t &^= bw
+			}
+			if m&1 != 0 {
+				t &= cw
+			} else {
+				t &^= cw
+			}
+			out |= t
+		}
+		v.words[i] = out
+	}
+	v.maskTail()
+}
+
+// MaskedCopy sets v[i] = src[i] wherever mask[i] is 1, leaving other bits of v
+// untouched. This implements the BVM activate/enable semantics, where
+// deactivated or disabled PEs keep their old register contents.
+func (v *Vector) MaskedCopy(mask, src *Vector) {
+	v.sameLen(mask)
+	v.sameLen(src)
+	for i := range v.words {
+		m := mask.words[i]
+		v.words[i] = v.words[i]&^m | src.words[i]&m
+	}
+}
+
+// Gather sets v[i] = src[perm[i]] for every i. perm must have length v.Len()
+// and every entry must index into src. v must not alias src.
+func (v *Vector) Gather(src *Vector, perm []int32) {
+	if len(perm) != v.n {
+		panic(fmt.Sprintf("bitvec: perm length %d != vector length %d", len(perm), v.n))
+	}
+	if v == src {
+		panic("bitvec: Gather dst aliases src")
+	}
+	for i := range v.words {
+		v.words[i] = 0
+	}
+	for i, p := range perm {
+		if src.words[p/wordBits]>>(uint32(p)%wordBits)&1 == 1 {
+			v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+		}
+	}
+}
+
+// String renders the vector as a string of '0'/'1' with s[i] = bit i,
+// matching FromString.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Uint64 returns bits [lo, lo+width) of v packed into a uint64 with bit lo as
+// the least significant bit. width must be at most 64.
+func (v *Vector) Uint64(lo, width int) uint64 {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitvec: invalid width %d", width))
+	}
+	var x uint64
+	for b := 0; b < width; b++ {
+		x |= v.Bit(lo+b) << uint(b)
+	}
+	return x
+}
+
+// SetUint64 stores the low width bits of x into positions [lo, lo+width).
+func (v *Vector) SetUint64(lo, width int, x uint64) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitvec: invalid width %d", width))
+	}
+	for b := 0; b < width; b++ {
+		v.SetBit(lo+b, x>>uint(b))
+	}
+}
+
+func (v *Vector) sameLen(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, o.n))
+	}
+}
+
+func (v *Vector) maskTail() {
+	if r := v.n % wordBits; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(r)) - 1
+	}
+}

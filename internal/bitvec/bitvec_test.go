@@ -1,0 +1,426 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("Len = %d, want %d", v.Len(), n)
+		}
+		if v.Count() != 0 {
+			t.Fatalf("n=%d: new vector has %d set bits", n, v.Count())
+		}
+		if v.Any() {
+			t.Fatalf("n=%d: Any on zero vector", n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGet(t *testing.T) {
+	v := New(130)
+	positions := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, p := range positions {
+		v.Set(p, true)
+	}
+	for _, p := range positions {
+		if !v.Get(p) {
+			t.Errorf("bit %d not set", p)
+		}
+		if v.Bit(p) != 1 {
+			t.Errorf("Bit(%d) = %d, want 1", p, v.Bit(p))
+		}
+	}
+	if got := v.Count(); got != len(positions) {
+		t.Fatalf("Count = %d, want %d", got, len(positions))
+	}
+	v.Set(64, false)
+	if v.Get(64) {
+		t.Error("bit 64 still set after clear")
+	}
+	v.SetBit(64, 3) // low bit only
+	if !v.Get(64) {
+		t.Error("SetBit(64, 3) did not set bit")
+	}
+}
+
+func TestGetOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+func TestFill(t *testing.T) {
+	v := New(70)
+	v.Fill(true)
+	if v.Count() != 70 {
+		t.Fatalf("Count after Fill(true) = %d, want 70", v.Count())
+	}
+	// Tail bits beyond Len must stay zero (invariant used by Count/Equal).
+	if v.words[1]>>6 != 0 {
+		t.Fatal("tail bits not masked after Fill")
+	}
+	v.Fill(false)
+	if v.Any() {
+		t.Fatal("bits remain after Fill(false)")
+	}
+}
+
+func TestFromStringRoundTrip(t *testing.T) {
+	s := "0110 1001 1100"
+	v, err := FromString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", v.Len())
+	}
+	if got, want := v.String(), "011010011100"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if _, err := FromString("01x"); err == nil {
+		t.Fatal("FromString accepted invalid rune")
+	}
+}
+
+func TestMustFromStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFromString did not panic on bad input")
+		}
+	}()
+	MustFromString("012")
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := MustFromString("1010")
+	c := v.Clone()
+	c.Set(0, false)
+	if !v.Get(0) {
+		t.Fatal("mutating clone changed original")
+	}
+	if !c.Equal(MustFromString("0010")) {
+		t.Fatalf("clone = %s", c)
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	if New(5).Equal(New(6)) {
+		t.Fatal("vectors of different length compared equal")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := MustFromString("1100")
+	b := MustFromString("1010")
+	v := New(4)
+	v.And(a, b)
+	if v.String() != "1000" {
+		t.Errorf("And = %s", v)
+	}
+	v.Or(a, b)
+	if v.String() != "1110" {
+		t.Errorf("Or = %s", v)
+	}
+	v.Xor(a, b)
+	if v.String() != "0110" {
+		t.Errorf("Xor = %s", v)
+	}
+	v.AndNot(a, b)
+	if v.String() != "0100" {
+		t.Errorf("AndNot = %s", v)
+	}
+	v.Not(a)
+	if v.String() != "0011" {
+		t.Errorf("Not = %s", v)
+	}
+}
+
+func TestNotMasksTail(t *testing.T) {
+	v := New(3)
+	v.Not(New(3))
+	if v.Count() != 3 {
+		t.Fatalf("Not produced %d bits, want 3", v.Count())
+	}
+	if v.words[0] != 0b111 {
+		t.Fatalf("tail not masked: %b", v.words[0])
+	}
+}
+
+func TestOnesIndices(t *testing.T) {
+	v := New(200)
+	want := []int{0, 5, 63, 64, 120, 199}
+	for _, p := range want {
+		v.Set(p, true)
+	}
+	got := v.OnesIndices()
+	if len(got) != len(want) {
+		t.Fatalf("OnesIndices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OnesIndices = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestApply3AllTruthTables exercises every one of the 256 possible Boolean
+// functions of three inputs against a bit-by-bit reference model.
+func TestApply3AllTruthTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 131
+	a, b, c := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+	v := New(n)
+	for tt := 0; tt < 256; tt++ {
+		v.Apply3(uint8(tt), a, b, c)
+		for i := 0; i < n; i++ {
+			m := a.Bit(i)<<2 | b.Bit(i)<<1 | c.Bit(i)
+			want := uint64(tt) >> m & 1
+			if v.Bit(i) != want {
+				t.Fatalf("tt=%#02x bit %d: got %d want %d", tt, i, v.Bit(i), want)
+			}
+		}
+	}
+}
+
+func TestApply3Aliasing(t *testing.T) {
+	a := MustFromString("1100")
+	b := MustFromString("1010")
+	// v aliases a: v = a XOR b. XOR truth table: out=1 when x!=y, any z.
+	const xorTT = 0b00111100 // minterms 2,3,4,5 (x^y independent of z)
+	a.Apply3(xorTT, a, b, b)
+	if a.String() != "0110" {
+		t.Fatalf("aliased Apply3 = %s, want 0110", a)
+	}
+}
+
+func TestMaskedCopy(t *testing.T) {
+	v := MustFromString("0000")
+	src := MustFromString("1111")
+	mask := MustFromString("0101")
+	v.MaskedCopy(mask, src)
+	if v.String() != "0101" {
+		t.Fatalf("MaskedCopy = %s, want 0101", v)
+	}
+	// Unmasked positions must be preserved, not cleared.
+	v2 := MustFromString("1000")
+	v2.MaskedCopy(mask, MustFromString("0100"))
+	if v2.String() != "1100" {
+		t.Fatalf("MaskedCopy preserved = %s, want 1100", v2)
+	}
+}
+
+func TestGather(t *testing.T) {
+	src := MustFromString("10110")
+	v := New(5)
+	perm := []int32{4, 3, 2, 1, 0}
+	v.Gather(src, perm)
+	if v.String() != "01101" {
+		t.Fatalf("Gather reverse = %s, want 01101", v)
+	}
+	// Broadcast gather: all read bit 2.
+	v.Gather(src, []int32{2, 2, 2, 2, 2})
+	if v.String() != "11111" {
+		t.Fatalf("Gather broadcast = %s", v)
+	}
+}
+
+func TestGatherPanics(t *testing.T) {
+	v := New(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Gather with wrong perm length did not panic")
+			}
+		}()
+		v.Gather(New(4), []int32{0})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Gather aliasing did not panic")
+			}
+		}()
+		v.Gather(v, []int32{0, 1, 2, 3})
+	}()
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	v := New(100)
+	v.SetUint64(37, 13, 0x1abc&0x1fff)
+	if got := v.Uint64(37, 13); got != 0x1abc {
+		t.Fatalf("Uint64 = %#x, want %#x", got, 0x1abc)
+	}
+	// Bits outside the window must be untouched.
+	if v.Bit(36) != 0 || v.Bit(50) != 0 {
+		t.Fatal("SetUint64 wrote outside its window")
+	}
+	// Overwrite with a narrower value clears old bits in the window.
+	v.SetUint64(37, 13, 1)
+	if got := v.Uint64(37, 13); got != 1 {
+		t.Fatalf("Uint64 after overwrite = %#x, want 1", got)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := MustFromString("1100")
+	b := New(4)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CopyFrom length mismatch did not panic")
+			}
+		}()
+		b.CopyFrom(New(5))
+	}()
+}
+
+// Property: De Morgan duality holds for vector ops at arbitrary lengths.
+func TestPropertyDeMorgan(t *testing.T) {
+	f := func(aw, bw []uint64, nSeed uint8) bool {
+		n := int(nSeed)%150 + 1
+		a, b := vecFromWords(aw, n), vecFromWords(bw, n)
+		lhs, rhs, na, nb := New(n), New(n), New(n), New(n)
+		lhs.And(a, b)
+		lhs.Not(lhs) // NOT(a AND b)
+		na.Not(a)
+		nb.Not(b)
+		rhs.Or(na, nb) // NOT a OR NOT b
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Xor is its own inverse: (a XOR b) XOR b == a.
+func TestPropertyXorInvolution(t *testing.T) {
+	f := func(aw, bw []uint64, nSeed uint8) bool {
+		n := int(nSeed)%150 + 1
+		a, b := vecFromWords(aw, n), vecFromWords(bw, n)
+		v := New(n)
+		v.Xor(a, b)
+		v.Xor(v, b)
+		return v.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Count(a) + Count(b) == Count(a OR b) + Count(a AND b).
+func TestPropertyInclusionExclusion(t *testing.T) {
+	f := func(aw, bw []uint64, nSeed uint8) bool {
+		n := int(nSeed)%150 + 1
+		a, b := vecFromWords(aw, n), vecFromWords(bw, n)
+		or, and := New(n), New(n)
+		or.Or(a, b)
+		and.And(a, b)
+		return a.Count()+b.Count() == or.Count()+and.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: String/FromString round-trips.
+func TestPropertyStringRoundTrip(t *testing.T) {
+	f := func(aw []uint64, nSeed uint8) bool {
+		n := int(nSeed)%150 + 1
+		a := vecFromWords(aw, n)
+		b, err := FromString(a.String())
+		return err == nil && b.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a gather by the identity permutation is a copy.
+func TestPropertyGatherIdentity(t *testing.T) {
+	f := func(aw []uint64, nSeed uint8) bool {
+		n := int(nSeed)%150 + 1
+		a := vecFromWords(aw, n)
+		perm := make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		v := New(n)
+		v.Gather(a, perm)
+		return v.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randVec(rng *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, rng.Intn(2) == 1)
+	}
+	return v
+}
+
+func vecFromWords(words []uint64, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if len(words) == 0 {
+			break
+		}
+		w := words[(i/wordBits)%len(words)]
+		v.Set(i, w>>(uint(i)%wordBits)&1 == 1)
+	}
+	return v
+}
+
+func BenchmarkApply3(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1 << 16
+	x, y, z := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+	v := New(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Apply3(0b10010110, x, y, z)
+	}
+}
+
+func BenchmarkGather(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1 << 16
+	src := randVec(rng, n)
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32((i + 1) % n)
+	}
+	v := New(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Gather(src, perm)
+	}
+}

@@ -1,0 +1,272 @@
+package bvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file parses BVM assembly — the inverse of Program.Disassemble — so
+// machine programs can be written, stored and replayed as text in the
+// paper's own instruction syntax:
+//
+//	; optional comment
+//	R[5], B = F&D, B (R[3], R[2].L, B) IF {0,2};
+//	A, B = D, maj(F,D,B) (A, A.I, B);
+//
+// Truth tables are the symbolic names the disassembler emits (F, D, B, 0,
+// 1, F&D, F|D, F^D, F&~D, ~F, ~D, B?D:F, F^D^B, maj(F,D,B)) or a raw
+// tt:XX hex form. Leading line numbers from disassembly listings are
+// accepted and ignored, so Disassemble output parses back exactly.
+
+// ParseProgram parses an assembly listing into a Program.
+func ParseProgram(name, src string) (*Program, error) {
+	p := &Program{Name: name}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 && strings.TrimSpace(line[:i]) == "" {
+			continue // pure comment line
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		in, err := ParseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("bvm: line %d: %w", lineNo+1, err)
+		}
+		p.Instrs = append(p.Instrs, *in)
+	}
+	return p, nil
+}
+
+// ParseInstr parses a single instruction, with or without the trailing
+// semicolon and with an optional leading listing index.
+func ParseInstr(line string) (*Instr, error) {
+	s := strings.TrimSpace(line)
+	// Optional leading listing index ("  12  A, B = ...").
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		if _, err := strconv.Atoi(s[:i]); err == nil {
+			s = strings.TrimSpace(s[i:])
+		}
+	}
+	s = strings.TrimSuffix(strings.TrimSpace(s), ";")
+
+	lhsRhs := strings.SplitN(s, "=", 2)
+	if len(lhsRhs) != 2 {
+		return nil, fmt.Errorf("missing '=' in %q", line)
+	}
+	lhsParts := strings.Split(strings.TrimSpace(lhsRhs[0]), ",")
+	if len(lhsParts) != 2 || strings.TrimSpace(lhsParts[1]) != "B" {
+		return nil, fmt.Errorf("destination must be '<reg>, B', got %q", lhsRhs[0])
+	}
+	dst, err := parseRegRef(strings.TrimSpace(lhsParts[0]))
+	if err != nil {
+		return nil, err
+	}
+
+	// The operand list is the last balanced parenthesis group (truth-table
+	// names like maj(F,D,B) contain parentheses of their own).
+	rhs := strings.TrimSpace(lhsRhs[1])
+	closeIdx := strings.LastIndexByte(rhs, ')')
+	if closeIdx < 0 {
+		return nil, fmt.Errorf("missing operand list in %q", line)
+	}
+	depth := 0
+	open := -1
+	for i := closeIdx; i >= 0; i-- {
+		switch rhs[i] {
+		case ')':
+			depth++
+		case '(':
+			depth--
+			if depth == 0 {
+				open = i
+			}
+		}
+		if open >= 0 {
+			break
+		}
+	}
+	if open < 0 {
+		return nil, fmt.Errorf("unbalanced operand list in %q", line)
+	}
+	ttPart := strings.TrimSpace(rhs[:open])
+	operandPart := rhs[open+1 : closeIdx]
+	condPart := strings.TrimSpace(rhs[closeIdx+1:])
+
+	tts := splitTopLevel(ttPart)
+	if len(tts) != 2 {
+		return nil, fmt.Errorf("want two truth tables 'f, g', got %q", ttPart)
+	}
+	ftt, err := parseTT(strings.TrimSpace(tts[0]))
+	if err != nil {
+		return nil, err
+	}
+	gtt, err := parseTT(strings.TrimSpace(tts[1]))
+	if err != nil {
+		return nil, err
+	}
+
+	ops := splitTopLevel(operandPart)
+	if len(ops) != 3 {
+		return nil, fmt.Errorf("want three operands '(F, D, B)', got %q", operandPart)
+	}
+	if strings.TrimSpace(ops[2]) != "B" {
+		return nil, fmt.Errorf("third operand must be B, got %q", ops[2])
+	}
+	fRef, err := parseRegRef(strings.TrimSpace(ops[0]))
+	if err != nil {
+		return nil, err
+	}
+	dOp, err := parseOperand(strings.TrimSpace(ops[1]))
+	if err != nil {
+		return nil, err
+	}
+
+	in := &Instr{Dst: dst, FTT: ftt, GTT: gtt, F: fRef, D: dOp}
+	if condPart != "" {
+		cond, err := parseActivation(condPart)
+		if err != nil {
+			return nil, err
+		}
+		in.Cond = cond
+	}
+	return in, nil
+}
+
+// splitTopLevel splits on commas not inside parentheses (for maj(F,D,B)).
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+func parseRegRef(s string) (RegRef, error) {
+	switch s {
+	case "A":
+		return A, nil
+	case "B":
+		return B, nil
+	case "E":
+		return E, nil
+	}
+	if inner, ok := strings.CutPrefix(s, "R["); ok {
+		if num, ok := strings.CutSuffix(inner, "]"); ok {
+			j, err := strconv.Atoi(num)
+			if err != nil || j < 0 {
+				return RegRef{}, fmt.Errorf("bad register index %q", num)
+			}
+			return R(j), nil
+		}
+	}
+	return RegRef{}, fmt.Errorf("bad register %q", s)
+}
+
+func parseOperand(s string) (Operand, error) {
+	routes := []struct {
+		suffix string
+		route  Route
+	}{
+		{".XS", RouteXS}, {".XP", RouteXP}, {".S", RouteS},
+		{".P", RouteP}, {".L", RouteL}, {".I", RouteI},
+	}
+	for _, r := range routes {
+		if base, ok := strings.CutSuffix(s, r.suffix); ok {
+			reg, err := parseRegRef(base)
+			if err != nil {
+				return Operand{}, err
+			}
+			return Via(reg, r.route), nil
+		}
+	}
+	reg, err := parseRegRef(s)
+	if err != nil {
+		return Operand{}, err
+	}
+	return Loc(reg), nil
+}
+
+func parseTT(s string) (uint8, error) {
+	switch s {
+	case "0":
+		return TTZero, nil
+	case "1":
+		return TTOne, nil
+	case "F":
+		return TTF, nil
+	case "D":
+		return TTD, nil
+	case "B":
+		return TTB, nil
+	case "F&D":
+		return TTAndFD, nil
+	case "F|D":
+		return TTOrFD, nil
+	case "F^D":
+		return TTXorFD, nil
+	case "F&~D":
+		return TTAndNotFD, nil
+	case "~F":
+		return TTNotF, nil
+	case "~D":
+		return TTNotD, nil
+	case "B?D:F":
+		return TTMuxB, nil
+	case "F^D^B":
+		return TTParity, nil
+	case "maj(F,D,B)":
+		return TTMajority, nil
+	}
+	if hexPart, ok := strings.CutPrefix(s, "tt:"); ok {
+		v, err := strconv.ParseUint(hexPart, 16, 8)
+		if err != nil {
+			return 0, fmt.Errorf("bad truth table %q", s)
+		}
+		return uint8(v), nil
+	}
+	return 0, fmt.Errorf("unknown truth table %q", s)
+}
+
+func parseActivation(s string) (*Activation, error) {
+	var negate bool
+	switch {
+	case strings.HasPrefix(s, "IF"):
+		s = strings.TrimSpace(strings.TrimPrefix(s, "IF"))
+	case strings.HasPrefix(s, "NF"):
+		negate = true
+		s = strings.TrimSpace(strings.TrimPrefix(s, "NF"))
+	default:
+		return nil, fmt.Errorf("activation must start with IF or NF, got %q", s)
+	}
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return nil, fmt.Errorf("activation set must be braced, got %q", s)
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	act := &Activation{Negate: negate}
+	if body == "" {
+		return act, nil
+	}
+	for _, part := range strings.Split(body, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad activation position %q", part)
+		}
+		act.Positions = append(act.Positions, v)
+	}
+	return act, nil
+}

@@ -1,0 +1,123 @@
+package bvm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseInstrBasic(t *testing.T) {
+	in, err := ParseInstr("R[5], B = F&D, B (R[3], R[2].L, B) IF {0,2};")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Instr{Dst: R(5), FTT: TTAndFD, GTT: TTB, F: R(3), D: Via(R(2), RouteL),
+		Cond: &Activation{Positions: []int{0, 2}}}
+	if !reflect.DeepEqual(*in, want) {
+		t.Fatalf("parsed %+v, want %+v", *in, want)
+	}
+}
+
+func TestParseInstrVariants(t *testing.T) {
+	cases := []string{
+		"A, B = 1, B (A, A, B);",
+		"A, B = D, B (A, A.I, B)",                 // no semicolon
+		"  12  A, B = D, maj(F,D,B) (A, A.P, B);", // listing index
+		"E, B = ~F, 0 (B, B.XS, B) NF {1};",
+		"R[0], B = B?D:F, F^D^B (R[1], R[2].XP, B);",
+		"A, B = tt:5b, D (A, A.S, B) IF {};",
+	}
+	for _, c := range cases {
+		if _, err := ParseInstr(c); err != nil {
+			t.Errorf("%q: %v", c, err)
+		}
+	}
+}
+
+func TestParseInstrErrors(t *testing.T) {
+	cases := []string{
+		"",                                // empty
+		"A = F (A, A, B);",                // missing ', B' dst
+		"A, B = F (A, A, B);",             // one tt
+		"A, B = F, D A, A, B;",            // missing parens
+		"A, B = F, D (A, A);",             // two operands
+		"A, B = F, D (A, A, A);",          // third operand not B
+		"A, B = F, D (Q, A, B);",          // bad register
+		"A, B = F, D (A, A.Z, B);",        // bad route
+		"A, B = WAT, D (A, A, B);",        // bad tt
+		"A, B = tt:zz, D (A, A, B);",      // bad hex
+		"A, B = F, D (A, A, B) WHEN {1};", // bad cond keyword
+		"A, B = F, D (A, A, B) IF 1,2;",   // unbraced set
+		"A, B = F, D (A, A, B) IF {x};",   // bad position
+		"R[x], B = F, D (A, A, B);",       // bad index
+	}
+	for _, c := range cases {
+		if _, err := ParseInstr(c); err == nil {
+			t.Errorf("%q: accepted", c)
+		}
+	}
+}
+
+// TestDisassembleParsesBack: a recorded real program round-trips through
+// text exactly.
+func TestDisassembleParsesBack(t *testing.T) {
+	m := newMachine(t, 1)
+	m.StartRecording("roundtrip")
+	m.SetConst(A, true)
+	m.Mov(A, Via(A, RouteI))
+	m.And(A, A, Via(A, RouteL))
+	m.Mov(R(7), Loc(A), IF(0))
+	m.AddStep(R(3), R(1), Loc(R(2)))
+	m.MuxB(R(4), R(4), Via(R(5), RouteXS), NF(1))
+	prog := m.StopRecording()
+
+	parsed, err := ParseProgram("roundtrip", prog.Disassemble())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Instrs) != len(prog.Instrs) {
+		t.Fatalf("parsed %d instructions, want %d", len(parsed.Instrs), len(prog.Instrs))
+	}
+	for i := range prog.Instrs {
+		if !reflect.DeepEqual(parsed.Instrs[i], prog.Instrs[i]) {
+			t.Fatalf("instruction %d: parsed %+v, want %+v", i, parsed.Instrs[i], prog.Instrs[i])
+		}
+	}
+
+	// And the parsed program executes identically.
+	m1 := newMachine(t, 1)
+	prog.Replay(m1)
+	m2 := newMachine(t, 1)
+	parsed.Replay(m2)
+	if !m1.Snapshot().Equal(m2.Snapshot()) {
+		t.Fatal("replay of parsed program diverges")
+	}
+}
+
+func TestParseProgramCommentsAndErrors(t *testing.T) {
+	src := `
+; a comment
+A, B = 1, B (A, A, B);
+
+A, B = D, B (A, A.S, B);
+`
+	p, err := ParseProgram("p", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("parsed %d instructions, want 2", p.Len())
+	}
+
+	if _, err := ParseProgram("bad", "A, B = F (A, A, B);"); err == nil {
+		t.Fatal("bad program accepted")
+	}
+	if _, err := ParseProgram("bad", "garbage"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Error mentions the line number.
+	_, err = ParseProgram("bad", "A, B = 1, B (A, A, B);\nnope")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error without line number: %v", err)
+	}
+}

@@ -1,0 +1,524 @@
+// Package bvm simulates the Boolean Vector Machine (paper §2), the
+// cube-connected-cycles SIMD machine on which the parallel test-and-treatment
+// algorithm is realized.
+//
+// Logically the BVM is a bit array: each row is a register, each column a
+// processing element (PE). Our machine carries L general registers R[0..L-1]
+// plus the special registers A, B (the instruction accumulators) and E (the
+// enable register). Every instruction has the paper's form
+//
+//	{A or R[j]}, B = f, g (F, D, B)  (IF or NF) <set>;
+//
+// performing two simultaneous assignments: the destination register receives
+// f(F, D, B) and B receives g(F, D, B), where f and g are arbitrary Boolean
+// functions of three one-bit arguments (8-bit truth tables), F is a local
+// register operand and D is a register operand optionally routed through a
+// neighbor: S (cycle successor), P (cycle predecessor), L (lateral), XS/XP
+// (the even successor/predecessor exchanges), or I (the global input chain
+// that threads all PEs in flat address order, with an external bit entering
+// at PE (0,0) and the bit of PE (2^Q-1, Q-1) leaving the machine).
+//
+// (IF or NF) <set> activates or deactivates PEs by in-cycle position;
+// deactivated PEs, and PEs whose E bit is 0, keep their old register values.
+// Register E itself is always written: it ignores both masks, which is how a
+// fully disabled machine can be re-enabled (paper §2).
+//
+// The simulator is cycle-faithful in the sense that every machine state
+// change goes through Exec and is counted, so instruction counts reported by
+// the experiment harness correspond one-to-one to BVM instructions.
+package bvm
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/ccc"
+)
+
+// DefaultRegisters is the register count of the machine the paper describes
+// ("Our BVM has L = 256 registers").
+const DefaultRegisters = 256
+
+// RegKind distinguishes the register namespaces.
+type RegKind uint8
+
+const (
+	KindR RegKind = iota // general register R[j]
+	KindA                // accumulator A
+	KindB                // accumulator B (written by the g half of an instruction)
+	KindE                // enable register
+)
+
+// RegRef names one register.
+type RegRef struct {
+	Kind  RegKind
+	Index int
+}
+
+// A, B and E are the special registers.
+var (
+	A = RegRef{Kind: KindA}
+	B = RegRef{Kind: KindB}
+	E = RegRef{Kind: KindE}
+)
+
+// R returns a reference to general register j.
+func R(j int) RegRef { return RegRef{Kind: KindR, Index: j} }
+
+func (r RegRef) String() string {
+	switch r.Kind {
+	case KindA:
+		return "A"
+	case KindB:
+		return "B"
+	case KindE:
+		return "E"
+	default:
+		return fmt.Sprintf("R[%d]", r.Index)
+	}
+}
+
+// Route selects how the D operand reaches the PE.
+type Route uint8
+
+const (
+	Local   Route = iota // D read from the PE's own register
+	RouteS               // from the cycle successor
+	RouteP               // from the cycle predecessor
+	RouteL               // from the lateral neighbor
+	RouteXS              // from the even-successor exchange partner
+	RouteXP              // from the even-predecessor exchange partner
+	RouteI               // from the input chain predecessor (external bit at PE 0)
+)
+
+func (r Route) String() string {
+	switch r {
+	case Local:
+		return ""
+	case RouteS:
+		return ".S"
+	case RouteP:
+		return ".P"
+	case RouteL:
+		return ".L"
+	case RouteXS:
+		return ".XS"
+	case RouteXP:
+		return ".XP"
+	case RouteI:
+		return ".I"
+	}
+	return fmt.Sprintf(".Route(%d)", uint8(r))
+}
+
+// Operand is a register optionally routed through a neighbor.
+type Operand struct {
+	Reg RegRef
+	Via Route
+}
+
+// Loc is a local (unrouted) operand.
+func Loc(r RegRef) Operand { return Operand{Reg: r} }
+
+// Via is an operand routed through a neighbor.
+func Via(r RegRef, route Route) Operand { return Operand{Reg: r, Via: route} }
+
+func (o Operand) String() string { return o.Reg.String() + o.Via.String() }
+
+// Activation is the (IF or NF) <set> clause: IF activates exactly the PEs
+// whose in-cycle position is in Positions; NF activates the complement.
+type Activation struct {
+	Negate    bool
+	Positions []int
+}
+
+// IF returns an activation of the given in-cycle positions.
+func IF(positions ...int) *Activation { return &Activation{Positions: positions} }
+
+// NF returns an activation of all positions except the given ones.
+func NF(positions ...int) *Activation { return &Activation{Negate: true, Positions: positions} }
+
+// Truth tables for f and g. The minterm index is F<<2 | D<<1 | B.
+const (
+	TTZero uint8 = 0x00
+	TTOne  uint8 = 0xFF
+	TTF    uint8 = 0b11110000 // f = F
+	TTD    uint8 = 0b11001100 // f = D
+	TTB    uint8 = 0b10101010 // f = B
+)
+
+// TT builds a truth table from a Boolean function of (F, D, B).
+func TT(fn func(f, d, b bool) bool) uint8 {
+	var t uint8
+	for m := 0; m < 8; m++ {
+		if fn(m&4 != 0, m&2 != 0, m&1 != 0) {
+			t |= 1 << uint(m)
+		}
+	}
+	return t
+}
+
+// Common derived tables.
+var (
+	TTAndFD    = TT(func(f, d, b bool) bool { return f && d })
+	TTOrFD     = TT(func(f, d, b bool) bool { return f || d })
+	TTXorFD    = TT(func(f, d, b bool) bool { return f != d })
+	TTAndNotFD = TT(func(f, d, b bool) bool { return f && !d })
+	TTNotF     = TT(func(f, d, b bool) bool { return !f })
+	TTNotD     = TT(func(f, d, b bool) bool { return !d })
+	// TTMuxB selects D where B=1, else F — the workhorse of bit-serial
+	// conditional moves (B holds the select bit).
+	TTMuxB = TT(func(f, d, b bool) bool {
+		if b {
+			return d
+		}
+		return f
+	})
+	// TTMajority and TTParity implement a full adder: sum = F^D^B,
+	// carry-out = majority(F, D, B).
+	TTMajority = TT(func(f, d, b bool) bool { return (f && d) || (f && b) || (d && b) })
+	TTParity   = TT(func(f, d, b bool) bool { return f != d != b })
+)
+
+// Instr is one BVM instruction.
+type Instr struct {
+	Dst  RegRef // A, E, or R[j]; B is written by G
+	FTT  uint8  // truth table for the Dst assignment
+	GTT  uint8  // truth table for the B assignment (TTB leaves B unchanged)
+	F    RegRef // local operand F
+	D    Operand
+	Cond *Activation // nil means all PEs active
+}
+
+// Machine is one BVM instance.
+type Machine struct {
+	Top *ccc.Topology
+	L   int
+
+	regs []*bitvec.Vector
+	a, b *bitvec.Vector
+	e    *bitvec.Vector
+
+	perms map[Route][]int32
+
+	// InstrCount is the number of executed instructions; the experiment
+	// harness treats it as the machine's time in cycles.
+	InstrCount int64
+	// RouteCount tallies instructions per D-operand route.
+	RouteCount map[Route]int64
+
+	inputs   []bool // pending external input bits for RouteI
+	inputPos int
+	// Output collects the bits shifted out of PE (2^Q-1, Q-1) by RouteI
+	// instructions.
+	Output []bool
+
+	// scratch vectors reused across Exec calls
+	sF, sD, sRes, sResB, sMask, sGate *bitvec.Vector
+
+	// rec, when non-nil, captures executed instructions (see program.go).
+	rec *Program
+	// tracer, when non-nil, observes every executed instruction.
+	tracer Tracer
+	// injected faults (see fault.go)
+	stuck     []stuckFault
+	brokenLat map[int]bool
+}
+
+// New builds a machine on the CCC with parameter r and the given register
+// count (use DefaultRegisters for the paper's machine).
+func New(r, registers int) (*Machine, error) {
+	top, err := ccc.New(r)
+	if err != nil {
+		return nil, err
+	}
+	if registers < 1 {
+		return nil, fmt.Errorf("bvm: register count %d < 1", registers)
+	}
+	m := &Machine{
+		Top:        top,
+		L:          registers,
+		regs:       make([]*bitvec.Vector, registers),
+		a:          bitvec.New(top.N),
+		b:          bitvec.New(top.N),
+		e:          bitvec.New(top.N),
+		perms:      make(map[Route][]int32),
+		RouteCount: make(map[Route]int64),
+		sF:         bitvec.New(top.N),
+		sD:         bitvec.New(top.N),
+		sRes:       bitvec.New(top.N),
+		sResB:      bitvec.New(top.N),
+		sMask:      bitvec.New(top.N),
+		sGate:      bitvec.New(top.N),
+	}
+	for j := range m.regs {
+		m.regs[j] = bitvec.New(top.N)
+	}
+	m.perms[RouteS] = top.Perm(ccc.KindSucc)
+	m.perms[RouteP] = top.Perm(ccc.KindPred)
+	m.perms[RouteL] = top.Perm(ccc.KindLateral)
+	m.perms[RouteXS] = top.Perm(ccc.KindXS)
+	m.perms[RouteXP] = top.Perm(ccc.KindXP)
+	m.e.Fill(true) // all PEs enabled at reset
+	return m, nil
+}
+
+// N returns the number of PEs.
+func (m *Machine) N() int { return m.Top.N }
+
+func (m *Machine) reg(r RegRef) *bitvec.Vector {
+	switch r.Kind {
+	case KindA:
+		return m.a
+	case KindB:
+		return m.b
+	case KindE:
+		return m.e
+	default:
+		if r.Index < 0 || r.Index >= m.L {
+			panic(fmt.Sprintf("bvm: register R[%d] out of range [0,%d)", r.Index, m.L))
+		}
+		return m.regs[r.Index]
+	}
+}
+
+// PushInput appends external input bits consumed by RouteI instructions, one
+// bit per instruction, least recently pushed first. If the queue runs dry,
+// RouteI reads zeros.
+func (m *Machine) PushInput(bits ...bool) { m.inputs = append(m.inputs, bits...) }
+
+func (m *Machine) nextInput() bool {
+	if m.inputPos < len(m.inputs) {
+		b := m.inputs[m.inputPos]
+		m.inputPos++
+		return b
+	}
+	return false
+}
+
+// Exec executes one instruction on all PEs simultaneously.
+func (m *Machine) Exec(in Instr) {
+	if in.Dst.Kind == KindB {
+		panic("bvm: B cannot be the f destination; it is written by g")
+	}
+	vF := m.reg(in.F)
+	srcD := m.reg(in.D.Reg)
+
+	var vD *bitvec.Vector
+	switch in.D.Via {
+	case Local:
+		vD = srcD
+	case RouteI:
+		m.Output = append(m.Output, srcD.Get(m.Top.N-1))
+		m.sD.Fill(false)
+		for x := m.Top.N - 1; x >= 1; x-- {
+			m.sD.Set(x, srcD.Get(x-1))
+		}
+		m.sD.Set(0, m.nextInput())
+		vD = m.sD
+	default:
+		perm, ok := m.perms[in.D.Via]
+		if !ok {
+			panic(fmt.Sprintf("bvm: unknown route %v", in.D.Via))
+		}
+		m.sD.Gather(srcD, perm)
+		if in.D.Via == RouteL && len(m.brokenLat) > 0 {
+			for pe := range m.brokenLat {
+				m.sD.Set(pe, false)
+			}
+		}
+		vD = m.sD
+	}
+
+	m.sRes.Apply3(in.FTT, vF, vD, m.b)
+	m.sResB.Apply3(in.GTT, vF, vD, m.b)
+
+	m.activationMask(in.Cond, m.sMask)
+	// Both halves gate on activation AND the pre-instruction enable register.
+	m.sGate.And(m.sMask, m.e)
+	if in.Dst.Kind == KindE {
+		// E is always enabled and, per the paper, is written even on
+		// deactivated/disabled PEs.
+		m.e.CopyFrom(m.sRes)
+	} else {
+		m.reg(in.Dst).MaskedCopy(m.sGate, m.sRes)
+	}
+	m.b.MaskedCopy(m.sGate, m.sResB)
+
+	m.applyFaults()
+	m.InstrCount++
+	m.RouteCount[in.D.Via]++
+	if m.rec != nil {
+		m.rec.Instrs = append(m.rec.Instrs, in)
+	}
+	if m.tracer != nil {
+		m.tracer(m.InstrCount, in, m)
+	}
+}
+
+func (m *Machine) activationMask(c *Activation, dst *bitvec.Vector) {
+	if c == nil {
+		dst.Fill(true)
+		return
+	}
+	inSet := make([]bool, m.Top.Q)
+	for _, p := range c.Positions {
+		if p < 0 || p >= m.Top.Q {
+			panic(fmt.Sprintf("bvm: activation position %d out of range [0,%d)", p, m.Top.Q))
+		}
+		inSet[p] = true
+	}
+	for x := 0; x < m.Top.N; x++ {
+		_, p := m.Top.Split(x)
+		dst.Set(x, inSet[p] != c.Negate)
+	}
+}
+
+// --- immediate-mode assembler conveniences ---
+// Each helper emits exactly one instruction; the g half defaults to TTB,
+// which leaves B unchanged.
+
+func onlyCond(cond []*Activation) *Activation {
+	switch len(cond) {
+	case 0:
+		return nil
+	case 1:
+		return cond[0]
+	}
+	panic("bvm: at most one activation clause per instruction")
+}
+
+// SetConst sets dst to a constant bit on active+enabled PEs.
+func (m *Machine) SetConst(dst RegRef, bit bool, cond ...*Activation) {
+	tt := TTZero
+	if bit {
+		tt = TTOne
+	}
+	m.Exec(Instr{Dst: dst, FTT: tt, GTT: TTB, F: A, D: Loc(A), Cond: onlyCond(cond)})
+}
+
+// Mov copies src into dst.
+func (m *Machine) Mov(dst RegRef, src Operand, cond ...*Activation) {
+	m.Exec(Instr{Dst: dst, FTT: TTD, GTT: TTB, F: A, D: src, Cond: onlyCond(cond)})
+}
+
+// And sets dst = f AND d.
+func (m *Machine) And(dst, f RegRef, d Operand, cond ...*Activation) {
+	m.Exec(Instr{Dst: dst, FTT: TTAndFD, GTT: TTB, F: f, D: d, Cond: onlyCond(cond)})
+}
+
+// Or sets dst = f OR d.
+func (m *Machine) Or(dst, f RegRef, d Operand, cond ...*Activation) {
+	m.Exec(Instr{Dst: dst, FTT: TTOrFD, GTT: TTB, F: f, D: d, Cond: onlyCond(cond)})
+}
+
+// Xor sets dst = f XOR d.
+func (m *Machine) Xor(dst, f RegRef, d Operand, cond ...*Activation) {
+	m.Exec(Instr{Dst: dst, FTT: TTXorFD, GTT: TTB, F: f, D: d, Cond: onlyCond(cond)})
+}
+
+// AndNot sets dst = f AND NOT d.
+func (m *Machine) AndNot(dst, f RegRef, d Operand, cond ...*Activation) {
+	m.Exec(Instr{Dst: dst, FTT: TTAndNotFD, GTT: TTB, F: f, D: d, Cond: onlyCond(cond)})
+}
+
+// Not sets dst = NOT f.
+func (m *Machine) Not(dst, f RegRef, cond ...*Activation) {
+	m.Exec(Instr{Dst: dst, FTT: TTNotF, GTT: TTB, F: f, D: Loc(A), Cond: onlyCond(cond)})
+}
+
+// MuxB sets dst = (B ? d : f): a conditional move selected by register B.
+func (m *Machine) MuxB(dst, f RegRef, d Operand, cond ...*Activation) {
+	m.Exec(Instr{Dst: dst, FTT: TTMuxB, GTT: TTB, F: f, D: d, Cond: onlyCond(cond)})
+}
+
+// MovB copies src into B (using the g half; the f half rewrites dst with its
+// own value, so dst is any scratch-safe register — A by convention).
+func (m *Machine) MovB(src Operand, cond ...*Activation) {
+	m.Exec(Instr{Dst: A, FTT: TTF, GTT: TTD, F: A, D: src, Cond: onlyCond(cond)})
+}
+
+// AddStep performs one ripple-carry full-adder step:
+// dst = f XOR d XOR B and B = majority(f, d, B). Chaining AddStep over the
+// bit planes of two numbers (with B cleared first) adds them LSB-first.
+func (m *Machine) AddStep(dst, f RegRef, d Operand, cond ...*Activation) {
+	m.Exec(Instr{Dst: dst, FTT: TTParity, GTT: TTMajority, F: f, D: d, Cond: onlyCond(cond)})
+}
+
+// --- host access (not counted as machine instructions) ---
+
+// Peek returns a copy of a register's contents. Host-side; not counted.
+func (m *Machine) Peek(r RegRef) *bitvec.Vector { return m.reg(r).Clone() }
+
+// PeekBit returns one PE's bit of a register. Host-side; not counted.
+func (m *Machine) PeekBit(r RegRef, pe int) bool { return m.reg(r).Get(pe) }
+
+// Poke overwrites a register. Host-side DMA used to load problem data in
+// tests and benchmarks; a hardware BVM would stream data through the I chain
+// (see LoadViaInput), which is measured separately.
+func (m *Machine) Poke(r RegRef, v *bitvec.Vector) { m.reg(r).CopyFrom(v) }
+
+// PokeBit sets one PE's bit of a register. Host-side; not counted.
+func (m *Machine) PokeBit(r RegRef, pe int, bit bool) { m.reg(r).Set(pe, bit) }
+
+// LoadViaInput streams an n-bit pattern into dst through the input chain, the
+// way a hardware BVM ingests data: n RouteI instructions, last pattern bit
+// first. It costs n instructions.
+func (m *Machine) LoadViaInput(dst RegRef, pattern *bitvec.Vector) {
+	n := m.Top.N
+	if pattern.Len() != n {
+		panic(fmt.Sprintf("bvm: pattern length %d != %d PEs", pattern.Len(), n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		m.PushInput(pattern.Get(i))
+	}
+	for i := 0; i < n; i++ {
+		m.Mov(dst, Via(dst, RouteI))
+	}
+}
+
+// ReadViaOutput streams a register out of the machine through the I chain,
+// the way a hardware BVM emits results: n RouteI shifts of the register
+// itself, collecting the bit of PE (2^Q-1, Q-1) each cycle. Returns the
+// register's former contents; the register is left shifted (clobbered) and
+// the machine's Output log grows by n bits. Costs n instructions.
+func (m *Machine) ReadViaOutput(src RegRef) *bitvec.Vector {
+	n := m.Top.N
+	out := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		m.Mov(src, Via(src, RouteI))
+	}
+	// The bit of PE n-1 emerges first; after n shifts the whole register has
+	// drained, most significant position first.
+	emitted := m.Output[len(m.Output)-n:]
+	for i := 0; i < n; i++ {
+		out.Set(n-1-i, emitted[i])
+	}
+	return out
+}
+
+// ResetCounters zeroes the instruction counters (not the register state).
+func (m *Machine) ResetCounters() {
+	m.InstrCount = 0
+	m.RouteCount = make(map[Route]int64)
+}
+
+// Uint reads, per PE, the unsigned number stored LSB-first across the width
+// consecutive registers starting at base. Host-side; not counted.
+func (m *Machine) Uint(base, width, pe int) uint64 {
+	var x uint64
+	for b := 0; b < width; b++ {
+		if m.regs[base+b].Get(pe) {
+			x |= 1 << uint(b)
+		}
+	}
+	return x
+}
+
+// SetUint stores, for one PE, an unsigned number LSB-first across width
+// consecutive registers starting at base. Host-side; not counted.
+func (m *Machine) SetUint(base, width, pe int, x uint64) {
+	for b := 0; b < width; b++ {
+		m.regs[base+b].Set(pe, x>>uint(b)&1 == 1)
+	}
+}

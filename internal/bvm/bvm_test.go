@@ -1,0 +1,389 @@
+package bvm
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func newMachine(t *testing.T, r int) *Machine {
+	t.Helper()
+	m, err := New(r, DefaultRegisters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewDefaults(t *testing.T) {
+	m := newMachine(t, 1)
+	if m.N() != 8 || m.L != 256 {
+		t.Fatalf("machine: N=%d L=%d", m.N(), m.L)
+	}
+	// All PEs enabled at reset.
+	if m.Peek(E).Count() != 8 {
+		t.Fatal("not all PEs enabled at reset")
+	}
+	// All registers zeroed.
+	for j := 0; j < m.L; j++ {
+		if m.Peek(R(j)).Any() {
+			t.Fatalf("R[%d] not zeroed", j)
+		}
+	}
+}
+
+func TestNewRejectsBadArgs(t *testing.T) {
+	if _, err := New(0, 256); err == nil {
+		t.Error("New(0, 256) succeeded")
+	}
+	if _, err := New(1, 0); err == nil {
+		t.Error("New(1, 0) succeeded")
+	}
+}
+
+func TestTTConstantsMatchConvention(t *testing.T) {
+	if TTF != TT(func(f, d, b bool) bool { return f }) {
+		t.Error("TTF wrong")
+	}
+	if TTD != TT(func(f, d, b bool) bool { return d }) {
+		t.Error("TTD wrong")
+	}
+	if TTB != TT(func(f, d, b bool) bool { return b }) {
+		t.Error("TTB wrong")
+	}
+}
+
+func TestSetConstAndMov(t *testing.T) {
+	m := newMachine(t, 1)
+	m.SetConst(R(0), true)
+	if m.Peek(R(0)).Count() != m.N() {
+		t.Fatal("SetConst(true) did not fill register")
+	}
+	m.Mov(R(1), Loc(R(0)))
+	if m.Peek(R(1)).Count() != m.N() {
+		t.Fatal("Mov did not copy register")
+	}
+	if m.InstrCount != 2 {
+		t.Fatalf("InstrCount = %d, want 2", m.InstrCount)
+	}
+}
+
+func TestBooleanHelpers(t *testing.T) {
+	m := newMachine(t, 1)
+	x := bitvec.MustFromString("11001100")
+	y := bitvec.MustFromString("10101010")
+	m.Poke(R(0), x)
+	m.Poke(R(1), y)
+
+	m.And(R(2), R(0), Loc(R(1)))
+	if got := m.Peek(R(2)).String(); got != "10001000" {
+		t.Errorf("And = %s", got)
+	}
+	m.Or(R(3), R(0), Loc(R(1)))
+	if got := m.Peek(R(3)).String(); got != "11101110" {
+		t.Errorf("Or = %s", got)
+	}
+	m.Xor(R(4), R(0), Loc(R(1)))
+	if got := m.Peek(R(4)).String(); got != "01100110" {
+		t.Errorf("Xor = %s", got)
+	}
+	m.AndNot(R(5), R(0), Loc(R(1)))
+	if got := m.Peek(R(5)).String(); got != "01000100" {
+		t.Errorf("AndNot = %s", got)
+	}
+	m.Not(R(6), R(0))
+	if got := m.Peek(R(6)).String(); got != "00110011" {
+		t.Errorf("Not = %s", got)
+	}
+}
+
+func TestDualAssignmentSimultaneous(t *testing.T) {
+	// A, B = D, F must use pre-instruction values on both halves: swap A and B.
+	m := newMachine(t, 1)
+	av := bitvec.MustFromString("11110000")
+	bv := bitvec.MustFromString("10101010")
+	m.Poke(A, av)
+	m.Poke(B, bv)
+	m.Exec(Instr{Dst: A, FTT: TTB, GTT: TTF, F: A, D: Loc(A)})
+	if got := m.Peek(A).String(); got != "10101010" {
+		t.Errorf("A after swap = %s", got)
+	}
+	if got := m.Peek(B).String(); got != "11110000" {
+		t.Errorf("B after swap = %s", got)
+	}
+}
+
+func TestBDestinationPanics(t *testing.T) {
+	m := newMachine(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dst=B did not panic")
+		}
+	}()
+	m.Exec(Instr{Dst: B, FTT: TTF, GTT: TTB, F: A, D: Loc(A)})
+}
+
+func TestRoutes(t *testing.T) {
+	m := newMachine(t, 1) // Q=2: flat addr = cycle*2 + pos
+	src := bitvec.MustFromString("10110100")
+	m.Poke(R(0), src)
+
+	m.Mov(R(1), Via(R(0), RouteS))
+	want := bitvec.New(8)
+	for x := 0; x < 8; x++ {
+		want.Set(x, src.Get(m.Top.Succ(x)))
+	}
+	if !m.Peek(R(1)).Equal(want) {
+		t.Errorf("RouteS: got %s want %s", m.Peek(R(1)), want)
+	}
+
+	m.Mov(R(2), Via(R(0), RouteL))
+	wantL := bitvec.New(8)
+	for x := 0; x < 8; x++ {
+		wantL.Set(x, src.Get(m.Top.Lateral(x)))
+	}
+	if !m.Peek(R(2)).Equal(wantL) {
+		t.Errorf("RouteL: got %s want %s", m.Peek(R(2)), wantL)
+	}
+
+	if m.RouteCount[RouteS] != 1 || m.RouteCount[RouteL] != 1 {
+		t.Errorf("route counts: %v", m.RouteCount)
+	}
+}
+
+func TestRouteIShiftsAndCollectsOutput(t *testing.T) {
+	m := newMachine(t, 1)
+	src := bitvec.MustFromString("10000001")
+	m.Poke(R(0), src)
+	m.PushInput(true)
+	m.Mov(R(0), Via(R(0), RouteI))
+	// Every PE x>0 takes bit x-1; PE 0 takes the pushed input bit.
+	if got := m.Peek(R(0)).String(); got != "11000000" {
+		t.Errorf("after I shift: %s", got)
+	}
+	// The old last bit (1) must have been emitted.
+	if len(m.Output) != 1 || !m.Output[0] {
+		t.Errorf("Output = %v, want [true]", m.Output)
+	}
+	// Queue empty: next input reads 0.
+	m.Mov(R(0), Via(R(0), RouteI))
+	if got := m.Peek(R(0)).String(); got != "01100000" {
+		t.Errorf("after second I shift: %s", got)
+	}
+}
+
+func TestActivationIF(t *testing.T) {
+	m := newMachine(t, 2) // Q=4
+	m.SetConst(R(0), true, IF(1, 3))
+	v := m.Peek(R(0))
+	for x := 0; x < m.N(); x++ {
+		_, p := m.Top.Split(x)
+		want := p == 1 || p == 3
+		if v.Get(x) != want {
+			t.Fatalf("PE %d (pos %d): bit %v, want %v", x, p, v.Get(x), want)
+		}
+	}
+}
+
+func TestActivationNF(t *testing.T) {
+	m := newMachine(t, 2)
+	m.SetConst(R(0), true, NF(0))
+	v := m.Peek(R(0))
+	for x := 0; x < m.N(); x++ {
+		_, p := m.Top.Split(x)
+		if v.Get(x) != (p != 0) {
+			t.Fatalf("PE %d (pos %d): bit %v", x, p, v.Get(x))
+		}
+	}
+}
+
+func TestActivationOutOfRangePanics(t *testing.T) {
+	m := newMachine(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad activation position did not panic")
+		}
+	}()
+	m.SetConst(R(0), true, IF(2)) // Q=2: positions are 0..1
+}
+
+func TestEnableRegisterGatesWrites(t *testing.T) {
+	m := newMachine(t, 1)
+	// Disable odd PEs.
+	en := bitvec.MustFromString("10101010")
+	m.Poke(E, en)
+	m.SetConst(R(0), true)
+	if got := m.Peek(R(0)).String(); got != "10101010" {
+		t.Errorf("write with E mask = %s", got)
+	}
+	// B is gated too.
+	m.MovB(Loc(R(0)))
+	if got := m.Peek(B).String(); got != "10100000" && got != "10101010" {
+		// B = R(0) where enabled; R(0) = 10101010 so B = 10101010 masked by E = 10101010.
+		t.Errorf("B after gated MovB = %s", got)
+	}
+}
+
+func TestEWritesIgnoreMasks(t *testing.T) {
+	m := newMachine(t, 1)
+	// Disable everything, then re-enable through an E write: must succeed
+	// because E is always enabled (paper §2).
+	m.SetConst(E, false)
+	if m.Peek(E).Any() {
+		t.Fatal("E not cleared")
+	}
+	m.SetConst(R(0), true)
+	if m.Peek(R(0)).Any() {
+		t.Fatal("write happened while disabled")
+	}
+	m.SetConst(E, true, IF()) // empty IF deactivates every PE; E ignores it
+	if m.Peek(E).Count() != m.N() {
+		t.Fatal("E write was masked; machine cannot be re-enabled")
+	}
+	m.SetConst(R(0), true)
+	if m.Peek(R(0)).Count() != m.N() {
+		t.Fatal("write failed after re-enable")
+	}
+}
+
+func TestMuxB(t *testing.T) {
+	m := newMachine(t, 1)
+	m.Poke(R(0), bitvec.MustFromString("00001111")) // f
+	m.Poke(R(1), bitvec.MustFromString("11110000")) // d
+	m.Poke(B, bitvec.MustFromString("01010101"))    // select
+	m.MuxB(R(2), R(0), Loc(R(1)))
+	if got := m.Peek(R(2)).String(); got != "01011010" {
+		t.Errorf("MuxB = %s, want 01011010", got)
+	}
+}
+
+func TestAddStepFullAdder(t *testing.T) {
+	// One AddStep must compute sum/carry for all 8 input combinations at once.
+	m := newMachine(t, 1)
+	m.Poke(R(0), bitvec.MustFromString("00001111")) // f: bit pattern enumerating inputs
+	m.Poke(R(1), bitvec.MustFromString("00110011")) // d
+	m.Poke(B, bitvec.MustFromString("01010101"))    // carry in
+	m.AddStep(R(2), R(0), Loc(R(1)))
+	if got := m.Peek(R(2)).String(); got != "01101001" {
+		t.Errorf("sum = %s, want 01101001", got)
+	}
+	if got := m.Peek(B).String(); got != "00010111" {
+		t.Errorf("carry = %s, want 00010111", got)
+	}
+}
+
+func TestLoadViaInput(t *testing.T) {
+	m := newMachine(t, 1)
+	pattern := bitvec.MustFromString("10110010")
+	m.LoadViaInput(R(7), pattern)
+	if !m.Peek(R(7)).Equal(pattern) {
+		t.Fatalf("LoadViaInput = %s, want %s", m.Peek(R(7)), pattern)
+	}
+	if m.InstrCount != int64(m.N()) {
+		t.Fatalf("LoadViaInput cost %d instructions, want %d", m.InstrCount, m.N())
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	m := newMachine(t, 1)
+	m.SetUint(10, 8, 3, 0xA5)
+	if got := m.Uint(10, 8, 3); got != 0xA5 {
+		t.Fatalf("Uint = %#x, want 0xA5", got)
+	}
+	if got := m.Uint(10, 8, 2); got != 0 {
+		t.Fatalf("neighbor PE contaminated: %#x", got)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	m := newMachine(t, 1)
+	m.SetConst(R(0), true)
+	m.ResetCounters()
+	if m.InstrCount != 0 || len(m.RouteCount) != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func TestRegisterOutOfRangePanics(t *testing.T) {
+	m := newMachine(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("R[256] access did not panic")
+		}
+	}()
+	m.Mov(R(256), Loc(A))
+}
+
+func TestStringers(t *testing.T) {
+	if R(5).String() != "R[5]" || A.String() != "A" || B.String() != "B" || E.String() != "E" {
+		t.Error("RegRef.String wrong")
+	}
+	if Via(R(2), RouteL).String() != "R[2].L" {
+		t.Errorf("Operand.String = %s", Via(R(2), RouteL))
+	}
+	if Loc(A).String() != "A" {
+		t.Errorf("local operand = %s", Loc(A))
+	}
+}
+
+// TestBitSerialAdditionAcrossRegisters adds two 8-bit numbers per PE using
+// AddStep over bit planes — the pattern bvmalg's arithmetic builds on.
+func TestBitSerialAdditionAcrossRegisters(t *testing.T) {
+	m := newMachine(t, 2) // 64 PEs
+	const xBase, yBase, sumBase, w = 0, 8, 16, 8
+	vals := make([][2]uint64, m.N())
+	for pe := 0; pe < m.N(); pe++ {
+		x := uint64(pe*37%251) & 0x7f
+		y := uint64(pe*91%247) & 0x7f
+		vals[pe] = [2]uint64{x, y}
+		m.SetUint(xBase, w, pe, x)
+		m.SetUint(yBase, w, pe, y)
+	}
+	m.SetConst(A, false)
+	m.MovB(Loc(A)) // clear carry
+	for b := 0; b < w; b++ {
+		m.AddStep(R(sumBase+b), R(xBase+b), Loc(R(yBase+b)))
+	}
+	for pe := 0; pe < m.N(); pe++ {
+		want := (vals[pe][0] + vals[pe][1]) & 0xff
+		if got := m.Uint(sumBase, w, pe); got != want {
+			t.Fatalf("PE %d: %d+%d = %d, want %d", pe, vals[pe][0], vals[pe][1], got, want)
+		}
+	}
+}
+
+func BenchmarkExecLocal(b *testing.B) {
+	m, _ := New(3, DefaultRegisters) // 2048 PEs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Xor(R(0), R(1), Loc(R(2)))
+	}
+}
+
+func BenchmarkExecRouted(b *testing.B) {
+	m, _ := New(3, DefaultRegisters)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mov(R(0), Via(R(1), RouteL))
+	}
+}
+
+func TestReadViaOutput(t *testing.T) {
+	m := newMachine(t, 1)
+	pattern := bitvec.MustFromString("10110010")
+	m.Poke(R(3), pattern)
+	start := m.InstrCount
+	got := m.ReadViaOutput(R(3))
+	if !got.Equal(pattern) {
+		t.Fatalf("ReadViaOutput = %s, want %s", got, pattern)
+	}
+	if m.InstrCount-start != int64(m.N()) {
+		t.Fatalf("cost %d instructions, want %d", m.InstrCount-start, m.N())
+	}
+	// Round trip: load in through the chain, read out through the chain.
+	m2 := newMachine(t, 1)
+	m2.LoadViaInput(R(0), pattern)
+	if got := m2.ReadViaOutput(R(0)); !got.Equal(pattern) {
+		t.Fatalf("chain round trip = %s, want %s", got, pattern)
+	}
+}

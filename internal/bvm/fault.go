@@ -1,0 +1,77 @@
+package bvm
+
+import "fmt"
+
+// Fault injection: the simulator can model two hardware failure modes of a
+// real BVM — a stuck register bit in one PE and a broken (stuck-at-zero)
+// lateral link. The test suite uses these to demonstrate that the
+// cross-validation experiments are sensitive: an injected fault perturbs the
+// TT program's output away from the sequential DP, and the §4 identity
+// programs (cycle-ID, processor-ID) detect link faults directly.
+
+// FaultKind names an injected failure mode.
+type FaultKind int
+
+const (
+	// StuckBit forces one PE's bit of one register to a constant after
+	// every instruction.
+	StuckBit FaultKind = iota
+	// BrokenLateral makes one PE's lateral link read zero.
+	BrokenLateral
+)
+
+type stuckFault struct {
+	reg RegRef
+	pe  int
+	val bool
+}
+
+// InjectStuckBit makes register reg of PE pe read as val forever (the bit is
+// re-forced after every instruction). Returns an undo function.
+func (m *Machine) InjectStuckBit(reg RegRef, pe int, val bool) func() {
+	if pe < 0 || pe >= m.Top.N {
+		panic(fmt.Sprintf("bvm: PE %d out of range", pe))
+	}
+	f := stuckFault{reg: reg, pe: pe, val: val}
+	m.stuck = append(m.stuck, f)
+	m.reg(reg).Set(pe, val)
+	idx := len(m.stuck) - 1
+	return func() { m.stuck[idx].pe = -1 }
+}
+
+// InjectBrokenLateral makes PE pe (and, physically, its partner — a link has
+// two ends) read 0 over the lateral route. Returns an undo function.
+func (m *Machine) InjectBrokenLateral(pe int) func() {
+	if pe < 0 || pe >= m.Top.N {
+		panic(fmt.Sprintf("bvm: PE %d out of range", pe))
+	}
+	if m.brokenLat == nil {
+		m.brokenLat = make(map[int]bool)
+	}
+	partner := m.Top.Lateral(pe)
+	m.brokenLat[pe] = true
+	m.brokenLat[partner] = true
+	return func() {
+		delete(m.brokenLat, pe)
+		delete(m.brokenLat, partner)
+	}
+}
+
+// applyFaults enforces injected faults on the post-instruction state.
+func (m *Machine) applyFaults() {
+	for _, f := range m.stuck {
+		if f.pe >= 0 {
+			m.reg(f.reg).Set(f.pe, f.val)
+		}
+	}
+}
+
+// Faulty reports whether any fault is currently active.
+func (m *Machine) Faulty() bool {
+	for _, f := range m.stuck {
+		if f.pe >= 0 {
+			return true
+		}
+	}
+	return len(m.brokenLat) > 0
+}

@@ -1,0 +1,69 @@
+package bvm
+
+import "testing"
+
+func TestStuckBitForcesValue(t *testing.T) {
+	m := newMachine(t, 1)
+	undo := m.InjectStuckBit(R(0), 3, true)
+	if !m.Faulty() {
+		t.Fatal("machine not reported faulty")
+	}
+	m.SetConst(R(0), false)
+	v := m.Peek(R(0))
+	if !v.Get(3) {
+		t.Fatal("stuck bit did not hold through a write")
+	}
+	if v.Count() != 1 {
+		t.Fatalf("other PEs affected: %s", v)
+	}
+	undo()
+	if m.Faulty() {
+		t.Fatal("undo did not clear fault")
+	}
+	m.SetConst(R(0), false)
+	if m.Peek(R(0)).Any() {
+		t.Fatal("bit still stuck after undo")
+	}
+}
+
+func TestBrokenLateralReadsZero(t *testing.T) {
+	m := newMachine(t, 1)
+	m.SetConst(R(0), true)
+	undo := m.InjectBrokenLateral(2)
+	m.Mov(R(1), Via(R(0), RouteL))
+	v := m.Peek(R(1))
+	partner := m.Top.Lateral(2)
+	for pe := 0; pe < m.N(); pe++ {
+		want := pe != 2 && pe != partner
+		if v.Get(pe) != want {
+			t.Fatalf("PE %d lateral read = %v, want %v", pe, v.Get(pe), want)
+		}
+	}
+	// Other routes unaffected.
+	m.Mov(R(2), Via(R(0), RouteS))
+	if m.Peek(R(2)).Count() != m.N() {
+		t.Fatal("broken lateral leaked into successor route")
+	}
+	undo()
+	m.Mov(R(1), Via(R(0), RouteL))
+	if m.Peek(R(1)).Count() != m.N() {
+		t.Fatal("lateral still broken after undo")
+	}
+}
+
+func TestFaultInjectionPanicsOutOfRange(t *testing.T) {
+	m := newMachine(t, 1)
+	for _, f := range []func(){
+		func() { m.InjectStuckBit(R(0), -1, true) },
+		func() { m.InjectBrokenLateral(m.N()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range fault injection did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,147 @@
+package bvm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file adds program capture and disassembly: any sequence of executed
+// instructions can be recorded, rendered in the paper's assembly syntax
+//
+//	{A or R[j]}, B = f, g (F, D, B) (IF or NF) <set>;
+//
+// and replayed on another machine. The experiment harness uses it to print
+// real instruction listings for the §4 algorithms, and the test suite uses
+// replay to check that recorded programs are self-contained.
+
+// Program is a recorded instruction sequence.
+type Program struct {
+	Name   string
+	Instrs []Instr
+}
+
+// StartRecording begins capturing executed instructions into a new Program.
+// Recording stops at StopRecording. Nested recordings are not supported.
+func (m *Machine) StartRecording(name string) {
+	if m.rec != nil {
+		panic("bvm: recording already in progress")
+	}
+	m.rec = &Program{Name: name}
+}
+
+// StopRecording ends capture and returns the recorded program.
+func (m *Machine) StopRecording() *Program {
+	if m.rec == nil {
+		panic("bvm: no recording in progress")
+	}
+	p := m.rec
+	m.rec = nil
+	return p
+}
+
+// Replay executes the program on machine m (which may differ from the
+// recording machine but must have the same topology).
+func (p *Program) Replay(m *Machine) {
+	for _, in := range p.Instrs {
+		m.Exec(in)
+	}
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// ttName gives symbolic names to the common truth tables; anything else is
+// shown as a hex table over the minterm order F<<2|D<<1|B.
+func ttName(tt uint8) string {
+	switch tt {
+	case TTZero:
+		return "0"
+	case TTOne:
+		return "1"
+	case TTF:
+		return "F"
+	case TTD:
+		return "D"
+	case TTB:
+		return "B"
+	case TTAndFD:
+		return "F&D"
+	case TTOrFD:
+		return "F|D"
+	case TTXorFD:
+		return "F^D"
+	case TTAndNotFD:
+		return "F&~D"
+	case TTNotF:
+		return "~F"
+	case TTNotD:
+		return "~D"
+	case TTMuxB:
+		return "B?D:F"
+	case TTParity:
+		return "F^D^B"
+	case TTMajority:
+		return "maj(F,D,B)"
+	}
+	return fmt.Sprintf("tt:%02x", tt)
+}
+
+// String renders one instruction in the paper's syntax.
+func (in Instr) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s, B = %s, %s (%s, %s, B)",
+		in.Dst, ttName(in.FTT), ttName(in.GTT), in.F, in.D)
+	if in.Cond != nil {
+		kw := "IF"
+		if in.Cond.Negate {
+			kw = "NF"
+		}
+		pos := append([]int(nil), in.Cond.Positions...)
+		sort.Ints(pos)
+		parts := make([]string, len(pos))
+		for i, p := range pos {
+			parts[i] = fmt.Sprintf("%d", p)
+		}
+		fmt.Fprintf(&sb, " %s {%s}", kw, strings.Join(parts, ","))
+	}
+	sb.WriteByte(';')
+	return sb.String()
+}
+
+// Disassemble renders the whole program, one instruction per line.
+func (p *Program) Disassemble() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; program %s — %d instructions\n", p.Name, len(p.Instrs))
+	for i, in := range p.Instrs {
+		fmt.Fprintf(&sb, "%4d  %s\n", i, in)
+	}
+	return sb.String()
+}
+
+// RouteProfile summarizes a program's communication structure: instruction
+// counts per D-operand route.
+func (p *Program) RouteProfile() map[Route]int {
+	prof := make(map[Route]int)
+	for _, in := range p.Instrs {
+		prof[in.D.Via]++
+	}
+	return prof
+}
+
+// ProfileString renders the route profile compactly, local first.
+func (p *Program) ProfileString() string {
+	prof := p.RouteProfile()
+	order := []Route{Local, RouteS, RouteP, RouteL, RouteXS, RouteXP, RouteI}
+	var parts []string
+	for _, r := range order {
+		if n := prof[r]; n > 0 {
+			name := strings.TrimPrefix(r.String(), ".")
+			if r == Local {
+				name = "local"
+			}
+			parts = append(parts, fmt.Sprintf("%s:%d", name, n))
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,112 @@
+package bvm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func TestRecordAndReplay(t *testing.T) {
+	m := newMachine(t, 1)
+	m.Poke(R(0), bitvec.MustFromString("10110100"))
+	m.StartRecording("demo")
+	m.Mov(R(1), Via(R(0), RouteS))
+	m.Xor(R(2), R(1), Loc(R(0)))
+	m.SetConst(R(3), true, IF(1))
+	prog := m.StopRecording()
+	if prog.Len() != 3 {
+		t.Fatalf("recorded %d instructions, want 3", prog.Len())
+	}
+
+	// Replay on a fresh machine with the same input state: identical output.
+	m2 := newMachine(t, 1)
+	m2.Poke(R(0), bitvec.MustFromString("10110100"))
+	prog.Replay(m2)
+	for _, r := range []RegRef{R(1), R(2), R(3)} {
+		if !m2.Peek(r).Equal(m.Peek(r)) {
+			t.Fatalf("replay diverged at %v", r)
+		}
+	}
+}
+
+func TestRecordingGuards(t *testing.T) {
+	m := newMachine(t, 1)
+	m.StartRecording("a")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested StartRecording did not panic")
+			}
+		}()
+		m.StartRecording("b")
+	}()
+	m.StopRecording()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("StopRecording without recording did not panic")
+			}
+		}()
+		m.StopRecording()
+	}()
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Dst: R(5), FTT: TTAndFD, GTT: TTB, F: R(3), D: Via(R(2), RouteL),
+		Cond: &Activation{Positions: []int{2, 0}}}
+	got := in.String()
+	want := "R[5], B = F&D, B (R[3], R[2].L, B) IF {0,2};"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	nf := Instr{Dst: A, FTT: TTOne, GTT: TTZero, F: A, D: Loc(B),
+		Cond: &Activation{Negate: true, Positions: []int{1}}}
+	if !strings.Contains(nf.String(), "NF {1}") {
+		t.Fatalf("NF render: %q", nf.String())
+	}
+	odd := Instr{Dst: E, FTT: 0x5B, GTT: TTD, F: B, D: Via(A, RouteI)}
+	if !strings.Contains(odd.String(), "tt:5b") || !strings.Contains(odd.String(), "A.I") {
+		t.Fatalf("odd render: %q", odd.String())
+	}
+}
+
+func TestDisassembleAndProfile(t *testing.T) {
+	m := newMachine(t, 1)
+	m.StartRecording("p")
+	m.Mov(R(0), Via(R(1), RouteL))
+	m.Mov(R(0), Via(R(1), RouteL))
+	m.Mov(R(0), Loc(R(1)))
+	m.Mov(R(0), Via(R(1), RouteI))
+	prog := m.StopRecording()
+
+	dis := prog.Disassemble()
+	if !strings.Contains(dis, "program p — 4 instructions") {
+		t.Errorf("disassembly header: %s", dis)
+	}
+	if strings.Count(dis, "R[1].L") != 2 {
+		t.Errorf("disassembly routes wrong:\n%s", dis)
+	}
+
+	prof := prog.RouteProfile()
+	if prof[RouteL] != 2 || prof[Local] != 1 || prof[RouteI] != 1 {
+		t.Errorf("profile = %v", prof)
+	}
+	ps := prog.ProfileString()
+	if !strings.Contains(ps, "local:1") || !strings.Contains(ps, "L:2") || !strings.Contains(ps, "I:1") {
+		t.Errorf("ProfileString = %q", ps)
+	}
+}
+
+func TestTTNames(t *testing.T) {
+	names := map[uint8]string{
+		TTZero: "0", TTOne: "1", TTF: "F", TTD: "D", TTB: "B",
+		TTOrFD: "F|D", TTXorFD: "F^D", TTNotF: "~F", TTMuxB: "B?D:F",
+		TTParity: "F^D^B", TTMajority: "maj(F,D,B)",
+	}
+	for tt, want := range names {
+		if got := ttName(tt); got != want {
+			t.Errorf("ttName(%#x) = %q, want %q", tt, got, want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package bvm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitvec"
+)
+
+// This file provides machine-state capture: full snapshots (save/restore,
+// used by tests and by search over program variants) and windowed dumps of
+// selected registers (the style of the paper's Figure 5 traces). A Tracer
+// hook receives every executed instruction, letting tools print evolving
+// state without touching the execution core.
+
+// Snapshot is a complete copy of the machine's architectural state (all
+// registers; not the instruction counters or pending input).
+type Snapshot struct {
+	a, b, e *bitvec.Vector
+	regs    []*bitvec.Vector
+}
+
+// Snapshot captures the current architectural state.
+func (m *Machine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		a:    m.a.Clone(),
+		b:    m.b.Clone(),
+		e:    m.e.Clone(),
+		regs: make([]*bitvec.Vector, m.L),
+	}
+	for j, r := range m.regs {
+		s.regs[j] = r.Clone()
+	}
+	return s
+}
+
+// Restore loads a snapshot taken from a machine of identical geometry.
+func (m *Machine) Restore(s *Snapshot) {
+	if len(s.regs) != m.L || s.a.Len() != m.Top.N {
+		panic(fmt.Sprintf("bvm: snapshot shape (%d regs × %d PEs) does not fit machine (%d × %d)",
+			len(s.regs), s.a.Len(), m.L, m.Top.N))
+	}
+	m.a.CopyFrom(s.a)
+	m.b.CopyFrom(s.b)
+	m.e.CopyFrom(s.e)
+	for j, r := range s.regs {
+		m.regs[j].CopyFrom(r)
+	}
+}
+
+// Equal reports whether two snapshots hold identical state.
+func (s *Snapshot) Equal(o *Snapshot) bool {
+	if len(s.regs) != len(o.regs) {
+		return false
+	}
+	if !s.a.Equal(o.a) || !s.b.Equal(o.b) || !s.e.Equal(o.e) {
+		return false
+	}
+	for j := range s.regs {
+		if !s.regs[j].Equal(o.regs[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tracer, when set, is invoked after every executed instruction with the
+// instruction and its ordinal. It must not mutate the machine.
+type Tracer func(step int64, in Instr, m *Machine)
+
+// SetTracer installs (or, with nil, removes) the trace hook.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// DumpRegisters renders the given registers over PEs [0, width) as rows of
+// bits — the presentation of the paper's Figures 2-5.
+func (m *Machine) DumpRegisters(width int, regs ...RegRef) string {
+	if width <= 0 || width > m.Top.N {
+		width = m.Top.N
+	}
+	var sb strings.Builder
+	sb.WriteString("PE        ")
+	for pe := 0; pe < width; pe++ {
+		fmt.Fprintf(&sb, "%d", pe%10)
+	}
+	sb.WriteByte('\n')
+	for _, r := range regs {
+		fmt.Fprintf(&sb, "%-9s ", r.String())
+		v := m.reg(r)
+		for pe := 0; pe < width; pe++ {
+			if v.Get(pe) {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

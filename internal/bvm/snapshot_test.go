@@ -1,0 +1,94 @@
+package bvm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := newMachine(t, 1)
+	m.Poke(R(3), bitvec.MustFromString("10110100"))
+	m.Poke(A, bitvec.MustFromString("01010101"))
+	m.SetConst(E, false)
+	snap := m.Snapshot()
+
+	// Mutate everything.
+	m.SetConst(E, true)
+	m.SetConst(R(3), true)
+	m.SetConst(A, false)
+	if m.Snapshot().Equal(snap) {
+		t.Fatal("mutated state compares equal to snapshot")
+	}
+
+	m.Restore(snap)
+	if !m.Snapshot().Equal(snap) {
+		t.Fatal("restore did not reproduce the snapshot")
+	}
+	if m.Peek(R(3)).String() != "10110100" {
+		t.Fatal("register content lost")
+	}
+	if m.Peek(E).Any() {
+		t.Fatal("enable register not restored")
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	m := newMachine(t, 1)
+	snap := m.Snapshot()
+	m.SetConst(R(0), true, nil...)
+	if snap.regs[0].Any() {
+		t.Fatal("snapshot aliases live register")
+	}
+}
+
+func TestRestoreShapeMismatchPanics(t *testing.T) {
+	m1 := newMachine(t, 1)
+	m2, err := New(2, DefaultRegisters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-geometry restore did not panic")
+		}
+	}()
+	m2.Restore(m1.Snapshot())
+}
+
+func TestTracerObservesInstructions(t *testing.T) {
+	m := newMachine(t, 1)
+	var steps []int64
+	var names []string
+	m.SetTracer(func(step int64, in Instr, mm *Machine) {
+		steps = append(steps, step)
+		names = append(names, in.Dst.String())
+	})
+	m.SetConst(R(0), true)
+	m.Mov(R(1), Loc(R(0)))
+	m.SetTracer(nil)
+	m.Mov(R(2), Loc(R(0)))
+	if len(steps) != 2 || steps[0] != 1 || steps[1] != 2 {
+		t.Fatalf("tracer steps = %v", steps)
+	}
+	if names[0] != "R[0]" || names[1] != "R[1]" {
+		t.Fatalf("tracer names = %v", names)
+	}
+}
+
+func TestDumpRegisters(t *testing.T) {
+	m := newMachine(t, 1)
+	m.Poke(R(0), bitvec.MustFromString("10110100"))
+	out := m.DumpRegisters(8, R(0), A)
+	if !strings.Contains(out, "R[0]      10110100") {
+		t.Errorf("dump missing register row:\n%s", out)
+	}
+	if !strings.Contains(out, "A         00000000") {
+		t.Errorf("dump missing A row:\n%s", out)
+	}
+	// Width 0 means all PEs.
+	if !strings.Contains(m.DumpRegisters(0, R(0)), "10110100") {
+		t.Error("full-width dump wrong")
+	}
+}

@@ -1,0 +1,131 @@
+package bvmalg
+
+import (
+	"fmt"
+
+	"repro/internal/bvm"
+)
+
+// This file implements bit-serial word arithmetic on the BVM. The machine has
+// no adder: numbers are bit rows, and a w-bit addition is w full-adder
+// instructions rippling a carry through register B (the dual-assignment
+// instruction computes sum and carry in one cycle — the reason the paper's
+// ISA writes two results at once).
+
+// setB loads a constant into B (1 instruction; the f half is the identity on A).
+func setB(m *bvm.Machine, bit bool) {
+	g := bvm.TTZero
+	if bit {
+		g = bvm.TTOne
+	}
+	m.Exec(bvm.Instr{Dst: bvm.A, FTT: bvm.TTF, GTT: g, F: bvm.A, D: bvm.Loc(bvm.A)})
+}
+
+// ttLess is the comparison-step g table: scanning LSB→MSB with the running
+// "x < y so far" flag in B, the new flag is y's bit where the bits differ,
+// else the old flag.
+var ttLess = bvm.TT(func(f, d, b bool) bool {
+	if f != d {
+		return d
+	}
+	return b
+})
+
+// SetWordConst stores an immediate value into a word on all active PEs.
+// Width instructions.
+func SetWordConst(m *bvm.Machine, w Word, val uint64, cond ...*bvm.Activation) {
+	if w.Width < 64 && val > w.MaxValue() {
+		panic(fmt.Sprintf("bvmalg: constant %d exceeds %d-bit word", val, w.Width))
+	}
+	for b := 0; b < w.Width; b++ {
+		m.SetConst(w.Bit(b), val>>uint(b)&1 == 1, cond...)
+	}
+}
+
+// CopyWord copies src to dst bit-plane by bit-plane. Width instructions.
+func CopyWord(m *bvm.Machine, dst, src Word, cond ...*bvm.Activation) {
+	sameWidth(dst, src)
+	for b := 0; b < dst.Width; b++ {
+		m.Mov(dst.Bit(b), bvm.Loc(src.Bit(b)), cond...)
+	}
+}
+
+// MovWordVia copies each PE's dst word from its routed neighbor's src word.
+// Width instructions.
+func MovWordVia(m *bvm.Machine, dst, src Word, route bvm.Route, cond ...*bvm.Activation) {
+	sameWidth(dst, src)
+	for b := 0; b < dst.Width; b++ {
+		m.Mov(dst.Bit(b), bvm.Via(src.Bit(b), route), cond...)
+	}
+}
+
+// AddWord computes dst = x + y modulo 2^width (ripple carry through B).
+// Width+1 instructions. dst may alias x or y.
+func AddWord(m *bvm.Machine, dst, x, y Word) {
+	sameWidth(dst, x)
+	sameWidth(dst, y)
+	setB(m, false)
+	for b := 0; b < dst.Width; b++ {
+		m.AddStep(dst.Bit(b), x.Bit(b), bvm.Loc(y.Bit(b)))
+	}
+}
+
+// AddSatWord computes dst = min(x + y, all-ones): saturating addition. With
+// the all-ones pattern as the infinity sentinel, INF + anything = INF, which
+// is exactly the arithmetic the TT recurrence needs. 2·Width+1 instructions.
+func AddSatWord(m *bvm.Machine, dst, x, y Word) {
+	AddWord(m, dst, x, y)
+	// B now holds the carry-out; force all bits to 1 where it is set.
+	orB := bvm.TT(func(f, d, b bool) bool { return f || b })
+	for b := 0; b < dst.Width; b++ {
+		m.Exec(bvm.Instr{Dst: dst.Bit(b), FTT: orB, GTT: bvm.TTB, F: dst.Bit(b), D: bvm.Loc(bvm.A)})
+	}
+}
+
+// LessWord leaves B = (x < y), unsigned, on every PE. Width+1 instructions.
+func LessWord(m *bvm.Machine, x, y Word) {
+	sameWidth(x, y)
+	setB(m, false)
+	for b := 0; b < x.Width; b++ {
+		m.Exec(bvm.Instr{Dst: bvm.A, FTT: bvm.TTF, GTT: ttLess, F: x.Bit(b), D: bvm.Loc(y.Bit(b))})
+	}
+}
+
+// MinWord computes dst = min(x, y). 2·Width+1 instructions. dst may alias x.
+func MinWord(m *bvm.Machine, dst, x, y Word) {
+	sameWidth(dst, x)
+	sameWidth(dst, y)
+	LessWord(m, y, x) // B = (y < x): take y where set
+	for b := 0; b < dst.Width; b++ {
+		m.MuxB(dst.Bit(b), x.Bit(b), bvm.Loc(y.Bit(b)))
+	}
+}
+
+// CondCopyWord copies src into dst only on PEs where the cond register is 1.
+// Width+1 instructions.
+func CondCopyWord(m *bvm.Machine, dst, src Word, cond bvm.RegRef) {
+	sameWidth(dst, src)
+	m.MovB(bvm.Loc(cond))
+	for b := 0; b < dst.Width; b++ {
+		m.MuxB(dst.Bit(b), dst.Bit(b), bvm.Loc(src.Bit(b)))
+	}
+}
+
+// CondMinWord computes dst = min(dst, src) only on PEs where the cond
+// register is 1: B = cond AND (src < dst), then a masked select.
+// 2·Width+2 instructions.
+func CondMinWord(m *bvm.Machine, dst, src Word, cond bvm.RegRef) {
+	sameWidth(dst, src)
+	LessWord(m, src, dst) // B = src < dst
+	m.Exec(bvm.Instr{Dst: bvm.A, FTT: bvm.TTF, GTT: bvm.TT(func(f, d, b bool) bool { return b && d }),
+		F: bvm.A, D: bvm.Loc(cond)}) // B &= cond
+	for b := 0; b < dst.Width; b++ {
+		m.MuxB(dst.Bit(b), dst.Bit(b), bvm.Loc(src.Bit(b)))
+	}
+}
+
+func sameWidth(a, b Word) {
+	if a.Width != b.Width {
+		panic(fmt.Sprintf("bvmalg: word width mismatch %d != %d", a.Width, b.Width))
+	}
+}

@@ -1,0 +1,49 @@
+package bvmalg
+
+import "repro/internal/bvm"
+
+// Additional bit-serial arithmetic: subtraction and equality. Like addition,
+// each runs one dual-assignment instruction per bit plane with the running
+// borrow/flag in register B.
+
+// ttBorrow is the borrow-propagation g table for x - y scanning LSB→MSB:
+// borrow' = majority(NOT x_b, y_b, borrow).
+var ttBorrow = bvm.TT(func(f, d, b bool) bool {
+	nf := !f
+	return (nf && d) || (nf && b) || (d && b)
+})
+
+// SubWord computes dst = x - y modulo 2^width (borrow ripple through B);
+// afterwards B holds the final borrow, i.e. B = (x < y). Width+1
+// instructions. dst may alias x or y.
+func SubWord(m *bvm.Machine, dst, x, y Word) {
+	sameWidth(dst, x)
+	sameWidth(dst, y)
+	setB(m, false)
+	for b := 0; b < dst.Width; b++ {
+		m.Exec(bvm.Instr{
+			Dst: dst.Bit(b),
+			FTT: bvm.TTParity, // diff = x ^ y ^ borrow
+			GTT: ttBorrow,
+			F:   x.Bit(b), D: bvm.Loc(y.Bit(b)),
+		})
+	}
+}
+
+// EqualWord leaves B = (x == y) on every PE. Width+1 instructions.
+func EqualWord(m *bvm.Machine, x, y Word) {
+	sameWidth(x, y)
+	setB(m, true)
+	eq := bvm.TT(func(f, d, b bool) bool { return b && f == d })
+	for b := 0; b < x.Width; b++ {
+		m.Exec(bvm.Instr{Dst: bvm.A, FTT: bvm.TTF, GTT: eq, F: x.Bit(b), D: bvm.Loc(y.Bit(b))})
+	}
+}
+
+// NotWord sets dst = bitwise complement of x. Width instructions.
+func NotWord(m *bvm.Machine, dst, x Word) {
+	sameWidth(dst, x)
+	for b := 0; b < dst.Width; b++ {
+		m.Not(dst.Bit(b), x.Bit(b))
+	}
+}

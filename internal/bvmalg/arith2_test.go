@@ -1,0 +1,85 @@
+package bvmalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bvm"
+)
+
+func TestSubWord(t *testing.T) {
+	m := newMachine(t, 2)
+	x, y, dst := Word{0, 10}, Word{10, 10}, Word{20, 10}
+	rng := rand.New(rand.NewSource(21))
+	xs, ys := randWords(rng, m.N(), 1024), randWords(rng, m.N(), 1024)
+	loadWords(m, x, xs)
+	loadWords(m, y, ys)
+	SubWord(m, dst, x, y)
+	borrow := m.Peek(bvm.B)
+	for pe, got := range readWords(m, dst) {
+		want := (xs[pe] - ys[pe]) & 0x3ff
+		if got != want {
+			t.Fatalf("PE %d: %d-%d = %d, want %d", pe, xs[pe], ys[pe], got, want)
+		}
+		if borrow.Get(pe) != (xs[pe] < ys[pe]) {
+			t.Fatalf("PE %d: borrow %v for %d-%d", pe, borrow.Get(pe), xs[pe], ys[pe])
+		}
+	}
+	// Aliasing dst = x.
+	loadWords(m, x, xs)
+	SubWord(m, x, x, y)
+	for pe, got := range readWords(m, x) {
+		if want := (xs[pe] - ys[pe]) & 0x3ff; got != want {
+			t.Fatalf("aliased PE %d: got %d want %d", pe, got, want)
+		}
+	}
+}
+
+func TestEqualWord(t *testing.T) {
+	m := newMachine(t, 2)
+	x, y := Word{0, 8}, Word{8, 8}
+	rng := rand.New(rand.NewSource(22))
+	xs, ys := randWords(rng, m.N(), 256), randWords(rng, m.N(), 256)
+	for pe := 0; pe < m.N(); pe += 4 {
+		ys[pe] = xs[pe] // force equal pairs
+	}
+	loadWords(m, x, xs)
+	loadWords(m, y, ys)
+	EqualWord(m, x, y)
+	b := m.Peek(bvm.B)
+	for pe := 0; pe < m.N(); pe++ {
+		if b.Get(pe) != (xs[pe] == ys[pe]) {
+			t.Fatalf("PE %d: equal(%d,%d) = %v", pe, xs[pe], ys[pe], b.Get(pe))
+		}
+	}
+}
+
+func TestNotWord(t *testing.T) {
+	m := newMachine(t, 1)
+	x, dst := Word{0, 6}, Word{6, 6}
+	vals := []uint64{0, 63, 21, 42, 1, 2, 3, 4}
+	loadWords(m, x, vals)
+	NotWord(m, dst, x)
+	for pe, got := range readWords(m, dst) {
+		if want := ^vals[pe] & 63; got != want {
+			t.Fatalf("PE %d: ^%d = %d, want %d", pe, vals[pe], got, want)
+		}
+	}
+}
+
+// TestSubAddInverse: (x + y) - y == x for all PEs (words compose).
+func TestSubAddInverse(t *testing.T) {
+	m := newMachine(t, 2)
+	x, y, tmp := Word{0, 9}, Word{9, 9}, Word{18, 9}
+	rng := rand.New(rand.NewSource(23))
+	xs, ys := randWords(rng, m.N(), 512), randWords(rng, m.N(), 512)
+	loadWords(m, x, xs)
+	loadWords(m, y, ys)
+	AddWord(m, tmp, x, y)
+	SubWord(m, tmp, tmp, y)
+	for pe, got := range readWords(m, tmp) {
+		if got != xs[pe] {
+			t.Fatalf("PE %d: (x+y)-y = %d, want %d", pe, got, xs[pe])
+		}
+	}
+}

@@ -1,0 +1,669 @@
+package bvmalg
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bvm"
+	"repro/internal/hypercube"
+)
+
+func newMachine(t testing.TB, r int) *bvm.Machine {
+	t.Helper()
+	m, err := bvm.New(r, bvm.DefaultRegisters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCycleIDSpec checks the defining property on all supported simulated
+// sizes: PE (i, j) holds bit j of cycle number i.
+func TestCycleIDSpec(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		m := newMachine(t, r)
+		start := m.InstrCount
+		CycleID(m, bvm.R(0))
+		if cost := m.InstrCount - start; cost != int64(4*m.Top.Q) {
+			t.Errorf("r=%d: CycleID cost %d instructions, want 4Q=%d", r, cost, 4*m.Top.Q)
+		}
+		v := m.Peek(bvm.R(0))
+		for x := 0; x < m.N(); x++ {
+			c, p := m.Top.Split(x)
+			want := c>>uint(p)&1 == 1
+			if v.Get(x) != want {
+				t.Fatalf("r=%d: PE (%d,%d) cycle-ID bit = %v, want %v", r, c, p, v.Get(x), want)
+			}
+		}
+	}
+}
+
+// TestCycleIDOneEndInterpretation checks the paper's alternative reading:
+// the bit is 1 iff the PE is at the 1-end of its lateral link.
+func TestCycleIDOneEnd(t *testing.T) {
+	m := newMachine(t, 2)
+	CycleID(m, bvm.R(0))
+	v := m.Peek(bvm.R(0))
+	for x := 0; x < m.N(); x++ {
+		oneEnd := x > m.Top.Lateral(x)
+		if v.Get(x) != oneEnd {
+			t.Fatalf("PE %d: bit %v, 1-end %v", x, v.Get(x), oneEnd)
+		}
+	}
+}
+
+func TestProcessorIDSpec(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		m := newMachine(t, r)
+		base := 10
+		ProcessorID(m, base)
+		q := m.Top.AddrBits
+		for x := 0; x < m.N(); x++ {
+			for b := 0; b < q; b++ {
+				want := x>>uint(b)&1 == 1
+				if got := m.PeekBit(bvm.R(base+b), x); got != want {
+					t.Fatalf("r=%d PE %d bit %d: got %v want %v", r, x, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWordBitPanics(t *testing.T) {
+	w := Word{Base: 0, Width: 4}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bit(4) on width-4 word did not panic")
+		}
+	}()
+	w.Bit(4)
+}
+
+func TestWordMaxValue(t *testing.T) {
+	if (Word{Width: 8}).MaxValue() != 255 {
+		t.Error("8-bit MaxValue wrong")
+	}
+	if (Word{Width: 64}).MaxValue() != ^uint64(0) {
+		t.Error("64-bit MaxValue wrong")
+	}
+}
+
+func loadWords(m *bvm.Machine, w Word, vals []uint64) {
+	for pe, v := range vals {
+		m.SetUint(w.Base, w.Width, pe, v)
+	}
+}
+
+func readWords(m *bvm.Machine, w Word) []uint64 {
+	out := make([]uint64, m.N())
+	for pe := range out {
+		out[pe] = m.Uint(w.Base, w.Width, pe)
+	}
+	return out
+}
+
+func randWords(rng *rand.Rand, n int, max uint64) []uint64 {
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(rng.Int63n(int64(max)))
+	}
+	return vals
+}
+
+func TestSetWordConst(t *testing.T) {
+	m := newMachine(t, 1)
+	w := Word{Base: 0, Width: 8}
+	SetWordConst(m, w, 0xC5)
+	for pe := 0; pe < m.N(); pe++ {
+		if got := m.Uint(0, 8, pe); got != 0xC5 {
+			t.Fatalf("PE %d = %#x", pe, got)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized constant did not panic")
+			}
+		}()
+		SetWordConst(m, Word{Base: 0, Width: 4}, 16)
+	}()
+}
+
+func TestAddWordAndSaturation(t *testing.T) {
+	m := newMachine(t, 2)
+	x, y, sum := Word{0, 8}, Word{8, 8}, Word{16, 8}
+	rng := rand.New(rand.NewSource(1))
+	xs, ys := randWords(rng, m.N(), 256), randWords(rng, m.N(), 256)
+	loadWords(m, x, xs)
+	loadWords(m, y, ys)
+	AddWord(m, sum, x, y)
+	for pe, got := range readWords(m, sum) {
+		if want := (xs[pe] + ys[pe]) & 0xff; got != want {
+			t.Fatalf("PE %d: %d+%d = %d, want %d", pe, xs[pe], ys[pe], got, want)
+		}
+	}
+	AddSatWord(m, sum, x, y)
+	for pe, got := range readWords(m, sum) {
+		want := xs[pe] + ys[pe]
+		if want > 255 {
+			want = 255
+		}
+		if got != want {
+			t.Fatalf("sat PE %d: %d+%d = %d, want %d", pe, xs[pe], ys[pe], got, want)
+		}
+	}
+	// INF absorbing: all-ones + anything = all-ones.
+	loadWords(m, x, make([]uint64, m.N())) // zeros
+	for pe := 0; pe < m.N(); pe++ {
+		m.SetUint(x.Base, 8, pe, 255)
+	}
+	AddSatWord(m, sum, x, y)
+	for pe, got := range readWords(m, sum) {
+		if got != 255 {
+			t.Fatalf("INF+%d = %d, want 255 at PE %d", ys[pe], got, pe)
+		}
+	}
+}
+
+func TestLessWord(t *testing.T) {
+	m := newMachine(t, 2)
+	x, y := Word{0, 10}, Word{10, 10}
+	rng := rand.New(rand.NewSource(2))
+	xs, ys := randWords(rng, m.N(), 1024), randWords(rng, m.N(), 1024)
+	// Force some equal pairs (less must be false there).
+	for pe := 0; pe < m.N(); pe += 5 {
+		ys[pe] = xs[pe]
+	}
+	loadWords(m, x, xs)
+	loadWords(m, y, ys)
+	LessWord(m, x, y)
+	b := m.Peek(bvm.B)
+	for pe := 0; pe < m.N(); pe++ {
+		if b.Get(pe) != (xs[pe] < ys[pe]) {
+			t.Fatalf("PE %d: less(%d,%d) = %v", pe, xs[pe], ys[pe], b.Get(pe))
+		}
+	}
+}
+
+func TestMinWord(t *testing.T) {
+	m := newMachine(t, 2)
+	x, y, out := Word{0, 12}, Word{12, 12}, Word{24, 12}
+	rng := rand.New(rand.NewSource(3))
+	xs, ys := randWords(rng, m.N(), 4096), randWords(rng, m.N(), 4096)
+	loadWords(m, x, xs)
+	loadWords(m, y, ys)
+	MinWord(m, out, x, y)
+	for pe, got := range readWords(m, out) {
+		want := min(xs[pe], ys[pe])
+		if got != want {
+			t.Fatalf("PE %d: min(%d,%d) = %d", pe, xs[pe], ys[pe], got)
+		}
+	}
+	// Aliasing dst = x.
+	MinWord(m, x, x, y)
+	for pe, got := range readWords(m, x) {
+		if want := min(xs[pe], ys[pe]); got != want {
+			t.Fatalf("aliased PE %d: got %d want %d", pe, got, want)
+		}
+	}
+}
+
+func TestCondCopyAndCondMin(t *testing.T) {
+	m := newMachine(t, 2)
+	dst, src := Word{0, 8}, Word{8, 8}
+	cond := bvm.R(20)
+	rng := rand.New(rand.NewSource(4))
+	ds, ss := randWords(rng, m.N(), 256), randWords(rng, m.N(), 256)
+	loadWords(m, dst, ds)
+	loadWords(m, src, ss)
+	for pe := 0; pe < m.N(); pe++ {
+		m.PokeBit(cond, pe, pe%3 == 0)
+	}
+	CondCopyWord(m, dst, src, cond)
+	for pe, got := range readWords(m, dst) {
+		want := ds[pe]
+		if pe%3 == 0 {
+			want = ss[pe]
+		}
+		if got != want {
+			t.Fatalf("CondCopy PE %d: got %d want %d", pe, got, want)
+		}
+	}
+
+	loadWords(m, dst, ds)
+	CondMinWord(m, dst, src, cond)
+	for pe, got := range readWords(m, dst) {
+		want := ds[pe]
+		if pe%3 == 0 {
+			want = min(ds[pe], ss[pe])
+		}
+		if got != want {
+			t.Fatalf("CondMin PE %d: got %d want %d", pe, got, want)
+		}
+	}
+}
+
+// TestFetchPartnerAllDims checks, for every hypercube dimension, that the
+// shadow word ends up holding exactly the partner's word.
+func TestFetchPartnerAllDims(t *testing.T) {
+	for r := 1; r <= 2; r++ {
+		m := newMachine(t, r)
+		src, shadow := Word{0, 6}, Word{6, 6}
+		rng := rand.New(rand.NewSource(int64(r)))
+		vals := randWords(rng, m.N(), 64)
+		for dim := 0; dim < m.Top.AddrBits; dim++ {
+			loadWords(m, src, vals)
+			FetchPartner(m, dim, WordPairs(src, shadow), 40)
+			got := readWords(m, shadow)
+			for pe := 0; pe < m.N(); pe++ {
+				if got[pe] != vals[pe^1<<uint(dim)] {
+					t.Fatalf("r=%d dim=%d PE %d: shadow %d, want partner %d",
+						r, dim, pe, got[pe], vals[pe^1<<uint(dim)])
+				}
+			}
+			// Source must be intact.
+			for pe, v := range readWords(m, src) {
+				if v != vals[pe] {
+					t.Fatalf("r=%d dim=%d: source clobbered at PE %d", r, dim, pe)
+				}
+			}
+		}
+	}
+}
+
+func TestFetchPartnerBadDimPanics(t *testing.T) {
+	m := newMachine(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad dim did not panic")
+		}
+	}()
+	FetchPartner(m, m.Top.AddrBits, nil, 0)
+}
+
+func TestMarkPE0(t *testing.T) {
+	m := newMachine(t, 2)
+	MarkPE0(m, bvm.R(0))
+	v := m.Peek(bvm.R(0))
+	if !v.Get(0) || v.Count() != 1 {
+		t.Fatalf("MarkPE0 = %s", v)
+	}
+}
+
+func TestBroadcastWord(t *testing.T) {
+	m := newMachine(t, 2)
+	addrBase := 30
+	ProcessorID(m, addrBase)
+	val, shadowVal := Word{0, 8}, Word{8, 8}
+	sender, shadowSender, cond := bvm.R(20), bvm.R(21), bvm.R(22)
+	// Junk everywhere except PE 0's payload.
+	rng := rand.New(rand.NewSource(5))
+	vals := randWords(rng, m.N(), 256)
+	vals[0] = 0x5A
+	loadWords(m, val, vals)
+	MarkPE0(m, sender)
+	BroadcastWord(m, val, sender, addrBase, shadowVal, shadowSender, cond, 40)
+	for pe, got := range readWords(m, val) {
+		if got != 0x5A {
+			t.Fatalf("PE %d = %#x, want 0x5A", pe, got)
+		}
+	}
+	if m.Peek(sender).Count() != m.N() {
+		t.Fatal("not every PE became a sender")
+	}
+}
+
+// TestPropagationWordsMatchHypercube drives the instruction-level
+// propagations against the word-level reference in internal/hypercube.
+func TestPropagationWordsMatchHypercube(t *testing.T) {
+	m := newMachine(t, 2) // 64 PEs, q=6
+	q := m.Top.AddrBits
+	addrBase := 60
+	ProcessorID(m, addrBase)
+	val, shadowVal := Word{0, 8}, Word{8, 8}
+	sender, shadowSender, cond := bvm.R(20), bvm.R(21), bvm.R(22)
+
+	for g := 0; g < 3; g++ {
+		// Distinct one-hot-ish tags on the g-group, zero elsewhere.
+		vals := make([]uint64, m.N())
+		for pe := range vals {
+			if popcount(pe) == g {
+				vals[pe] = uint64(pe%8) | 0x10
+			}
+		}
+		// Propagation 1 with OR combine.
+		loadWords(m, val, vals)
+		for pe := range vals {
+			m.PokeBit(sender, pe, popcount(pe) == g)
+		}
+		Propagation1Word(m, val, sender, addrBase, CombineOr, shadowVal, shadowSender, cond, 40)
+		want := hypercube.Propagation1(q, vals, g, func(a, b uint64) uint64 { return a | b })
+		for pe, got := range readWords(m, val) {
+			if got != want[pe] {
+				t.Fatalf("prop1 g=%d PE %06b: got %#x want %#x", g, pe, got, want[pe])
+			}
+		}
+
+		// Propagation 2 with OR combine.
+		loadWords(m, val, vals)
+		for pe := range vals {
+			m.PokeBit(sender, pe, popcount(pe) == g)
+		}
+		Propagation2Word(m, val, sender, addrBase, CombineOr, shadowVal, shadowSender, cond, 40)
+		want2 := hypercube.Propagation2(q, vals, g, func(a, b uint64) uint64 { return a | b })
+		for pe, got := range readWords(m, val) {
+			if got != want2[pe] {
+				t.Fatalf("prop2 g=%d PE %06b: got %#x want %#x", g, pe, got, want2[pe])
+			}
+		}
+	}
+}
+
+func TestPropagation2MinCombine(t *testing.T) {
+	m := newMachine(t, 2)
+	q := m.Top.AddrBits
+	addrBase := 60
+	ProcessorID(m, addrBase)
+	val, shadowVal := Word{0, 8}, Word{8, 8}
+	sender, shadowSender, cond := bvm.R(20), bvm.R(21), bvm.R(22)
+
+	g := 1
+	vals := make([]uint64, m.N())
+	for pe := range vals {
+		if popcount(pe) == g {
+			vals[pe] = uint64(40 + pe)
+		} else {
+			vals[pe] = 255 // INF
+		}
+	}
+	loadWords(m, val, vals)
+	for pe := range vals {
+		m.PokeBit(sender, pe, popcount(pe) == g)
+	}
+	Propagation2Word(m, val, sender, addrBase, CombineMin, shadowVal, shadowSender, cond, 40)
+	want := hypercube.Propagation2(q, vals, g, func(a, b uint64) uint64 { return min(a, b) })
+	for pe, got := range readWords(m, val) {
+		if got != want[pe] {
+			t.Fatalf("prop2-min PE %06b: got %d want %d", pe, got, want[pe])
+		}
+	}
+}
+
+func TestMinReduce(t *testing.T) {
+	m := newMachine(t, 2)
+	val, shadow := Word{0, 10}, Word{10, 10}
+	rng := rand.New(rand.NewSource(6))
+	vals := randWords(rng, m.N(), 1024)
+	loadWords(m, val, vals)
+	// Reduce over dims [2,5): blocks of addresses equal outside bits 2..4.
+	MinReduce(m, val, 2, 5, shadow, 40)
+	for pe, got := range readWords(m, val) {
+		want := uint64(1 << 62)
+		for other := 0; other < m.N(); other++ {
+			if other&^0b11100 == pe&^0b11100 {
+				want = min(want, vals[other])
+			}
+		}
+		if got != want {
+			t.Fatalf("PE %d: min = %d, want %d", pe, got, want)
+		}
+	}
+}
+
+func TestSumReduce(t *testing.T) {
+	m := newMachine(t, 1)
+	val, shadow := Word{0, 8}, Word{8, 8}
+	vals := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	loadWords(m, val, vals)
+	SumReduce(m, val, 0, 3, shadow, 40)
+	for pe, got := range readWords(m, val) {
+		if got != 36 {
+			t.Fatalf("PE %d: sum = %d, want 36", pe, got)
+		}
+	}
+}
+
+func TestSumReduceSaturates(t *testing.T) {
+	m := newMachine(t, 1)
+	val, shadow := Word{0, 4}, Word{4, 4}
+	vals := []uint64{15, 1, 2, 3, 4, 5, 6, 7} // contains INF = 15
+	loadWords(m, val, vals)
+	SumReduce(m, val, 0, 3, shadow, 40)
+	for pe, got := range readWords(m, val) {
+		if got != 15 {
+			t.Fatalf("PE %d: saturated sum = %d, want 15", pe, got)
+		}
+	}
+}
+
+func TestLargeMachineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2048-PE machine in -short mode")
+	}
+	m := newMachine(t, 3)
+	base := 100
+	ProcessorID(m, base)
+	// Spot-check a few PEs.
+	for _, pe := range []int{0, 1, 777, 2047} {
+		for b := 0; b < m.Top.AddrBits; b++ {
+			if got := m.PeekBit(bvm.R(base+b), pe); got != (pe>>uint(b)&1 == 1) {
+				t.Fatalf("PE %d bit %d wrong", pe, b)
+			}
+		}
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func BenchmarkProcessorID(b *testing.B) {
+	m, _ := bvm.New(2, bvm.DefaultRegisters)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ProcessorID(m, 10)
+	}
+}
+
+func BenchmarkMinReduceFullMachine(b *testing.B) {
+	m, _ := bvm.New(2, bvm.DefaultRegisters)
+	val, shadow := Word{0, 16}, Word{16, 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinReduce(m, val, 0, m.Top.AddrBits, shadow, 40)
+	}
+}
+
+func TestMinReduceDescendMatchesAscend(t *testing.T) {
+	m1 := newMachine(t, 2)
+	m2 := newMachine(t, 2)
+	val, shadow := Word{0, 10}, Word{10, 10}
+	rng := rand.New(rand.NewSource(31))
+	vals := randWords(rng, m1.N(), 1024)
+	loadWords(m1, val, vals)
+	loadWords(m2, val, vals)
+	MinReduce(m1, val, 1, 5, shadow, 40)
+	MinReduceDescend(m2, val, 1, 5, shadow, 40)
+	got1, got2 := readWords(m1, val), readWords(m2, val)
+	for pe := range got1 {
+		if got1[pe] != got2[pe] {
+			t.Fatalf("PE %d: ascend %d != descend %d", pe, got1[pe], got2[pe])
+		}
+	}
+}
+
+// TestBVMRoutesXSXP exercises the exchange routes at the instruction level
+// against the topology's definition.
+func TestBVMRoutesXSXP(t *testing.T) {
+	m := newMachine(t, 2)
+	src := Word{0, 1}
+	for pe := 0; pe < m.N(); pe++ {
+		m.PokeBit(src.Bit(0), pe, pe%3 == 0)
+	}
+	m.Mov(bvm.R(5), bvm.Via(src.Bit(0), bvm.RouteXS))
+	m.Mov(bvm.R(6), bvm.Via(src.Bit(0), bvm.RouteXP))
+	for pe := 0; pe < m.N(); pe++ {
+		if got, want := m.PeekBit(bvm.R(5), pe), m.PeekBit(src.Bit(0), m.Top.XS(pe)); got != want {
+			t.Fatalf("XS at PE %d: %v != %v", pe, got, want)
+		}
+		if got, want := m.PeekBit(bvm.R(6), pe), m.PeekBit(src.Bit(0), m.Top.XP(pe)); got != want {
+			t.Fatalf("XP at PE %d: %v != %v", pe, got, want)
+		}
+	}
+}
+
+// TestMinReduceAllWavefrontMatchesNaive checks the pipelined single-turn
+// schedule against the per-dimension reduction, and its instruction-count
+// advantage (ablation A2 at the machine level).
+func TestMinReduceAllWavefrontMatchesNaive(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		naive := newMachine(t, r)
+		pipe := newMachine(t, r)
+		val, shadow := Word{0, 10}, Word{10, 10}
+		rng := rand.New(rand.NewSource(int64(40 + r)))
+		vals := randWords(rng, naive.N(), 1000)
+		want := uint64(1 << 62)
+		for _, v := range vals {
+			if v < want {
+				want = v
+			}
+		}
+		loadWords(naive, val, vals)
+		loadWords(pipe, val, vals)
+
+		MinReduce(naive, val, 0, naive.Top.AddrBits, shadow, 40)
+		MinReduceAllWavefront(pipe, val, shadow, 40)
+
+		for pe := 0; pe < naive.N(); pe++ {
+			nv := naive.Uint(val.Base, val.Width, pe)
+			pv := pipe.Uint(val.Base, val.Width, pe)
+			if nv != want || pv != want {
+				t.Fatalf("r=%d PE %d: naive %d, wavefront %d, want %d", r, pe, nv, pv, want)
+			}
+		}
+		if r >= 2 && pipe.InstrCount >= naive.InstrCount {
+			t.Errorf("r=%d: wavefront %d instructions, naive %d — no advantage",
+				r, pipe.InstrCount, naive.InstrCount)
+		}
+		t.Logf("r=%d: naive %d instructions, wavefront %d (%.1fx)",
+			r, naive.InstrCount, pipe.InstrCount,
+			float64(naive.InstrCount)/float64(pipe.InstrCount))
+	}
+}
+
+// TestFaultsAreDetectedByIdentityPrograms: injected hardware faults corrupt
+// the §4 identity patterns, so running cycle-ID/processor-ID and checking
+// their specifications is a machine self-test (failure-injection coverage).
+func TestFaultsAreDetectedByIdentityPrograms(t *testing.T) {
+	// A broken lateral link corrupts the cycle-ID.
+	m := newMachine(t, 2)
+	m.InjectBrokenLateral(7)
+	CycleID(m, bvm.R(0))
+	v := m.Peek(bvm.R(0))
+	mismatch := false
+	for x := 0; x < m.N(); x++ {
+		c, p := m.Top.Split(x)
+		if v.Get(x) != (c>>uint(p)&1 == 1) {
+			mismatch = true
+			break
+		}
+	}
+	if !mismatch {
+		t.Fatal("broken lateral link went undetected by cycle-ID")
+	}
+
+	// A stuck register bit corrupts the processor-ID plane it lives in.
+	m2 := newMachine(t, 2)
+	base := 10
+	m2.InjectStuckBit(bvm.R(base+2), 5, true)
+	ProcessorID(m2, base)
+	ok := true
+	for x := 0; x < m2.N(); x++ {
+		for b := 0; b < m2.Top.AddrBits; b++ {
+			if m2.PeekBit(bvm.R(base+b), x) != (x>>uint(b)&1 == 1) {
+				ok = false
+			}
+		}
+	}
+	if ok {
+		t.Fatal("stuck bit went undetected by processor-ID")
+	}
+}
+
+// TestBitonicSortWordsOnBVM sorts 64 numbers bit-serially on the machine and
+// checks against the standard library.
+func TestBitonicSortWordsOnBVM(t *testing.T) {
+	m := newMachine(t, 2)
+	addrBase := 60
+	ProcessorID(m, addrBase)
+	val, shadow := Word{0, 12}, Word{12, 12}
+	rng := rand.New(rand.NewSource(51))
+	vals := randWords(rng, m.N(), 4096)
+	vals[3] = vals[7] // duplicates must survive
+	loadWords(m, val, vals)
+	want := append([]uint64(nil), vals...)
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+
+	BitonicSortWords(m, val, shadow, addrBase, 30)
+
+	got := readWords(m, val)
+	for pe := range want {
+		if got[pe] != want[pe] {
+			t.Fatalf("PE %d = %d, want %d", pe, got[pe], want[pe])
+		}
+	}
+}
+
+// TestBitonicSortWordsTinyMachine covers the 8-PE machine where the final
+// stage's direction bit lies beyond the address width.
+func TestBitonicSortWordsTinyMachine(t *testing.T) {
+	m := newMachine(t, 1)
+	addrBase := 60
+	ProcessorID(m, addrBase)
+	val, shadow := Word{0, 8}, Word{8, 8}
+	vals := []uint64{200, 3, 150, 9, 9, 77, 1, 42}
+	loadWords(m, val, vals)
+	want := append([]uint64(nil), vals...)
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+	BitonicSortWords(m, val, shadow, addrBase, 30)
+	for pe, g := range readWords(m, val) {
+		if g != want[pe] {
+			t.Fatalf("PE %d = %d, want %d", pe, g, want[pe])
+		}
+	}
+}
+
+// TestRoutePermutationOnBVM routes 64 words through a Benes network on the
+// machine, control bits streamed through the input chain.
+func TestRoutePermutationOnBVM(t *testing.T) {
+	m := newMachine(t, 2)
+	val, shadow := Word{0, 10}, Word{10, 10}
+	rng := rand.New(rand.NewSource(81))
+	vals := randWords(rng, m.N(), 1024)
+	loadWords(m, val, vals)
+	dest := rng.Perm(m.N())
+	instr, err := RoutePermutation(m, val, shadow, dest, 100, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readWords(m, val)
+	for i := range vals {
+		if got[dest[i]] != vals[i] {
+			t.Fatalf("element from PE %d should be at %d: want %d, got %d",
+				i, dest[i], vals[i], got[dest[i]])
+		}
+	}
+	if instr <= 0 {
+		t.Fatal("no instructions counted")
+	}
+	// Errors propagate.
+	if _, err := RoutePermutation(m, val, shadow, []int{0, 1}, 100, 30); err == nil {
+		t.Fatal("short dest accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package bvmalg
+
+import (
+	"fmt"
+
+	"repro/internal/bvm"
+)
+
+// This file realizes the paper's §4 dataflow algorithms at the instruction
+// level. Each is one ASCEND pass over the machine's hypercube dimensions
+// built from FetchPartner steps; the control bits — the paper's SENDER marks
+// and 1-END tests — are ordinary registers: SENDER travels with the data,
+// and the 1-END test for dimension t reads bit t of the processor-ID
+// (generated once by ProcessorID, exactly the paper's §7 prescription).
+
+// Combine selects how propagated values merge into the receiver.
+type Combine int
+
+const (
+	// CombineOr merges with bitwise OR (the paper's control-bit merge).
+	CombineOr Combine = iota
+	// CombineMin keeps the smaller word (what the TT cost tables need).
+	CombineMin
+)
+
+// BroadcastWord broadcasts the val word of PE 0 to every PE (paper §4.3,
+// Broadcasting()). sender must hold 1 exactly at PE 0 (see MarkPE0); on
+// return it is 1 everywhere. shadowVal, shadowSender, condReg and
+// scratchBase..scratchBase+Width are clobbered.
+func BroadcastWord(m *bvm.Machine, val Word, sender bvm.RegRef, addrBase int,
+	shadowVal Word, shadowSender, condReg bvm.RegRef, scratchBase int) {
+	q := m.Top.AddrBits
+	pairs := append(WordPairs(val, shadowVal), Pair{Src: sender, Shadow: shadowSender})
+	for t := 0; t < q; t++ {
+		FetchPartner(m, t, pairs, scratchBase)
+		// cond = partner-is-sender AND not-yet-sender AND my address bit t = 1.
+		m.AndNot(condReg, shadowSender, bvm.Loc(sender))
+		m.And(condReg, condReg, bvm.Loc(bvm.R(addrBase+t)))
+		m.MovB(bvm.Loc(condReg))
+		for b := 0; b < val.Width; b++ {
+			m.MuxB(val.Bit(b), val.Bit(b), bvm.Loc(shadowVal.Bit(b)))
+		}
+		m.Or(sender, sender, bvm.Loc(condReg))
+	}
+}
+
+// MarkPE0 sets dst to 1 exactly at PE (0,0) using the input chain, the same
+// trick the paper's cycle-ID opens with: fill with ones, shift one zero in,
+// and negate the shifted register against the original. 3 instructions.
+func MarkPE0(m *bvm.Machine, dst bvm.RegRef) {
+	m.SetConst(bvm.A, true)
+	m.Mov(bvm.A, bvm.Via(bvm.A, bvm.RouteI)) // zero enters at PE 0
+	m.Not(dst, bvm.A)
+}
+
+// Propagation1Word is the paper's first kind of propagation (§4.4): data
+// moves exactly one PE-group up. sender must mark the source group (the PEs
+// whose addresses have exactly g one bits); each PE one group higher combines
+// the values of all its sender subsets into val. Senders are not forwarded.
+func Propagation1Word(m *bvm.Machine, val Word, sender bvm.RegRef, addrBase int,
+	combine Combine, shadowVal Word, shadowSender, condReg bvm.RegRef, scratchBase int) {
+	propagate(m, val, sender, addrBase, combine, false, shadowVal, shadowSender, condReg, scratchBase)
+}
+
+// Propagation2Word is the paper's second kind of propagation (§4.4): a
+// receiver immediately becomes a legal sender, so one pass floods the data
+// from the source group to every superset address.
+func Propagation2Word(m *bvm.Machine, val Word, sender bvm.RegRef, addrBase int,
+	combine Combine, shadowVal Word, shadowSender, condReg bvm.RegRef, scratchBase int) {
+	propagate(m, val, sender, addrBase, combine, true, shadowVal, shadowSender, condReg, scratchBase)
+}
+
+func propagate(m *bvm.Machine, val Word, sender bvm.RegRef, addrBase int,
+	combine Combine, updateSender bool, shadowVal Word, shadowSender, condReg bvm.RegRef, scratchBase int) {
+	q := m.Top.AddrBits
+	pairs := append(WordPairs(val, shadowVal), Pair{Src: sender, Shadow: shadowSender})
+	for t := 0; t < q; t++ {
+		FetchPartner(m, t, pairs, scratchBase)
+		// cond = partner-is-sender AND my address bit t = 1.
+		m.And(condReg, shadowSender, bvm.Loc(bvm.R(addrBase+t)))
+		applyCombine(m, val, shadowVal, condReg, combine)
+		if updateSender {
+			m.Or(sender, sender, bvm.Loc(condReg))
+		}
+	}
+}
+
+func applyCombine(m *bvm.Machine, val, shadowVal Word, condReg bvm.RegRef, combine Combine) {
+	switch combine {
+	case CombineOr:
+		m.MovB(bvm.Loc(condReg))
+		orCond := bvm.TT(func(f, d, b bool) bool { return f || (d && b) })
+		for b := 0; b < val.Width; b++ {
+			m.Exec(bvm.Instr{Dst: val.Bit(b), FTT: orCond, GTT: bvm.TTB,
+				F: val.Bit(b), D: bvm.Loc(shadowVal.Bit(b))})
+		}
+	case CombineMin:
+		LessWord(m, shadowVal, val) // B = shadow < val
+		m.Exec(bvm.Instr{Dst: bvm.A, FTT: bvm.TTF,
+			GTT: bvm.TT(func(f, d, b bool) bool { return b && d }),
+			F:   bvm.A, D: bvm.Loc(condReg)}) // B &= cond
+		for b := 0; b < val.Width; b++ {
+			m.MuxB(val.Bit(b), val.Bit(b), bvm.Loc(shadowVal.Bit(b)))
+		}
+	default:
+		panic(fmt.Sprintf("bvmalg: unknown combine %d", int(combine)))
+	}
+}
+
+// MinReduce runs the ASCEND minimization of the paper's §6 over hypercube
+// dimensions [lo, hi): afterwards every PE holds the minimum of val over all
+// PEs whose addresses agree with it outside those bits. shadow and
+// scratchBase..scratchBase+Width-1 are clobbered.
+func MinReduce(m *bvm.Machine, val Word, lo, hi int, shadow Word, scratchBase int) {
+	if lo < 0 || hi > m.Top.AddrBits || lo > hi {
+		panic(fmt.Sprintf("bvmalg: dim range [%d,%d) invalid", lo, hi))
+	}
+	for t := lo; t < hi; t++ {
+		FetchPartner(m, t, WordPairs(val, shadow), scratchBase)
+		MinWord(m, val, val, shadow)
+	}
+}
+
+// MinReduceDescend is MinReduce with the dimensions processed in DESCEND
+// order (hi-1 down to lo). Minimum is commutative and associative, so the
+// result is identical; the paper's scheme admits either direction, and the
+// test suite uses this to check direction-independence of the machine-level
+// reduction.
+func MinReduceDescend(m *bvm.Machine, val Word, lo, hi int, shadow Word, scratchBase int) {
+	if lo < 0 || hi > m.Top.AddrBits || lo > hi {
+		panic(fmt.Sprintf("bvmalg: dim range [%d,%d) invalid", lo, hi))
+	}
+	for t := hi - 1; t >= lo; t-- {
+		FetchPartner(m, t, WordPairs(val, shadow), scratchBase)
+		MinWord(m, val, val, shadow)
+	}
+}
+
+// SumReduce is MinReduce with saturating addition: every PE ends with the
+// saturating sum over its dimension block. Used to build p(S) totals.
+func SumReduce(m *bvm.Machine, val Word, lo, hi int, shadow Word, scratchBase int) {
+	if lo < 0 || hi > m.Top.AddrBits || lo > hi {
+		panic(fmt.Sprintf("bvmalg: dim range [%d,%d) invalid", lo, hi))
+	}
+	for t := lo; t < hi; t++ {
+		FetchPartner(m, t, WordPairs(val, shadow), scratchBase)
+		AddSatWord(m, val, val, shadow)
+	}
+}

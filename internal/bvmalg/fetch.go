@@ -1,0 +1,105 @@
+package bvmalg
+
+import (
+	"fmt"
+
+	"repro/internal/bvm"
+)
+
+// This file implements the hypercube-dimension partner fetch on the BVM: the
+// machine-level primitive behind every ASCEND/DESCEND step. After
+// FetchPartner(m, dim, pairs, scratch), each PE's Shadow registers hold the
+// register values of its hypercube partner — the PE whose flat address
+// differs in exactly bit dim — with all data back at home positions, so the
+// caller can combine shadow and local values with arbitrary local predicates
+// (the paper's control bits).
+//
+// Low dimensions (dim < r) pair PEs 2^dim apart inside a cycle and are served
+// by rotating copies of the data both ways and selecting by position bit
+// (host-known, so the selection is a free IF mask). High dimensions
+// (dim >= r) pair cycles across lateral links that exist only at in-cycle
+// position u = dim - r; a copy of the data makes one full turn around the
+// cycle and grabs the lateral value as it passes position u. This is the
+// unpipelined schedule (ablation A2): simple, correct, O(Q) instructions per
+// high dimension. The pipelined wavefront that overlaps all high dimensions
+// in one turn is modeled at word level in internal/cccsim.
+
+// Pair maps a traveling source register to the shadow register that receives
+// the partner's bit.
+type Pair struct {
+	Src    bvm.RegRef
+	Shadow bvm.RegRef
+}
+
+// WordPairs builds the bit-plane pairs for a whole word.
+func WordPairs(src, shadow Word) []Pair {
+	sameWidth(src, shadow)
+	ps := make([]Pair, src.Width)
+	for b := 0; b < src.Width; b++ {
+		ps[b] = Pair{Src: src.Bit(b), Shadow: shadow.Bit(b)}
+	}
+	return ps
+}
+
+// FetchPartner fills every Shadow register with the hypercube-dim partner's
+// Src value. scratchBase..scratchBase+len(pairs)-1 are clobbered. Costs
+// len(pairs)·(2^(dim+1)+3) instructions for low dims and
+// len(pairs)·(3Q+1) for high dims.
+func FetchPartner(m *bvm.Machine, dim int, pairs []Pair, scratchBase int) {
+	Q, r := m.Top.Q, m.Top.R
+	if dim < 0 || dim >= m.Top.AddrBits {
+		panic(fmt.Sprintf("bvmalg: dim %d out of range [0,%d)", dim, m.Top.AddrBits))
+	}
+	if dim < r {
+		fetchLow(m, dim, pairs, scratchBase)
+		return
+	}
+	u := dim - r
+	// Copy payload into scratch and send it around the cycle; grab the
+	// lateral value into the shadow as the datum passes position u. The
+	// shadow travels with its datum, so after Q rotations both are home.
+	for i, p := range pairs {
+		m.Mov(bvm.R(scratchBase+i), bvm.Loc(p.Src))
+	}
+	for step := 1; step <= Q; step++ {
+		for i := range pairs {
+			m.Mov(bvm.R(scratchBase+i), bvm.Via(bvm.R(scratchBase+i), bvm.RouteP))
+		}
+		for _, p := range pairs {
+			m.Mov(p.Shadow, bvm.Via(p.Shadow, bvm.RouteP))
+		}
+		for i, p := range pairs {
+			m.Mov(p.Shadow, bvm.Via(bvm.R(scratchBase+i), bvm.RouteL), bvm.IF(u))
+		}
+	}
+}
+
+func fetchLow(m *bvm.Machine, dim int, pairs []Pair, scratchBase int) {
+	Q := m.Top.Q
+	d := 1 << dim
+	// shadow carries the forward-rotated copy (value from position p-d),
+	// scratch the backward-rotated one (value from p+d).
+	for i, p := range pairs {
+		m.Mov(p.Shadow, bvm.Loc(p.Src))
+		m.Mov(bvm.R(scratchBase+i), bvm.Loc(p.Src))
+	}
+	for step := 0; step < d; step++ {
+		for _, p := range pairs {
+			m.Mov(p.Shadow, bvm.Via(p.Shadow, bvm.RouteP))
+		}
+		for i := range pairs {
+			m.Mov(bvm.R(scratchBase+i), bvm.Via(bvm.R(scratchBase+i), bvm.RouteS))
+		}
+	}
+	// Positions with bit dim clear have their partner ahead of them: take
+	// the backward-rotated copy there.
+	clear := make([]int, 0, Q/2)
+	for p := 0; p < Q; p++ {
+		if p>>uint(dim)&1 == 0 {
+			clear = append(clear, p)
+		}
+	}
+	for i, p := range pairs {
+		m.Mov(p.Shadow, bvm.Loc(bvm.R(scratchBase+i)), bvm.IF(clear...))
+	}
+}

@@ -1,0 +1,114 @@
+// Package bvmalg is the BVM algorithm library of the paper's §4: cycle-ID,
+// processor-ID, broadcasting and the two kinds of propagation, together with
+// the bit-serial word arithmetic (ripple-carry addition, comparison,
+// minimum) that the test-and-treatment program (internal/bvmtt) is built
+// from. Every routine here emits real BVM instructions through
+// bvm.Machine.Exec, so instruction counts are meaningful machine time.
+//
+// Conventions: multi-bit numbers are stored least-significant-bit-first
+// across consecutive registers (type Word). Routines clobber the A and B
+// accumulators, assume the enable register E is all ones on entry unless
+// stated otherwise, and take explicit scratch register ranges so callers
+// control allocation.
+package bvmalg
+
+import (
+	"fmt"
+
+	"repro/internal/bvm"
+)
+
+// CycleID computes the cycle-ID pattern into dst (paper §4.1): PE (i, j)
+// ends up holding bit j of its cycle number i — equivalently, a 1 exactly
+// when the PE is at the 1-end of its lateral link.
+//
+// The algorithm is the paper's: fill A with ones, feed a zero in at PE (0,0)
+// through the input chain, and alternately AND with the lateral neighbor and
+// shift (first along the input chain, then along cycle predecessors). It
+// executes 4Q instructions, O(log n). It consumes Q-1 external input bits,
+// which must be zero; the machine's input queue supplies zeros when empty,
+// so callers simply must not have stale pending input.
+func CycleID(m *bvm.Machine, dst bvm.RegRef) {
+	Q := m.Top.Q
+	m.SetConst(bvm.A, true)
+	m.Mov(bvm.A, bvm.Via(bvm.A, bvm.RouteI)) // a zero enters at PE (0,0)
+	for i := 1; i < Q; i++ {
+		m.And(bvm.A, bvm.A, bvm.Via(bvm.A, bvm.RouteL))
+		m.Mov(bvm.A, bvm.Via(bvm.A, bvm.RouteI))
+	}
+	m.Mov(bvm.A, bvm.Via(bvm.A, bvm.RouteP))
+	for i := 1; i < Q; i++ {
+		m.And(bvm.A, bvm.A, bvm.Via(bvm.A, bvm.RouteL))
+		m.Mov(bvm.A, bvm.Via(bvm.A, bvm.RouteP))
+	}
+	m.Mov(dst, bvm.Loc(bvm.A))
+}
+
+// ProcessorID computes the processor-ID (paper §4.2): after the call,
+// register base+b holds bit b of each PE's own flat address, for
+// b = 0..Q+r-1 (bits 0..r-1 are the in-cycle position, bits r..r+Q-1 the
+// cycle number). It uses registers base..base+Q+r-1 for output and scratch
+// register tmp, and costs O(Q^2) = O(log^2 n) instructions like the paper's
+// version.
+//
+// Structure follows the paper: (1) generate the cycle-ID; (2) build the
+// "diagonal" planes by repeated successor shifts, so plane i holds cycle bit
+// (p+i) mod Q at position p; (3) align each plane by an in-cycle broadcast
+// from position 0, where plane t already holds bit t; (4) write the position
+// bits with constant stores under IF activation sets (we use one masked
+// store per bit instead of the paper's per-position loop — same effect,
+// fewer instructions).
+func ProcessorID(m *bvm.Machine, base int) {
+	Q, r := m.Top.Q, m.Top.R
+	cycleBase := base + r
+
+	// (1)+(2): diagonal planes.
+	CycleID(m, bvm.R(cycleBase))
+	for i := 1; i < Q; i++ {
+		m.Mov(bvm.R(cycleBase+i), bvm.Via(bvm.R(cycleBase+i-1), bvm.RouteS))
+	}
+
+	// (3): align plane t by propagating its position-0 value around the
+	// cycle: position s copies from position s-1, s = 1..Q-1 in order.
+	for t := 0; t < Q; t++ {
+		for s := 1; s < Q; s++ {
+			m.Mov(bvm.R(cycleBase+t), bvm.Via(bvm.R(cycleBase+t), bvm.RouteP), bvm.IF(s))
+		}
+	}
+
+	// (4): position bits via masked constant stores.
+	for j := 0; j < r; j++ {
+		ones := make([]int, 0, Q/2)
+		for p := 0; p < Q; p++ {
+			if p>>j&1 == 1 {
+				ones = append(ones, p)
+			}
+		}
+		m.SetConst(bvm.R(base+j), false)
+		m.SetConst(bvm.R(base+j), true, bvm.IF(ones...))
+	}
+}
+
+// Word names a bit-serial number: Width consecutive registers starting at
+// Base, least significant bit first.
+type Word struct {
+	Base  int
+	Width int
+}
+
+// Bit returns the register holding bit b of the word.
+func (w Word) Bit(b int) bvm.RegRef {
+	if b < 0 || b >= w.Width {
+		panic(fmt.Sprintf("bvmalg: bit %d out of word width %d", b, w.Width))
+	}
+	return bvm.R(w.Base + b)
+}
+
+// MaxValue is the word's saturation value (all ones), used as the infinity
+// sentinel by the test-and-treatment program.
+func (w Word) MaxValue() uint64 {
+	if w.Width >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w.Width) - 1
+}

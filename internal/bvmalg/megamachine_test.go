@@ -1,0 +1,80 @@
+package bvmalg
+
+import (
+	"testing"
+
+	"repro/internal/bvm"
+)
+
+// The paper: "a machine with 2^20 PEs is currently implementable". These
+// tests run the §4 identity algorithms on that full machine (r = 4:
+// 16 cycles of 65536, 1048576 PEs) and verify them bit-exactly. Skipped in
+// -short mode; the full runs take a few seconds of host time.
+
+func TestCycleIDOnMillionPEMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2^20-PE machine in -short mode")
+	}
+	m, err := bvm.New(4, bvm.DefaultRegisters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 1<<20 {
+		t.Fatalf("machine has %d PEs, want 2^20", m.N())
+	}
+	CycleID(m, bvm.R(0))
+	if m.InstrCount != int64(4*m.Top.Q) {
+		t.Fatalf("cycle-ID cost %d, want 4Q = %d", m.InstrCount, 4*m.Top.Q)
+	}
+	v := m.Peek(bvm.R(0))
+	for x := 0; x < m.N(); x++ {
+		c, p := m.Top.Split(x)
+		if v.Get(x) != (c>>uint(p)&1 == 1) {
+			t.Fatalf("PE (%d,%d): cycle-ID bit wrong", c, p)
+		}
+	}
+}
+
+func TestProcessorIDOnMillionPEMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2^20-PE machine in -short mode")
+	}
+	m, err := bvm.New(4, bvm.DefaultRegisters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := 10
+	ProcessorID(m, base)
+	// Full verification of all 2^20 × 20 bits.
+	for b := 0; b < m.Top.AddrBits; b++ {
+		v := m.Peek(bvm.R(base + b))
+		for x := 0; x < m.N(); x++ {
+			if v.Get(x) != (x>>uint(b)&1 == 1) {
+				t.Fatalf("PE %d bit %d wrong", x, b)
+			}
+		}
+	}
+}
+
+func TestWavefrontMinOnMillionPEMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2^20-PE machine in -short mode")
+	}
+	m, err := bvm.New(4, bvm.DefaultRegisters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w = 8
+	val, shadow := Word{0, w}, Word{w, w}
+	// Cheap host-side load (Poke-level) of a pattern with a unique minimum.
+	for pe := 0; pe < m.N(); pe++ {
+		m.SetUint(val.Base, w, pe, uint64(17+(pe*131)%200))
+	}
+	m.SetUint(val.Base, w, 777777, 3)
+	MinReduceAllWavefront(m, val, shadow, 40)
+	for _, pe := range []int{0, 1, 65535, 1<<20 - 1, 777777} {
+		if got := m.Uint(val.Base, w, pe); got != 3 {
+			t.Fatalf("PE %d min = %d, want 3", pe, got)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package bvmalg
+
+import "repro/internal/bvm"
+
+// MulSatWord computes dst = x·y with saturation at all-ones, by bit-serial
+// shift-and-add: for each bit b of y, conditionally accumulate x<<b. Bits of
+// x shifted out of the word, and carries out of the accumulator, raise a
+// sticky overflow flag that forces the all-ones (infinity) result. This is
+// the initialization step TP[S,i] = t_i·p(S) of the paper's TT program.
+//
+// dst must not alias x or y. scratch supplies 2·Width+2 registers: two words
+// (the running shift of x and the trial sum) and two flag bits. O(Width^2)
+// instructions.
+func MulSatWord(m *bvm.Machine, dst, x, y Word, scratchBase int) {
+	sameWidth(dst, x)
+	sameWidth(dst, y)
+	w := dst.Width
+	shifted := Word{Base: scratchBase, Width: w}
+	sum := Word{Base: scratchBase + w, Width: w}
+	lost := bvm.R(scratchBase + 2*w) // sticky: a set bit of x has been shifted out
+	ovf := bvm.R(scratchBase + 2*w + 1)
+
+	SetWordConst(m, dst, 0)
+	m.SetConst(lost, false)
+	m.SetConst(ovf, false)
+	CopyWord(m, shifted, x)
+
+	for b := 0; b < w; b++ {
+		if b > 0 {
+			// shifted <<= 1, folding the dropped top bit into lost.
+			m.Or(lost, lost, bvm.Loc(shifted.Bit(w-1)))
+			for i := w - 1; i >= 1; i-- {
+				m.Mov(shifted.Bit(i), bvm.Loc(shifted.Bit(i-1)))
+			}
+			m.SetConst(shifted.Bit(0), false)
+		}
+		// sum = dst + shifted; carry-out remains in B.
+		AddWord(m, sum, dst, shifted)
+		// ovf |= y_b AND (carry OR lost), in two instructions:
+		// first B |= lost, then fold B gated by y_b into ovf.
+		m.Exec(bvm.Instr{
+			Dst: bvm.A, FTT: bvm.TTF,
+			GTT: bvm.TT(func(f, d, b_ bool) bool { return b_ || d }),
+			F:   bvm.A, D: bvm.Loc(lost),
+		})
+		m.Exec(bvm.Instr{
+			Dst: ovf,
+			FTT: bvm.TT(func(f, d, b_ bool) bool { return f || (d && b_) }),
+			GTT: bvm.TTB,
+			F:   ovf, D: bvm.Loc(y.Bit(b)),
+		})
+		// dst = y_b ? sum : dst.
+		m.MovB(bvm.Loc(y.Bit(b)))
+		for i := 0; i < w; i++ {
+			m.MuxB(dst.Bit(i), dst.Bit(i), bvm.Loc(sum.Bit(i)))
+		}
+	}
+	// Saturate where overflowed.
+	orOvf := bvm.TT(func(f, d, b bool) bool { return f || d })
+	for i := 0; i < w; i++ {
+		m.Exec(bvm.Instr{Dst: dst.Bit(i), FTT: orOvf, GTT: bvm.TTB, F: dst.Bit(i), D: bvm.Loc(ovf)})
+	}
+}

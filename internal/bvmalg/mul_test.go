@@ -1,0 +1,80 @@
+package bvmalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMulSatWordExhaustiveSmall(t *testing.T) {
+	// 4-bit words on 64 PEs: sweep many (x, y) pairs including saturating
+	// ones, verifying exact saturated products.
+	m := newMachine(t, 2)
+	x, y, dst := Word{0, 4}, Word{4, 4}, Word{8, 4}
+	const scratch = 20
+	for base := 0; base < 256; base += m.N() {
+		xs := make([]uint64, m.N())
+		ys := make([]uint64, m.N())
+		for pe := 0; pe < m.N(); pe++ {
+			v := base + pe
+			xs[pe] = uint64(v >> 4 & 0xf)
+			ys[pe] = uint64(v & 0xf)
+		}
+		loadWords(m, x, xs)
+		loadWords(m, y, ys)
+		MulSatWord(m, dst, x, y, scratch)
+		for pe, got := range readWords(m, dst) {
+			want := xs[pe] * ys[pe]
+			if want > 15 {
+				want = 15
+			}
+			if got != want {
+				t.Fatalf("%d*%d = %d, want %d", xs[pe], ys[pe], got, want)
+			}
+		}
+	}
+}
+
+func TestMulSatWordRandomWide(t *testing.T) {
+	m := newMachine(t, 2)
+	const w = 12
+	x, y, dst := Word{0, w}, Word{w, w}, Word{2 * w, w}
+	const scratch = 40
+	rng := rand.New(rand.NewSource(9))
+	xs, ys := randWords(rng, m.N(), 1<<w), randWords(rng, m.N(), 1<<w)
+	// Mix in guaranteed-saturating and infinity operands.
+	xs[0], ys[0] = 1<<w-1, 1<<w-1
+	xs[1], ys[1] = 1<<w-1, 1 // INF·1 = INF
+	xs[2], ys[2] = 0, 1<<w-1
+	loadWords(m, x, xs)
+	loadWords(m, y, ys)
+	MulSatWord(m, dst, x, y, scratch)
+	for pe, got := range readWords(m, dst) {
+		want := xs[pe] * ys[pe]
+		if want > 1<<w-1 {
+			want = 1<<w - 1
+		}
+		if got != want {
+			t.Fatalf("PE %d: %d*%d = %d, want %d", pe, xs[pe], ys[pe], got, want)
+		}
+	}
+	// Operands must be intact.
+	for pe, v := range readWords(m, x) {
+		if v != xs[pe] {
+			t.Fatal("x clobbered")
+		}
+	}
+	for pe, v := range readWords(m, y) {
+		if v != ys[pe] {
+			t.Fatal("y clobbered")
+		}
+	}
+}
+
+func BenchmarkMulSatWord(b *testing.B) {
+	m := newMachine(b, 2)
+	x, y, dst := Word{0, 16}, Word{16, 16}, Word{32, 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulSatWord(m, dst, x, y, 60)
+	}
+}

@@ -1,0 +1,49 @@
+package bvmalg
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/bvm"
+	"repro/internal/hypercube"
+)
+
+// RoutePermutation routes each PE's word to an arbitrary destination PE on
+// the BVM — the paper's §2 Benes claim executed at instruction level. The
+// control bits are precalculated host-side by the looping algorithm
+// (hypercube.BenesControlBits) and streamed into one register plane per
+// stage through the input chain, exactly the paper's "if the control bits
+// are precalculated"; the 2q-1 exchange stages then run as FetchPartner +
+// one conditional select per bit plane.
+//
+// ctrlBase..ctrlBase+2q-2 hold the streamed control planes; shadow mirrors
+// val; scratchBase supplies Width registers. Returns the total instruction
+// count of the routing (excluding the host-side control-bit computation).
+func RoutePermutation(m *bvm.Machine, val, shadow Word, dest []int, ctrlBase, scratchBase int) (int64, error) {
+	stages, err := hypercube.BenesControlBits(m.Top.AddrBits, dest)
+	if err != nil {
+		return 0, err
+	}
+	start := m.InstrCount
+	// Stream the precalculated control bits in.
+	for si, st := range stages {
+		pattern := bitvecFromBools(m, st.Swap)
+		m.LoadViaInput(bvm.R(ctrlBase+si), pattern)
+	}
+	// Execute the exchange stages.
+	for si, st := range stages {
+		FetchPartner(m, st.Dim, WordPairs(val, shadow), scratchBase)
+		m.MovB(bvm.Loc(bvm.R(ctrlBase + si)))
+		for b := 0; b < val.Width; b++ {
+			m.MuxB(val.Bit(b), val.Bit(b), bvm.Loc(shadow.Bit(b)))
+		}
+	}
+	return m.InstrCount - start, nil
+}
+
+// bitvecFromBools builds an n-PE bit pattern from a bool slice.
+func bitvecFromBools(m *bvm.Machine, bits []bool) *bitvec.Vector {
+	v := bitvec.New(m.N())
+	for i, b := range bits {
+		v.Set(i, b)
+	}
+	return v
+}

@@ -1,0 +1,47 @@
+package bvmalg
+
+import "repro/internal/bvm"
+
+// BitonicSortWords sorts the per-PE words of the whole machine into
+// ascending flat-address order — Batcher's bitonic sorter executed
+// bit-serially on the BVM. Stage s (s = 0..q-1) is a DESCEND pass over
+// dimensions s..0; the compare-exchange at dimension t keeps the minimum at
+// a PE iff the PE's address bit s+1 equals its bit t (both read from the
+// processor-ID planes at addrBase, the §4 control-bit machinery again).
+//
+// shadow mirrors val during partner fetches; scratchBase supplies
+// Width+3 registers (the fetch scratch plus three condition bits).
+// O(q²·Q·Width) instructions.
+func BitonicSortWords(m *bvm.Machine, val, shadow Word, addrBase, scratchBase int) {
+	q := m.Top.AddrBits
+	sameWidth(val, shadow)
+	cLess := bvm.R(scratchBase + val.Width)        // shadow < val
+	cGreater := bvm.R(scratchBase + val.Width + 1) // val < shadow
+	keepMin := bvm.R(scratchBase + val.Width + 2)
+
+	for s := 0; s < q; s++ {
+		for t := s; t >= 0; t-- {
+			FetchPartner(m, t, WordPairs(val, shadow), scratchBase)
+			LessWord(m, shadow, val)
+			m.Mov(cLess, bvm.Loc(bvm.B))
+			LessWord(m, val, shadow)
+			m.Mov(cGreater, bvm.Loc(bvm.B))
+			// keepMin = NOT (addrBit(s+1) XOR addrBit(t)); for the final
+			// stage bit s+1 is beyond the address: ascending everywhere,
+			// keepMin = NOT addrBit(t) ... == (0 XNOR bit t) = NOT bit t.
+			if s+1 < q {
+				m.Xor(keepMin, bvm.R(addrBase+s+1), bvm.Loc(bvm.R(addrBase+t)))
+				m.Not(keepMin, keepMin)
+			} else {
+				m.Not(keepMin, bvm.R(addrBase+t))
+			}
+			// take = keepMin ? cLess : cGreater, into B, then select.
+			m.MovB(bvm.Loc(keepMin))
+			m.MuxB(cGreater, cGreater, bvm.Loc(cLess)) // cGreater now holds 'take'
+			m.MovB(bvm.Loc(cGreater))
+			for b := 0; b < val.Width; b++ {
+				m.MuxB(val.Bit(b), val.Bit(b), bvm.Loc(shadow.Bit(b)))
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package bvmalg
+
+import (
+	"fmt"
+
+	"repro/internal/bvm"
+)
+
+// This file implements the pipelined reduction over ALL hypercube dimensions
+// at the instruction level — ablation A2 on the real machine. Instead of a
+// full ring turn per high dimension (FetchPartner's schedule, Θ(Q) per
+// dimension, Θ(Q²) total), a single wavefront turn of 2Q-1 steps serves
+// every high dimension at once: all data rotates forward in lockstep, and
+// the PEs at position u combine laterally exactly when the resident datum is
+// inside its combining window (the schedule of internal/cccsim, here emitted
+// as BVM instructions with host-computed IF sets — the control bits are free
+// because the window depends only on position and step, not on data).
+//
+// The combine must be commutative and associative (minimum here), since the
+// wavefront applies dimensions to different data in different orders.
+
+// MinReduceAllWavefront reduces val by minimum over ALL machine dimensions
+// (every PE ends with the global minimum), using the pipelined wavefront for
+// the high dimensions. scratch supplies Width registers. Instruction count
+// is Θ(Q·Width) for the high phase versus Θ(Q²·Width) for the naive
+// per-dimension schedule (see TestWavefrontInstructionAdvantage).
+func MinReduceAllWavefront(m *bvm.Machine, val Word, shadow Word, scratchBase int) {
+	Q, r := m.Top.Q, m.Top.R
+	// Low dimensions via the standard per-dimension fetch (they are cheap:
+	// 2^t-step rotations).
+	for t := 0; t < r; t++ {
+		FetchPartner(m, t, WordPairs(val, shadow), scratchBase)
+		MinWord(m, val, val, shadow)
+	}
+	// High dimensions: one pipelined turn. tmp rides the rotation; val stays
+	// home-positioned? No — the combining PE must hold the datum itself, so
+	// val itself rotates and returns home after 2Q rotations.
+	tmp := Word{Base: scratchBase, Width: val.Width}
+	total := 2*Q - 1
+	for step := 1; step <= total; step++ {
+		// Rotate every datum one position forward.
+		MovWordVia(m, val, val, bvm.RouteP)
+		// Positions whose resident datum is inside its window combine with
+		// the lateral partner. Window (from cccsim): datum with home
+		// p = (u - step) mod Q is active iff Q - p <= step <= 2Q - 1 - p.
+		active := make([]int, 0, Q)
+		for u := 0; u < Q; u++ {
+			p := ((u-step)%Q + Q) % Q
+			if Q-p <= step && step <= 2*Q-1-p {
+				active = append(active, u)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		cond := bvm.IF(active...)
+		// tmp = partner's val (lateral read), then conditional min.
+		MovWordVia(m, tmp, val, bvm.RouteL, cond)
+		LessWord(m, tmp, val) // B = tmp < val (computed everywhere; applied under cond)
+		for b := 0; b < val.Width; b++ {
+			m.MuxB(val.Bit(b), val.Bit(b), bvm.Loc(tmp.Bit(b)), cond)
+		}
+	}
+	// 2Q-1 rotations leave every datum one position short of home.
+	MovWordVia(m, val, val, bvm.RouteP)
+	if total+1 != 2*Q {
+		panic(fmt.Sprintf("bvmalg: wavefront step accounting broken: %d", total))
+	}
+}

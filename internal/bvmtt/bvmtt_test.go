@@ -1,0 +1,253 @@
+package bvmtt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func randomProblem(rng *rand.Rand, k, nActions int) *core.Problem {
+	p := &core.Problem{K: k, Weights: make([]uint64, k)}
+	for j := range p.Weights {
+		p.Weights[j] = uint64(rng.Intn(5) + 1)
+	}
+	u := uint32(core.Universe(k))
+	for i := 0; i < nActions; i++ {
+		p.Actions = append(p.Actions, core.Action{
+			Set:       core.Set(rng.Intn(int(u))+1) & core.Set(u),
+			Cost:      uint64(rng.Intn(8) + 1),
+			Treatment: rng.Intn(2) == 0,
+		})
+	}
+	p.Actions = append(p.Actions, core.Action{Set: core.Universe(k), Cost: 20, Treatment: true})
+	return p
+}
+
+// TestBVMTTMatchesDP is the fidelity core of experiment E13: the
+// instruction-level BVM program must reproduce the sequential DP's entire
+// C plane on the 64-PE machine.
+func TestBVMTTMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 12; trial++ {
+		k := rng.Intn(3) + 2 // 2..4: machines of 64 PEs
+		p := randomProblem(rng, k, rng.Intn(3)+2)
+		seq, err := core.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != seq.Cost {
+			t.Fatalf("trial %d: BVM C(U)=%d, DP %d", trial, res.Cost, seq.Cost)
+		}
+		for s := range res.C {
+			if res.C[s] != seq.C[s] {
+				t.Fatalf("trial %d: C[%b] BVM %d, DP %d", trial, s, res.C[s], seq.C[s])
+			}
+		}
+		if res.Instructions <= res.LoadInstructions || res.LoadInstructions == 0 {
+			t.Fatalf("trial %d: implausible instruction split %d/%d",
+				trial, res.Instructions, res.LoadInstructions)
+		}
+	}
+}
+
+func TestBVMTTHandComputed(t *testing.T) {
+	p := &core.Problem{
+		K:       2,
+		Weights: []uint64{1, 1},
+		Actions: []core.Action{
+			{Name: "treat-both", Set: core.SetOf(0, 1), Cost: 3, Treatment: true},
+			{Name: "treat-0", Set: core.SetOf(0), Cost: 1, Treatment: true},
+			{Name: "treat-1", Set: core.SetOf(1), Cost: 1, Treatment: true},
+			{Name: "test-0", Set: core.SetOf(0), Cost: 1},
+		},
+	}
+	res, err := Solve(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 3 {
+		t.Fatalf("C(U) = %d, want 3", res.Cost)
+	}
+	if res.PEs != 64 || res.LogN != 4 {
+		t.Fatalf("machine: PEs=%d logN=%d, want 64/4", res.PEs, res.LogN)
+	}
+}
+
+func TestPhaseBreakdownSumsToTotal(t *testing.T) {
+	p := randomProblem(rand.New(rand.NewSource(9)), 3, 3)
+	res, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 5 {
+		t.Fatalf("phases = %d, want 5", len(res.Phases))
+	}
+	var total int64
+	names := []string{"processor-id", "load", "p(S)", "tp-multiply", "rounds"}
+	for i, ph := range res.Phases {
+		if ph.Name != names[i] {
+			t.Errorf("phase %d = %q, want %q", i, ph.Name, names[i])
+		}
+		if ph.Instructions <= 0 {
+			t.Errorf("phase %q has %d instructions", ph.Name, ph.Instructions)
+		}
+		total += ph.Instructions
+	}
+	if total != res.Instructions {
+		t.Fatalf("phase sum %d != total %d", total, res.Instructions)
+	}
+	if res.Phases[1].Instructions != res.LoadInstructions {
+		t.Fatalf("load phase %d != LoadInstructions %d", res.Phases[1].Instructions, res.LoadInstructions)
+	}
+}
+
+func TestBVMTTInadequate(t *testing.T) {
+	p := &core.Problem{
+		K:       2,
+		Weights: []uint64{1, 1},
+		Actions: []core.Action{
+			{Set: core.SetOf(0), Cost: 1, Treatment: true},
+			{Set: core.SetOf(0), Cost: 1},
+		},
+	}
+	res, err := Solve(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != core.Inf {
+		t.Fatalf("inadequate instance: cost %d, want Inf", res.Cost)
+	}
+}
+
+func TestBVMTT2048PE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2048-PE bit-level run in -short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	p := randomProblem(rng, 6, 10) // k=6, N<=16 → dim 10 → 2048-PE machine
+	seq, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PEs != 2048 {
+		t.Fatalf("PEs = %d, want 2048", res.PEs)
+	}
+	for s := range res.C {
+		if res.C[s] != seq.C[s] {
+			t.Fatalf("C[%b]: BVM %d, DP %d", s, res.C[s], seq.C[s])
+		}
+	}
+}
+
+func TestSuggestWidth(t *testing.T) {
+	p := &core.Problem{
+		K:       2,
+		Weights: []uint64{1, 1},
+		Actions: []core.Action{{Set: core.SetOf(0, 1), Cost: 3, Treatment: true}},
+	}
+	w := SuggestWidth(p)
+	// Bound = 3·2 = 6 → need 2^w-1 > 6 plus margin.
+	if w < 4 || w > 6 {
+		t.Fatalf("SuggestWidth = %d", w)
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	good := randomProblem(rand.New(rand.NewSource(2)), 2, 2)
+	if _, err := Solve(good, 1); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := Solve(good, 40); err == nil {
+		t.Error("width 40 accepted")
+	}
+	if _, err := Solve(&core.Problem{K: 0}, 8); err == nil {
+		t.Error("invalid problem accepted")
+	}
+	big := randomProblem(rand.New(rand.NewSource(3)), 10, 8) // dim 13 > MaxDim
+	if _, err := Solve(big, 8); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	sat := randomProblem(rand.New(rand.NewSource(4)), 2, 2)
+	sat.Actions[0].Cost = 200
+	if _, err := Solve(sat, 4); err == nil {
+		t.Error("cost saturating the word width accepted")
+	}
+}
+
+func BenchmarkBVMTT64PE(b *testing.B) {
+	p := randomProblem(rand.New(rand.NewSource(5)), 3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDataObliviousInstructionCount: SIMD programs are data-oblivious — two
+// instances with identical shape (k, N, width) but different weights and
+// costs must execute exactly the same number of instructions.
+func TestDataObliviousInstructionCount(t *testing.T) {
+	a := randomProblem(rand.New(rand.NewSource(100)), 3, 3)
+	b := randomProblem(rand.New(rand.NewSource(200)), 3, 3)
+	// Same shape is guaranteed by the generator (same k, same action count);
+	// force identical width explicitly.
+	ra, err := Solve(a, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Solve(b, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Instructions != rb.Instructions {
+		t.Fatalf("instruction counts differ: %d vs %d — program is data-dependent",
+			ra.Instructions, rb.Instructions)
+	}
+	// And repeated runs are deterministic.
+	ra2, err := Solve(a, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra2.Instructions != ra.Instructions || ra2.Cost != ra.Cost {
+		t.Fatal("run-to-run nondeterminism")
+	}
+}
+
+// TestBVMTTFullCapacity2048 exercises the largest exact-fit instance of the
+// 2048-PE machine: k = 7 objects with 16 actions uses all 11 address bits.
+func TestBVMTTFullCapacity2048(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-capacity 2048-PE run in -short mode")
+	}
+	rng := rand.New(rand.NewSource(12))
+	p := randomProblem(rng, 7, 15) // +1 catch-all = 16 = 2^4 actions
+	if got := len(p.Actions); got != 16 {
+		t.Fatalf("action count %d, want 16", got)
+	}
+	seq, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PEs != 2048 || res.LogN != 4 {
+		t.Fatalf("machine %d PEs logN %d, want 2048/4", res.PEs, res.LogN)
+	}
+	for s := range res.C {
+		if res.C[s] != seq.C[s] {
+			t.Fatalf("C[%b]: BVM %d, DP %d", s, res.C[s], seq.C[s])
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package ccc models the cube-connected-cycles interconnection network that
+// underlies the Boolean Vector Machine (paper §2).
+//
+// Following the paper, the geometry is parameterized by a positive integer r:
+// the cycle length is Q = 2^r, there are 2^Q cycles, and the machine has
+// n = Q·2^Q processing elements. PE (i, j) — cycle i, position j — has flat
+// address i·2^r + j. Within its cycle it is connected to its predecessor
+// (i, (j+Q-1) mod Q) and successor (i, (j+1) mod Q); its single lateral link
+// goes to (i XOR 2^j, j), the PE in the cycle whose number differs in bit j.
+// A CCC therefore has exactly 3n/2 undirected links (for Q >= 4; Q = 2
+// degenerates because predecessor and successor coincide), versus the
+// n·log2(n)/2 links a hypercube of the same size would need — the paper's
+// central hardware-economy argument.
+//
+// The package also defines the machine's remaining SIMD operand routes:
+// XS/XP (the even successor/predecessor exchanges used to shuffle data inside
+// cycles, realizing the "lowsheaves" of the hypercube simulation) and the
+// I/O chain that threads all PEs in (cycle, position) lexicographic order.
+package ccc
+
+import "fmt"
+
+// Topology describes one CCC machine size.
+type Topology struct {
+	R        int // bits of in-cycle position; j in [0, Q)
+	Q        int // cycle length, Q = 2^R
+	Cycles   int // number of cycles, 2^Q
+	N        int // total PEs, Q * 2^Q
+	AddrBits int // Q + R: bits of a flat PE address
+}
+
+// MaxR bounds machine size: r = 5 would mean Q = 32, 2^32 cycles — beyond
+// simulation. r = 4 is the paper's "currently implementable" 2^20-PE machine.
+const MaxR = 4
+
+// New returns the topology for parameter r. Valid r is 1..MaxR, giving
+// machines of 8, 64, 2048, and 1048576 PEs.
+func New(r int) (*Topology, error) {
+	if r < 1 || r > MaxR {
+		return nil, fmt.Errorf("ccc: r must be in [1,%d], got %d", MaxR, r)
+	}
+	q := 1 << r
+	return &Topology{
+		R:        r,
+		Q:        q,
+		Cycles:   1 << q,
+		N:        q << q,
+		AddrBits: q + r,
+	}, nil
+}
+
+// ForPEs returns the smallest topology with at least n PEs.
+func ForPEs(n int) (*Topology, error) {
+	for r := 1; r <= MaxR; r++ {
+		t, err := New(r)
+		if err != nil {
+			return nil, err
+		}
+		if t.N >= n {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("ccc: no supported topology with >= %d PEs (max %d)", n, (1<<MaxR)<<(1<<MaxR))
+}
+
+// Addr returns the flat address of PE (cycle, pos).
+func (t *Topology) Addr(cycle, pos int) int {
+	if cycle < 0 || cycle >= t.Cycles || pos < 0 || pos >= t.Q {
+		panic(fmt.Sprintf("ccc: PE (%d,%d) out of range (%d cycles of %d)", cycle, pos, t.Cycles, t.Q))
+	}
+	return cycle<<t.R | pos
+}
+
+// Split decomposes a flat address into (cycle, pos).
+func (t *Topology) Split(addr int) (cycle, pos int) {
+	if addr < 0 || addr >= t.N {
+		panic(fmt.Sprintf("ccc: address %d out of range [0,%d)", addr, t.N))
+	}
+	return addr >> t.R, addr & (t.Q - 1)
+}
+
+// Succ returns the flat address of the successor (i, (j+1) mod Q).
+func (t *Topology) Succ(addr int) int {
+	c, p := t.Split(addr)
+	return c<<t.R | (p+1)&(t.Q-1)
+}
+
+// Pred returns the flat address of the predecessor (i, (j+Q-1) mod Q).
+func (t *Topology) Pred(addr int) int {
+	c, p := t.Split(addr)
+	return c<<t.R | (p+t.Q-1)&(t.Q-1)
+}
+
+// Lateral returns the flat address of the lateral neighbor (i XOR 2^j, j),
+// the other end of the PE's single inter-cycle link.
+func (t *Topology) Lateral(addr int) int {
+	c, p := t.Split(addr)
+	return (c^(1<<p))<<t.R | p
+}
+
+// XS returns the even-successor exchange partner: position j XOR 1, pairing
+// positions (0,1), (2,3), ... within the cycle.
+func (t *Topology) XS(addr int) int {
+	c, p := t.Split(addr)
+	return c<<t.R | p ^ 1
+}
+
+// XP returns the even-predecessor exchange partner: the predecessor for even
+// j and the successor for odd j, pairing positions (1,2), (3,4), ...,
+// (Q-1, 0).
+func (t *Topology) XP(addr int) int {
+	c, p := t.Split(addr)
+	if p&1 == 0 {
+		return c<<t.R | (p+t.Q-1)&(t.Q-1)
+	}
+	return c<<t.R | (p+1)&(t.Q-1)
+}
+
+// IOPrev returns the PE a given PE reads from during an I (input) step, or -1
+// for PE (0,0), which reads the external input bit. The I route threads the
+// machine in (cycle, position) lexicographic order, which for flat addresses
+// is simply addr-1; PE (2^Q - 1, Q-1) holds the output end.
+func (t *Topology) IOPrev(addr int) int {
+	if addr < 0 || addr >= t.N {
+		panic(fmt.Sprintf("ccc: address %d out of range [0,%d)", addr, t.N))
+	}
+	return addr - 1
+}
+
+// NeighborKind names one of the machine's operand routes.
+type NeighborKind int
+
+const (
+	KindSucc NeighborKind = iota
+	KindPred
+	KindLateral
+	KindXS
+	KindXP
+)
+
+func (k NeighborKind) String() string {
+	switch k {
+	case KindSucc:
+		return "S"
+	case KindPred:
+		return "P"
+	case KindLateral:
+		return "L"
+	case KindXS:
+		return "XS"
+	case KindXP:
+		return "XP"
+	}
+	return fmt.Sprintf("NeighborKind(%d)", int(k))
+}
+
+// Neighbor returns the partner of addr under route k.
+func (t *Topology) Neighbor(k NeighborKind, addr int) int {
+	switch k {
+	case KindSucc:
+		return t.Succ(addr)
+	case KindPred:
+		return t.Pred(addr)
+	case KindLateral:
+		return t.Lateral(addr)
+	case KindXS:
+		return t.XS(addr)
+	case KindXP:
+		return t.XP(addr)
+	}
+	panic(fmt.Sprintf("ccc: unknown neighbor kind %d", int(k)))
+}
+
+// Perm returns the read permutation for route k: perm[x] = the PE whose value
+// PE x receives when the route is used as an instruction operand. The slice
+// is freshly allocated; callers may cache it.
+func (t *Topology) Perm(k NeighborKind) []int32 {
+	perm := make([]int32, t.N)
+	for x := 0; x < t.N; x++ {
+		perm[x] = int32(t.Neighbor(k, x))
+	}
+	return perm
+}
+
+// Link is an undirected edge between two PEs, with From < To.
+type Link struct{ From, To int }
+
+// Links enumerates every distinct undirected link of the machine: the cycle
+// edges plus the lateral edges.
+func (t *Topology) Links() []Link {
+	seen := make(map[Link]bool)
+	var links []Link
+	add := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		l := Link{a, b}
+		if !seen[l] {
+			seen[l] = true
+			links = append(links, l)
+		}
+	}
+	for x := 0; x < t.N; x++ {
+		add(x, t.Succ(x))
+		add(x, t.Pred(x))
+		add(x, t.Lateral(x))
+	}
+	return links
+}
+
+// LinkCount returns the number of distinct undirected links without
+// enumerating them: n lateral ends give n/2 lateral links; each cycle of
+// length Q contributes Q edges (1 when Q = 2, where succ == pred).
+func (t *Topology) LinkCount() int {
+	cycleEdges := t.Q
+	if t.Q == 2 {
+		cycleEdges = 1
+	}
+	return t.Cycles*cycleEdges + t.N/2
+}
+
+// HypercubeLinkCount returns the link count of a hypercube on n = 2^dim PEs:
+// n·dim/2. This is the comparison machine of the paper's introduction.
+func HypercubeLinkCount(dim int) int {
+	return (1 << dim) * dim / 2
+}
+
+// Connected reports whether the network is connected, by BFS over all links.
+// Intended for tests and small machines; it allocates O(n) state.
+func (t *Topology) Connected() bool {
+	visited := make([]bool, t.N)
+	queue := []int{0}
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range []int{t.Succ(x), t.Pred(x), t.Lateral(x)} {
+			if !visited[y] {
+				visited[y] = true
+				count++
+				queue = append(queue, y)
+			}
+		}
+	}
+	return count == t.N
+}
+
+func (t *Topology) String() string {
+	return fmt.Sprintf("CCC(r=%d): %d cycles of %d PEs, n=%d, %d links", t.R, t.Cycles, t.Q, t.N, t.LinkCount())
+}
+
+// Diameter computes the network diameter by BFS from every PE. Exponential
+// in machine size; intended for tests on r <= 2. Preparata and Vuillemin
+// bound the CCC diameter by roughly 2.5·Q.
+func (t *Topology) Diameter() int {
+	diam := 0
+	dist := make([]int, t.N)
+	for src := 0; src < t.N; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range []int{t.Succ(x), t.Pred(x), t.Lateral(x)} {
+				if dist[y] < 0 {
+					dist[y] = dist[x] + 1
+					if dist[y] > diam {
+						diam = dist[y]
+					}
+					queue = append(queue, y)
+				}
+			}
+		}
+	}
+	return diam
+}

@@ -1,0 +1,267 @@
+package ccc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSizes(t *testing.T) {
+	cases := []struct {
+		r, q, cycles, n, addrBits int
+	}{
+		{1, 2, 4, 8, 3},
+		{2, 4, 16, 64, 6},
+		{3, 8, 256, 2048, 11},
+		{4, 16, 65536, 1 << 20, 20},
+	}
+	for _, c := range cases {
+		top, err := New(c.r)
+		if err != nil {
+			t.Fatalf("New(%d): %v", c.r, err)
+		}
+		if top.Q != c.q || top.Cycles != c.cycles || top.N != c.n || top.AddrBits != c.addrBits {
+			t.Errorf("New(%d) = %+v, want Q=%d Cycles=%d N=%d AddrBits=%d",
+				c.r, top, c.q, c.cycles, c.n, c.addrBits)
+		}
+	}
+}
+
+func TestNewRejectsBadR(t *testing.T) {
+	for _, r := range []int{0, -1, MaxR + 1} {
+		if _, err := New(r); err == nil {
+			t.Errorf("New(%d) succeeded, want error", r)
+		}
+	}
+}
+
+func TestForPEs(t *testing.T) {
+	cases := []struct{ want, n int }{
+		{8, 1}, {8, 8}, {64, 9}, {64, 64}, {2048, 65}, {2048, 2048}, {1 << 20, 2049},
+	}
+	for _, c := range cases {
+		top, err := ForPEs(c.n)
+		if err != nil {
+			t.Fatalf("ForPEs(%d): %v", c.n, err)
+		}
+		if top.N != c.want {
+			t.Errorf("ForPEs(%d).N = %d, want %d", c.n, top.N, c.want)
+		}
+	}
+	if _, err := ForPEs(1<<20 + 1); err == nil {
+		t.Error("ForPEs beyond MaxR succeeded, want error")
+	}
+}
+
+func TestAddrSplitRoundTrip(t *testing.T) {
+	top, _ := New(2)
+	for c := 0; c < top.Cycles; c++ {
+		for p := 0; p < top.Q; p++ {
+			a := top.Addr(c, p)
+			gc, gp := top.Split(a)
+			if gc != c || gp != p {
+				t.Fatalf("Split(Addr(%d,%d)) = (%d,%d)", c, p, gc, gp)
+			}
+		}
+	}
+	// Paper §2 example encoding: PE 2^r·i + j.
+	if got := top.Addr(3, 1); got != 3*4+1 {
+		t.Errorf("Addr(3,1) = %d, want 13", got)
+	}
+}
+
+func TestCycleNeighbors(t *testing.T) {
+	top, _ := New(2) // Q=4
+	a := top.Addr(5, 3)
+	if got := top.Succ(a); got != top.Addr(5, 0) {
+		t.Errorf("Succ wraps wrong: %d", got)
+	}
+	if got := top.Pred(top.Addr(5, 0)); got != top.Addr(5, 3) {
+		t.Errorf("Pred wraps wrong: %d", got)
+	}
+	if got := top.Succ(top.Addr(5, 1)); got != top.Addr(5, 2) {
+		t.Errorf("Succ(5,1) = %d", got)
+	}
+}
+
+func TestLateral(t *testing.T) {
+	top, _ := New(2)
+	// PE (cycle 5=0101, pos 1) is laterally connected to cycle 5 XOR 2 = 7.
+	if got := top.Lateral(top.Addr(5, 1)); got != top.Addr(7, 1) {
+		t.Errorf("Lateral(5,1) = %d, want (7,1)=%d", got, top.Addr(7, 1))
+	}
+	// Lateral is an involution everywhere.
+	for a := 0; a < top.N; a++ {
+		if top.Lateral(top.Lateral(a)) != a {
+			t.Fatalf("Lateral not involutory at %d", a)
+		}
+	}
+}
+
+func TestXSXP(t *testing.T) {
+	top, _ := New(2) // Q=4
+	// XS pairs (0,1) and (2,3).
+	for p, want := range []int{1, 0, 3, 2} {
+		if got := top.XS(top.Addr(9, p)); got != top.Addr(9, want) {
+			t.Errorf("XS pos %d = pos %d, want %d", p, got&3, want)
+		}
+	}
+	// XP: predecessor for even positions, successor for odd — pairs (1,2), (3,0).
+	for p, want := range []int{3, 2, 1, 0} {
+		if got := top.XP(top.Addr(9, p)); got != top.Addr(9, want) {
+			t.Errorf("XP pos %d = pos %d, want %d", p, got&3, want)
+		}
+	}
+	// Both exchanges are involutions.
+	for a := 0; a < top.N; a++ {
+		if top.XS(top.XS(a)) != a {
+			t.Fatalf("XS not involutory at %d", a)
+		}
+		if top.XP(top.XP(a)) != a {
+			t.Fatalf("XP not involutory at %d", a)
+		}
+	}
+}
+
+func TestIOPrev(t *testing.T) {
+	top, _ := New(1)
+	if top.IOPrev(0) != -1 {
+		t.Error("PE (0,0) should read external input")
+	}
+	for a := 1; a < top.N; a++ {
+		if top.IOPrev(a) != a-1 {
+			t.Errorf("IOPrev(%d) = %d", a, top.IOPrev(a))
+		}
+	}
+}
+
+// TestLinkCount verifies the paper's 3n/2 link claim for all Q >= 4 machines
+// and that the closed form matches explicit enumeration.
+func TestLinkCount(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		top, _ := New(r)
+		links := top.Links()
+		if len(links) != top.LinkCount() {
+			t.Errorf("r=%d: enumerated %d links, closed form %d", r, len(links), top.LinkCount())
+		}
+		if r >= 2 {
+			if want := 3 * top.N / 2; top.LinkCount() != want {
+				t.Errorf("r=%d: LinkCount = %d, want 3n/2 = %d", r, top.LinkCount(), want)
+			}
+		}
+	}
+	// r=4 closed form only (2^20 PEs, enumeration too large for a unit test).
+	top, _ := New(4)
+	if want := 3 * top.N / 2; top.LinkCount() != want {
+		t.Errorf("r=4: LinkCount = %d, want %d", top.LinkCount(), want)
+	}
+}
+
+func TestHypercubeLinkCount(t *testing.T) {
+	// 2^q-node hypercube has q·2^(q-1) edges.
+	cases := []struct{ dim, want int }{{3, 12}, {4, 32}, {10, 5120}}
+	for _, c := range cases {
+		if got := HypercubeLinkCount(c.dim); got != c.want {
+			t.Errorf("HypercubeLinkCount(%d) = %d, want %d", c.dim, got, c.want)
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		top, _ := New(r)
+		if !top.Connected() {
+			t.Errorf("r=%d: network not connected", r)
+		}
+	}
+}
+
+func TestDegreeThree(t *testing.T) {
+	// Every PE has exactly 3 incident links for Q >= 4 (the paper's "each PE
+	// is connected to three other PEs by a one-bit wide path").
+	top, _ := New(2)
+	deg := make(map[int]int)
+	for _, l := range top.Links() {
+		deg[l.From]++
+		deg[l.To]++
+	}
+	for a := 0; a < top.N; a++ {
+		if deg[a] != 3 {
+			t.Fatalf("PE %d has degree %d, want 3", a, deg[a])
+		}
+	}
+}
+
+func TestPermMatchesNeighbor(t *testing.T) {
+	top, _ := New(2)
+	for _, k := range []NeighborKind{KindSucc, KindPred, KindLateral, KindXS, KindXP} {
+		perm := top.Perm(k)
+		for a := 0; a < top.N; a++ {
+			if int(perm[a]) != top.Neighbor(k, a) {
+				t.Fatalf("%v perm[%d] = %d, want %d", k, a, perm[a], top.Neighbor(k, a))
+			}
+		}
+	}
+}
+
+func TestNeighborKindString(t *testing.T) {
+	want := map[NeighborKind]string{KindSucc: "S", KindPred: "P", KindLateral: "L", KindXS: "XS", KindXP: "XP"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+// Property: Succ and Pred are inverse and stay within the cycle.
+func TestPropertySuccPredInverse(t *testing.T) {
+	top, _ := New(3)
+	f := func(seed uint16) bool {
+		a := int(seed) % top.N
+		if top.Pred(top.Succ(a)) != a || top.Succ(top.Pred(a)) != a {
+			return false
+		}
+		c1, _ := top.Split(a)
+		c2, _ := top.Split(top.Succ(a))
+		return c1 == c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the lateral link connects cycles that differ in exactly the bit
+// equal to the in-cycle position, and preserves the position.
+func TestPropertyLateralBit(t *testing.T) {
+	top, _ := New(3)
+	f := func(seed uint16) bool {
+		a := int(seed) % top.N
+		c, p := top.Split(a)
+		lc, lp := top.Split(top.Lateral(a))
+		return lp == p && lc^c == 1<<p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLinksEnumeration(b *testing.B) {
+	top, _ := New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(top.Links()); got != top.LinkCount() {
+			b.Fatalf("links %d != %d", got, top.LinkCount())
+		}
+	}
+}
+
+// TestDiameterBound checks the Preparata-Vuillemin diameter bound ~2.5Q.
+func TestDiameterBound(t *testing.T) {
+	for r := 1; r <= 2; r++ {
+		top, _ := New(r)
+		d := top.Diameter()
+		bound := 5*top.Q/2 + 2
+		if d < top.Q || d > bound {
+			t.Errorf("r=%d: diameter %d outside [Q=%d, 2.5Q+2=%d]", r, d, top.Q, bound)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package cccsim
+
+import (
+	"fmt"
+
+	"repro/internal/hypercube"
+)
+
+// RoutePermutation performs Benes permutation routing on the CCC: the
+// paper's §2 remark that the BVM's network "can accomplish any permutation
+// within O(log n) time if the control bits are precalculated", made
+// operational. The 2·dim-1 Benes stages over dimensions 0..dim-1..0 are
+// exactly one ASCEND pass followed by one DESCEND pass over the remaining
+// dimensions, so the whole route costs two pipelined CCC sweeps — O(log n)
+// steps on the 3-link machine. Returns the routed values and the CCC step
+// count.
+func RoutePermutation(r int, values []uint64, dest []int) ([]uint64, int, error) {
+	sim, err := New[uint64](r)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(values) != sim.Top.N {
+		return nil, 0, fmt.Errorf("cccsim: values length %d != %d PEs", len(values), sim.Top.N)
+	}
+	stages, err := hypercube.BenesControlBits(sim.Dim, dest)
+	if err != nil {
+		return nil, 0, err
+	}
+	copy(sim.State(), values)
+	q := sim.Dim
+	// Forward half: stages 0..q-1 are dims 0..q-1 in ascending order.
+	sim.AscendRange(0, q, func(t, addr int, self, partner uint64) uint64 {
+		if stages[t].Swap[addr] {
+			return partner
+		}
+		return self
+	})
+	// Backward half: stages q..2q-2 are dims q-2..0 in descending order.
+	if q >= 2 {
+		sim.DescendRange(0, q-1, func(t, addr int, self, partner uint64) uint64 {
+			if stages[2*(q-1)-t].Swap[addr] {
+				return partner
+			}
+			return self
+		})
+	}
+	out := make([]uint64, sim.Top.N)
+	copy(out, sim.State())
+	return out, sim.Steps(), nil
+}

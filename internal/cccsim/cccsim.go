@@ -1,0 +1,272 @@
+// Package cccsim executes hypercube ASCEND/DESCEND algorithms on a
+// cube-connected-cycles machine, following the scheme of Preparata and
+// Vuillemin that the paper (§3) relies on: "these hypercube network
+// algorithms can be simulated on a CCC at a slowdown of a factor of 4 to 6,
+// regardless of the network sizes."
+//
+// A CCC(r) machine has n = Q·2^Q PEs (Q = 2^r) and hosts one hypercube node
+// per PE: hypercube address = flat CCC address = cycle<<r | position. The
+// q = Q + r hypercube dimensions divide into
+//
+//   - low dimensions 0..r-1 — the in-cycle position bits. The partner for
+//     dimension t sits 2^t positions away in the same cycle ("lowsheaves",
+//     realized by moving data inside cycles), and
+//   - high dimensions r..q-1 — the cycle-number bits. Dimension r+u pairs
+//     cycles differing in bit u, whose single physical link (the
+//     "highsheave") joins the PEs at in-cycle position u.
+//
+// Low dimensions are served by rotating copies of the data 2^t positions
+// forward and backward within each cycle. High dimensions use the pipelined
+// wavefront schedule: all data rotates forward in lockstep, and a datum with
+// home position p performs its dimension-(r+u) lateral combine exactly when
+// it occupies position u inside its combining window, visiting positions
+// 0, 1, ..., Q-1 in increasing order. All Q data per cycle are therefore in
+// flight at once and the whole high phase costs O(Q) ring steps instead of
+// the O(Q^2) a naive per-dimension sweep needs (NaiveAscend, kept for the
+// ablation benchmark).
+//
+// The step counters model a bit-sliced SIMD machine like the BVM: every
+// instruction either moves each PE's value across one link (RotationSteps)
+// or combines with one neighbor operand (CombineSteps). The measured
+// slowdown (Steps here vs. q steps on the hypercube) is the paper's factor
+// of 4 to 6; see internal/experiments.
+package cccsim
+
+import (
+	"fmt"
+
+	"repro/internal/ccc"
+	"repro/internal/hypercube"
+)
+
+// Simulator runs ASCEND/DESCEND passes over per-PE states of type T on a CCC.
+type Simulator[T any] struct {
+	Top *ccc.Topology
+	// Dim is the simulated hypercube dimension, Q + r.
+	Dim int
+
+	state   []T
+	scratch []T
+
+	// RotationSteps counts SIMD instructions that move every PE's datum one
+	// position along its cycle.
+	RotationSteps int
+	// CombineSteps counts SIMD instructions that apply the user op with a
+	// neighbor operand (lateral or in-cycle copy).
+	CombineSteps int
+}
+
+// New returns a simulator on the CCC with parameter r.
+func New[T any](r int) (*Simulator[T], error) {
+	top, err := ccc.New(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator[T]{
+		Top:     top,
+		Dim:     top.AddrBits,
+		state:   make([]T, top.N),
+		scratch: make([]T, top.N),
+	}, nil
+}
+
+// State returns the live state slice, indexed by hypercube (= flat CCC)
+// address. It is only meaningful between passes, when all data is at home.
+func (s *Simulator[T]) State() []T { return s.state }
+
+// Steps returns the total SIMD instruction count so far.
+func (s *Simulator[T]) Steps() int { return s.RotationSteps + s.CombineSteps }
+
+// ResetCounters zeroes the step counters.
+func (s *Simulator[T]) ResetCounters() {
+	s.RotationSteps = 0
+	s.CombineSteps = 0
+}
+
+// Ascend applies op over all dimensions 0..Dim-1 in increasing order.
+func (s *Simulator[T]) Ascend(op hypercube.Op[T]) { s.AscendRange(0, s.Dim, op) }
+
+// Descend applies op over all dimensions Dim-1..0 in decreasing order.
+func (s *Simulator[T]) Descend(op hypercube.Op[T]) { s.DescendRange(0, s.Dim, op) }
+
+// AscendRange applies op over dimensions lo..hi-1 in increasing order.
+func (s *Simulator[T]) AscendRange(lo, hi int, op hypercube.Op[T]) {
+	s.checkRange(lo, hi)
+	r := s.Top.R
+	for t := lo; t < hi && t < r; t++ {
+		s.lowDim(t, op)
+	}
+	a, b := max(lo, r)-r, hi-r
+	if b > a {
+		s.highWavefront(a, b, op, false)
+	}
+}
+
+// DescendRange applies op over dimensions hi-1..lo in decreasing order.
+func (s *Simulator[T]) DescendRange(lo, hi int, op hypercube.Op[T]) {
+	s.checkRange(lo, hi)
+	r := s.Top.R
+	a, b := max(lo, r)-r, hi-r
+	if b > a {
+		s.highWavefront(a, b, op, true)
+	}
+	for t := min(hi, r) - 1; t >= lo; t-- {
+		s.lowDim(t, op)
+	}
+}
+
+func (s *Simulator[T]) checkRange(lo, hi int) {
+	if lo < 0 || hi > s.Dim || lo > hi {
+		panic(fmt.Sprintf("cccsim: range [%d,%d) invalid for dim %d", lo, hi, s.Dim))
+	}
+}
+
+// lowDim performs one low (in-cycle) dimension: copies of the data are
+// rotated 2^t positions forward and backward so each PE can read the value of
+// its partner at position p XOR 2^t, then a single combine instruction
+// applies op.
+func (s *Simulator[T]) lowDim(t int, op hypercube.Op[T]) {
+	top := s.Top
+	d := 1 << t
+	fwd := make([]T, top.N) // fwd[x] = datum of the PE d positions behind x
+	bwd := make([]T, top.N) // bwd[x] = datum of the PE d positions ahead of x
+	copy(fwd, s.state)
+	copy(bwd, s.state)
+	for step := 0; step < d; step++ {
+		s.rotate(fwd, +1)
+		s.rotate(bwd, -1)
+		// Forward and backward transfers ride the same bidirectional links
+		// but are distinct one-operand SIMD instructions: count both.
+		s.RotationSteps += 2
+	}
+	for x := 0; x < top.N; x++ {
+		_, p := top.Split(x)
+		var pv T
+		if p&(1<<t) != 0 {
+			pv = fwd[x] // partner is at p - 2^t
+		} else {
+			pv = bwd[x] // partner is at p + 2^t
+		}
+		s.scratch[x] = op(t, x, s.state[x], pv)
+	}
+	s.state, s.scratch = s.scratch, s.state
+	s.CombineSteps++
+}
+
+// highWavefront performs high dimensions for in-cycle positions [a, b) —
+// hypercube dimensions r+a .. r+b-1 — in increasing order (or decreasing if
+// descending). All data rotates in lockstep one position per step; a datum
+// whose home position is p combines laterally when it sits at position u
+// within its window, so that it meets positions a..b-1 in the required order.
+func (s *Simulator[T]) highWavefront(a, b int, op hypercube.Op[T], descending bool) {
+	top := s.Top
+	Q, r := top.Q, top.R
+	span := b - a
+	total := Q - 1 + span // last combine time over all homes
+	dir := +1
+	if descending {
+		dir = -1
+	}
+	offset := 0 // current rotation offset: datum with home p sits at p+offset
+	for step := 1; step <= total; step++ {
+		s.rotateState(dir)
+		offset += dir
+		s.RotationSteps++
+		copy(s.scratch, s.state)
+		for x := 0; x < top.N; x++ {
+			c, u := top.Split(x)
+			p := mod(u-offset, Q) // home position of the datum in this slot
+			// Datum p first reaches its first combining position at step s0;
+			// it then combines once per step for span steps.
+			var s0, pos int
+			if !descending {
+				// First position is a, reached at s0 = ((a-p-1) mod Q)+1.
+				s0 = mod(a-p-1, Q) + 1
+				pos = a + (step - s0) // position this datum should combine at now
+			} else {
+				// First position is b-1, reached rotating backward.
+				s0 = mod(p-(b-1)-1, Q) + 1
+				pos = (b - 1) - (step - s0)
+			}
+			if step < s0 || step >= s0+span {
+				continue
+			}
+			if pos != u {
+				panic(fmt.Sprintf("cccsim: schedule error at step %d PE %d: pos %d != u %d", step, x, pos, u))
+			}
+			lat := top.Lateral(x)
+			s.scratch[x] = op(r+u, c<<r|p, s.state[x], s.state[lat])
+		}
+		s.state, s.scratch = s.scratch, s.state
+		s.CombineSteps++
+	}
+	// Rotate data back to home positions.
+	back := mod(-offset, Q)
+	for i := 0; i < back; i++ {
+		s.rotateState(+1)
+		s.RotationSteps++
+	}
+}
+
+func (s *Simulator[T]) rotateState(dir int) {
+	s.rotate(s.state, dir)
+}
+
+// rotate shifts every cycle's data by dir (+1 = each datum moves to its
+// successor position).
+func (s *Simulator[T]) rotate(data []T, dir int) {
+	top := s.Top
+	Q := top.Q
+	tmp := make([]T, Q)
+	for c := 0; c < top.Cycles; c++ {
+		base := c << top.R
+		for p := 0; p < Q; p++ {
+			tmp[mod(p+dir, Q)] = data[base|p]
+		}
+		copy(data[base:base+Q], tmp)
+	}
+}
+
+// NaiveAscend is the unpipelined ablation: each high dimension is processed
+// on its own with a full ring rotation, so every datum passes position u once
+// per dimension — Q rotations and Q combine instructions per high dimension,
+// O(Q^2) total, versus O(Q) for the wavefront schedule. Results are
+// identical; only the step counts differ.
+func (s *Simulator[T]) NaiveAscend(op hypercube.Op[T]) {
+	top := s.Top
+	Q, r := top.Q, top.R
+	for t := 0; t < r; t++ {
+		s.lowDim(t, op)
+	}
+	for u := 0; u < Q; u++ {
+		offset := 0
+		for step := 1; step <= Q; step++ {
+			s.rotateState(+1)
+			offset++
+			s.RotationSteps++
+			copy(s.scratch, s.state)
+			for x := 0; x < top.N; x++ {
+				c, pos := top.Split(x)
+				if pos != u {
+					continue
+				}
+				p := mod(pos-offset, Q)
+				// Combine when the datum that must still do dim u arrives:
+				// each datum passes position u exactly once per full turn.
+				lat := top.Lateral(x)
+				s.scratch[x] = op(r+u, c<<r|p, s.state[x], s.state[lat])
+			}
+			s.state, s.scratch = s.scratch, s.state
+			s.CombineSteps++
+		}
+		// One full turn returns all data home (offset Q ≡ 0).
+	}
+}
+
+func mod(x, m int) int {
+	x %= m
+	if x < 0 {
+		x += m
+	}
+	return x
+}

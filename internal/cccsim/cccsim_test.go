@@ -1,0 +1,257 @@
+package cccsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/hypercube"
+)
+
+// mixOp is order-sensitive and dimension-dependent, so any deviation from the
+// exact ASCEND/DESCEND schedule changes the result.
+func mixOp(t, addr int, self, partner uint64) uint64 {
+	return self*1000003 + partner*7 + uint64(t)*13 + uint64(addr&7)
+}
+
+func minOp(t, addr int, self, partner uint64) uint64 {
+	if partner < self {
+		return partner
+	}
+	return self
+}
+
+func randomInit(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	init := make([]uint64, n)
+	for i := range init {
+		init[i] = uint64(rng.Intn(1 << 20))
+	}
+	return init
+}
+
+func hypercubeReference(dim int, init []uint64, lo, hi int, op hypercube.Op[uint64], descending bool) []uint64 {
+	m := hypercube.New[uint64](dim)
+	copy(m.State(), init)
+	if descending {
+		m.DescendRange(lo, hi, op)
+	} else {
+		m.AscendRange(lo, hi, op)
+	}
+	out := make([]uint64, len(init))
+	copy(out, m.State())
+	return out
+}
+
+func TestAscendMatchesHypercube(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		s, err := New[uint64](r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := randomInit(s.Top.N, int64(r))
+		copy(s.State(), init)
+		s.Ascend(mixOp)
+		want := hypercubeReference(s.Dim, init, 0, s.Dim, mixOp, false)
+		if !reflect.DeepEqual(s.State(), want) {
+			t.Fatalf("r=%d: CCC ascend differs from hypercube ascend", r)
+		}
+	}
+}
+
+func TestDescendMatchesHypercube(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		s, err := New[uint64](r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := randomInit(s.Top.N, 100+int64(r))
+		copy(s.State(), init)
+		s.Descend(mixOp)
+		want := hypercubeReference(s.Dim, init, 0, s.Dim, mixOp, true)
+		if !reflect.DeepEqual(s.State(), want) {
+			t.Fatalf("r=%d: CCC descend differs from hypercube descend", r)
+		}
+	}
+}
+
+func TestPartialRangesMatchHypercube(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		s, _ := New[uint64](r)
+		dim := s.Dim
+		ranges := [][2]int{
+			{0, s.Top.R},           // low dims only
+			{s.Top.R, dim},         // high dims only
+			{1, dim - 1},           // mixed, partial
+			{dim / 2, dim/2 + 1},   // single dim
+			{0, dim},               // everything
+			{dim / 3, 2 * dim / 3}, // middle band
+		}
+		for _, rg := range ranges {
+			lo, hi := rg[0], rg[1]
+			if lo >= hi {
+				continue
+			}
+			init := randomInit(s.Top.N, int64(r*100+lo*10+hi))
+
+			sa, _ := New[uint64](r)
+			copy(sa.State(), init)
+			sa.AscendRange(lo, hi, mixOp)
+			want := hypercubeReference(dim, init, lo, hi, mixOp, false)
+			if !reflect.DeepEqual(sa.State(), want) {
+				t.Fatalf("r=%d ascend [%d,%d): mismatch", r, lo, hi)
+			}
+
+			sd, _ := New[uint64](r)
+			copy(sd.State(), init)
+			sd.DescendRange(lo, hi, mixOp)
+			wantD := hypercubeReference(dim, init, lo, hi, mixOp, true)
+			if !reflect.DeepEqual(sd.State(), wantD) {
+				t.Fatalf("r=%d descend [%d,%d): mismatch", r, lo, hi)
+			}
+		}
+	}
+}
+
+func TestNaiveAscendMatchesHypercube(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		s, _ := New[uint64](r)
+		init := randomInit(s.Top.N, 200+int64(r))
+		copy(s.State(), init)
+		s.NaiveAscend(mixOp)
+		want := hypercubeReference(s.Dim, init, 0, s.Dim, mixOp, false)
+		if !reflect.DeepEqual(s.State(), want) {
+			t.Fatalf("r=%d: naive ascend differs from hypercube ascend", r)
+		}
+	}
+}
+
+// TestSlowdownFactor checks the paper's §3 claim: ASCEND on the CCC costs a
+// constant factor of roughly 4-6 over the hypercube's q steps, regardless of
+// network size.
+func TestSlowdownFactor(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		s, _ := New[uint64](r)
+		copy(s.State(), randomInit(s.Top.N, 5))
+		s.Ascend(minOp)
+		slow := float64(s.Steps()) / float64(s.Dim)
+		if slow < 2.0 || slow > 6.0 {
+			t.Errorf("r=%d: slowdown %.2f (steps=%d, dim=%d) outside [2,6]", r, slow, s.Steps(), s.Dim)
+		}
+	}
+}
+
+// TestWavefrontBeatsNaive validates ablation A2: the pipelined wavefront
+// schedule uses O(Q) steps for the high dimensions where the naive
+// per-dimension sweep uses O(Q^2).
+func TestWavefrontBeatsNaive(t *testing.T) {
+	r := 3 // Q = 8
+	pipe, _ := New[uint64](r)
+	copy(pipe.State(), randomInit(pipe.Top.N, 6))
+	pipe.Ascend(minOp)
+
+	naive, _ := New[uint64](r)
+	copy(naive.State(), randomInit(naive.Top.N, 6))
+	naive.NaiveAscend(minOp)
+
+	if !reflect.DeepEqual(pipe.State(), naive.State()) {
+		t.Fatal("pipelined and naive ascend disagree on results")
+	}
+	if naive.Steps() <= pipe.Steps() {
+		t.Fatalf("naive (%d steps) not slower than pipelined (%d steps)", naive.Steps(), pipe.Steps())
+	}
+	// Naive high phase is Q dims × 2Q steps = 2Q^2; pipelined is ~4Q.
+	if ratio := float64(naive.Steps()) / float64(pipe.Steps()); ratio < 2 {
+		t.Errorf("naive/pipelined step ratio %.2f, expected >= 2 at Q=8", ratio)
+	}
+}
+
+func TestStepCountFormula(t *testing.T) {
+	// Full ascend: low phase sums 2·2^t moves + 1 combine per low dim
+	// (2Q-2+r total); high phase runs Q-1+Q wavefront iterations at 2 steps
+	// each plus the return rotation.
+	for r := 1; r <= 3; r++ {
+		s, _ := New[uint64](r)
+		copy(s.State(), randomInit(s.Top.N, 7))
+		s.Ascend(minOp)
+		Q := s.Top.Q
+		wantLow := 2*(Q-1) + r
+		wf := Q - 1 + Q
+		wantHigh := 2*wf + mod(-wf, Q)
+		if got := s.Steps(); got != wantLow+wantHigh {
+			t.Errorf("r=%d: steps = %d, want %d (low %d + high %d)", r, got, wantLow+wantHigh, wantLow, wantHigh)
+		}
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	s, _ := New[uint64](1)
+	s.Ascend(minOp)
+	if s.Steps() == 0 {
+		t.Fatal("no steps counted")
+	}
+	s.ResetCounters()
+	if s.Steps() != 0 || s.RotationSteps != 0 || s.CombineSteps != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func TestBadRangePanics(t *testing.T) {
+	s, _ := New[uint64](1)
+	for _, rg := range [][2]int{{-1, 2}, {0, s.Dim + 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v did not panic", rg)
+				}
+			}()
+			s.AscendRange(rg[0], rg[1], minOp)
+		}()
+	}
+}
+
+func TestNewRejectsBadR(t *testing.T) {
+	if _, err := New[uint64](0); err == nil {
+		t.Fatal("New(0) succeeded")
+	}
+}
+
+func TestMinReductionOnCCC(t *testing.T) {
+	// End-to-end semantic check: a full ascend with min leaves the global
+	// minimum everywhere.
+	s, _ := New[uint64](2)
+	init := randomInit(s.Top.N, 9)
+	var want uint64 = 1 << 62
+	for _, v := range init {
+		if v < want {
+			want = v
+		}
+	}
+	copy(s.State(), init)
+	s.Ascend(minOp)
+	for i, v := range s.State() {
+		if v != want {
+			t.Fatalf("PE %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func BenchmarkCCCAscend(b *testing.B) {
+	s, _ := New[uint64](3)
+	init := randomInit(s.Top.N, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(s.State(), init)
+		s.Ascend(minOp)
+	}
+}
+
+func BenchmarkHypercubeAscendSameSize(b *testing.B) {
+	m := hypercube.New[uint64](11) // 2048 PEs, same as CCC r=3
+	init := randomInit(m.N, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(m.State(), init)
+		m.Ascend(minOp)
+	}
+}

@@ -1,0 +1,28 @@
+package cccsim
+
+import (
+	"fmt"
+
+	"repro/internal/hypercube"
+)
+
+// BitonicSort sorts values (length must equal the CCC machine size) on the
+// cube-connected-cycles simulator — Batcher's sorter expressed as DESCEND
+// passes, running unchanged on the 3-link machine. It returns the sorted
+// slice and the CCC step count.
+func BitonicSort(r int, values []uint64) ([]uint64, int, error) {
+	sim, err := New[uint64](r)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(values) != sim.Top.N {
+		return nil, 0, fmt.Errorf("cccsim: %d values for a %d-PE CCC", len(values), sim.Top.N)
+	}
+	copy(sim.State(), values)
+	for s := 0; s < sim.Dim; s++ {
+		sim.DescendRange(0, s+1, hypercube.BitonicOp(s))
+	}
+	out := make([]uint64, len(values))
+	copy(out, sim.State())
+	return out, sim.Steps(), nil
+}

@@ -1,0 +1,102 @@
+package cccsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBitonicSortCCC: the same DESCEND passes that sort a hypercube sort the
+// 3-link machine, at the usual constant slowdown.
+func TestBitonicSortCCC(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sizes := map[int]int{1: 8, 2: 64, 3: 2048}
+	dims := map[int]int{1: 3, 2: 6, 3: 11}
+	for r := 1; r <= 3; r++ {
+		n := sizes[r]
+		vals := make([]uint64, n)
+		want := make([]uint64, n)
+		for i := range vals {
+			v := uint64(rng.Intn(100000))
+			vals[i] = v
+			want[i] = v
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		got, steps, err := BitonicSort(r, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("r=%d: position %d = %d, want %d", r, i, got[i], want[i])
+			}
+		}
+		dim := dims[r]
+		hcSteps := dim * (dim + 1) / 2
+		if steps < hcSteps || steps > 8*hcSteps {
+			t.Errorf("r=%d: %d CCC steps vs %d hypercube (ratio %.1f)",
+				r, steps, hcSteps, float64(steps)/float64(hcSteps))
+		}
+	}
+}
+
+func TestBitonicSortCCCBadLength(t *testing.T) {
+	if _, _, err := BitonicSort(1, make([]uint64, 7)); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, _, err := BitonicSort(9, make([]uint64, 8)); err == nil {
+		t.Fatal("bad r accepted")
+	}
+}
+
+func BenchmarkBitonicSortCCC(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]uint64, 2048)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BitonicSort(3, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBenesRoutingOnCCC reproduces the paper's §2 claim: any permutation in
+// O(log n) time on the BVM's network, given precalculated control bits.
+func TestBenesRoutingOnCCC(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dims := map[int]int{1: 3, 2: 6, 3: 11}
+	for r := 1; r <= 3; r++ {
+		n := map[int]int{1: 8, 2: 64, 3: 2048}[r]
+		dest := rng.Perm(n)
+		values := make([]uint64, n)
+		for i := range values {
+			values[i] = uint64(5000 + i)
+		}
+		out, steps, err := RoutePermutation(r, values, dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range values {
+			if out[dest[i]] != values[i] {
+				t.Fatalf("r=%d: element from %d not at %d", r, i, dest[i])
+			}
+		}
+		// Two pipelined sweeps: bounded by a constant times q = log n.
+		q := dims[r]
+		if steps > 12*q {
+			t.Errorf("r=%d: %d CCC steps for q=%d — not O(log n) with small constant", r, steps, q)
+		}
+	}
+}
+
+func TestBenesRoutingOnCCCBadInput(t *testing.T) {
+	if _, _, err := RoutePermutation(1, make([]uint64, 7), nil); err == nil {
+		t.Fatal("short values accepted")
+	}
+	if _, _, err := RoutePermutation(1, make([]uint64, 8), []int{0, 1, 2}); err == nil {
+		t.Fatal("short dest accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import "fmt"
+
+// This file holds the comparison solvers: an exhaustive enumerator that
+// proves optimality on tiny instances, and a greedy heuristic of the kind
+// the binary-testing literature (the paper's refs [1][2][6][7][11]) uses
+// when the exponential DP is out of reach. The experiment harness (E14)
+// quantifies the optimality gap of the greedy on the synthetic workloads.
+
+// SolveExhaustive computes C(U) by plain recursion with no memoization:
+// every subtree choice is re-enumerated, which is exactly a minimum over
+// all successful procedure trees. Exponential; intended for K <= 4 as an
+// independent oracle for Solve.
+func SolveExhaustive(p *Problem) (uint64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if p.K > 8 {
+		return 0, fmt.Errorf("core: exhaustive solver limited to K <= 8, got %d", p.K)
+	}
+	psum := make([]uint64, 1<<uint(p.K))
+	for s := 1; s < len(psum); s++ {
+		low := s & -s
+		psum[s] = satAdd(psum[s&(s-1)], p.Weights[trailingZeros(low)])
+	}
+	var rec func(s Set) uint64
+	rec = func(s Set) uint64 {
+		if s == 0 {
+			return 0
+		}
+		best := Inf
+		for _, a := range p.Actions {
+			inter := s & a.Set
+			diff := s &^ a.Set
+			if inter == 0 || (!a.Treatment && diff == 0) {
+				continue
+			}
+			cost := satMul(a.Cost, psum[s])
+			if a.Treatment {
+				cost = satAdd(cost, rec(diff))
+			} else {
+				cost = satAdd(cost, satAdd(rec(inter), rec(diff)))
+			}
+			if cost < best {
+				best = cost
+			}
+		}
+		return best
+	}
+	return rec(Universe(p.K)), nil
+}
+
+// GreedyTree builds a valid (generally sub-optimal) procedure tree with a
+// one-step cost-effectiveness rule: at candidate set S, every applicable
+// action is scored by expected cost paid now per unit of progress —
+//
+//	treatment: t_i·p(S) / p(S∩T_i)        (weight resolved outright)
+//	test:      t_i·p(S) / min(p(S∩T_i), p(S−T_i))
+//
+// (a balanced cheap test scores well; an expensive or lopsided one badly),
+// and the lowest score is applied. Zero-progress denominators disqualify an
+// action. Returns an error when no applicable action exists at some
+// reachable set, which on a validated instance means inadequacy.
+func GreedyTree(p *Problem) (*Node, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	psum := make([]uint64, 1<<uint(p.K))
+	for s := 1; s < len(psum); s++ {
+		low := s & -s
+		psum[s] = satAdd(psum[s&(s-1)], p.Weights[trailingZeros(low)])
+	}
+	var build func(s Set) (*Node, error)
+	build = func(s Set) (*Node, error) {
+		if s == 0 {
+			return nil, nil
+		}
+		bestIdx := -1
+		var bestNum, bestDen uint64 // compare num/den as cross products
+		for i, a := range p.Actions {
+			inter := s & a.Set
+			diff := s &^ a.Set
+			if inter == 0 || (!a.Treatment && diff == 0) {
+				continue
+			}
+			num := satMul(a.Cost, psum[s])
+			var den uint64
+			if a.Treatment {
+				den = psum[inter]
+			} else {
+				den = min(psum[inter], psum[diff])
+			}
+			if den == 0 {
+				continue // splits only zero-weight mass: no progress
+			}
+			if bestIdx < 0 || satMul(num, bestDen) < satMul(bestNum, den) {
+				bestIdx, bestNum, bestDen = i, num, den
+			}
+		}
+		if bestIdx < 0 {
+			// Zero-weight candidates may remain; any treatment intersecting S
+			// still discharges them. Retry accepting zero-progress treatments.
+			for i, a := range p.Actions {
+				if a.Treatment && s&a.Set != 0 {
+					bestIdx = i
+					break
+				}
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("core: greedy stuck at set %v (inadequate instance?)", s)
+		}
+		a := p.Actions[bestIdx]
+		n := &Node{Action: bestIdx, Set: s}
+		var err error
+		if !a.Treatment {
+			if n.Pos, err = build(s & a.Set); err != nil {
+				return nil, err
+			}
+		}
+		if n.Neg, err = build(s &^ a.Set); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	return build(Universe(p.K))
+}
+
+// GreedyCost is GreedyTree followed by TreeCost.
+func GreedyCost(p *Problem) (uint64, error) {
+	tree, err := GreedyTree(p)
+	if err != nil {
+		return 0, err
+	}
+	return TreeCost(p, tree)
+}
+
+// BinaryTesting builds the TT encoding of a classical binary testing
+// instance (the problem the paper generalizes): given tests and per-object
+// weights, identifying the faulty object is modeled by giving every object a
+// singleton treatment of uniform cost treatCost. With treatCost large
+// relative to test costs, the optimal procedure isolates objects by testing
+// before treating, recovering the classical optimal testing strategy.
+func BinaryTesting(weights []uint64, tests []Action, treatCost uint64) *Problem {
+	k := len(weights)
+	p := &Problem{K: k, Weights: append([]uint64(nil), weights...)}
+	p.Actions = append(p.Actions, tests...)
+	for j := 0; j < k; j++ {
+		p.Actions = append(p.Actions, Action{
+			Name:      fmt.Sprintf("treat-%d", j),
+			Set:       SetOf(j),
+			Cost:      treatCost,
+			Treatment: true,
+		})
+	}
+	return p
+}

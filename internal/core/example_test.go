@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleSolve walks the API end to end: define a problem, solve it, and
+// extract the optimal procedure.
+func ExampleSolve() {
+	problem := &core.Problem{
+		K:       2,
+		Weights: []uint64{3, 1}, // object 0 is three times as likely
+		Actions: []core.Action{
+			{Name: "probe", Set: core.SetOf(0), Cost: 1},
+			{Name: "fix-0", Set: core.SetOf(0), Cost: 4, Treatment: true},
+			{Name: "fix-1", Set: core.SetOf(1), Cost: 4, Treatment: true},
+		},
+	}
+	sol, err := core.Solve(problem)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("minimum expected cost:", sol.Cost)
+
+	tree, _ := sol.Tree(problem)
+	check, _ := core.TreeCost(problem, tree)
+	fmt.Println("tree evaluates to:", check)
+	// Output:
+	// minimum expected cost: 20
+	// tree evaluates to: 20
+}
+
+// ExampleSet shows the bitmask set type.
+func ExampleSet() {
+	s := core.SetOf(0, 2, 3)
+	fmt.Println(s, "size", s.Size(), "has 1:", s.Has(1))
+	fmt.Println("universe of 4:", core.Universe(4))
+	// Output:
+	// {0,2,3} size 3 has 1: false
+	// universe of 4: {0,1,2,3}
+}
+
+// ExampleGreedyCost compares the heuristic with the optimum.
+func ExampleGreedyCost() {
+	problem := &core.Problem{
+		K:       2,
+		Weights: []uint64{1, 1},
+		Actions: []core.Action{
+			{Name: "both", Set: core.SetOf(0, 1), Cost: 3, Treatment: true},
+			{Name: "only-0", Set: core.SetOf(0), Cost: 1, Treatment: true},
+		},
+	}
+	opt, _ := core.Solve(problem)
+	greedy, _ := core.GreedyCost(problem)
+	fmt.Println("optimal:", opt.Cost, "greedy:", greedy)
+	// Output:
+	// optimal: 5 greedy: 5
+}

@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+// FuzzSolveAgreement drives the three independent solvers (bottom-up DP,
+// memoized recursion, exhaustive enumeration) plus tree extraction with
+// fuzzer-shaped instances and requires exact agreement everywhere.
+func FuzzSolveAgreement(f *testing.F) {
+	f.Add(uint8(2), uint16(0b01), uint16(0b10), uint8(1), uint8(1), uint8(7), uint8(3))
+	f.Add(uint8(3), uint16(0b101), uint16(0b011), uint8(5), uint8(2), uint8(1), uint8(9))
+	f.Add(uint8(4), uint16(0b1111), uint16(0b0001), uint8(0), uint8(4), uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, kSeed uint8, set1, set2 uint16, c1, c2, w1, w2 uint8) {
+		k := int(kSeed)%3 + 2 // 2..4
+		u := Universe(k)
+		p := &Problem{K: k, Weights: make([]uint64, k)}
+		for j := range p.Weights {
+			if j%2 == 0 {
+				p.Weights[j] = uint64(w1)%20 + 1
+			} else {
+				p.Weights[j] = uint64(w2)%20 + 1
+			}
+		}
+		a1 := Set(set1) & u
+		a2 := Set(set2) & u
+		if a1 == 0 {
+			a1 = SetOf(0)
+		}
+		if a2 == 0 {
+			a2 = SetOf(k - 1)
+		}
+		p.Actions = []Action{
+			{Name: "x", Set: a1, Cost: uint64(c1) % 40},
+			{Name: "y", Set: a2, Cost: uint64(c2)%40 + 1, Treatment: true},
+			{Name: "all", Set: u, Cost: 90, Treatment: true},
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		memo, err := SolveMemo(p)
+		if err != nil {
+			t.Fatalf("SolveMemo: %v", err)
+		}
+		if memo != sol.Cost {
+			t.Fatalf("Solve %d != SolveMemo %d", sol.Cost, memo)
+		}
+		exh, err := SolveExhaustive(p)
+		if err != nil {
+			t.Fatalf("SolveExhaustive: %v", err)
+		}
+		if exh != sol.Cost {
+			t.Fatalf("Solve %d != SolveExhaustive %d", sol.Cost, exh)
+		}
+		if !sol.Adequate() {
+			t.Fatal("instance with universal treatment reported inadequate")
+		}
+		tree, err := sol.Tree(p)
+		if err != nil {
+			t.Fatalf("Tree: %v", err)
+		}
+		tc, err := TreeCost(p, tree)
+		if err != nil {
+			t.Fatalf("TreeCost: %v", err)
+		}
+		if tc != sol.Cost {
+			t.Fatalf("TreeCost %d != C(U) %d", tc, sol.Cost)
+		}
+	})
+}

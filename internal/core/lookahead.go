@@ -1,0 +1,178 @@
+package core
+
+import "fmt"
+
+// This file implements a depth-d lookahead policy: the anytime middle ground
+// between the one-step greedy and the exponential exact DP. At each realized
+// candidate set the policy evaluates every applicable action by expanding
+// the recurrence exactly for d levels and pricing the horizon sets with the
+// greedy completion cost, then commits to the best action and repeats with a
+// fresh horizon. Depth 0 degenerates to pure greedy pricing; depth >= |S|
+// expands every branch to empty sets and is exact. This is how one would
+// actually deploy the TT machinery when 2^k state space is out of reach.
+
+// lookaheadSolver caches greedy completion costs and bounded-depth values.
+type lookaheadSolver struct {
+	p      *Problem
+	psum   []uint64
+	greedy map[Set]uint64
+	value  map[lkKey]uint64
+}
+
+type lkKey struct {
+	s Set
+	d int
+}
+
+// LookaheadTree builds a valid procedure tree with depth-d lookahead.
+func LookaheadTree(p *Problem, depth int) (*Node, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("core: negative lookahead depth %d", depth)
+	}
+	ls := &lookaheadSolver{
+		p:      p,
+		psum:   make([]uint64, 1<<uint(p.K)),
+		greedy: make(map[Set]uint64),
+		value:  make(map[lkKey]uint64),
+	}
+	for s := 1; s < len(ls.psum); s++ {
+		low := s & -s
+		ls.psum[s] = satAdd(ls.psum[s&(s-1)], p.Weights[trailingZeros(low)])
+	}
+	return ls.build(Universe(p.K), depth)
+}
+
+// LookaheadCost is LookaheadTree followed by TreeCost.
+func LookaheadCost(p *Problem, depth int) (uint64, error) {
+	tree, err := LookaheadTree(p, depth)
+	if err != nil {
+		return 0, err
+	}
+	return TreeCost(p, tree)
+}
+
+func (ls *lookaheadSolver) build(s Set, depth int) (*Node, error) {
+	if s == 0 {
+		return nil, nil
+	}
+	bestIdx := -1
+	best := Inf
+	for i, a := range ls.p.Actions {
+		cost, ok := ls.actionValue(s, a, depth)
+		if !ok {
+			continue
+		}
+		if cost < best {
+			best, bestIdx = cost, i
+		}
+	}
+	if bestIdx < 0 {
+		return nil, fmt.Errorf("core: lookahead stuck at set %v (inadequate instance?)", s)
+	}
+	a := ls.p.Actions[bestIdx]
+	n := &Node{Action: bestIdx, Set: s}
+	var err error
+	if !a.Treatment {
+		if n.Pos, err = ls.build(s&a.Set, depth); err != nil {
+			return nil, err
+		}
+	}
+	if n.Neg, err = ls.build(s&^a.Set, depth); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// actionValue prices applying action a at set s with depth levels of exact
+// expansion below it. ok is false for inapplicable actions.
+func (ls *lookaheadSolver) actionValue(s Set, a Action, depth int) (uint64, bool) {
+	inter := s & a.Set
+	diff := s &^ a.Set
+	if inter == 0 || (!a.Treatment && diff == 0) {
+		return 0, false
+	}
+	cost := satMul(a.Cost, ls.psum[s])
+	if a.Treatment {
+		return satAdd(cost, ls.estimate(diff, depth)), true
+	}
+	return satAdd(cost, satAdd(ls.estimate(inter, depth), ls.estimate(diff, depth))), true
+}
+
+// estimate is V_d(S): exact expansion for d levels, greedy completion at the
+// horizon.
+func (ls *lookaheadSolver) estimate(s Set, depth int) uint64 {
+	if s == 0 {
+		return 0
+	}
+	if depth == 0 {
+		return ls.greedyCost(s)
+	}
+	key := lkKey{s, depth}
+	if v, ok := ls.value[key]; ok {
+		return v
+	}
+	best := Inf
+	for _, a := range ls.p.Actions {
+		if v, ok := ls.actionValue(s, a, depth-1); ok && v < best {
+			best = v
+		}
+	}
+	ls.value[key] = best
+	return best
+}
+
+// greedyCost prices a set with the cost-effectiveness greedy (the same rule
+// as GreedyTree), memoized across the whole search.
+func (ls *lookaheadSolver) greedyCost(s Set) uint64 {
+	if s == 0 {
+		return 0
+	}
+	if v, ok := ls.greedy[s]; ok {
+		return v
+	}
+	bestIdx := -1
+	var bestNum, bestDen uint64
+	for i, a := range ls.p.Actions {
+		inter := s & a.Set
+		diff := s &^ a.Set
+		if inter == 0 || (!a.Treatment && diff == 0) {
+			continue
+		}
+		num := satMul(a.Cost, ls.psum[s])
+		var den uint64
+		if a.Treatment {
+			den = ls.psum[inter]
+		} else {
+			den = min(ls.psum[inter], ls.psum[diff])
+		}
+		if den == 0 {
+			continue
+		}
+		if bestIdx < 0 || satMul(num, bestDen) < satMul(bestNum, den) {
+			bestIdx, bestNum, bestDen = i, num, den
+		}
+	}
+	if bestIdx < 0 {
+		for i, a := range ls.p.Actions {
+			if a.Treatment && s&a.Set != 0 {
+				bestIdx = i
+				break
+			}
+		}
+	}
+	if bestIdx < 0 {
+		ls.greedy[s] = Inf
+		return Inf
+	}
+	a := ls.p.Actions[bestIdx]
+	v := satMul(a.Cost, ls.psum[s])
+	if !a.Treatment {
+		v = satAdd(v, ls.greedyCost(s&a.Set))
+	}
+	v = satAdd(v, ls.greedyCost(s&^a.Set))
+	ls.greedy[s] = v
+	return v
+}

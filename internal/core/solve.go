@@ -1,0 +1,140 @@
+package core
+
+import "fmt"
+
+// Solution is the output of the sequential DP solver.
+type Solution struct {
+	// Cost is C(U), the minimum expected cost; Inf means the instance is
+	// inadequate (no successful procedure exists).
+	Cost uint64
+	// C[s] is the minimum cost for candidate set s, for all 2^K subsets.
+	C []uint64
+	// Choice[s] is the index of a minimizing action for set s, or -1 when
+	// s is empty or C[s] is infinite.
+	Choice []int32
+	// PSum[s] is p(s), the total weight of set s.
+	PSum []uint64
+	// Ops counts elementary operations (one per (S, action) evaluation plus
+	// one per subset for the final minimum), the T_1 of the paper's speedup
+	// S = T_1/T_p.
+	Ops int64
+}
+
+// Solve runs the backward-induction dynamic program (the paper's sequential
+// baseline, after Garey): subsets in increasing numeric order — every proper
+// subset precedes its supersets — with each M[S,i] evaluated from already
+// final C values. Self-referential action applications (a test with
+// S∩T_i = ∅ or S−T_i = ∅, a treatment with S∩T_i = ∅) read the
+// still-infinite C[S] and drop out of the minimum exactly as in the paper's
+// infinity-initialization argument. Time O(N·2^K), space O(2^K).
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	size := 1 << uint(p.K)
+	sol := &Solution{
+		C:      make([]uint64, size),
+		Choice: make([]int32, size),
+		PSum:   make([]uint64, size),
+	}
+	for s := 1; s < size; s++ {
+		low := s & -s
+		sol.PSum[s] = satAdd(sol.PSum[s&(s-1)], p.Weights[trailingZeros(low)])
+	}
+	sol.Choice[0] = -1
+	for s := 1; s < size; s++ {
+		best, bestIdx := Inf, int32(-1)
+		for i, a := range p.Actions {
+			inter := Set(s) & a.Set
+			diff := Set(s) &^ a.Set
+			// Read C for the pieces; a self-reference (piece == s) sees the
+			// not-yet-assigned slot, which is semantically Inf.
+			cost := satMul(a.Cost, sol.PSum[s])
+			if a.Treatment {
+				if inter == 0 {
+					cost = Inf // treatment treats nothing: S−T_i = S
+				} else {
+					cost = satAdd(cost, sol.C[diff])
+				}
+			} else {
+				if inter == 0 || diff == 0 {
+					cost = Inf // test does not split S
+				} else {
+					cost = satAdd(cost, satAdd(sol.C[inter], sol.C[diff]))
+				}
+			}
+			sol.Ops++
+			if cost < best {
+				best, bestIdx = cost, int32(i)
+			}
+		}
+		sol.Ops++
+		sol.C[s], sol.Choice[s] = best, bestIdx
+	}
+	sol.Cost = sol.C[size-1]
+	return sol, nil
+}
+
+// Adequate reports whether the instance admits a successful procedure.
+func (s *Solution) Adequate() bool { return s.Cost < Inf }
+
+// SolveMemo is an independent top-down implementation of the same
+// recurrence, used to cross-check Solve: memoized recursion with an explicit
+// on-stack guard instead of evaluation-order reasoning. It returns only C(U).
+func SolveMemo(p *Problem) (uint64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	size := 1 << uint(p.K)
+	memo := make([]uint64, size)
+	known := make([]bool, size)
+	psum := make([]uint64, size)
+	for s := 1; s < size; s++ {
+		low := s & -s
+		psum[s] = satAdd(psum[s&(s-1)], p.Weights[trailingZeros(low)])
+	}
+	known[0] = true
+	var rec func(s Set) uint64
+	rec = func(s Set) uint64 {
+		if known[s] {
+			return memo[s]
+		}
+		best := Inf
+		for _, a := range p.Actions {
+			inter := s & a.Set
+			diff := s &^ a.Set
+			if inter == 0 || (!a.Treatment && diff == 0) {
+				continue // would not shrink S: excluded
+			}
+			cost := satMul(a.Cost, psum[s])
+			if a.Treatment {
+				cost = satAdd(cost, rec(diff))
+			} else {
+				cost = satAdd(cost, satAdd(rec(inter), rec(diff)))
+			}
+			if cost < best {
+				best = cost
+			}
+		}
+		memo[s], known[s] = best, true
+		return best
+	}
+	return rec(Universe(p.K)), nil
+}
+
+func trailingZeros(x int) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// String summarizes the solution.
+func (s *Solution) String() string {
+	if !s.Adequate() {
+		return "inadequate instance (no successful procedure)"
+	}
+	return fmt.Sprintf("C(U) = %d over %d subsets (%d ops)", s.Cost, len(s.C), s.Ops)
+}

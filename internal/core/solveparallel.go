@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SolveParallel is the sequential DP parallelized across host CPU cores —
+// not the paper's machine (that is internal/parttsolve) but the natural way
+// to run the backward induction on modern shared-memory hardware. Subsets
+// are processed level by level in popcount order: every C(S) at level j
+// depends only on strictly smaller sets, so all sets of one level are
+// independent and can be sharded across workers. Results are identical to
+// Solve (same recurrence, same tie-breaking by lowest action index).
+func SolveParallel(p *Problem, workers int) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	size := 1 << uint(p.K)
+	sol := &Solution{
+		C:      make([]uint64, size),
+		Choice: make([]int32, size),
+		PSum:   make([]uint64, size),
+	}
+	for s := 1; s < size; s++ {
+		low := s & -s
+		sol.PSum[s] = satAdd(sol.PSum[s&(s-1)], p.Weights[trailingZeros(low)])
+	}
+	sol.Choice[0] = -1
+	// Ops accounting matches Solve: (N+1) per non-empty subset.
+	sol.Ops = int64(size-1) * int64(len(p.Actions)+1)
+
+	for level := 1; level <= p.K; level++ {
+		sets := subsetsOfSize(p.K, level)
+		var wg sync.WaitGroup
+		chunk := (len(sets) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(sets) {
+				break
+			}
+			hi := min(lo+chunk, len(sets))
+			wg.Add(1)
+			go func(batch []Set) {
+				defer wg.Done()
+				for _, s := range batch {
+					best, bestIdx := Inf, int32(-1)
+					for i, a := range p.Actions {
+						inter := s & a.Set
+						diff := s &^ a.Set
+						if inter == 0 || (!a.Treatment && diff == 0) {
+							continue
+						}
+						cost := satMul(a.Cost, sol.PSum[s])
+						if a.Treatment {
+							cost = satAdd(cost, sol.C[diff])
+						} else {
+							cost = satAdd(cost, satAdd(sol.C[inter], sol.C[diff]))
+						}
+						if cost < best {
+							best, bestIdx = cost, int32(i)
+						}
+					}
+					sol.C[s], sol.Choice[s] = best, bestIdx
+				}
+			}(sets[lo:hi])
+		}
+		wg.Wait()
+	}
+	sol.Cost = sol.C[size-1]
+	return sol, nil
+}
+
+// subsetsOfSize enumerates all k-bit subsets with exactly j set bits in
+// increasing numeric order (Gosper's hack).
+func subsetsOfSize(k, j int) []Set {
+	if j < 0 || j > k {
+		panic(fmt.Sprintf("core: %d-subsets of %d elements", j, k))
+	}
+	if j == 0 {
+		return []Set{0}
+	}
+	var out []Set
+	v := uint32(1)<<uint(j) - 1
+	limit := uint32(1) << uint(k)
+	for v < limit {
+		out = append(out, Set(v))
+		// Gosper: next higher number with the same popcount.
+		c := v & -v
+		r := v + c
+		v = (((r ^ v) >> 2) / c) | r
+		if c == 0 {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSolveParallelMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		k := rng.Intn(7) + 2 // 2..8
+		p := randomProblem(rng, k, rng.Intn(10)+2)
+		seq, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3, 0} {
+			par, err := SolveParallel(p, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Cost != seq.Cost || par.Ops != seq.Ops {
+				t.Fatalf("trial %d workers %d: cost/ops %d/%d vs %d/%d",
+					trial, workers, par.Cost, par.Ops, seq.Cost, seq.Ops)
+			}
+			for s := range seq.C {
+				if par.C[s] != seq.C[s] {
+					t.Fatalf("trial %d: C[%b] differs", trial, s)
+				}
+				if par.Choice[s] != seq.Choice[s] {
+					t.Fatalf("trial %d: Choice[%b] differs (%d vs %d)",
+						trial, s, par.Choice[s], seq.Choice[s])
+				}
+			}
+		}
+	}
+}
+
+func TestSolveParallelValidates(t *testing.T) {
+	if _, err := SolveParallel(&Problem{K: 0}, 2); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestSubsetsOfSize(t *testing.T) {
+	got := subsetsOfSize(4, 2)
+	want := []Set{0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if len(subsetsOfSize(5, 0)) != 1 {
+		t.Fatal("0-subsets wrong")
+	}
+	if len(subsetsOfSize(5, 5)) != 1 {
+		t.Fatal("full subset wrong")
+	}
+	// Sizes match binomial coefficients across the board.
+	binom := func(n, k int) int {
+		c := 1
+		for i := 0; i < k; i++ {
+			c = c * (n - i) / (i + 1)
+		}
+		return c
+	}
+	for k := 1; k <= 10; k++ {
+		for j := 0; j <= k; j++ {
+			if got := len(subsetsOfSize(k, j)); got != binom(k, j) {
+				t.Fatalf("|%d-subsets of %d| = %d, want %d", j, k, got, binom(k, j))
+			}
+		}
+	}
+}
+
+func TestSubsetsOfSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid subset size did not panic")
+		}
+	}()
+	subsetsOfSize(3, 4)
+}
+
+func TestStats(t *testing.T) {
+	p := &Problem{
+		K:       2,
+		Weights: []uint64{3, 1},
+		Actions: []Action{
+			{Name: "probe", Set: SetOf(0), Cost: 1},
+			{Name: "fix0", Set: SetOf(0), Cost: 2, Treatment: true},
+			{Name: "fix1", Set: SetOf(1), Cost: 2, Treatment: true},
+		},
+	}
+	sol, _ := Solve(p)
+	tree, _ := sol.Tree(p)
+	st, err := Stats(p, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != tree.CountNodes() || st.Depth != tree.Depth() {
+		t.Fatal("shape stats wrong")
+	}
+	if st.TestNodes+st.TreatmentNodes != st.Nodes {
+		t.Fatal("node partition wrong")
+	}
+	if st.WorstPathLen < 1 || st.WorstPathCost < 2 {
+		t.Fatalf("worst path implausible: %+v", st)
+	}
+	if st.ExpectedActions == 0 {
+		t.Fatal("expected actions zero")
+	}
+	if s := st.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestStatsErrors(t *testing.T) {
+	p := fig1like()
+	if _, err := Stats(p, nil); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	// Tree stranding object 1.
+	bad := &Node{Action: 1, Set: Universe(2)}
+	if _, err := Stats(p, bad); err == nil {
+		t.Fatal("stranding tree accepted")
+	}
+}
+
+func BenchmarkSolveParallelK16(b *testing.B) {
+	p := randomProblem(rand.New(rand.NewSource(62)), 16, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveParallel(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestExplainPricesActions(t *testing.T) {
+	p := fig1like()
+	sol, _ := Solve(p)
+	u := Universe(p.K)
+	rows := Explain(p, sol, u)
+	if len(rows) != len(p.Actions) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	best := Inf
+	var optimalSeen bool
+	for _, r := range rows {
+		if r.Applicable && r.M < best {
+			best = r.M
+		}
+		if r.Optimal {
+			optimalSeen = true
+			if r.M != sol.C[u] {
+				t.Fatalf("optimal row M = %d, want C(U) = %d", r.M, sol.C[u])
+			}
+		}
+	}
+	if !optimalSeen {
+		t.Fatal("no row marked optimal")
+	}
+	if best != sol.C[u] {
+		t.Fatalf("min over rows %d != C(U) %d", best, sol.C[u])
+	}
+	// A test that cannot split is marked inapplicable with infinite M.
+	singleton := SetOf(0)
+	for _, r := range Explain(p, sol, singleton) {
+		if !p.Actions[r.Action].Treatment && r.Applicable {
+			t.Fatalf("test %s applicable on a singleton", r.Name)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file exports procedure trees for external tooling: Graphviz DOT (for
+// figures in the style of the paper's Figure 1) and a compact single-line
+// s-expression form used by tests and logs.
+
+// DOT renders the tree in Graphviz format. Test nodes are boxes with +/-
+// labeled edges; treatment nodes are double octagons (the paper's double
+// arc) whose failure edge is dashed; treated sets appear as leaf ellipses.
+func (n *Node) DOT(p *Problem, graphName string) string {
+	var sb strings.Builder
+	if graphName == "" {
+		graphName = "procedure"
+	}
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n", graphName)
+	id := 0
+	var emit func(n *Node) int
+	emit = func(n *Node) int {
+		me := id
+		id++
+		a := p.Actions[n.Action]
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("T%d", n.Action+1)
+		}
+		if a.Treatment {
+			fmt.Fprintf(&sb, "  n%d [shape=doubleoctagon, label=\"%s\\ncost %d on %v\"];\n",
+				me, name, a.Cost, n.Set)
+			leaf := id
+			id++
+			fmt.Fprintf(&sb, "  n%d [shape=ellipse, label=\"treated %v\"];\n", leaf, n.Set&a.Set)
+			fmt.Fprintf(&sb, "  n%d -> n%d [label=\"cured\"];\n", me, leaf)
+			if n.Neg != nil {
+				c := emit(n.Neg)
+				fmt.Fprintf(&sb, "  n%d -> n%d [label=\"failed\", style=dashed];\n", me, c)
+			}
+			return me
+		}
+		fmt.Fprintf(&sb, "  n%d [shape=box, label=\"%s\\ncost %d on %v\"];\n", me, name, a.Cost, n.Set)
+		if n.Pos != nil {
+			c := emit(n.Pos)
+			fmt.Fprintf(&sb, "  n%d -> n%d [label=\"+\"];\n", me, c)
+		}
+		if n.Neg != nil {
+			c := emit(n.Neg)
+			fmt.Fprintf(&sb, "  n%d -> n%d [label=\"-\"];\n", me, c)
+		}
+		return me
+	}
+	if n != nil {
+		emit(n)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// SExpr renders the tree as a one-line s-expression: (action pos neg) with _
+// for absent branches. Stable and compact; used for golden comparisons.
+func (n *Node) SExpr(p *Problem) string {
+	if n == nil {
+		return "_"
+	}
+	a := p.Actions[n.Action]
+	name := a.Name
+	if name == "" {
+		name = fmt.Sprintf("T%d", n.Action+1)
+	}
+	if a.Treatment {
+		return fmt.Sprintf("(%s! %s)", name, n.Neg.SExpr(p))
+	}
+	return fmt.Sprintf("(%s %s %s)", name, n.Pos.SExpr(p), n.Neg.SExpr(p))
+}
+
+// TreeCostWithWeights evaluates a procedure tree under a different weight
+// vector than the one it was optimized for — the misspecified-prior
+// robustness question (how much does an optimal policy lose when prevalences
+// drift?). The tree's validity does not depend on weights, only its cost.
+func TreeCostWithWeights(p *Problem, root *Node, weights []uint64) (uint64, error) {
+	if len(weights) != p.K {
+		return 0, fmt.Errorf("core: %d weights for %d objects", len(weights), p.K)
+	}
+	shifted := p.Clone()
+	shifted.Weights = append([]uint64(nil), weights...)
+	return TreeCost(shifted, root)
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func fig1like() *Problem {
+	return &Problem{
+		K:       2,
+		Weights: []uint64{3, 1},
+		Actions: []Action{
+			{Name: "probe", Set: SetOf(0), Cost: 1},
+			{Name: "fix0", Set: SetOf(0), Cost: 2, Treatment: true},
+			{Name: "fix1", Set: SetOf(1), Cost: 2, Treatment: true},
+		},
+	}
+}
+
+func TestDOTStructure(t *testing.T) {
+	p := fig1like()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := sol.Tree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := tree.DOT(p, "fig1")
+	for _, want := range []string{
+		`digraph "fig1"`, "doubleoctagon", "label=\"cured\"", "}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Edge/node syntax balance: every '[' has a ']'.
+	if strings.Count(dot, "[") != strings.Count(dot, "]") {
+		t.Error("unbalanced attribute brackets")
+	}
+	// Default graph name.
+	if !strings.Contains(tree.DOT(p, ""), `digraph "procedure"`) {
+		t.Error("default graph name missing")
+	}
+}
+
+func TestDOTTestNodeEdges(t *testing.T) {
+	p := fig1like()
+	sol, _ := Solve(p)
+	tree, _ := sol.Tree(p)
+	dot := tree.DOT(p, "g")
+	if p.Actions[tree.Action].Treatment {
+		t.Skip("optimal root is a treatment on this instance")
+	}
+	if !strings.Contains(dot, `label="+"`) || !strings.Contains(dot, `label="-"`) {
+		t.Errorf("test node edges not labeled:\n%s", dot)
+	}
+}
+
+func TestSExpr(t *testing.T) {
+	p := fig1like()
+	sol, _ := Solve(p)
+	tree, _ := sol.Tree(p)
+	s := tree.SExpr(p)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		t.Fatalf("SExpr = %q", s)
+	}
+	// Treatments are marked with '!'.
+	if !strings.Contains(s, "!") {
+		t.Fatalf("SExpr missing treatment marker: %q", s)
+	}
+	var nilNode *Node
+	if nilNode.SExpr(p) != "_" {
+		t.Fatal("nil SExpr wrong")
+	}
+}
+
+func TestTreeCostWithWeights(t *testing.T) {
+	p := fig1like()
+	sol, _ := Solve(p)
+	tree, _ := sol.Tree(p)
+	// Same weights: same cost.
+	same, err := TreeCostWithWeights(p, tree, p.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != sol.Cost {
+		t.Fatalf("same-weight evaluation %d != %d", same, sol.Cost)
+	}
+	// Shifted weights: still valid, different cost, and at least the optimum
+	// for the shifted instance.
+	shiftedWeights := []uint64{1, 3}
+	shifted, err := TreeCostWithWeights(p, tree, shiftedWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	q.Weights = shiftedWeights
+	qsol, err := Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted < qsol.Cost {
+		t.Fatalf("stale tree %d beats shifted optimum %d", shifted, qsol.Cost)
+	}
+	if _, err := TreeCostWithWeights(p, tree, []uint64{1}); err == nil {
+		t.Fatal("wrong weight count accepted")
+	}
+}
+
+// Property: for random instances, a tree optimized under w1 is never better
+// under w2 than the tree optimized under w2 (regret is non-negative).
+func TestPropertyNonNegativeRegret(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		p := randomProblem(rng, 4, 6)
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := sol.Tree(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2 := make([]uint64, p.K)
+		for j := range w2 {
+			w2[j] = uint64(rng.Intn(20) + 1)
+		}
+		stale, err := TreeCostWithWeights(p, tree, w2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := p.Clone()
+		q.Weights = w2
+		fresh, err := Solve(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stale < fresh.Cost {
+			t.Fatalf("trial %d: stale tree %d beats fresh optimum %d", trial, stale, fresh.Cost)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden figure files")
+
+// TestFiguresMatchGolden pins the complete rendered output of every
+// deterministic figure reproduction against checked-in golden files.
+// Regenerate with: go test ./internal/experiments -run Golden -update-golden
+func TestFiguresMatchGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() (string, error)
+	}{
+		{"fig1", Fig1Tree},
+		{"fig2", func() (string, error) { return Fig2Layout(2) }},
+		{"fig3", Fig3CycleID},
+		{"fig4-5", Fig45ProcessorID},
+		{"fig6", Fig6Broadcast},
+		{"fig7", Fig7AscendMin},
+		{"fig8-9", Fig89RBroadcast},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := c.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", c.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output changed; diff against %s or regenerate with -update-golden\ngot:\n%s",
+					c.name, path, got)
+			}
+		})
+	}
+}
+
+// TestDesignIndexCoversAllExperiments keeps DESIGN.md's experiment index in
+// lockstep with the harness: every runnable experiment must be documented.
+func TestDesignIndexCoversAllExperiments(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	design := string(data)
+	for _, e := range All() {
+		if !strings.Contains(design, "| "+e.ID+" |") && !strings.Contains(design, "**"+e.ID+"**") {
+			t.Errorf("experiment %s (%s) missing from DESIGN.md", e.ID, e.Name)
+		}
+	}
+}

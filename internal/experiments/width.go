@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bvmtt"
+	"repro/internal/workload"
+)
+
+// WidthScaling is experiment E21: the w in the paper's O(k·w·(k + log N)).
+// The BVM is bit-serial, so machine time must scale linearly in the word
+// width ("the precision required"); we solve one fixed instance at several
+// widths and compare measured instruction counts against a linear fit
+// anchored at the two endpoints. Width 12 is the smallest that holds this
+// instance's costs without saturating; 18 is the largest whose register
+// layout fits the machine's 256 rows.
+func WidthScaling() (*Table, error) {
+	t := &Table{
+		ID:         "E21",
+		Title:      "BVM TT instructions vs word width (the paper's precision p)",
+		PaperClaim: "time O(k·p·(k + log N)) — linear in the precision (§1)",
+		Header:     []string{"width w", "instructions", "linear fit", "deviation %"},
+	}
+	p := workload.SystematicBiology(3, 3)
+	widths := []int{12, 14, 16, 18}
+	counts := make([]int64, len(widths))
+	var cost uint64
+	for i, w := range widths {
+		res, err := bvmtt.Solve(p, w)
+		if err != nil {
+			return nil, err
+		}
+		counts[i] = res.Instructions
+		if i == 0 {
+			cost = res.Cost
+		} else if res.Cost != cost {
+			return nil, fmt.Errorf("experiments: C(U) changed with width (%d vs %d)", res.Cost, cost)
+		}
+	}
+	// Linear model through the first and last sample. The multiply phase is
+	// Θ(w²) but small, so a near-linear fit is the expected shape.
+	w0, wn := float64(widths[0]), float64(widths[len(widths)-1])
+	c0, cn := float64(counts[0]), float64(counts[len(counts)-1])
+	slope := (cn - c0) / (wn - w0)
+	for i, w := range widths {
+		fit := c0 + slope*(float64(w)-w0)
+		dev := 100 * (float64(counts[i]) - fit) / fit
+		t.AddRow(w, counts[i], fmt.Sprintf("%.0f", fit), fmt.Sprintf("%+.1f", dev))
+	}
+	t.Notes = append(t.Notes,
+		"results are width-invariant (same C(U) at every width); only machine time changes",
+		"small negative mid-range deviations come from the Θ(w²) multiply being amortized by the linear anchor")
+	return t, nil
+}

@@ -1,0 +1,172 @@
+package hypercube
+
+import "fmt"
+
+// Benes permutation routing. The paper (§2) notes that "since the BVM
+// communication network resembles the Benes permutation network, it can
+// accomplish any permutation within O(log n) time if the control bits are
+// precalculated". This file reproduces that claim operationally: the control
+// bits for an arbitrary permutation are precalculated by the classical
+// looping algorithm, and the routing is then executed as 2·dim - 1 exchange
+// stages over hypercube dimensions 0, 1, .., dim-1, .., 1, 0 — each stage a
+// single ASCEND/DESCEND-style dimension step, so the same schedule runs on
+// the CCC (internal/cccsim) at its usual constant slowdown.
+
+// BenesStage is one exchange stage: PEs whose Swap bit is set exchange their
+// payload with their partner across Dim (the bit is always set consistently
+// on both ends of a pair).
+type BenesStage struct {
+	Dim  int
+	Swap []bool
+}
+
+// BenesControlBits precalculates the switch settings that realize dest:
+// the element starting at PE i must end at PE dest[i]. dest must be a
+// permutation of [0, 2^dim).
+func BenesControlBits(dim int, dest []int) ([]BenesStage, error) {
+	n := 1 << dim
+	if len(dest) != n {
+		return nil, fmt.Errorf("hypercube: dest length %d != 2^%d", len(dest), dim)
+	}
+	seen := make([]bool, n)
+	for _, d := range dest {
+		if d < 0 || d >= n || seen[d] {
+			return nil, fmt.Errorf("hypercube: dest is not a permutation")
+		}
+		seen[d] = true
+	}
+	// Stage layout: dims 0, 1, .., dim-1, dim-2, .., 0. The recursion at
+	// depth lv contributes its input stage at index lv and its output stage
+	// at index 2(dim-1)-lv; the innermost level (lv = dim-1) has a single
+	// stage. Control bits from both subnets at a level merge into the same
+	// stage vectors (they act on disjoint PEs).
+	total := 2*dim - 1
+	stages := make([]BenesStage, total)
+	for i := range stages {
+		d := i
+		if i >= dim {
+			d = 2*(dim-1) - i
+		}
+		stages[i] = BenesStage{Dim: d, Swap: make([]bool, n)}
+	}
+	// pes[i] is the flat PE hosting sub-network slot i; the sub-networks at
+	// depth lv occupy PEs agreeing on address bits < lv.
+	pes := make([]int, n)
+	for i := range pes {
+		pes[i] = i
+	}
+	benesRecurse(dim, 0, pes, dest, stages)
+	return stages, nil
+}
+
+// benesRecurse fills in the switch settings for one sub-network. pes maps
+// sub-slot -> flat PE; dest maps sub-slot -> sub-destination (both length
+// 2^(dim-lv)).
+func benesRecurse(dim, lv int, pes []int, dest []int, stages []BenesStage) {
+	n := len(dest)
+	inStage := &stages[lv]
+	if n == 2 {
+		// Single switch: swap iff element at slot 0 wants slot 1.
+		if dest[0] == 1 {
+			inStage.Swap[pes[0]] = true
+			inStage.Swap[pes[1]] = true
+		}
+		return
+	}
+	outStage := &stages[2*(dim-1)-lv]
+
+	// Looping algorithm: color each element top (0) or bottom (1) such that
+	// the two elements of every input pair {2i, 2i+1} and of every output
+	// pair {d, d^1} get different colors.
+	const uncolored = -1
+	color := make([]int, n)
+	for i := range color {
+		color[i] = uncolored
+	}
+	// elemAtDest[d] = input slot of the element destined to d.
+	elemAtDest := make([]int, n)
+	for i, d := range dest {
+		elemAtDest[d] = i
+	}
+	for start := 0; start < n; start++ {
+		if color[start] != uncolored {
+			continue
+		}
+		// Walk the constraint cycle alternating colors.
+		e, c := start, 0
+		for color[e] == uncolored {
+			color[e] = c
+			// Input-pair partner must take the other color...
+			partner := e ^ 1
+			if color[partner] == uncolored {
+				color[partner] = 1 - c
+			}
+			// ...and the element sharing the partner's output pair must
+			// differ from the partner, i.e. equal c. Continue the walk there.
+			e = elemAtDest[dest[partner]^1]
+		}
+	}
+
+	// Input switches: the top-colored element of each pair must sit at the
+	// even slot after the stage.
+	for p := 0; p < n/2; p++ {
+		if color[2*p] == 1 { // even slot holds a bottom element: swap
+			inStage.Swap[pes[2*p]] = true
+			inStage.Swap[pes[2*p+1]] = true
+		}
+	}
+	// Output switches: the element destined to the even output must come
+	// from the top subnet.
+	for p := 0; p < n/2; p++ {
+		if color[elemAtDest[2*p]] == 1 { // even output fed from bottom: swap
+			outStage.Swap[pes[2*p]] = true
+			outStage.Swap[pes[2*p+1]] = true
+		}
+	}
+
+	// Build the two sub-problems. After the input stage, the top element of
+	// input pair i sits at slot 2i, the bottom at 2i+1; inside the subnet
+	// they occupy sub-slot i. Destinations halve the same way.
+	half := n / 2
+	topPEs, botPEs := make([]int, half), make([]int, half)
+	topDest, botDest := make([]int, half), make([]int, half)
+	for p := 0; p < half; p++ {
+		topPEs[p] = pes[2*p]
+		botPEs[p] = pes[2*p+1]
+		a, b := 2*p, 2*p+1
+		if color[a] == 1 {
+			a, b = b, a // a = top element, b = bottom element
+		}
+		topDest[p] = dest[a] >> 1
+		botDest[p] = dest[b] >> 1
+	}
+	benesRecurse(dim, lv+1, topPEs, topDest, stages)
+	benesRecurse(dim, lv+1, botPEs, botDest, stages)
+}
+
+// RoutePermutation routes values through a Benes network on the lockstep
+// hypercube machine: out[dest[i]] = values[i]. Returns the routed slice and
+// the number of exchange stages (2·dim - 1).
+func RoutePermutation(dim int, values []uint64, dest []int) ([]uint64, int, error) {
+	stages, err := BenesControlBits(dim, dest)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := New[uint64](dim)
+	if len(values) != m.N {
+		return nil, 0, fmt.Errorf("hypercube: values length %d != 2^%d", len(values), dim)
+	}
+	copy(m.State(), values)
+	for _, st := range stages {
+		swap := st.Swap
+		m.Step(st.Dim, func(_, addr int, self, partner uint64) uint64 {
+			if swap[addr] {
+				return partner
+			}
+			return self
+		})
+	}
+	out := make([]uint64, m.N)
+	copy(out, m.State())
+	return out, len(stages), nil
+}

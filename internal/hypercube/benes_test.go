@@ -1,0 +1,131 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func checkRoute(t *testing.T, dim int, dest []int) {
+	t.Helper()
+	n := 1 << dim
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(1000 + i)
+	}
+	out, stageCount, err := RoutePermutation(dim, values, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stageCount != 2*dim-1 {
+		t.Fatalf("dim %d: %d stages, want %d", dim, stageCount, 2*dim-1)
+	}
+	for i := range values {
+		if out[dest[i]] != values[i] {
+			t.Fatalf("dim %d: element from %d should be at %d, found %d there",
+				dim, i, dest[i], out[dest[i]])
+		}
+	}
+}
+
+func TestBenesIdentityAndReversal(t *testing.T) {
+	for dim := 1; dim <= 6; dim++ {
+		n := 1 << dim
+		id := make([]int, n)
+		rev := make([]int, n)
+		for i := range id {
+			id[i] = i
+			rev[i] = n - 1 - i
+		}
+		checkRoute(t, dim, id)
+		checkRoute(t, dim, rev)
+	}
+}
+
+func TestBenesRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		dim := rng.Intn(7) + 1
+		dest := rng.Perm(1 << dim)
+		checkRoute(t, dim, dest)
+	}
+}
+
+func TestBenesLargeMachine(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	checkRoute(t, 11, rng.Perm(1<<11)) // 2048 PEs, the CCC r=3 size
+}
+
+// Property: arbitrary permutations derived from random swap sequences route
+// correctly.
+func TestPropertyBenesRoutes(t *testing.T) {
+	f := func(seed int64, dim8 uint8) bool {
+		dim := int(dim8)%5 + 1
+		rng := rand.New(rand.NewSource(seed))
+		dest := rng.Perm(1 << dim)
+		values := make([]uint64, 1<<dim)
+		for i := range values {
+			values[i] = uint64(i * 3)
+		}
+		out, _, err := RoutePermutation(dim, values, dest)
+		if err != nil {
+			return false
+		}
+		for i := range values {
+			if out[dest[i]] != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenesRejectsBadDest(t *testing.T) {
+	if _, err := BenesControlBits(2, []int{0, 1, 2}); err == nil {
+		t.Error("short dest accepted")
+	}
+	if _, err := BenesControlBits(2, []int{0, 1, 2, 2}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	if _, err := BenesControlBits(2, []int{0, 1, 2, 7}); err == nil {
+		t.Error("out-of-range dest accepted")
+	}
+	if _, _, err := RoutePermutation(2, make([]uint64, 3), []int{0, 1, 2, 3}); err == nil {
+		t.Error("short values accepted")
+	}
+}
+
+// TestBenesStagesAreConsistent: every stage's swap bits agree across partner
+// pairs (a switch has one setting, not two).
+func TestBenesStagesAreConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		dim := rng.Intn(5) + 2
+		stages, err := BenesControlBits(dim, rng.Perm(1<<dim))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, st := range stages {
+			for pe := range st.Swap {
+				if st.Swap[pe] != st.Swap[pe^1<<uint(st.Dim)] {
+					t.Fatalf("trial %d stage %d: inconsistent switch at PE %d", trial, si, pe)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkBenesRoute2048(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	dest := rng.Perm(1 << 11)
+	values := make([]uint64, 1<<11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RoutePermutation(11, values, dest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package hypercube
+
+import "fmt"
+
+// This file implements the paper's §4 dataflow algorithms in their hypercube
+// ASCEND form: broadcasting (one PE to all) and the two kinds of propagation
+// between "i-PE groups" (the sets of PEs whose addresses contain exactly i
+// one bits). The BVM instruction-level realizations live in internal/bvmalg;
+// these word-level versions are the reference semantics they are tested
+// against, and the source of the Figure 6 schedule.
+
+// Transmission records one sender-to-receiver transfer during a pass; Figure 6
+// of the paper lists exactly these for a 16-PE broadcast.
+type Transmission struct {
+	Dim  int
+	From int
+	To   int
+}
+
+func (tr Transmission) String() string {
+	return fmt.Sprintf("%04b -> %04b", tr.From, tr.To)
+}
+
+// Broadcast copies the value held by PE src to every PE of a 2^dim machine,
+// following the paper's Broadcasting() ASCEND algorithm: a SENDER bit marks
+// PEs that already hold the value; at dimension t, each PE at the 1-end of
+// its dimension-t link whose partner is a sender copies the value and the
+// sender bit. (The paper broadcasts from PE 0; src generalizes by symmetry —
+// "1-end" is interpreted relative to src, i.e. the end whose address differs
+// from src in bit t.) It returns the final values and the transmission
+// schedule grouped by dimension.
+func Broadcast[T any](dim int, values []T, src int) ([]T, []Transmission) {
+	n := 1 << dim
+	if len(values) != n {
+		panic(fmt.Sprintf("hypercube: values length %d != 2^%d", len(values), dim))
+	}
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("hypercube: source PE %d out of range", src))
+	}
+	type st struct {
+		v      T
+		sender bool
+	}
+	m := New[st](dim)
+	state := m.State()
+	for i, v := range values {
+		state[i] = st{v: v}
+	}
+	state[src].sender = true
+	var sched []Transmission
+	m.Ascend(func(t, addr int, self, partner st) st {
+		if !self.sender && partner.sender && (addr^src)&(1<<t) != 0 {
+			sched = append(sched, Transmission{Dim: t, From: addr ^ 1<<t, To: addr})
+			return st{v: partner.v, sender: true}
+		}
+		return self
+	})
+	out := make([]T, n)
+	for i, s := range m.State() {
+		out[i] = s.v
+		if !s.sender {
+			panic(fmt.Sprintf("hypercube: broadcast failed to reach PE %d", i))
+		}
+	}
+	return out, sched
+}
+
+// Propagation1 implements the paper's first kind of propagation: data flows
+// from the g-PE group (addresses with exactly g one bits) to the (g+1)-PE
+// group. PE j in the (g+1)-group combines, into its own state, the states of
+// every PE k in the g-group with k ⊂ j (as bit sets). Sender marks are NOT
+// forwarded during the pass, so data moves exactly one group up.
+//
+// combine(self, incoming) must be insensitive to the order of incoming
+// values (the paper uses logical OR / min). Values of PEs outside the two
+// groups are left unchanged.
+func Propagation1[T any](dim int, values []T, g int, combine func(self, incoming T) T) []T {
+	n := 1 << dim
+	if len(values) != n {
+		panic(fmt.Sprintf("hypercube: values length %d != 2^%d", len(values), dim))
+	}
+	if g < 0 || g >= dim {
+		panic(fmt.Sprintf("hypercube: group %d out of range [0,%d)", g, dim))
+	}
+	type st struct {
+		v      T
+		sender bool
+	}
+	m := New[st](dim)
+	state := m.State()
+	for i, v := range values {
+		state[i] = st{v: v, sender: popcount(i) == g}
+	}
+	m.Ascend(func(t, addr int, self, partner st) st {
+		// 1-END(PE[j], t) && SENDER(PE[j#t]): j has bit t set, partner is a
+		// sender (so j has exactly g+1 bits and k = j minus bit t ⊆ j).
+		if addr&(1<<t) != 0 && partner.sender {
+			self.v = combine(self.v, partner.v)
+		}
+		return self
+	})
+	out := make([]T, n)
+	for i, s := range m.State() {
+		out[i] = s.v
+	}
+	return out
+}
+
+// Propagation2 implements the paper's second kind of propagation: data flows
+// from the g-PE group to every higher group in a single ASCEND pass, because
+// a receiver immediately becomes a legal sender (the sender mark travels with
+// the data and marks are merged by OR). After the pass, every PE j with
+// popcount(j) >= g holds the combination of the states of all g-group PEs
+// k ⊆ j.
+func Propagation2[T any](dim int, values []T, g int, combine func(self, incoming T) T) []T {
+	n := 1 << dim
+	if len(values) != n {
+		panic(fmt.Sprintf("hypercube: values length %d != 2^%d", len(values), dim))
+	}
+	if g < 0 || g >= dim {
+		panic(fmt.Sprintf("hypercube: group %d out of range [0,%d)", g, dim))
+	}
+	type st struct {
+		v      T
+		sender bool
+	}
+	m := New[st](dim)
+	state := m.State()
+	for i, v := range values {
+		state[i] = st{v: v, sender: popcount(i) == g}
+	}
+	m.Ascend(func(t, addr int, self, partner st) st {
+		if addr&(1<<t) != 0 && partner.sender {
+			self.v = combine(self.v, partner.v)
+			self.sender = true
+		}
+		return self
+	})
+	out := make([]T, n)
+	for i, s := range m.State() {
+		out[i] = s.v
+	}
+	return out
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,166 @@
+// Package hypercube implements the hypercube SIMD machine abstraction and the
+// ASCEND/DESCEND algorithm scheme of Preparata and Vuillemin, which the paper
+// (§3) uses as the design vehicle for its parallel test-and-treatment
+// algorithm: one designs a hypercube ASCEND/DESCEND algorithm and then maps
+// it onto the cube-connected-cycles machine (internal/cccsim) at a constant
+// slowdown.
+//
+// A Machine[T] holds one state value of type T per PE; an ASCEND pass applies
+// a combining operation across PE pairs whose addresses differ in bit 0, then
+// bit 1, ..., then bit Dim-1 (DESCEND runs the dimensions in the opposite
+// order). Two executors are provided: a deterministic lockstep executor that
+// also counts steps and exchanges (the basis for the paper's step-count
+// claims) and a goroutine-per-PE executor in which the PEs genuinely run
+// concurrently and exchange values over channels — the "goroutines simulate
+// PEs" realization used to validate that the algorithms are correct under
+// true asynchrony.
+package hypercube
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Op is one dimension step of an ASCEND/DESCEND algorithm. At dimension dim,
+// PE self (with address selfAddr) receives the state of its partner PE
+// (address selfAddr XOR 1<<dim) and returns its new state. All PEs apply the
+// op synchronously: every partner value passed in is the pre-step state.
+type Op[T any] func(dim, selfAddr int, self, partner T) T
+
+// Machine is a lockstep simulation of a 2^Dim-PE hypercube.
+type Machine[T any] struct {
+	Dim int
+	N   int
+
+	state   []T
+	scratch []T
+
+	// Steps counts dimension steps executed (one per dimension per pass).
+	Steps int
+	// Exchanges counts total pairwise values transferred (N per step).
+	Exchanges int64
+}
+
+// New returns a machine of 2^dim PEs with zero-valued state.
+func New[T any](dim int) *Machine[T] {
+	if dim < 0 || dim > 30 {
+		panic(fmt.Sprintf("hypercube: dim %d out of range [0,30]", dim))
+	}
+	n := 1 << dim
+	return &Machine[T]{Dim: dim, N: n, state: make([]T, n), scratch: make([]T, n)}
+}
+
+// State returns the live state slice; callers may initialize or inspect it.
+func (m *Machine[T]) State() []T { return m.state }
+
+// Step applies op across one dimension, synchronously over all PEs.
+func (m *Machine[T]) Step(dim int, op Op[T]) {
+	if dim < 0 || dim >= m.Dim {
+		panic(fmt.Sprintf("hypercube: dimension %d out of range [0,%d)", dim, m.Dim))
+	}
+	bit := 1 << dim
+	for x := 0; x < m.N; x++ {
+		m.scratch[x] = op(dim, x, m.state[x], m.state[x^bit])
+	}
+	m.state, m.scratch = m.scratch, m.state
+	m.Steps++
+	m.Exchanges += int64(m.N)
+}
+
+// Ascend applies op over dimensions 0, 1, ..., Dim-1.
+func (m *Machine[T]) Ascend(op Op[T]) { m.AscendRange(0, m.Dim, op) }
+
+// Descend applies op over dimensions Dim-1, ..., 1, 0.
+func (m *Machine[T]) Descend(op Op[T]) { m.DescendRange(0, m.Dim, op) }
+
+// AscendRange applies op over dimensions lo, lo+1, ..., hi-1. The paper's TT
+// algorithm uses partial ranges: its minimization ascends only the action
+// index bits while its broadcast loops ascend only the set bits.
+func (m *Machine[T]) AscendRange(lo, hi int, op Op[T]) {
+	m.checkRange(lo, hi)
+	for t := lo; t < hi; t++ {
+		m.Step(t, op)
+	}
+}
+
+// DescendRange applies op over dimensions hi-1, ..., lo.
+func (m *Machine[T]) DescendRange(lo, hi int, op Op[T]) {
+	m.checkRange(lo, hi)
+	for t := hi - 1; t >= lo; t-- {
+		m.Step(t, op)
+	}
+}
+
+func (m *Machine[T]) checkRange(lo, hi int) {
+	if lo < 0 || hi > m.Dim || lo > hi {
+		panic(fmt.Sprintf("hypercube: range [%d,%d) invalid for dim %d", lo, hi, m.Dim))
+	}
+}
+
+// ResetCounters zeroes the step and exchange counters.
+func (m *Machine[T]) ResetCounters() {
+	m.Steps = 0
+	m.Exchanges = 0
+}
+
+// AscendGoroutines runs an ASCEND pass over dimensions lo..hi-1 with one
+// goroutine per PE. Each PE sends its current value to its dimension partner
+// and receives the partner's over buffered channels, so the pass is correct
+// without any global barrier: a PE cannot emit its dimension-t+1 value before
+// consuming its partner's dimension-t value. init is not modified; the
+// returned slice holds the final states.
+func AscendGoroutines[T any](dim, lo, hi int, init []T, op Op[T]) []T {
+	return goroutinePass(dim, lo, hi, init, op, false)
+}
+
+// DescendGoroutines is AscendGoroutines with dimensions in descending order.
+func DescendGoroutines[T any](dim, lo, hi int, init []T, op Op[T]) []T {
+	return goroutinePass(dim, lo, hi, init, op, true)
+}
+
+func goroutinePass[T any](dim, lo, hi int, init []T, op Op[T], descending bool) []T {
+	n := 1 << dim
+	if len(init) != n {
+		panic(fmt.Sprintf("hypercube: init length %d != 2^%d", len(init), dim))
+	}
+	if lo < 0 || hi > dim || lo > hi {
+		panic(fmt.Sprintf("hypercube: range [%d,%d) invalid for dim %d", lo, hi, dim))
+	}
+	out := make([]T, n)
+	// One channel per (PE, dimension): a PE that races ahead to a later
+	// dimension cannot have its message consumed by a slower partner that is
+	// still waiting on an earlier dimension.
+	inbox := make([][]chan T, n)
+	for i := range inbox {
+		inbox[i] = make([]chan T, dim)
+		for t := range inbox[i] {
+			inbox[i][t] = make(chan T, 1)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for x := 0; x < n; x++ {
+		go func(x int) {
+			defer wg.Done()
+			v := init[x]
+			step := func(t int) {
+				partner := x ^ 1<<t
+				inbox[partner][t] <- v
+				pv := <-inbox[x][t]
+				v = op(t, x, v, pv)
+			}
+			if descending {
+				for t := hi - 1; t >= lo; t-- {
+					step(t)
+				}
+			} else {
+				for t := lo; t < hi; t++ {
+					step(t)
+				}
+			}
+			out[x] = v
+		}(x)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,378 @@
+package hypercube
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func minOp(t, addr int, self, partner uint64) uint64 {
+	if partner < self {
+		return partner
+	}
+	return self
+}
+
+func sumOp(t, addr int, self, partner uint64) uint64 { return self + partner }
+
+func TestNewZeroState(t *testing.T) {
+	m := New[int](4)
+	if m.N != 16 || m.Dim != 4 {
+		t.Fatalf("machine geometry: N=%d Dim=%d", m.N, m.Dim)
+	}
+	for i, v := range m.State() {
+		if v != 0 {
+			t.Fatalf("state[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestNewPanicsOnBadDim(t *testing.T) {
+	for _, d := range []int{-1, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", d)
+				}
+			}()
+			New[int](d)
+		}()
+	}
+}
+
+// TestAscendMinFigure7 reproduces the paper's Figure 7 example: the ASCEND
+// minimization with p = 3 (8 lanes). After dimension q, every aligned block
+// of 2^(q+1) lanes whose base index j has j/2^(q+1) even... in the paper's
+// statement: M[j] = min of its aligned 2^(q+1) block. After the full pass all
+// lanes hold the global minimum.
+func TestAscendMinFigure7(t *testing.T) {
+	vals := []uint64{5, 3, 9, 7, 2, 8, 6, 4}
+	m := New[uint64](3)
+	copy(m.State(), vals)
+
+	m.Step(0, minOp)
+	want0 := []uint64{3, 3, 7, 7, 2, 2, 4, 4}
+	if !reflect.DeepEqual(m.State(), want0) {
+		t.Fatalf("after dim 0: %v, want %v", m.State(), want0)
+	}
+	m.Step(1, minOp)
+	want1 := []uint64{3, 3, 3, 3, 2, 2, 2, 2}
+	if !reflect.DeepEqual(m.State(), want1) {
+		t.Fatalf("after dim 1: %v, want %v", m.State(), want1)
+	}
+	m.Step(2, minOp)
+	for i, v := range m.State() {
+		if v != 2 {
+			t.Fatalf("after dim 2: lane %d = %d, want global min 2", i, v)
+		}
+	}
+	if m.Steps != 3 {
+		t.Fatalf("Steps = %d, want 3", m.Steps)
+	}
+	if m.Exchanges != 24 {
+		t.Fatalf("Exchanges = %d, want 24", m.Exchanges)
+	}
+}
+
+func TestAscendSumComputesTotal(t *testing.T) {
+	// ASCEND with addition makes every lane the total sum.
+	m := New[uint64](5)
+	var total uint64
+	for i := range m.State() {
+		m.State()[i] = uint64(i * i)
+		total += uint64(i * i)
+	}
+	m.Ascend(sumOp)
+	for i, v := range m.State() {
+		if v != total {
+			t.Fatalf("lane %d = %d, want %d", i, v, total)
+		}
+	}
+}
+
+func TestDescendEqualsAscendForCommutativeOp(t *testing.T) {
+	// For min, pass order doesn't matter: both reach the global min.
+	a := New[uint64](4)
+	d := New[uint64](4)
+	rng := rand.New(rand.NewSource(7))
+	for i := range a.State() {
+		v := uint64(rng.Intn(1000))
+		a.State()[i] = v
+		d.State()[i] = v
+	}
+	a.Ascend(minOp)
+	d.Descend(minOp)
+	if !reflect.DeepEqual(a.State(), d.State()) {
+		t.Fatal("ascend and descend min disagree")
+	}
+}
+
+func TestAscendRangePartial(t *testing.T) {
+	// Ascending only dims [1,3) reduces within groups of addresses equal
+	// outside bits 1-2.
+	m := New[uint64](4)
+	for i := range m.State() {
+		m.State()[i] = uint64(100 - i)
+	}
+	m.AscendRange(1, 3, minOp)
+	for x := 0; x < m.N; x++ {
+		want := uint64(1<<63 - 1)
+		for y := 0; y < m.N; y++ {
+			if y&^0b0110 == x&^0b0110 {
+				if v := uint64(100 - y); v < want {
+					want = v
+				}
+			}
+		}
+		if m.State()[x] != want {
+			t.Fatalf("lane %d = %d, want %d", x, m.State()[x], want)
+		}
+	}
+}
+
+func TestStepPanicsOnBadDim(t *testing.T) {
+	m := New[uint64](3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step(3) did not panic on a dim-3 machine")
+		}
+	}()
+	m.Step(3, minOp)
+}
+
+func TestResetCounters(t *testing.T) {
+	m := New[uint64](3)
+	m.Ascend(minOp)
+	m.ResetCounters()
+	if m.Steps != 0 || m.Exchanges != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+// TestGoroutinesMatchLockstep drives both executors with an order-sensitive
+// but deterministic op over random data and checks exact agreement.
+func TestGoroutinesMatchLockstep(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	op := func(tt, addr int, self, partner uint64) uint64 {
+		// Deliberately non-commutative in (self, partner) and dim-dependent.
+		return self*3 + partner*5 + uint64(tt) + uint64(addr&1)
+	}
+	for _, dim := range []int{1, 3, 6, 9} {
+		init := make([]uint64, 1<<dim)
+		for i := range init {
+			init[i] = uint64(rng.Intn(1 << 20))
+		}
+		m := New[uint64](dim)
+		copy(m.State(), init)
+		m.Ascend(op)
+		got := AscendGoroutines(dim, 0, dim, init, op)
+		if !reflect.DeepEqual(got, m.State()) {
+			t.Fatalf("dim %d: goroutine ascend disagrees with lockstep", dim)
+		}
+
+		m2 := New[uint64](dim)
+		copy(m2.State(), init)
+		m2.Descend(op)
+		gotD := DescendGoroutines(dim, 0, dim, init, op)
+		if !reflect.DeepEqual(gotD, m2.State()) {
+			t.Fatalf("dim %d: goroutine descend disagrees with lockstep", dim)
+		}
+	}
+}
+
+func TestGoroutinesPartialRange(t *testing.T) {
+	dim := 5
+	init := make([]uint64, 1<<dim)
+	for i := range init {
+		init[i] = uint64(i)
+	}
+	m := New[uint64](dim)
+	copy(m.State(), init)
+	m.AscendRange(2, 4, sumOp)
+	got := AscendGoroutines(dim, 2, 4, init, sumOp)
+	if !reflect.DeepEqual(got, m.State()) {
+		t.Fatal("partial-range goroutine ascend disagrees with lockstep")
+	}
+}
+
+// TestBroadcastFigure6 reproduces the paper's Figure 6: the transmission
+// schedule for broadcasting from PE 0000 on a 16-PE machine.
+func TestBroadcastFigure6(t *testing.T) {
+	vals := make([]string, 16)
+	vals[0] = "payload"
+	out, sched := Broadcast(4, vals, 0)
+	for i, v := range out {
+		if v != "payload" {
+			t.Fatalf("PE %04b did not receive payload: %q", i, v)
+		}
+	}
+	want := []Transmission{
+		{0, 0b0000, 0b0001},
+		{1, 0b0000, 0b0010}, {1, 0b0001, 0b0011},
+		{2, 0b0000, 0b0100}, {2, 0b0001, 0b0101}, {2, 0b0010, 0b0110}, {2, 0b0011, 0b0111},
+		{3, 0b0000, 0b1000}, {3, 0b0001, 0b1001}, {3, 0b0010, 0b1010}, {3, 0b0011, 0b1011},
+		{3, 0b0100, 0b1100}, {3, 0b0101, 0b1101}, {3, 0b0110, 0b1110}, {3, 0b0111, 0b1111},
+	}
+	if !reflect.DeepEqual(sched, want) {
+		t.Fatalf("schedule:\n got %v\nwant %v", sched, want)
+	}
+}
+
+func TestBroadcastFromNonzeroSource(t *testing.T) {
+	vals := make([]int, 8)
+	vals[5] = 42
+	out, sched := Broadcast(3, vals, 5)
+	for i, v := range out {
+		if v != 42 {
+			t.Fatalf("PE %d = %d, want 42", i, v)
+		}
+	}
+	if len(sched) != 7 {
+		t.Fatalf("schedule length %d, want 7", len(sched))
+	}
+}
+
+func TestTransmissionString(t *testing.T) {
+	tr := Transmission{Dim: 2, From: 0b0011, To: 0b0111}
+	if got := tr.String(); got != "0011 -> 0111" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// TestPropagation1PaperExample checks the paper's example: dim 4, from the
+// 2-PE group; PE 0111 receives data from PEs 0110, 0101 and 0011.
+func TestPropagation1PaperExample(t *testing.T) {
+	vals := make([][]int, 16)
+	for i := range vals {
+		if popcount(i) == 2 {
+			vals[i] = []int{i}
+		}
+	}
+	out := Propagation1(4, vals, 2, func(self, in []int) []int {
+		merged := append(append([]int{}, self...), in...)
+		return merged
+	})
+	got := map[int]bool{}
+	for _, v := range out[0b0111] {
+		got[v] = true
+	}
+	want := []int{0b0110, 0b0101, 0b0011}
+	if len(got) != len(want) {
+		t.Fatalf("PE 0111 received %v, want %v", out[0b0111], want)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Fatalf("PE 0111 missing sender %04b (got %v)", w, out[0b0111])
+		}
+	}
+	// A 2-group PE must not have received anything (one-group hop only).
+	if len(out[0b0011]) != 1 || out[0b0011][0] != 0b0011 {
+		t.Fatalf("sender PE 0011 was modified: %v", out[0b0011])
+	}
+}
+
+// TestPropagation1AllReceivers verifies the general contract on every
+// (g+1)-group PE: it combines exactly its g-subsets.
+func TestPropagation1AllReceivers(t *testing.T) {
+	const dim = 5
+	for g := 0; g < dim-1; g++ {
+		vals := make([]uint64, 1<<dim)
+		for i := range vals {
+			if popcount(i) == g {
+				vals[i] = 1 << uint(i%60)
+			}
+		}
+		out := Propagation1(dim, vals, g, func(self, in uint64) uint64 { return self | in })
+		for j := 0; j < 1<<dim; j++ {
+			if popcount(j) != g+1 {
+				continue
+			}
+			var want uint64
+			for k := 0; k < 1<<dim; k++ {
+				if popcount(k) == g && k&^j == 0 {
+					want |= 1 << uint(k%60)
+				}
+			}
+			if out[j] != want {
+				t.Fatalf("g=%d PE %05b: got %#x want %#x", g, j, out[j], want)
+			}
+		}
+	}
+}
+
+// TestPropagation2PaperExample checks the paper's second example: dim 4 from
+// the 1-PE group; PE 1111 ends with data from 0001, 0010, 0100, 1000, and
+// PE 0111 with data from 0001, 0010, 0100.
+func TestPropagation2PaperExample(t *testing.T) {
+	vals := make([]uint64, 16)
+	for i := range vals {
+		if popcount(i) == 1 {
+			vals[i] = uint64(i) << 8 // distinct tag per sender
+		}
+	}
+	or := func(self, in uint64) uint64 { return self | in }
+	out := Propagation2(4, vals, 1, or)
+	if want := uint64(0b0001|0b0010|0b0100|0b1000) << 8; out[0b1111] != want {
+		t.Fatalf("PE 1111 = %#x, want %#x", out[0b1111], want)
+	}
+	if want := uint64(0b0001|0b0010|0b0100) << 8; out[0b0111] != want {
+		t.Fatalf("PE 0111 = %#x, want %#x", out[0b0111], want)
+	}
+}
+
+// Property: Propagation2 gives every PE j the OR of all g-group subsets of j.
+func TestPropertyPropagation2Contract(t *testing.T) {
+	const dim = 4
+	f := func(g8 uint8) bool {
+		g := int(g8) % dim
+		vals := make([]uint64, 1<<dim)
+		for i := range vals {
+			if popcount(i) == g {
+				vals[i] = 1 << uint(i)
+			}
+		}
+		out := Propagation2(dim, vals, g, func(a, b uint64) uint64 { return a | b })
+		for j := 0; j < 1<<dim; j++ {
+			var want uint64
+			for k := 0; k < 1<<dim; k++ {
+				if popcount(k) == g && k&^j == 0 {
+					want |= 1 << uint(k)
+				}
+			}
+			if popcount(j) < g {
+				want = vals[j]
+			}
+			if out[j] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAscendMinLockstep(b *testing.B) {
+	m := New[uint64](14)
+	for i := range m.State() {
+		m.State()[i] = uint64(i * 2654435761)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Ascend(minOp)
+	}
+}
+
+func BenchmarkAscendMinGoroutines(b *testing.B) {
+	const dim = 10
+	init := make([]uint64, 1<<dim)
+	for i := range init {
+		init[i] = uint64(i * 2654435761)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AscendGoroutines(dim, 0, dim, init, minOp)
+	}
+}

@@ -1,0 +1,184 @@
+package hypercube
+
+import "fmt"
+
+// This file implements the SIMD data-movement kernels of Nassimi and Sahni,
+// the paper's reference [9] for broadcasting on SIMD machines: ranking the
+// flagged PEs, concentrating their records into a contiguous prefix, and
+// distributing a prefix back out to flagged PEs. They complement the
+// broadcast/propagation routines of dataflow.go and are the standard tool
+// chest for processor allocation on hypercube-style machines.
+
+// RankFlagged returns, for every PE, the number of flagged PEs with a
+// strictly smaller address, and the total number of flagged PEs. One ASCEND
+// pass: after processing dimension t, each PE knows the flagged count of its
+// dims<=t subcube and its rank within it; a PE whose bit t is set gains its
+// sibling subcube's entire count.
+func RankFlagged(dim int, flags []bool) (ranks []int, total int) {
+	n := 1 << dim
+	if len(flags) != n {
+		panic(fmt.Sprintf("hypercube: flags length %d != 2^%d", len(flags), dim))
+	}
+	type st struct{ count, rank int }
+	m := New[st](dim)
+	state := m.State()
+	for i, f := range flags {
+		if f {
+			state[i] = st{count: 1}
+		}
+	}
+	m.Ascend(func(t, addr int, self, partner st) st {
+		if addr&(1<<t) != 0 {
+			self.rank += partner.count
+		}
+		self.count += partner.count
+		return self
+	})
+	ranks = make([]int, n)
+	for i, s := range m.State() {
+		ranks[i] = s.rank
+	}
+	return ranks, m.State()[0].count
+}
+
+// Concentrate routes the records of flagged PEs to PEs 0..total-1, ordered
+// by address (PE with the i-th smallest flagged address ends at PE i). The
+// returned occupancy slice marks which destination slots hold records.
+// Routing corrects destination bits dimension by dimension; Nassimi-Sahni's
+// theorem guarantees no two records ever contend for a slot, which this
+// implementation asserts.
+func Concentrate[T any](dim int, flags []bool, records []T) (out []T, occupied []bool) {
+	n := 1 << dim
+	if len(flags) != n || len(records) != n {
+		panic(fmt.Sprintf("hypercube: inputs length %d/%d != 2^%d", len(flags), len(records), dim))
+	}
+	ranks, _ := RankFlagged(dim, flags)
+	type slot struct {
+		has  bool
+		dest int
+		rec  T
+	}
+	cur := make([]slot, n)
+	for i := range cur {
+		if flags[i] {
+			cur[i] = slot{has: true, dest: ranks[i], rec: records[i]}
+		}
+	}
+	for t := 0; t < dim; t++ {
+		next := make([]slot, n)
+		for x, s := range cur {
+			if !s.has {
+				continue
+			}
+			y := x&^(1<<t) | s.dest&(1<<t)
+			if next[y].has {
+				panic(fmt.Sprintf("hypercube: concentration collision at PE %d, dim %d", y, t))
+			}
+			next[y] = s
+		}
+		cur = next
+	}
+	out = make([]T, n)
+	occupied = make([]bool, n)
+	for x, s := range cur {
+		if !s.has {
+			continue
+		}
+		if s.dest != x {
+			panic(fmt.Sprintf("hypercube: record for slot %d stranded at %d", s.dest, x))
+		}
+		out[x] = s.rec
+		occupied[x] = true
+	}
+	return out, occupied
+}
+
+// Distribute is the inverse of Concentrate: records in the contiguous prefix
+// PEs 0..total-1 are routed back out to the flagged PEs, in address order
+// (the record at PE i goes to the i-th smallest flagged address).
+func Distribute[T any](dim int, flags []bool, prefix []T) []T {
+	n := 1 << dim
+	if len(flags) != n || len(prefix) != n {
+		panic(fmt.Sprintf("hypercube: inputs length %d/%d != 2^%d", len(flags), len(prefix), dim))
+	}
+	ranks, total := RankFlagged(dim, flags)
+	type slot struct {
+		has  bool
+		dest int
+		rec  T
+	}
+	cur := make([]slot, n)
+	for x := 0; x < total; x++ {
+		cur[x] = slot{has: true, rec: prefix[x]}
+	}
+	// Destination of the record at prefix slot i is the flagged PE with
+	// rank i; PEs know their own rank, so invert locally.
+	destOf := make([]int, total)
+	for x, f := range flags {
+		if f {
+			destOf[ranks[x]] = x
+		}
+	}
+	for x := 0; x < total; x++ {
+		cur[x].dest = destOf[x]
+	}
+	// Distribution is concentration run backwards: correct bits high to low.
+	for t := dim - 1; t >= 0; t-- {
+		next := make([]slot, n)
+		for x, s := range cur {
+			if !s.has {
+				continue
+			}
+			y := x&^(1<<t) | s.dest&(1<<t)
+			if next[y].has {
+				panic(fmt.Sprintf("hypercube: distribution collision at PE %d, dim %d", y, t))
+			}
+			next[y] = s
+		}
+		cur = next
+	}
+	out := make([]T, n)
+	for x, s := range cur {
+		if s.has {
+			if s.dest != x {
+				panic(fmt.Sprintf("hypercube: record for PE %d stranded at %d", s.dest, x))
+			}
+			out[x] = s.rec
+		}
+	}
+	return out
+}
+
+// Generalize completes the Nassimi-Sahni kernel trio: the record at prefix
+// slot i is broadcast to every PE j whose rank-interval it owns — i.e. PE j
+// (flagged or not) receives the record of the highest prefix slot i <= the
+// number of flagged PEs with address <= j, clamped to the prefix. With
+// flags marking interval starts, this implements "each selected PE's value
+// fills forward to the next selected PE", the generalization step of
+// Nassimi and Sahni's broadcast framework (the paper's reference [9]).
+func Generalize[T any](dim int, flags []bool, prefix []T) []T {
+	n := 1 << dim
+	if len(flags) != n || len(prefix) != n {
+		panic(fmt.Sprintf("hypercube: inputs length %d/%d != 2^%d", len(flags), len(prefix), dim))
+	}
+	ranks, total := RankFlagged(dim, flags)
+	out := make([]T, n)
+	if total == 0 {
+		return out
+	}
+	// PE j's owner is the flagged PE at or before j; its record sits at
+	// prefix slot rank(owner). ranks[j] counts flagged PEs strictly below j,
+	// so the owner slot is ranks[j]-1+flag(j), clamped at 0 (PEs before the
+	// first flagged PE receive the first record).
+	for j := 0; j < n; j++ {
+		slot := ranks[j] - 1
+		if flags[j] {
+			slot++
+		}
+		if slot < 0 {
+			slot = 0
+		}
+		out[j] = prefix[slot]
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankFlaggedSmall(t *testing.T) {
+	flags := []bool{false, true, true, false, true, false, false, true}
+	ranks, total := RankFlagged(3, flags)
+	if total != 4 {
+		t.Fatalf("total = %d, want 4", total)
+	}
+	want := map[int]int{1: 0, 2: 1, 4: 2, 7: 3}
+	for pe, r := range want {
+		if ranks[pe] != r {
+			t.Errorf("rank[%d] = %d, want %d", pe, ranks[pe], r)
+		}
+	}
+}
+
+func TestRankFlaggedProperty(t *testing.T) {
+	f := func(mask uint16) bool {
+		const dim = 4
+		flags := make([]bool, 1<<dim)
+		for i := range flags {
+			flags[i] = mask>>uint(i)&1 == 1
+		}
+		ranks, total := RankFlagged(dim, flags)
+		count := 0
+		for i := range flags {
+			if flags[i] {
+				if ranks[i] != count {
+					return false
+				}
+				count++
+			}
+		}
+		return total == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcentrateOrdersByAddress(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		dim := rng.Intn(4) + 2
+		n := 1 << dim
+		flags := make([]bool, n)
+		records := make([]int, n)
+		var want []int
+		for i := range flags {
+			flags[i] = rng.Intn(2) == 1
+			records[i] = 1000 + i
+			if flags[i] {
+				want = append(want, 1000+i)
+			}
+		}
+		out, occ := Concentrate(dim, flags, records)
+		for i, w := range want {
+			if !occ[i] || out[i] != w {
+				t.Fatalf("trial %d: slot %d = %d (occ %v), want %d", trial, i, out[i], occ[i], w)
+			}
+		}
+		for i := len(want); i < n; i++ {
+			if occ[i] {
+				t.Fatalf("trial %d: slot %d unexpectedly occupied", trial, i)
+			}
+		}
+	}
+}
+
+func TestDistributeInvertsConcentrate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		dim := rng.Intn(4) + 2
+		n := 1 << dim
+		flags := make([]bool, n)
+		records := make([]int, n)
+		for i := range flags {
+			flags[i] = rng.Intn(3) != 0
+			if flags[i] {
+				records[i] = 7000 + i
+			}
+		}
+		prefix, _ := Concentrate(dim, flags, records)
+		back := Distribute(dim, flags, prefix)
+		for i := range flags {
+			if flags[i] && back[i] != records[i] {
+				t.Fatalf("trial %d: PE %d got %d, want %d", trial, i, back[i], records[i])
+			}
+			if !flags[i] && back[i] != 0 {
+				t.Fatalf("trial %d: unflagged PE %d got %d", trial, i, back[i])
+			}
+		}
+	}
+}
+
+func TestConcentrateEdgeCases(t *testing.T) {
+	// All flagged: identity.
+	flags := []bool{true, true, true, true}
+	recs := []string{"a", "b", "c", "d"}
+	out, occ := Concentrate(2, flags, recs)
+	for i, r := range recs {
+		if !occ[i] || out[i] != r {
+			t.Fatalf("all-flagged slot %d = %q", i, out[i])
+		}
+	}
+	// None flagged: empty.
+	_, occ = Concentrate(2, make([]bool, 4), recs)
+	for i, o := range occ {
+		if o {
+			t.Fatalf("slot %d occupied with no flags", i)
+		}
+	}
+}
+
+func TestRouteInputValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short flags did not panic")
+		}
+	}()
+	RankFlagged(3, make([]bool, 4))
+}
+
+func BenchmarkConcentrate(b *testing.B) {
+	const dim = 12
+	rng := rand.New(rand.NewSource(3))
+	flags := make([]bool, 1<<dim)
+	recs := make([]int, 1<<dim)
+	for i := range flags {
+		flags[i] = rng.Intn(2) == 1
+		recs[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Concentrate(dim, flags, recs)
+	}
+}
+
+func TestGeneralizeFillsIntervals(t *testing.T) {
+	// Flags at 2 and 5 on 8 PEs; prefix holds ["a","b"].
+	flags := []bool{false, false, true, false, false, true, false, false}
+	prefix := make([]string, 8)
+	prefix[0], prefix[1] = "a", "b"
+	out := Generalize(3, flags, prefix)
+	want := []string{"a", "a", "a", "a", "a", "b", "b", "b"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("PE %d = %q, want %q (full: %v)", i, out[i], want[i], out)
+		}
+	}
+}
+
+func TestGeneralizeRoundTripWithConcentrate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		dim := rng.Intn(4) + 2
+		n := 1 << dim
+		flags := make([]bool, n)
+		records := make([]int, n)
+		any := false
+		for i := range flags {
+			flags[i] = rng.Intn(3) == 0
+			if flags[i] {
+				records[i] = 100 + i
+				any = true
+			}
+		}
+		if !any {
+			flags[0] = true
+			records[0] = 100
+		}
+		prefix, _ := Concentrate(dim, flags, records)
+		out := Generalize(dim, flags, prefix)
+		// Every flagged PE must get its own record back; PEs after it (until
+		// the next flagged PE) the same record.
+		current := 0
+		for j := 0; j < n; j++ {
+			if flags[j] {
+				current = records[j]
+			}
+			if current != 0 && out[j] != current {
+				t.Fatalf("trial %d PE %d: got %d, want %d", trial, j, out[j], current)
+			}
+		}
+	}
+}
+
+func TestGeneralizeEmpty(t *testing.T) {
+	out := Generalize(2, make([]bool, 4), make([]int, 4))
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("empty generalize produced data")
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package hypercube
+
+// Bitonic sorting — the flagship member of the ASCEND/DESCEND algorithm
+// class the paper builds on (§3; Preparata and Vuillemin introduce the
+// scheme with merging/sorting networks). Batcher's bitonic sorter on a
+// 2^dim-PE hypercube runs dim stages; stage s merges bitonic sequences of
+// length 2^(s+1) with one DESCEND pass over dimensions s..0, where each
+// compare-exchange keeps the minimum at the 0-end or the maximum, depending
+// on bit s+1 of the PE address (the merge direction). Because each stage is
+// a DESCEND pass, the whole sorter runs unchanged on the CCC simulator —
+// sorting on a 3-links-per-PE machine.
+
+// BitonicOp returns the compare-exchange op for merge stage s; exported so
+// internal/cccsim can run the identical sorter on the CCC.
+func BitonicOp(s int) Op[uint64] {
+	return func(t, addr int, self, partner uint64) uint64 {
+		ascending := addr>>(uint(s)+1)&1 == 0
+		amLow := addr>>uint(t)&1 == 0
+		keepMin := ascending == amLow
+		if keepMin {
+			return min(self, partner)
+		}
+		return max(self, partner)
+	}
+}
+
+// BitonicSort sorts the machine's values in place into ascending address
+// order, using dim·(dim+1)/2 dimension steps.
+func BitonicSort(m *Machine[uint64]) {
+	for s := 0; s < m.Dim; s++ {
+		m.DescendRange(0, s+1, BitonicOp(s))
+	}
+}

@@ -1,0 +1,93 @@
+package hypercube
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitonicSortRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{1, 2, 4, 7, 10} {
+		m := New[uint64](dim)
+		want := make([]uint64, m.N)
+		for i := range m.State() {
+			v := uint64(rng.Intn(1 << 16))
+			m.State()[i] = v
+			want[i] = v
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		BitonicSort(m)
+		for i, v := range m.State() {
+			if v != want[i] {
+				t.Fatalf("dim %d: position %d = %d, want %d", dim, i, v, want[i])
+			}
+		}
+		// dim(dim+1)/2 dimension steps.
+		if m.Steps != dim*(dim+1)/2 {
+			t.Fatalf("dim %d: %d steps, want %d", dim, m.Steps, dim*(dim+1)/2)
+		}
+	}
+}
+
+func TestBitonicSortDuplicatesAndSortedInputs(t *testing.T) {
+	m := New[uint64](4)
+	for i := range m.State() {
+		m.State()[i] = uint64(i % 3)
+	}
+	BitonicSort(m)
+	for i := 1; i < m.N; i++ {
+		if m.State()[i] < m.State()[i-1] {
+			t.Fatal("not sorted with duplicates")
+		}
+	}
+	// Already sorted input stays sorted.
+	m2 := New[uint64](4)
+	for i := range m2.State() {
+		m2.State()[i] = uint64(i)
+	}
+	BitonicSort(m2)
+	for i, v := range m2.State() {
+		if v != uint64(i) {
+			t.Fatal("sorted input perturbed")
+		}
+	}
+}
+
+// Property: bitonic sort equals the standard library sort on arbitrary data.
+func TestPropertyBitonicMatchesSort(t *testing.T) {
+	f := func(vals [8]uint16) bool {
+		m := New[uint64](3)
+		want := make([]uint64, 8)
+		for i, v := range vals {
+			m.State()[i] = uint64(v)
+			want[i] = uint64(v)
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		BitonicSort(m)
+		for i := range want {
+			if m.State()[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBitonicSortHypercube(b *testing.B) {
+	m := New[uint64](12)
+	rng := rand.New(rand.NewSource(3))
+	init := make([]uint64, m.N)
+	for i := range init {
+		init[i] = uint64(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(m.State(), init)
+		BitonicSort(m)
+	}
+}

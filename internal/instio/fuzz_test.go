@@ -1,0 +1,33 @@
+package instio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the instance parser: it must never panic
+// and every accepted instance must survive a write/read round trip intact.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"weights":[1,2],"actions":[{"objects":[0,1],"cost":3,"treatment":true}]}`)
+	f.Add(`{"weights":[],"actions":[]}`)
+	f.Add(`{`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, p, ""); err != nil {
+			t.Fatalf("accepted instance failed to serialize: %v", err)
+		}
+		q, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("serialized instance failed to parse: %v\n%s", err, buf.String())
+		}
+		if q.K != p.K || len(q.Actions) != len(p.Actions) {
+			t.Fatal("round trip changed instance shape")
+		}
+	})
+}

@@ -1,0 +1,83 @@
+// Package instio reads and writes test-and-treatment instances in a small
+// JSON wire format, shared by cmd/ttsolve and cmd/ttgen:
+//
+//	{
+//	  "comment": "optional free text",
+//	  "weights": [8, 4, 2, 1],
+//	  "actions": [
+//	    {"name": "swab", "objects": [0, 1], "cost": 2, "treatment": false},
+//	    {"name": "rest", "objects": [0],   "cost": 3, "treatment": true}
+//	  ]
+//	}
+//
+// Objects are referred to by index (the universe size is the weight count).
+package instio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+type wireAction struct {
+	Name      string `json:"name,omitempty"`
+	Objects   []int  `json:"objects"`
+	Cost      uint64 `json:"cost"`
+	Treatment bool   `json:"treatment,omitempty"`
+}
+
+type wireProblem struct {
+	Comment string       `json:"comment,omitempty"`
+	Weights []uint64     `json:"weights"`
+	Actions []wireAction `json:"actions"`
+}
+
+// Read parses and validates an instance.
+func Read(r io.Reader) (*core.Problem, error) {
+	var w wireProblem
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("instio: parsing instance: %w", err)
+	}
+	p := &core.Problem{K: len(w.Weights), Weights: w.Weights}
+	for i, a := range w.Actions {
+		for _, o := range a.Objects {
+			if o < 0 || o >= p.K {
+				return nil, fmt.Errorf("instio: action %d (%s) references object %d outside the %d-object universe",
+					i, a.Name, o, p.K)
+			}
+		}
+		p.Actions = append(p.Actions, core.Action{
+			Name:      a.Name,
+			Set:       core.SetOf(a.Objects...),
+			Cost:      a.Cost,
+			Treatment: a.Treatment,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Write serializes an instance with stable, human-diffable formatting.
+func Write(w io.Writer, p *core.Problem, comment string) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	wp := wireProblem{Comment: comment, Weights: p.Weights}
+	for _, a := range p.Actions {
+		wp.Actions = append(wp.Actions, wireAction{
+			Name:      a.Name,
+			Objects:   a.Set.Objects(),
+			Cost:      a.Cost,
+			Treatment: a.Treatment,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wp)
+}

@@ -1,0 +1,96 @@
+package instio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p := workload.MedicalDiagnosis(seed, 6)
+		var buf bytes.Buffer
+		if err := Write(&buf, p, "round-trip test"); err != nil {
+			t.Fatal(err)
+		}
+		q, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, buf.String())
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("seed %d: round trip changed the instance", seed)
+		}
+	}
+}
+
+func TestReadValidates(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"bogus": 1, "weights": [1], "actions": []}`,
+		"no actions":    `{"weights": [1], "actions": []}`,
+		"object out of range": `{"weights": [1], "actions": [
+			{"objects": [3], "cost": 1, "treatment": true}]}`,
+		"no treatment": `{"weights": [1, 1], "actions": [
+			{"objects": [0], "cost": 1}]}`,
+		"not json": `weights: 1`,
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadGood(t *testing.T) {
+	in := `{
+	  "comment": "two objects",
+	  "weights": [3, 5],
+	  "actions": [
+	    {"name": "t", "objects": [0, 1], "cost": 2, "treatment": true},
+	    {"objects": [0], "cost": 1}
+	  ]
+	}`
+	p, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 2 || p.Weights[1] != 5 || p.Actions[0].Set != core.SetOf(0, 1) {
+		t.Fatalf("parsed wrong: %+v", p)
+	}
+	if p.Actions[1].Name != "" || p.Actions[1].Treatment {
+		t.Fatal("defaults wrong")
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &core.Problem{K: 0}, ""); err == nil {
+		t.Fatal("invalid instance written")
+	}
+}
+
+func TestWriteIsSolvableByCore(t *testing.T) {
+	p := workload.FaultLocation(1, 5, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, p, ""); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("costs diverge after round trip: %d vs %d", a.Cost, b.Cost)
+	}
+}

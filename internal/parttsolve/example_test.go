@@ -1,0 +1,35 @@
+package parttsolve_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/parttsolve"
+)
+
+// ExampleSolve runs the paper's parallel algorithm and reports the machine
+// accounting alongside the result.
+func ExampleSolve() {
+	problem := &core.Problem{
+		K:       3,
+		Weights: []uint64{4, 2, 1},
+		Actions: []core.Action{
+			{Name: "t01", Set: core.SetOf(0, 1), Cost: 1},
+			{Name: "fix0", Set: core.SetOf(0), Cost: 3, Treatment: true},
+			{Name: "fix12", Set: core.SetOf(1, 2), Cost: 5, Treatment: true},
+		},
+	}
+	res, err := parttsolve.Solve(problem, parttsolve.Lockstep)
+	if err != nil {
+		panic(err)
+	}
+	seq, _ := core.Solve(problem)
+	fmt.Println("C(U):", res.Cost, "matches DP:", res.Cost == seq.Cost)
+	fmt.Printf("machine: %d PEs (one per (S,i) pair), %d dimension steps\n",
+		res.PEs, res.DimSteps)
+	fmt.Println("formula k+k(2k+logN):", parttsolve.ExpectedDimSteps(problem.K, res.LogN))
+	// Output:
+	// C(U): 36 matches DP: true
+	// machine: 32 PEs (one per (S,i) pair), 27 dimension steps
+	// formula k+k(2k+logN): 27
+}

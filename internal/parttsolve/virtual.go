@@ -1,0 +1,51 @@
+package parttsolve
+
+import "fmt"
+
+// This file models processor allocation when the problem needs more virtual
+// PEs than the machine has — the paper's 2^20-PE machine against the
+// N·2^k = 2^30-PE appetite of a 15-candidate instance. The standard folding
+// (Brent's scheduling) assigns virtual PE v to physical PE v >> d, where
+// d = DimBits - physDim: each physical PE serves a contiguous block of 2^d
+// virtual cells, exchanges over the folded low dimensions become local
+// memory moves, and every SIMD step dilates by the fold factor 2^d.
+// On the lockstep simulator the computation itself is unchanged (it already
+// sweeps all virtual cells per step), so folding is exact cost accounting,
+// not an approximation.
+
+// FoldFactor returns 2^d, the number of virtual cells per physical PE when
+// the result's machine is folded onto 2^physDim physical PEs.
+func (r *Result) FoldFactor(physDim int) (int, error) {
+	if physDim < 1 {
+		return 0, fmt.Errorf("parttsolve: physical machine of 2^%d PEs invalid", physDim)
+	}
+	if physDim >= r.DimBits {
+		return 1, nil
+	}
+	d := r.DimBits - physDim
+	if d > 30 {
+		return 0, fmt.Errorf("parttsolve: fold factor 2^%d too large", d)
+	}
+	return 1 << uint(d), nil
+}
+
+// VirtualizedSteps returns the parallel step count (dimension + local) on a
+// machine of 2^physDim physical PEs.
+func (r *Result) VirtualizedSteps(physDim int) (int, error) {
+	f, err := r.FoldFactor(physDim)
+	if err != nil {
+		return 0, err
+	}
+	return r.Steps() * f, nil
+}
+
+// VirtualizedSpeedup returns T1/Tp for a sequential baseline of t1 operation
+// units against this run folded onto 2^physDim PEs, using the same units for
+// both sides (the caller picks the cost model; see experiments E9/E15).
+func (r *Result) VirtualizedSpeedup(t1 float64, physDim int) (float64, error) {
+	steps, err := r.VirtualizedSteps(physDim)
+	if err != nil {
+		return 0, err
+	}
+	return t1 / float64(steps), nil
+}

@@ -1,0 +1,73 @@
+package parttsolve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFoldFactor(t *testing.T) {
+	p := randomProblem(rand.New(rand.NewSource(1)), 5, 6)
+	res, err := Solve(p, Lockstep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DimBits = 5 + 3 = 8.
+	if res.DimBits != 8 {
+		t.Fatalf("DimBits = %d", res.DimBits)
+	}
+	cases := map[int]int{8: 1, 9: 1, 6: 4, 3: 32}
+	for phys, want := range cases {
+		f, err := res.FoldFactor(phys)
+		if err != nil {
+			t.Fatalf("phys %d: %v", phys, err)
+		}
+		if f != want {
+			t.Errorf("FoldFactor(%d) = %d, want %d", phys, f, want)
+		}
+	}
+	if _, err := res.FoldFactor(0); err == nil {
+		t.Error("FoldFactor(0) accepted")
+	}
+}
+
+func TestVirtualizedStepsScaleExactly(t *testing.T) {
+	p := randomProblem(rand.New(rand.NewSource(2)), 4, 5)
+	res, err := Solve(p, Lockstep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := res.VirtualizedSteps(res.DimBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != res.Steps() {
+		t.Fatalf("unfolded steps %d != %d", full, res.Steps())
+	}
+	half, err := res.VirtualizedSteps(res.DimBits - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half != 2*res.Steps() {
+		t.Fatalf("half machine steps %d, want %d", half, 2*res.Steps())
+	}
+}
+
+func TestVirtualizedSpeedupMonotone(t *testing.T) {
+	p := randomProblem(rand.New(rand.NewSource(3)), 6, 7)
+	res, err := Solve(p, Lockstep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	const t1 = 1e6
+	for phys := 2; phys <= res.DimBits; phys++ {
+		s, err := res.VirtualizedSpeedup(t1, phys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < prev {
+			t.Fatalf("speedup not monotone in machine size at 2^%d", phys)
+		}
+		prev = s
+	}
+}

@@ -1,0 +1,173 @@
+// Package simulate executes test-and-treatment procedures against concrete
+// faults: deterministically (producing a step-by-step transcript of tests
+// run, responses observed, and treatments attempted) and statistically (a
+// Monte-Carlo estimator that samples the faulty object from the prior
+// weights and averages realized path costs). The estimator is a third,
+// fully independent check on the DP and TreeCost: it never looks at the
+// recurrence, only at the operational semantics of a procedure.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Outcome classifies one executed step.
+type Outcome int
+
+const (
+	// TestPositive: the test responded (fault is in the test set).
+	TestPositive Outcome = iota
+	// TestNegative: the test did not respond.
+	TestNegative
+	// TreatmentCured: the treatment covered the fault; the procedure ends.
+	TreatmentCured
+	// TreatmentFailed: the treatment missed; the procedure continues.
+	TreatmentFailed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case TestPositive:
+		return "positive"
+	case TestNegative:
+		return "negative"
+	case TreatmentCured:
+		return "cured"
+	case TreatmentFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Step is one executed action in a transcript.
+type Step struct {
+	Action  int // index into Problem.Actions
+	Outcome Outcome
+	Cost    uint64
+}
+
+// Execute walks the procedure tree for a given faulty object, returning the
+// transcript and total path cost. It errors if the tree strands the fault.
+func Execute(p *core.Problem, root *core.Node, fault int) ([]Step, uint64, error) {
+	if fault < 0 || fault >= p.K {
+		return nil, 0, fmt.Errorf("simulate: fault %d outside universe of %d", fault, p.K)
+	}
+	var steps []Step
+	var total uint64
+	n := root
+	for n != nil {
+		if !n.Set.Has(fault) {
+			return nil, 0, fmt.Errorf("simulate: fault %d reached node whose candidate set %v excludes it", fault, n.Set)
+		}
+		a := p.Actions[n.Action]
+		total = core.SatAdd(total, a.Cost)
+		switch {
+		case a.Treatment && a.Set.Has(fault):
+			steps = append(steps, Step{n.Action, TreatmentCured, a.Cost})
+			return steps, total, nil
+		case a.Treatment:
+			steps = append(steps, Step{n.Action, TreatmentFailed, a.Cost})
+			n = n.Neg
+		case a.Set.Has(fault):
+			steps = append(steps, Step{n.Action, TestPositive, a.Cost})
+			n = n.Pos
+		default:
+			steps = append(steps, Step{n.Action, TestNegative, a.Cost})
+			n = n.Neg
+		}
+	}
+	return nil, 0, fmt.Errorf("simulate: fault %d was never treated", fault)
+}
+
+// TranscriptString renders a transcript for humans.
+func TranscriptString(p *core.Problem, steps []Step) string {
+	out := ""
+	for i, s := range steps {
+		a := p.Actions[s.Action]
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("T%d", s.Action+1)
+		}
+		out += fmt.Sprintf("%2d. %-18s cost %3d  -> %s\n", i+1, name, s.Cost, s.Outcome)
+	}
+	return out
+}
+
+// Sampler draws objects proportionally to their weights.
+type Sampler struct {
+	cum   []uint64
+	total uint64
+}
+
+// NewSampler builds a sampler over the problem's weights. At least one
+// weight must be positive.
+func NewSampler(p *core.Problem) (*Sampler, error) {
+	s := &Sampler{cum: make([]uint64, p.K)}
+	for j, w := range p.Weights {
+		s.total += w
+		s.cum[j] = s.total
+	}
+	if s.total == 0 {
+		return nil, fmt.Errorf("simulate: all weights are zero")
+	}
+	return s, nil
+}
+
+// Draw returns an object sampled with probability weight/total.
+func (s *Sampler) Draw(rng *rand.Rand) int {
+	x := uint64(rng.Int63n(int64(s.total)))
+	return sort.Search(len(s.cum), func(i int) bool { return s.cum[i] > x })
+}
+
+// Estimate is the result of a Monte-Carlo run.
+type Estimate struct {
+	Trials int
+	// Mean is the estimated Cost(Tree) = Σ_j P_j · pathcost(j), i.e. the
+	// sample mean of path costs scaled by the total weight, matching the
+	// paper's (unnormalized) cost definition.
+	Mean float64
+	// StdErr is the standard error of Mean.
+	StdErr float64
+}
+
+// EstimateCost Monte-Carlo-estimates a procedure tree's expected cost by
+// sampling faults from the prior. It is independent of the DP: only the
+// operational walk is used.
+func EstimateCost(p *core.Problem, root *core.Node, seed int64, trials int) (*Estimate, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("simulate: trials %d < 1", trials)
+	}
+	smp, err := NewSampler(p)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		fault := smp.Draw(rng)
+		_, cost, err := Execute(p, root, fault)
+		if err != nil {
+			return nil, err
+		}
+		c := float64(cost)
+		sum += c
+		sumSq += c * c
+	}
+	n := float64(trials)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	scale := float64(smp.total)
+	return &Estimate{
+		Trials: trials,
+		Mean:   mean * scale,
+		StdErr: scale * math.Sqrt(variance/n),
+	}, nil
+}

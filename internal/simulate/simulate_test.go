@@ -1,0 +1,205 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func solved(t *testing.T, p *core.Problem) (*core.Solution, *core.Node) {
+	t.Helper()
+	sol, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := sol.Tree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol, tree
+}
+
+// TestExecuteWeightedSumEqualsTreeCost: summing per-fault path costs weighted
+// by priors must reconstruct TreeCost exactly — Execute and TreeCost are
+// independent implementations of the same semantics.
+func TestExecuteWeightedSumEqualsTreeCost(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := workload.Random(seed, 5, 4, 3)
+		sol, tree := solved(t, p)
+		var total uint64
+		for j := 0; j < p.K; j++ {
+			_, cost, err := Execute(p, tree, j)
+			if err != nil {
+				t.Fatalf("seed %d fault %d: %v", seed, j, err)
+			}
+			total = core.SatAdd(total, core.SatMul(cost, p.Weights[j]))
+		}
+		if total != sol.Cost {
+			t.Fatalf("seed %d: weighted execute sum %d != C(U) %d", seed, total, sol.Cost)
+		}
+	}
+}
+
+func TestExecuteTranscript(t *testing.T) {
+	p := workload.MedicalDiagnosis(1, 6)
+	_, tree := solved(t, p)
+	steps, cost, err := Execute(p, tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 || cost == 0 {
+		t.Fatal("empty transcript")
+	}
+	last := steps[len(steps)-1]
+	if last.Outcome != TreatmentCured {
+		t.Fatalf("transcript does not end in a cure: %v", last.Outcome)
+	}
+	text := TranscriptString(p, steps)
+	if !strings.Contains(text, "cured") {
+		t.Errorf("transcript text missing cure:\n%s", text)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	p := workload.Random(3, 4, 3, 2)
+	_, tree := solved(t, p)
+	if _, _, err := Execute(p, tree, -1); err == nil {
+		t.Error("negative fault accepted")
+	}
+	if _, _, err := Execute(p, tree, p.K); err == nil {
+		t.Error("out-of-universe fault accepted")
+	}
+	// A truncated tree strands faults.
+	bad := &core.Node{Action: tree.Action, Set: tree.Set}
+	if p.Actions[bad.Action].Treatment {
+		// ensure the stranded branch is exercised
+		missing := core.Universe(p.K) &^ p.Actions[bad.Action].Set
+		if missing != 0 {
+			if _, _, err := Execute(p, bad, missing.Objects()[0]); err == nil {
+				t.Error("stranded fault accepted")
+			}
+		}
+	} else {
+		if _, _, err := Execute(p, bad, 0); err == nil {
+			t.Error("truncated tree accepted")
+		}
+	}
+}
+
+func TestSamplerDistribution(t *testing.T) {
+	p := &core.Problem{
+		K:       3,
+		Weights: []uint64{6, 3, 1},
+		Actions: []core.Action{{Set: core.Universe(3), Cost: 1, Treatment: true}},
+	}
+	smp, err := NewSampler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[smp.Draw(rng)]++
+	}
+	want := []float64{0.6, 0.3, 0.1}
+	for j, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-want[j]) > 0.01 {
+			t.Errorf("object %d frequency %.3f, want %.1f", j, got, want[j])
+		}
+	}
+}
+
+func TestSamplerRejectsZeroWeights(t *testing.T) {
+	p := &core.Problem{K: 2, Weights: []uint64{0, 0},
+		Actions: []core.Action{{Set: core.Universe(2), Cost: 1, Treatment: true}}}
+	if _, err := NewSampler(p); err == nil {
+		t.Fatal("zero-weight sampler accepted")
+	}
+}
+
+// TestEstimateCostConvergesToTreeCost: the Monte-Carlo estimate must land
+// within a few standard errors of the analytic expected cost.
+func TestEstimateCostConvergesToTreeCost(t *testing.T) {
+	p := workload.MedicalDiagnosis(5, 8)
+	sol, tree := solved(t, p)
+	est, err := EstimateCost(p, tree, 42, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := math.Abs(est.Mean - float64(sol.Cost))
+	if diff > 5*est.StdErr+1e-9 {
+		t.Fatalf("MC estimate %.1f ± %.1f vs analytic %d: off by %.1f (> 5 SE)",
+			est.Mean, est.StdErr, sol.Cost, diff)
+	}
+	if est.StdErr <= 0 {
+		t.Fatal("zero standard error on a non-degenerate tree")
+	}
+}
+
+func TestEstimateCostGreedyAboveOptimal(t *testing.T) {
+	p := workload.FaultLocation(9, 8, 4)
+	sol, _ := solved(t, p)
+	gt, err := core.GreedyTree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateCost(p, gt, 7, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The greedy tree's estimated cost must not be significantly below the
+	// optimum.
+	if est.Mean < float64(sol.Cost)-5*est.StdErr {
+		t.Fatalf("greedy MC estimate %.1f significantly below optimum %d", est.Mean, sol.Cost)
+	}
+}
+
+func TestEstimateCostErrors(t *testing.T) {
+	p := workload.Random(1, 3, 2, 2)
+	_, tree := solved(t, p)
+	if _, err := EstimateCost(p, tree, 1, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	want := map[Outcome]string{
+		TestPositive: "positive", TestNegative: "negative",
+		TreatmentCured: "cured", TreatmentFailed: "failed",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q", int(o), o.String())
+		}
+	}
+}
+
+func BenchmarkExecute(b *testing.B) {
+	p := workload.MedicalDiagnosis(5, 10)
+	sol, _ := core.Solve(p)
+	tree, _ := sol.Tree(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Execute(p, tree, i%p.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateCost(b *testing.B) {
+	p := workload.MedicalDiagnosis(5, 10)
+	sol, _ := core.Solve(p)
+	tree, _ := sol.Tree(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateCost(p, tree, int64(i), 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

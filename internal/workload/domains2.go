@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// LaboratoryAnalysis models the paper's laboratory-analysis application:
+// identifying which analyte (contaminant, pathogen, compound) a sample
+// contains. Tests are reagent panels — each reacts with an overlapping group
+// of analytes, cheap and quick — plus a few precise but slow instrument
+// runs. The terminal action per analyte is a confirmatory assay + report,
+// uniform in cost, so the instance sits between binary testing (uniform
+// terminals) and general TT (panels of very different discriminating power).
+func LaboratoryAnalysis(seed int64, k int) *core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &core.Problem{K: k, Weights: make([]uint64, k)}
+	for j := range p.Weights {
+		// Mild skew: a few analytes dominate submissions.
+		p.Weights[j] = uint64(2 + rng.Intn(6))
+	}
+	u := core.Universe(k)
+	nPanels := max(3, k)
+	for i := 0; i < nPanels; i++ {
+		set := randomSubset(rng, k, k/3+1) & u
+		if set == 0 || set == u {
+			set = core.SetOf(i % k)
+		}
+		p.Actions = append(p.Actions, core.Action{
+			Name: fmt.Sprintf("reagent-panel-%d", i),
+			Set:  set,
+			Cost: uint64(1 + rng.Intn(3)),
+		})
+	}
+	for i := 0; i < max(1, k/4); i++ {
+		set := balancedSubset(rng, k)
+		if set == 0 || set == u {
+			continue
+		}
+		p.Actions = append(p.Actions, core.Action{
+			Name: fmt.Sprintf("instrument-run-%d", i),
+			Set:  set,
+			Cost: uint64(12 + rng.Intn(8)),
+		})
+	}
+	for j := 0; j < k; j++ {
+		p.Actions = append(p.Actions, core.Action{
+			Name:      fmt.Sprintf("confirm-%d", j),
+			Set:       core.SetOf(j),
+			Cost:      18,
+			Treatment: true,
+		})
+	}
+	return p
+}
+
+// Logistics models logistical-system breakdown correction (the paper's
+// "sizable population of complex objects — people, ships, computers —
+// maintained at reasonable cost"): k subsystems with field-observed failure
+// rates; inspections at depot (cheap, coarse) and field (pricier, precise);
+// and a three-echelon repair structure — swap a component (cheap, covers
+// one), swap an assembly (covers a group), or replace the whole unit
+// (expensive catch-all). Optimal procedures mix echelons depending on the
+// failure-rate profile.
+func Logistics(seed int64, k, assemblySize int) *core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	if assemblySize < 2 {
+		assemblySize = 2
+	}
+	p := &core.Problem{K: k, Weights: make([]uint64, k)}
+	for j := range p.Weights {
+		p.Weights[j] = uint64(1 + rng.Intn(12))
+	}
+	u := core.Universe(k)
+
+	// Coarse depot inspections: split by assembly boundaries.
+	for lo := 0; lo < k; lo += assemblySize {
+		var set core.Set
+		for j := lo; j < min(lo+assemblySize, k); j++ {
+			set |= core.SetOf(j)
+		}
+		if set != 0 && set != u {
+			p.Actions = append(p.Actions, core.Action{
+				Name: fmt.Sprintf("depot-inspect-%d", lo/assemblySize),
+				Set:  set,
+				Cost: 2,
+			})
+		}
+	}
+	// Field inspections: random finer probes.
+	for i := 0; i < max(2, k/2); i++ {
+		set := randomSubset(rng, k, 2) & u
+		if set == 0 || set == u {
+			continue
+		}
+		p.Actions = append(p.Actions, core.Action{
+			Name: fmt.Sprintf("field-inspect-%d", i),
+			Set:  set,
+			Cost: uint64(4 + rng.Intn(4)),
+		})
+	}
+	// Echelon 1: component swaps.
+	for j := 0; j < k; j++ {
+		p.Actions = append(p.Actions, core.Action{
+			Name:      fmt.Sprintf("swap-component-%d", j),
+			Set:       core.SetOf(j),
+			Cost:      uint64(8 + rng.Intn(6)),
+			Treatment: true,
+		})
+	}
+	// Echelon 2: assembly swaps.
+	for lo := 0; lo < k; lo += assemblySize {
+		var set core.Set
+		for j := lo; j < min(lo+assemblySize, k); j++ {
+			set |= core.SetOf(j)
+		}
+		p.Actions = append(p.Actions, core.Action{
+			Name:      fmt.Sprintf("swap-assembly-%d", lo/assemblySize),
+			Set:       set,
+			Cost:      uint64(20 + assemblySize*3),
+			Treatment: true,
+		})
+	}
+	// Echelon 3: replace the unit.
+	p.Actions = append(p.Actions, core.Action{
+		Name:      "replace-unit",
+		Set:       u,
+		Cost:      uint64(40 + 6*k),
+		Treatment: true,
+	})
+	return p
+}

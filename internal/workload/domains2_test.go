@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestLaboratoryAnalysisStructure(t *testing.T) {
+	p := LaboratoryAnalysis(4, 8)
+	checkValidAdequate(t, "laboratory", p)
+	panels, instruments, confirms := 0, 0, 0
+	for _, a := range p.Actions {
+		switch {
+		case strings.HasPrefix(a.Name, "reagent-panel"):
+			panels++
+			if a.Cost > 3 {
+				t.Errorf("panel %s too expensive: %d", a.Name, a.Cost)
+			}
+		case strings.HasPrefix(a.Name, "instrument-run"):
+			instruments++
+			if a.Cost < 12 {
+				t.Errorf("instrument %s too cheap: %d", a.Name, a.Cost)
+			}
+		case strings.HasPrefix(a.Name, "confirm"):
+			confirms++
+			if !a.Treatment || a.Set.Size() != 1 {
+				t.Errorf("confirm %s malformed", a.Name)
+			}
+		}
+	}
+	if panels < 3 || confirms != 8 {
+		t.Fatalf("structure: %d panels, %d instruments, %d confirms", panels, instruments, confirms)
+	}
+}
+
+func TestLogisticsStructure(t *testing.T) {
+	p := Logistics(5, 9, 3)
+	checkValidAdequate(t, "logistics", p)
+	var unit *core.Action
+	assemblies := 0
+	for i := range p.Actions {
+		a := &p.Actions[i]
+		if a.Name == "replace-unit" {
+			unit = a
+		}
+		if strings.HasPrefix(a.Name, "swap-assembly") {
+			assemblies++
+		}
+	}
+	if unit == nil || unit.Set != core.Universe(9) {
+		t.Fatal("no whole-unit replacement")
+	}
+	if assemblies != 3 {
+		t.Fatalf("assemblies = %d, want 3", assemblies)
+	}
+	// Echelon cost ordering: components cheaper than assemblies cheaper than
+	// the unit swap.
+	for _, a := range p.Actions {
+		if strings.HasPrefix(a.Name, "swap-component") && a.Cost >= unit.Cost {
+			t.Errorf("component swap %s costs %d >= unit %d", a.Name, a.Cost, unit.Cost)
+		}
+	}
+	// Degenerate assembly size is clamped.
+	q := Logistics(5, 4, 0)
+	checkValidAdequate(t, "logistics-clamped", q)
+}
+
+func TestNewDomainsSolveOptimallyVsGreedy(t *testing.T) {
+	for name, p := range map[string]*core.Problem{
+		"lab":       LaboratoryAnalysis(9, 7),
+		"logistics": Logistics(10, 8, 4),
+	} {
+		sol := checkValidAdequate(t, name, p)
+		g, err := core.GreedyCost(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g < sol.Cost {
+			t.Fatalf("%s: greedy %d beat optimum %d", name, g, sol.Cost)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package workload generates synthetic test-and-treatment instances for the
+// application domains the paper's introduction motivates: medical diagnosis,
+// machine fault location, systematic biology, and the classical binary
+// testing problem, plus unstructured random instances. The paper supplies no
+// datasets (its applications are described qualitatively), so these
+// generators are the documented substitution: each produces instances with
+// the cost/weight/set structure characteristic of its domain, deterministic
+// in the seed so every experiment is reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Random returns an unstructured instance: uniform weights and action sets,
+// with singleton treatments for every object appended so the instance is
+// always adequate.
+func Random(seed int64, k, nTests, nTreatments int) *core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &core.Problem{K: k, Weights: make([]uint64, k)}
+	for j := range p.Weights {
+		p.Weights[j] = uint64(rng.Intn(50) + 1)
+	}
+	u := uint32(core.Universe(k))
+	for i := 0; i < nTests; i++ {
+		p.Actions = append(p.Actions, core.Action{
+			Name: fmt.Sprintf("test-%d", i),
+			Set:  core.Set(rng.Intn(int(u)-1) + 1),
+			Cost: uint64(rng.Intn(40) + 1),
+		})
+	}
+	for i := 0; i < nTreatments; i++ {
+		p.Actions = append(p.Actions, core.Action{
+			Name:      fmt.Sprintf("treatment-%d", i),
+			Set:       core.Set(rng.Intn(int(u)-1) + 1),
+			Cost:      uint64(rng.Intn(60) + 10),
+			Treatment: true,
+		})
+	}
+	for j := 0; j < k; j++ {
+		p.Actions = append(p.Actions, core.Action{
+			Name:      fmt.Sprintf("last-resort-%d", j),
+			Set:       core.SetOf(j),
+			Cost:      uint64(150 + rng.Intn(50)),
+			Treatment: true,
+		})
+	}
+	return p
+}
+
+// MedicalDiagnosis models the paper's flagship example. Objects are
+// candidate diseases with sharply skewed prevalence (Zipf-like weights:
+// common colds vastly outnumber rare conditions). Tests are cheap bedside
+// symptom checks (broad, unspecific sets) and pricier laboratory assays
+// (small, specific sets). Treatments are specific drugs covering one or two
+// diseases at moderate cost, plus an expensive broad-spectrum intervention.
+// Trying a cheap likely treatment before finishing the workup is often
+// optimal here — the behaviour that distinguishes test-and-treatment from
+// pure binary testing.
+func MedicalDiagnosis(seed int64, k int) *core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &core.Problem{K: k, Weights: zipf(k)}
+	u := core.Universe(k)
+
+	nSymptoms := max(2, k/2)
+	for i := 0; i < nSymptoms; i++ {
+		p.Actions = append(p.Actions, core.Action{
+			Name: fmt.Sprintf("symptom-%d", i),
+			Set:  randomSubset(rng, k, k/2+1) & u,
+			Cost: uint64(rng.Intn(3) + 1), // bedside check: cheap
+		})
+	}
+	nLabs := max(1, k/3)
+	for i := 0; i < nLabs; i++ {
+		p.Actions = append(p.Actions, core.Action{
+			Name: fmt.Sprintf("lab-%d", i),
+			Set:  randomSubset(rng, k, 2) & u,
+			Cost: uint64(rng.Intn(15) + 10), // assay: specific but pricey
+		})
+	}
+	for j := 0; j < k; j++ {
+		set := core.SetOf(j)
+		if rng.Intn(3) == 0 && k > 1 {
+			set |= core.SetOf(rng.Intn(k)) // some drugs treat two conditions
+		}
+		p.Actions = append(p.Actions, core.Action{
+			Name:      fmt.Sprintf("drug-%d", j),
+			Set:       set,
+			Cost:      uint64(rng.Intn(12) + 4),
+			Treatment: true,
+		})
+	}
+	p.Actions = append(p.Actions, core.Action{
+		Name:      "broad-spectrum",
+		Set:       u,
+		Cost:      80,
+		Treatment: true,
+	})
+	return p
+}
+
+// FaultLocation models computer-system fault location and correction: k
+// field-replaceable components grouped into boards. Tests probe subsystems
+// hierarchically — coarse probes (half the machine) are cheap, fine probes
+// cost more. Treatments replace a single component (cheap part, but any
+// replacement carries labor cost) or swap a whole board (expensive, covers
+// everything on it). Weights model per-component failure rates.
+func FaultLocation(seed int64, k, boardSize int) *core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	if boardSize < 1 {
+		boardSize = 1
+	}
+	p := &core.Problem{K: k, Weights: make([]uint64, k)}
+	for j := range p.Weights {
+		p.Weights[j] = uint64(rng.Intn(9) + 1)
+	}
+	u := core.Universe(k)
+
+	// Hierarchical probes: split the component range at every granularity.
+	for span := k; span >= 2; span = (span + 1) / 2 {
+		for lo := 0; lo < k; lo += span {
+			hi := min(lo+span/2, k)
+			var set core.Set
+			for j := lo; j < hi; j++ {
+				set |= core.SetOf(j)
+			}
+			if set == 0 || set == u {
+				continue
+			}
+			cost := uint64(2 + (k/span)*2) // finer probes cost more
+			p.Actions = append(p.Actions, core.Action{
+				Name: fmt.Sprintf("probe-%d-%d", lo, hi),
+				Set:  set,
+				Cost: cost,
+			})
+		}
+		if span == 2 {
+			break
+		}
+	}
+	for j := 0; j < k; j++ {
+		p.Actions = append(p.Actions, core.Action{
+			Name:      fmt.Sprintf("replace-part-%d", j),
+			Set:       core.SetOf(j),
+			Cost:      uint64(10 + rng.Intn(10)),
+			Treatment: true,
+		})
+	}
+	for lo := 0; lo < k; lo += boardSize {
+		var set core.Set
+		for j := lo; j < min(lo+boardSize, k); j++ {
+			set |= core.SetOf(j)
+		}
+		p.Actions = append(p.Actions, core.Action{
+			Name:      fmt.Sprintf("swap-board-%d", lo/boardSize),
+			Set:       set,
+			Cost:      uint64(25 + boardSize*5),
+			Treatment: true,
+		})
+	}
+	return p
+}
+
+// SystematicBiology models taxonomic identification keys: k taxa with
+// near-uniform weights, dichotomous characters (tests that split the
+// remaining taxa roughly in half, all at unit-like cost), and an
+// "identify + curate" terminal action per taxon — the closest TT analogue of
+// a classical identification key, and essentially a binary testing instance.
+func SystematicBiology(seed int64, k int) *core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &core.Problem{K: k, Weights: make([]uint64, k)}
+	for j := range p.Weights {
+		p.Weights[j] = uint64(3 + rng.Intn(3)) // near-uniform
+	}
+	u := core.Universe(k)
+	nChars := max(3, 2*bitsFor(k))
+	for i := 0; i < nChars; i++ {
+		set := balancedSubset(rng, k)
+		if set == 0 || set == u {
+			continue
+		}
+		p.Actions = append(p.Actions, core.Action{
+			Name: fmt.Sprintf("character-%d", i),
+			Set:  set,
+			Cost: uint64(1 + rng.Intn(2)),
+		})
+	}
+	for j := 0; j < k; j++ {
+		p.Actions = append(p.Actions, core.Action{
+			Name:      fmt.Sprintf("identify-%d", j),
+			Set:       core.SetOf(j),
+			Cost:      30,
+			Treatment: true,
+		})
+	}
+	return p
+}
+
+// BinaryTestingUniform is the canonical binary testing instance the paper
+// generalizes: k objects (k a power of two works best), uniform weights, one
+// unit-cost test per address bit, and uniform expensive singleton
+// treatments. Its optimum is the perfectly balanced key: every object pays
+// log2(k) tests plus one treatment.
+func BinaryTestingUniform(k int, treatCost uint64) *core.Problem {
+	weights := make([]uint64, k)
+	for j := range weights {
+		weights[j] = 1
+	}
+	var tests []core.Action
+	for b := 0; b < bitsFor(k); b++ {
+		var set core.Set
+		for j := 0; j < k; j++ {
+			if j>>uint(b)&1 == 1 {
+				set |= core.SetOf(j)
+			}
+		}
+		tests = append(tests, core.Action{Name: fmt.Sprintf("bit-%d", b), Set: set, Cost: 1})
+	}
+	return core.BinaryTesting(weights, tests, treatCost)
+}
+
+// zipf returns k weights proportional to 1/rank, scaled to small integers.
+func zipf(k int) []uint64 {
+	w := make([]uint64, k)
+	for j := range w {
+		w[j] = uint64(max(1, 60/(j+1)))
+	}
+	return w
+}
+
+// randomSubset returns a set with approximately want members.
+func randomSubset(rng *rand.Rand, k, want int) core.Set {
+	var s core.Set
+	for j := 0; j < k; j++ {
+		if rng.Intn(k) < want {
+			s |= core.SetOf(j)
+		}
+	}
+	if s == 0 {
+		s = core.SetOf(rng.Intn(k))
+	}
+	return s
+}
+
+// balancedSubset returns a set holding roughly half the universe.
+func balancedSubset(rng *rand.Rand, k int) core.Set {
+	perm := rng.Perm(k)
+	var s core.Set
+	for _, j := range perm[:k/2] {
+		s |= core.SetOf(j)
+	}
+	return s
+}
+
+func bitsFor(k int) int {
+	b := 0
+	for 1<<uint(b) < k {
+		b++
+	}
+	return b
+}
