@@ -1,0 +1,36 @@
+# Development targets. CI (.github/workflows/ci.yml) runs build, vet,
+# staticcheck, test, race, and a short fuzz pass on every push.
+
+GO ?= go
+
+.PHONY: build test race vet lint fuzz-short golden
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# staticcheck is not vendored; install with
+#   go install honnef.co/go/tools/cmd/staticcheck@2025.1
+# The target degrades to a notice when the binary is absent so offline
+# checkouts still make.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+fuzz-short:
+	$(GO) test ./internal/bvm/ -fuzz FuzzParseProgramRoundTrip -fuzztime 30s
+
+# Regenerate the bvmcheck golden reports after an intentional format change.
+golden:
+	$(GO) test ./internal/bvmcheck/ -run TestGoldenSeededDefects -update

@@ -1,9 +1,12 @@
-// Command bvmrun runs Boolean Vector Machine demonstrations: the machine
-// layout and the §4 algorithm figures of the paper.
+// Command bvmrun runs Boolean Vector Machine demonstrations — the machine
+// layout and the §4 algorithm figures of the paper — and fronts the static
+// checker in internal/bvmcheck.
 //
 // Usage:
 //
 //	bvmrun [-r 2] <demo>
+//	bvmrun [-r 2] lint  [-json] <file.bvm | ->
+//	bvmrun [-r 2] check [-json] [-i instance.json] [-w width] <program>
 //
 // Demos:
 //
@@ -12,8 +15,20 @@
 //	processor-id  Figures 4-5: processor-ID generation stages
 //	broadcast     Figure 6: the 16-PE broadcast schedule
 //	disasm        instruction listing of the cycle-ID program (§4.1)
-//	trace         instruction-by-instruction state trace of cycle-ID (8 PEs)
+//	trace         instruction-by-instruction state trace of cycle-id (8 PEs)
 //	info          machine geometry and link census
+//
+// lint parses a BVM assembly listing (bvmrun disasm output parses back
+// exactly; "-" reads stdin) and prints the bvmcheck report: well-formedness
+// errors, dataflow and sweep warnings, and the static cost estimate. The
+// diagnostic indices match the listing's own line numbers. With -json the
+// report is machine-readable. The exit status is nonzero when the program
+// has errors.
+//
+// check records one of the built-in programs (cycle-id, processor-id,
+// broadcast, min-reduce, or the full §6 program tt — optionally on an
+// instance from -i) and lints the recording, then cross-checks the static
+// cost estimate against the dynamic counters of a fresh replay.
 package main
 
 import (
@@ -25,8 +40,12 @@ import (
 
 	"repro/internal/bvm"
 	"repro/internal/bvmalg"
+	"repro/internal/bvmcheck"
+	"repro/internal/bvmtt"
 	"repro/internal/ccc"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/instio"
 )
 
 func run(args []string, stdout io.Writer) error {
@@ -36,14 +55,24 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("bvmrun: want exactly one demo (layout, cycle-id, processor-id, broadcast, disasm, trace, info)")
+	if fs.NArg() == 0 {
+		return fmt.Errorf("bvmrun: want a command (layout, cycle-id, processor-id, broadcast, disasm, trace, info, lint, check)")
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "lint":
+		return runLint(*r, rest, stdout)
+	case "check":
+		return runCheck(*r, rest, stdout)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("bvmrun: demo %s takes no arguments", cmd)
 	}
 	var (
 		out string
 		err error
 	)
-	switch fs.Arg(0) {
+	switch cmd {
 	case "layout":
 		out, err = experiments.Fig2Layout(*r)
 	case "cycle-id":
@@ -60,7 +89,8 @@ func run(args []string, stdout io.Writer) error {
 		m.StartRecording("cycle-ID")
 		bvmalg.CycleID(m, bvm.R(0))
 		prog := m.StopRecording()
-		out = prog.Disassemble() + "route profile: " + prog.ProfileString() + "\n"
+		// The profile line is a comment so the listing pipes into `lint -`.
+		out = prog.Disassemble() + "; route profile: " + prog.ProfileString() + "\n"
 	case "trace":
 		m, e := bvm.New(1, bvm.DefaultRegisters)
 		if e != nil {
@@ -94,13 +124,188 @@ func run(args []string, stdout io.Writer) error {
 			top, ccc.HypercubeLinkCount(top.AddrBits),
 			float64(ccc.HypercubeLinkCount(top.AddrBits))/float64(top.LinkCount()))
 	default:
-		return fmt.Errorf("bvmrun: unknown demo %q", fs.Arg(0))
+		return fmt.Errorf("bvmrun: unknown command %q", cmd)
 	}
 	if err != nil {
 		return err
 	}
 	_, err = io.WriteString(stdout, out)
 	return err
+}
+
+// emitReport prints a lint report (text or JSON) and returns a nonzero-exit
+// error when the program has error-level diagnostics.
+func emitReport(rep *bvmcheck.Report, asJSON bool, stdout io.Writer) error {
+	if asJSON {
+		raw, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := stdout.Write(append(raw, '\n')); err != nil {
+			return err
+		}
+	} else if _, err := io.WriteString(stdout, rep.String()); err != nil {
+		return err
+	}
+	if n := len(rep.Errors()); n > 0 {
+		return fmt.Errorf("bvmrun: program %s has %d error(s)", rep.Program, n)
+	}
+	return nil
+}
+
+// runLint parses an assembly listing and reports on it.
+func runLint(r int, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bvmrun lint", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("bvmrun lint: want one assembly file (or - for stdin)")
+	}
+	path := fs.Arg(0)
+	var (
+		src  []byte
+		err  error
+		name = path
+	)
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+		name = "stdin"
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	prog, err := bvm.ParseProgram(name, string(src))
+	if err != nil {
+		return err
+	}
+	cfg, err := bvmcheck.DefaultConfig(r)
+	if err != nil {
+		return err
+	}
+	return emitReport(bvmcheck.Lint(prog, cfg), *asJSON, stdout)
+}
+
+// defaultInstance is the hand-computed problem from the test suite: 2
+// objects, C(U) = 3.
+func defaultInstance() *core.Problem {
+	return &core.Problem{
+		K:       2,
+		Weights: []uint64{1, 1},
+		Actions: []core.Action{
+			{Name: "treat-both", Set: core.SetOf(0, 1), Cost: 3, Treatment: true},
+			{Name: "treat-0", Set: core.SetOf(0), Cost: 1, Treatment: true},
+			{Name: "treat-1", Set: core.SetOf(1), Cost: 1, Treatment: true},
+			{Name: "test-0", Set: core.SetOf(0), Cost: 1},
+		},
+	}
+}
+
+// runCheck records a built-in program, lints it, and cross-checks the static
+// cost model against a dynamic replay.
+func runCheck(r int, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bvmrun check", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	instPath := fs.String("i", "", "instance file for the tt program (JSON; - for stdin)")
+	width := fs.Int("w", 0, "cost-word width for the tt program (0 = auto)")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("bvmrun check: want one program (cycle-id, processor-id, broadcast, min-reduce, tt)")
+	}
+
+	var (
+		prog    *bvm.Program
+		machR   = r
+		recErr  error
+		recordR = func(f func(m *bvm.Machine)) {
+			m, err := bvm.New(r, bvm.DefaultRegisters)
+			if err != nil {
+				recErr = err
+				return
+			}
+			m.StartRecording(fs.Arg(0))
+			f(m)
+			prog = m.StopRecording()
+		}
+	)
+	switch fs.Arg(0) {
+	case "cycle-id":
+		recordR(func(m *bvm.Machine) { bvmalg.CycleID(m, bvm.R(0)) })
+	case "processor-id":
+		recordR(func(m *bvm.Machine) { bvmalg.ProcessorID(m, 0) })
+	case "broadcast":
+		recordR(func(m *bvm.Machine) {
+			w := bvmalg.Word{Base: 10, Width: 4}
+			sh := bvmalg.Word{Base: 14, Width: 4}
+			bvmalg.ProcessorID(m, 0)
+			bvmalg.SetWordConst(m, w, 9)
+			bvmalg.MarkPE0(m, bvm.R(20))
+			bvmalg.BroadcastWord(m, w, bvm.R(20), 0, sh, bvm.R(21), bvm.R(22), 30)
+		})
+	case "min-reduce":
+		recordR(func(m *bvm.Machine) {
+			w := bvmalg.Word{Base: 10, Width: 4}
+			sh := bvmalg.Word{Base: 14, Width: 4}
+			bvmalg.SetWordConst(m, w, 5)
+			bvmalg.MinReduce(m, w, 0, m.Top.AddrBits, sh, 30)
+		})
+	case "tt":
+		inst := defaultInstance()
+		if *instPath != "" {
+			var err error
+			if inst, err = instio.ReadFile(*instPath); err != nil {
+				return err
+			}
+		}
+		res, err := bvmtt.SolveRecorded(inst, *width)
+		if err != nil {
+			return err
+		}
+		prog, machR = res.Program, res.MachineR
+		cu := fmt.Sprintf("%d", res.Cost)
+		if res.Cost == core.Inf {
+			cu = "inf"
+		}
+		fmt.Fprintf(stdout, "; tt solved: C(U)=%s on %d PEs (r=%d, width %d)\n",
+			cu, res.PEs, res.MachineR, res.Width)
+	default:
+		return fmt.Errorf("bvmrun check: unknown program %q", fs.Arg(0))
+	}
+	if recErr != nil {
+		return recErr
+	}
+
+	cfg, err := bvmcheck.DefaultConfig(machR)
+	if err != nil {
+		return err
+	}
+	rep := bvmcheck.Lint(prog, cfg)
+	if err := emitReport(rep, *asJSON, stdout); err != nil {
+		return err
+	}
+
+	// Cross-check: replay the recording on a fresh machine and require the
+	// static estimate to match the dynamic counters exactly.
+	m, err := bvm.New(machR, bvm.DefaultRegisters)
+	if err != nil {
+		return err
+	}
+	prog.Replay(m)
+	if err := rep.Cost.CheckAgainst(m); err != nil {
+		return fmt.Errorf("static/dynamic cost mismatch: %w", err)
+	}
+	if !*asJSON {
+		fmt.Fprintf(stdout, "; cost cross-check: static estimate matches dynamic replay (%d instructions, %d routed)\n",
+			rep.Cost.Instructions, rep.Cost.Routed)
+	}
+	return nil
 }
 
 func main() {

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/bvm"
 )
 
 func TestDemos(t *testing.T) {
@@ -36,6 +41,107 @@ func TestInfoWithR(t *testing.T) {
 	}
 }
 
+func TestLintFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prog.bvm")
+	src := "; a comment\nR[1], B = 1, B (A, A, B);\nR[2], B = D, B (A, R[1].L, B) IF {0,2};\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"lint", path}, &out); err != nil {
+		t.Fatalf("lint on a clean program failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 errors") {
+		t.Errorf("lint output: %s", out.String())
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.bvm")
+	if err := os.WriteFile(bad, []byte("R[300], B = D, B (A, R[1], B);\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := run([]string{"lint", bad}, &out)
+	if err == nil {
+		t.Fatal("lint accepted a program with errors")
+	}
+	if !strings.Contains(out.String(), "bad-register") {
+		t.Errorf("lint output lacks the diagnostic: %s", out.String())
+	}
+}
+
+func TestLintJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prog.bvm")
+	if err := os.WriteFile(path, []byte("A, B = D, B (A, R[0].S, B);\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"lint", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Program string `json:"program"`
+		Cost    struct {
+			Instructions int64 `json:"instructions"`
+		} `json:"cost"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("lint -json output does not parse: %v\n%s", err, out.String())
+	}
+	if rep.Cost.Instructions != 1 {
+		t.Errorf("decoded report: %+v", rep)
+	}
+}
+
+func TestDisasmPipesIntoLint(t *testing.T) {
+	var listing strings.Builder
+	if err := run([]string{"disasm"}, &listing); err != nil {
+		t.Fatal(err)
+	}
+	// The listing (with its comment lines) must re-parse and lint clean.
+	p, err := bvm.ParseProgram("disasm", listing.String())
+	if err != nil {
+		t.Fatalf("disasm output does not re-parse: %v", err)
+	}
+	if p.Len() == 0 {
+		t.Fatal("disasm output parsed to an empty program")
+	}
+}
+
+func TestCheckPrograms(t *testing.T) {
+	for _, prog := range []string{"cycle-id", "min-reduce", "tt"} {
+		var out strings.Builder
+		if err := run([]string{"check", prog}, &out); err != nil {
+			t.Fatalf("check %s: %v\n%s", prog, err, out.String())
+		}
+		if !strings.Contains(out.String(), "0 errors · 0 warnings") {
+			t.Errorf("check %s is not clean: %s", prog, out.String())
+		}
+		if !strings.Contains(out.String(), "cost cross-check: static estimate matches dynamic replay") {
+			t.Errorf("check %s lacks the cost cross-check: %s", prog, out.String())
+		}
+	}
+}
+
+func TestCheckTTWithInstance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "inst.json")
+	inst := `{"weights": [1, 1], "actions": [
+		{"name": "treat-all", "objects": [0, 1], "cost": 4, "treatment": true},
+		{"name": "test-0", "objects": [0], "cost": 1}
+	]}`
+	if err := os.WriteFile(path, []byte(inst), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"check", "-i", path, "tt"}, &out); err != nil {
+		t.Fatalf("check tt -i: %v\n%s", err, out.String())
+	}
+	// Weighted cost: both states need the weight-2 universe treated at
+	// action cost 4, and the 1-cost test cannot beat applying it directly.
+	if !strings.Contains(out.String(), "tt solved: C(U)=8") {
+		t.Errorf("check tt -i output: %s", out.String())
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{}, &out); err == nil {
@@ -43,6 +149,15 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run([]string{"bogus"}, &out); err == nil {
 		t.Error("unknown demo accepted")
+	}
+	if err := run([]string{"lint"}, &out); err == nil {
+		t.Error("lint with no file accepted")
+	}
+	if err := run([]string{"check", "bogus"}, &out); err == nil {
+		t.Error("check of unknown program accepted")
+	}
+	if err := run([]string{"info", "extra"}, &out); err == nil {
+		t.Error("demo with stray arguments accepted")
 	}
 	if err := run([]string{"-r", "9", "info"}, &out); err == nil {
 		t.Error("bad r accepted")

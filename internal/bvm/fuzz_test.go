@@ -1,0 +1,81 @@
+package bvm_test
+
+import (
+	"testing"
+
+	"repro/internal/bvm"
+	"repro/internal/bvmcheck"
+)
+
+// FuzzParseProgramRoundTrip checks, for any input the assembler accepts, that
+// disassembly is a canonical fixpoint — parse(disassemble(p)) disassembles to
+// the same text — and that the static checker never panics on parser output,
+// while Verify-clean programs replay without panicking.
+func FuzzParseProgramRoundTrip(f *testing.F) {
+	seeds := []string{
+		"A, B = D, B (A, R[3], B);",
+		"R[5], B = F&D, B (R[3], R[2].L, B) IF {0,2};",
+		"A, B = D, maj(F,D,B) (A, A.I, B);",
+		"E, B = 1, B (A, A, B);",
+		"R[0], B = tt:8e, F^D^B (R[1], B.XS, B) NF {3};",
+		"; comment\n  12  A, B = 0, B (A, A.S, B)\nR[1], B = ~F, B?D:F (R[2], R[3].XP, B) IF {1,2,3};",
+		"R[300], B = D, B (A, R[1], B);",
+		"A, B = D, B (A, R[0], B) IF {9};",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	cfg, err := bvmcheck.DefaultConfig(2)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := bvm.ParseProgram("fuzz", src)
+		if err != nil {
+			return // rejected input is fine; we check what the parser accepts
+		}
+
+		// Canonical fixpoint: one disassemble/parse cycle must be identity
+		// on the text from then on.
+		d1 := p.Disassemble()
+		p2, err := bvm.ParseProgram("fuzz", d1)
+		if err != nil {
+			t.Fatalf("disassembly does not re-parse: %v\n%s", err, d1)
+		}
+		if p2.Len() != p.Len() {
+			t.Fatalf("round trip changed length %d -> %d\n%s", p.Len(), p2.Len(), d1)
+		}
+		d2 := p2.Disassemble()
+		if d1 != d2 {
+			t.Fatalf("disassembly is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", d1, d2)
+		}
+
+		// The checker must handle anything the parser accepts without
+		// panicking, and its verdict must be stable across the round trip.
+		rep := bvmcheck.Lint(p, cfg)
+		if rep.Instructions != p.Len() {
+			t.Fatalf("lint saw %d instructions, program has %d", rep.Instructions, p.Len())
+		}
+		err1 := bvmcheck.Verify(p, cfg)
+		err2 := bvmcheck.Verify(p2, cfg)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Verify verdict changed across round trip: %v vs %v", err1, err2)
+		}
+
+		// Verify-clean programs are exactly those that replay panic-free.
+		if err1 == nil && p.Len() <= 64 {
+			m, merr := bvm.New(2, bvm.DefaultRegisters)
+			if merr != nil {
+				t.Fatal(merr)
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Verify passed but Replay panicked: %v\n%s", r, d1)
+				}
+			}()
+			p.Replay(m)
+		}
+	})
+}

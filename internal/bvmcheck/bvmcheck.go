@@ -1,0 +1,256 @@
+// Package bvmcheck statically verifies, lints, and cost-analyzes recorded
+// Boolean Vector Machine programs (internal/bvm.Program) before they run.
+//
+// The BVM instruction set is small but easy to misuse: a register index past
+// the machine's L, an activation position outside the cycle, or an ASCEND
+// loop that visits hypercube dimensions out of order all surface only as a
+// runtime panic — or worse, a silently wrong bit pattern. bvmcheck analyzes
+// the instruction stream without executing it, in four passes:
+//
+//  1. Well-formedness (Verify): every register index within [0, L), every
+//     neighbor route one of the machine's links, every activation position
+//     within the cycle length Q, B never the f-destination. These are
+//     exactly the conditions under which Machine.Exec panics, so a program
+//     that passes Verify replays without crashing on any machine of the
+//     checked geometry. All 256 truth tables are legal by construction
+//     (the paper allows arbitrary Boolean functions of F, D, B); the named
+//     tables are display sugar only.
+//
+//  2. Def-use and liveness (Lint): BVM programs are straight-line code, so
+//     dataflow is exact. The analysis is truth-table aware — an operand is
+//     "read" only if the f or g truth table actually depends on that input,
+//     so SetConst-style instructions (f = constant) do not count as reads of
+//     their placeholder operands. It flags registers read before any write
+//     (programs that silently rely on pre-program machine state are not
+//     self-contained under Program.Replay) and dead stores (a full,
+//     unconditional write overwritten later with no intervening read), and
+//     reports register footprint and peak live-register pressure against
+//     the machine's L.
+//
+//  3. Communication discipline (Lint): the §4–§6 algorithms are ASCEND /
+//     DESCEND sweeps over hypercube dimensions built from the FetchPartner
+//     idiom. The checker recovers the dimension-exchange events from the
+//     instruction stream and verifies each sweep is a contiguous monotone
+//     run, flagging sweeps that skip ahead over a dimension — the classic
+//     off-by-one that leaves one hypercube axis uncombined.
+//
+//  4. Static cost (EstimateCost): instruction count, per-route traffic, and
+//     bit-step totals predicted from the instruction stream alone. Because
+//     the machine is SIMD with unit-cost instructions, the static estimate
+//     must match the dynamic counters (Machine.InstrCount / RouteCount) of
+//     a replay exactly; Cost.CheckAgainst asserts that.
+//
+// Diagnostics carry the instruction index as printed by Program.Disassemble,
+// so lint output lines up with disassembly listings, and the whole report
+// marshals to JSON for tooling.
+package bvmcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/bvm"
+	"repro/internal/ccc"
+)
+
+// Severity ranks diagnostics. Errors are conditions under which Machine.Exec
+// panics; warnings are legal-but-suspect constructions; infos are metrics.
+type Severity int
+
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Diagnostic categories.
+const (
+	CatBadRegister     = "bad-register"       // register index outside [0, L) or unknown kind
+	CatBadDestination  = "bad-destination"    // B as the f-half destination
+	CatBadRoute        = "bad-route"          // D routed through a link the machine does not have
+	CatBadActivation   = "bad-activation"     // activation position outside [0, Q), duplicates, empty sets
+	CatReadBeforeWrite = "read-before-write"  // register read before the program ever writes it
+	CatDeadStore       = "dead-store"         // full write overwritten with no intervening read
+	CatSweep           = "out-of-order-sweep" // dimension sweep skips ahead non-contiguously
+	CatPressure        = "register-pressure"  // informational liveness metrics
+)
+
+// Diag is one diagnostic. Index is the instruction index exactly as printed
+// by Program.Disassemble; program-level diagnostics use index -1.
+type Diag struct {
+	Index    int      `json:"index"`
+	Severity Severity `json:"severity"`
+	Category string   `json:"category"`
+	Message  string   `json:"message"`
+	Instr    string   `json:"instr,omitempty"`
+}
+
+func (d Diag) String() string {
+	idx := "   -"
+	if d.Index >= 0 {
+		idx = fmt.Sprintf("%4d", d.Index)
+	}
+	return fmt.Sprintf("%s  %-7s %-18s %s", idx, d.Severity, d.Category, d.Message)
+}
+
+// Config is the static machine description a program is checked against: the
+// CCC topology it is meant to run on plus the register file size L.
+type Config struct {
+	Top       *ccc.Topology
+	Registers int
+}
+
+// ConfigFor describes an existing machine.
+func ConfigFor(m *bvm.Machine) Config { return Config{Top: m.Top, Registers: m.L} }
+
+// DefaultConfig is the paper's machine at CCC parameter r: L = 256 registers.
+func DefaultConfig(r int) (Config, error) {
+	top, err := ccc.New(r)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{Top: top, Registers: bvm.DefaultRegisters}, nil
+}
+
+// MachineInfo is the geometry a report was checked against.
+type MachineInfo struct {
+	R         int `json:"r"`
+	Q         int `json:"q"`
+	AddrBits  int `json:"addr_bits"`
+	PEs       int `json:"pes"`
+	Registers int `json:"registers"`
+}
+
+// Report is the full lint result for one program.
+type Report struct {
+	Program      string      `json:"program"`
+	Instructions int         `json:"instructions"`
+	Machine      MachineInfo `json:"machine"`
+	Diags        []Diag      `json:"diags"`
+	Cost         Cost        `json:"cost"`
+	Liveness     Liveness    `json:"liveness"`
+	Sweeps       []Sweep     `json:"sweeps,omitempty"`
+}
+
+// Errors returns the error-severity diagnostics.
+func (r *Report) Errors() []Diag { return r.filter(SevError) }
+
+// Warnings returns the warning-severity diagnostics.
+func (r *Report) Warnings() []Diag { return r.filter(SevWarning) }
+
+func (r *Report) filter(sev Severity) []Diag {
+	var out []Diag
+	for _, d := range r.Diags {
+		if d.Severity == sev {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// JSON renders the report machine-readably, indented for human diffing.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// String renders the report as a lint listing whose indices match the
+// program's Disassemble output, followed by cost and liveness summaries.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; bvmcheck %s — %d instructions · %d errors · %d warnings\n",
+		r.Program, r.Instructions, len(r.Errors()), len(r.Warnings()))
+	for _, d := range r.Diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+		if d.Instr != "" {
+			fmt.Fprintf(&sb, "      > %s\n", d.Instr)
+		}
+	}
+	fmt.Fprintf(&sb, "; cost: %d instructions (%s) · %d routed · %d bit-ops · %d link-bits\n",
+		r.Cost.Instructions, r.Cost.routeSummary(), r.Cost.Routed, r.Cost.BitOps, r.Cost.LinkBits)
+	highest := "-"
+	if r.Liveness.HighestRegister >= 0 {
+		highest = fmt.Sprintf("R[%d]", r.Liveness.HighestRegister)
+	}
+	fmt.Fprintf(&sb, "; registers: footprint %d · peak live %d · highest %s · machine L=%d\n",
+		r.Liveness.Footprint, r.Liveness.PeakLive, highest, r.Machine.Registers)
+	return sb.String()
+}
+
+// Lint runs every analysis pass and returns the full report. The dataflow
+// and sweep passes are skipped (with an info diagnostic) when well-formedness
+// errors are present, since register indices are not trustworthy then.
+func Lint(p *bvm.Program, cfg Config) *Report {
+	rep := &Report{
+		Program:      p.Name,
+		Instructions: p.Len(),
+		Machine: MachineInfo{
+			R: cfg.Top.R, Q: cfg.Top.Q, AddrBits: cfg.Top.AddrBits,
+			PEs: cfg.Top.N, Registers: cfg.Registers,
+		},
+		Cost: EstimateCost(p, cfg),
+	}
+	rep.Diags = checkWellFormed(p, cfg)
+	if len(rep.Errors()) > 0 {
+		rep.Diags = append(rep.Diags, Diag{
+			Index: -1, Severity: SevInfo, Category: CatPressure,
+			Message: "dataflow and sweep analyses skipped: program is not well-formed",
+		})
+		rep.Liveness = Liveness{PeakLiveIndex: -1, HighestRegister: -1}
+		return rep
+	}
+	liveDiags, live := analyzeLiveness(p, cfg)
+	rep.Diags = append(rep.Diags, liveDiags...)
+	rep.Liveness = live
+	sweepDiags, sweeps := analyzeSweeps(p, cfg)
+	rep.Diags = append(rep.Diags, sweepDiags...)
+	rep.Sweeps = sweeps
+	return rep
+}
+
+// VerifyError aggregates the error-level diagnostics that made a program
+// fail verification.
+type VerifyError struct {
+	Program string
+	Diags   []Diag
+}
+
+func (e *VerifyError) Error() string {
+	msg := fmt.Sprintf("bvmcheck: program %q: %d error(s)", e.Program, len(e.Diags))
+	if len(e.Diags) > 0 {
+		msg += ": " + e.Diags[0].Message
+		if e.Diags[0].Index >= 0 {
+			msg += fmt.Sprintf(" (instruction %d)", e.Diags[0].Index)
+		}
+	}
+	return msg
+}
+
+// Verify checks well-formedness only: it returns nil exactly when the program
+// replays on a machine of the given geometry without panicking. Warnings do
+// not fail verification; use Lint for the full analysis.
+func Verify(p *bvm.Program, cfg Config) error {
+	var errs []Diag
+	for _, d := range checkWellFormed(p, cfg) {
+		if d.Severity == SevError {
+			errs = append(errs, d)
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return &VerifyError{Program: p.Name, Diags: errs}
+}

@@ -1,0 +1,351 @@
+package bvmcheck_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/bvm"
+	"repro/internal/bvmalg"
+	"repro/internal/bvmcheck"
+)
+
+func cfg2(t *testing.T) bvmcheck.Config {
+	t.Helper()
+	cfg, err := bvmcheck.DefaultConfig(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func record(t *testing.T, r int, name string, f func(m *bvm.Machine)) *bvm.Program {
+	t.Helper()
+	m, err := bvm.New(r, bvm.DefaultRegisters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StartRecording(name)
+	f(m)
+	return m.StopRecording()
+}
+
+func parse(t *testing.T, name, src string) *bvm.Program {
+	t.Helper()
+	p, err := bvm.ParseProgram(name, src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return p
+}
+
+func diagsOf(rep *bvmcheck.Report, cat string) []bvmcheck.Diag {
+	var out []bvmcheck.Diag
+	for _, d := range rep.Diags {
+		if d.Category == cat {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestVerifyAcceptsWellFormed(t *testing.T) {
+	p := parse(t, "ok", `
+		R[1], B = 1, B (A, A, B);
+		R[2], B = F&D, B (R[1], R[1].L, B) IF {0,2};
+		A, B = D, maj(F,D,B) (R[2], R[1].S, B);
+	`)
+	if err := bvmcheck.Verify(p, cfg2(t)); err != nil {
+		t.Fatalf("Verify rejected a well-formed program: %v", err)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	cfg := cfg2(t)
+	cases := []struct {
+		name string
+		prog *bvm.Program
+		cat  string
+		// noPanic marks defects Exec tolerates (the machine resolves unknown
+		// register kinds as general registers) but Verify still rejects.
+		noPanic bool
+	}{
+		{"register index past L", parse(t, "p", "A, B = D, B (A, R[256], B);"), bvmcheck.CatBadRegister, false},
+		{"destination past L", parse(t, "p", "R[999], B = 1, B (A, A, B);"), bvmcheck.CatBadRegister, false},
+		{"negative index", &bvm.Program{Instrs: []bvm.Instr{
+			{Dst: bvm.R(-1), FTT: bvm.TTOne, GTT: bvm.TTB, F: bvm.A, D: bvm.Loc(bvm.A)},
+		}}, bvmcheck.CatBadRegister, false},
+		{"B as destination", &bvm.Program{Instrs: []bvm.Instr{
+			{Dst: bvm.B, FTT: bvm.TTOne, GTT: bvm.TTB, F: bvm.A, D: bvm.Loc(bvm.A)},
+		}}, bvmcheck.CatBadDestination, false},
+		{"unknown route", &bvm.Program{Instrs: []bvm.Instr{
+			{Dst: bvm.R(0), FTT: bvm.TTD, GTT: bvm.TTB, F: bvm.A, D: bvm.Operand{Reg: bvm.R(1), Via: bvm.Route(9)}},
+		}}, bvmcheck.CatBadRoute, false},
+		{"activation position past Q", parse(t, "p", "A, B = D, B (A, R[0], B) IF {4};"), bvmcheck.CatBadActivation, false},
+		{"unknown register kind", &bvm.Program{Instrs: []bvm.Instr{
+			{Dst: bvm.RegRef{Kind: bvm.RegKind(7)}, FTT: bvm.TTOne, GTT: bvm.TTB, F: bvm.A, D: bvm.Loc(bvm.A)},
+		}}, bvmcheck.CatBadRegister, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := bvmcheck.Verify(c.prog, cfg)
+			if err == nil {
+				t.Fatal("Verify accepted a malformed program")
+			}
+			ve, ok := err.(*bvmcheck.VerifyError)
+			if !ok {
+				t.Fatalf("error type %T, want *VerifyError", err)
+			}
+			found := false
+			for _, d := range ve.Diags {
+				if d.Category == c.cat {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("diagnostics %v lack category %s", ve.Diags, c.cat)
+			}
+			// Every verification error must be a condition Exec panics on.
+			if c.noPanic {
+				return
+			}
+			m, merr := bvm.New(2, bvm.DefaultRegisters)
+			if merr != nil {
+				t.Fatal(merr)
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("Verify flagged an error but Replay did not panic")
+					}
+				}()
+				c.prog.Replay(m)
+			}()
+		})
+	}
+}
+
+func TestLintWarningsAreNotVerifyErrors(t *testing.T) {
+	// Duplicate activation positions and no-effect activations are legal.
+	p := parse(t, "warn", `
+		R[0], B = 1, B (A, A, B) IF {1,1};
+		R[0], B = 0, B (A, A, B) IF {};
+	`)
+	cfg := cfg2(t)
+	if err := bvmcheck.Verify(p, cfg); err != nil {
+		t.Fatalf("warnings failed Verify: %v", err)
+	}
+	rep := bvmcheck.Lint(p, cfg)
+	if len(diagsOf(rep, bvmcheck.CatBadActivation)) != 2 {
+		t.Fatalf("want 2 bad-activation warnings, got diags:\n%s", rep)
+	}
+}
+
+func TestReadBeforeWrite(t *testing.T) {
+	cfg := cfg2(t)
+	p := parse(t, "rbw", `
+		R[0], B = F&D, B (R[1], R[2], B);
+		R[1], B = 1, B (A, A, B);
+	`)
+	rep := bvmcheck.Lint(p, cfg)
+	got := diagsOf(rep, bvmcheck.CatReadBeforeWrite)
+	if len(got) != 2 {
+		t.Fatalf("want read-before-write for R[1] and R[2], got:\n%s", rep)
+	}
+	for _, d := range got {
+		if d.Index != 0 {
+			t.Errorf("diag at index %d, want 0", d.Index)
+		}
+	}
+	// The streaming self-shift idiom is exempt.
+	p = parse(t, "stream", "R[3], B = D, B (A, R[3].I, B);")
+	if n := len(diagsOf(bvmcheck.Lint(p, cfg), bvmcheck.CatReadBeforeWrite)); n != 0 {
+		t.Errorf("self-shift stream flagged read-before-write %d times", n)
+	}
+	// The identity f half (payload in g) is exempt.
+	p = parse(t, "setb", "A, B = F, 1 (A, A, B);")
+	if n := len(diagsOf(bvmcheck.Lint(p, cfg), bvmcheck.CatReadBeforeWrite)); n != 0 {
+		t.Errorf("identity f half flagged read-before-write %d times", n)
+	}
+}
+
+func TestDeadStore(t *testing.T) {
+	cfg := cfg2(t)
+	p := parse(t, "dead", `
+		R[1], B = 1, B (A, A, B);
+		R[1], B = 0, B (A, A, B);
+		R[2], B = D, B (A, R[1], B);
+	`)
+	rep := bvmcheck.Lint(p, cfg)
+	got := diagsOf(rep, bvmcheck.CatDeadStore)
+	if len(got) != 1 || got[0].Index != 0 {
+		t.Fatalf("want one dead store at index 0, got:\n%s", rep)
+	}
+	// A masked overwrite preserves the old value: not a kill.
+	p = parse(t, "masked", `
+		R[1], B = 1, B (A, A, B);
+		R[1], B = 0, B (A, A, B) IF {0};
+		R[2], B = D, B (A, R[1], B);
+	`)
+	if n := len(diagsOf(bvmcheck.Lint(p, cfg), bvmcheck.CatDeadStore)); n != 0 {
+		t.Errorf("masked overwrite produced %d dead-store diags", n)
+	}
+	// A discarded f half beside a live g half is ISA idiom, not a bug.
+	p = parse(t, "scrap", `
+		A, B = F^D, F|D (R[1], R[2], B);
+		A, B = D, B (R[1], B, B);
+	`)
+	if n := len(diagsOf(bvmcheck.Lint(p, cfg), bvmcheck.CatDeadStore)); n != 0 {
+		t.Errorf("scrap f destination produced %d dead-store diags", n)
+	}
+	// Once the program writes E, later writes may be disabled: no kills.
+	p = parse(t, "egated", `
+		E, B = 0, B (A, A, B);
+		R[1], B = 1, B (A, A, B);
+		R[1], B = 0, B (A, A, B);
+	`)
+	if n := len(diagsOf(bvmcheck.Lint(p, cfg), bvmcheck.CatDeadStore)); n != 0 {
+		t.Errorf("E-gated overwrite produced %d dead-store diags", n)
+	}
+}
+
+func TestSweepDiscipline(t *testing.T) {
+	cfg := cfg2(t)
+	fetch := func(m *bvm.Machine, dims ...int) {
+		pairs := []bvmalg.Pair{{Src: bvm.R(0), Shadow: bvm.R(1)}}
+		m.SetConst(bvm.R(0), true)
+		m.SetConst(bvm.R(1), false)
+		for _, d := range dims {
+			bvmalg.FetchPartner(m, d, pairs, 10)
+		}
+	}
+	clean := [][]int{
+		{0, 1, 2, 3, 4, 5}, // full ASCEND
+		{5, 4, 3, 2, 1, 0}, // full DESCEND
+		{2, 3, 4, 5, 0, 1}, // ASCEND restart (the TT program's shape)
+		{0, 1, 2, 2, 3},    // repeated exchange coalesces
+		{0, 1, 0, 2, 1, 0}, // bitonic-style interleave: restarts, no skips
+	}
+	for _, dims := range clean {
+		p := record(t, 2, "sweep", func(m *bvm.Machine) { fetch(m, dims...) })
+		rep := bvmcheck.Lint(p, cfg)
+		if n := len(diagsOf(rep, bvmcheck.CatSweep)); n != 0 {
+			t.Errorf("dims %v: %d sweep diags, want 0:\n%s", dims, n, rep)
+		}
+	}
+	bad := [][]int{
+		{0, 2, 1},    // ascending skip at program start
+		{0, 1, 3, 4}, // ascending skip mid-run
+		{5, 4, 2, 1}, // descending skip mid-run
+	}
+	for _, dims := range bad {
+		p := record(t, 2, "sweep", func(m *bvm.Machine) { fetch(m, dims...) })
+		rep := bvmcheck.Lint(p, cfg)
+		if n := len(diagsOf(rep, bvmcheck.CatSweep)); n != 1 {
+			t.Errorf("dims %v: %d sweep diags, want 1:\n%s", dims, n, rep)
+		}
+	}
+	// Sweep structure is reported.
+	p := record(t, 2, "sweep", func(m *bvm.Machine) { fetch(m, 2, 3, 4, 5, 0, 1) })
+	rep := bvmcheck.Lint(p, cfg)
+	if len(rep.Sweeps) != 2 {
+		t.Fatalf("sweeps = %+v, want 2 runs", rep.Sweeps)
+	}
+	if got := rep.Sweeps[0].Dims; len(got) != 4 || got[0] != 2 || got[3] != 5 {
+		t.Errorf("first sweep dims = %v, want [2 3 4 5]", got)
+	}
+	if rep.Sweeps[0].Direction != 1 || rep.Sweeps[1].Direction != 1 {
+		t.Errorf("sweep directions = %d, %d, want ascending", rep.Sweeps[0].Direction, rep.Sweeps[1].Direction)
+	}
+}
+
+func TestCostMatchesDynamicReplay(t *testing.T) {
+	cfg := cfg2(t)
+	progs := []*bvm.Program{
+		record(t, 2, "cycle-id", func(m *bvm.Machine) { bvmalg.CycleID(m, bvm.R(0)) }),
+		record(t, 2, "processor-id", func(m *bvm.Machine) { bvmalg.ProcessorID(m, 0) }),
+		record(t, 2, "min-reduce", func(m *bvm.Machine) {
+			val := bvmalg.Word{Base: 10, Width: 4}
+			sh := bvmalg.Word{Base: 14, Width: 4}
+			bvmalg.SetWordConst(m, val, 5)
+			bvmalg.MinReduce(m, val, 0, m.Top.AddrBits, sh, 30)
+		}),
+	}
+	for _, p := range progs {
+		cost := bvmcheck.EstimateCost(p, cfg)
+		if cost.Instructions != int64(p.Len()) {
+			t.Fatalf("%s: static instruction count %d != %d", p.Name, cost.Instructions, p.Len())
+		}
+		m, err := bvm.New(2, bvm.DefaultRegisters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Replay(m)
+		if err := cost.CheckAgainst(m); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if cost.BitOps != cost.Instructions*int64(cfg.Top.N) {
+			t.Errorf("%s: bit-ops %d != instructions × PEs", p.Name, cost.BitOps)
+		}
+	}
+	// And a deliberate mismatch is caught.
+	m, err := bvm.New(2, bvm.DefaultRegisters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs[0].Replay(m)
+	m.Mov(bvm.A, bvm.Loc(bvm.A)) // one extra dynamic instruction
+	if err := bvmcheck.EstimateCost(progs[0], cfg).CheckAgainst(m); err == nil {
+		t.Error("CheckAgainst missed an instruction-count mismatch")
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	p := parse(t, "j", `
+		R[1], B = 1, B (A, A, B);
+		R[300], B = D, B (A, R[1], B);
+	`)
+	rep := bvmcheck.Lint(p, cfg2(t))
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Program string `json:"program"`
+		Diags   []struct {
+			Index    int    `json:"index"`
+			Severity string `json:"severity"`
+			Category string `json:"category"`
+		} `json:"diags"`
+		Cost struct {
+			Instructions int64            `json:"instructions"`
+			ByRoute      map[string]int64 `json:"by_route"`
+		} `json:"cost"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("report JSON does not parse: %v\n%s", err, raw)
+	}
+	if decoded.Program != "j" || decoded.Cost.Instructions != 2 {
+		t.Errorf("decoded %+v", decoded)
+	}
+	if len(decoded.Diags) == 0 || decoded.Diags[0].Severity != "error" {
+		t.Errorf("diags = %+v, want leading error", decoded.Diags)
+	}
+	if !strings.Contains(string(raw), `"by_route"`) {
+		t.Error("cost lacks by_route")
+	}
+}
+
+func TestLintSkipsDataflowOnMalformed(t *testing.T) {
+	p := parse(t, "bad", "R[999], B = D, B (A, R[998], B);")
+	rep := bvmcheck.Lint(p, cfg2(t))
+	if len(rep.Errors()) == 0 {
+		t.Fatal("no errors on malformed program")
+	}
+	if n := len(diagsOf(rep, bvmcheck.CatReadBeforeWrite)); n != 0 {
+		t.Error("dataflow ran on malformed program")
+	}
+	if !strings.Contains(rep.String(), "skipped") {
+		t.Error("report does not mention skipped analyses")
+	}
+}

@@ -1,0 +1,104 @@
+package bvmcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bvm"
+)
+
+// Static cost model. The BVM is SIMD with unit-cost instructions: every
+// instruction takes one machine cycle and moves (or computes on) one bit per
+// PE. The static estimate therefore predicts the dynamic counters of a
+// replay exactly — Cost.CheckAgainst asserts instruction-for-instruction and
+// route-for-route agreement with Machine.InstrCount / Machine.RouteCount —
+// and extends them with derived totals: bit operations (instructions × PEs)
+// and link traffic (routed instructions × PEs, each moving one bit per PE
+// across a physical link).
+
+// routeOrder fixes the rendering/JSON key order, local first.
+var routeOrder = []bvm.Route{bvm.Local, bvm.RouteS, bvm.RouteP, bvm.RouteL, bvm.RouteXS, bvm.RouteXP, bvm.RouteI}
+
+// routeName is the stable spelling of a route in reports ("local", "S", ...).
+func routeName(r bvm.Route) string {
+	if r == bvm.Local {
+		return "local"
+	}
+	return strings.TrimPrefix(r.String(), ".")
+}
+
+// Cost is the static cost estimate of a program.
+type Cost struct {
+	// Instructions is the machine time in cycles (one instruction each).
+	Instructions int64 `json:"instructions"`
+	// ByRoute counts instructions per D-operand route.
+	ByRoute map[string]int64 `json:"by_route"`
+	// Routed counts instructions whose D operand crosses a link.
+	Routed int64 `json:"routed"`
+	// InputBits is the number of external input bits the program consumes
+	// and OutputBits the number it emits: one each per RouteI instruction.
+	InputBits  int64 `json:"input_bits"`
+	OutputBits int64 `json:"output_bits"`
+	// BitOps is the machine-wide bit-operation total: instructions × PEs.
+	BitOps int64 `json:"bit_ops"`
+	// LinkBits is the total link traffic in bits: routed instructions × PEs.
+	LinkBits int64 `json:"link_bits"`
+}
+
+// EstimateCost computes the static cost of a program on a cfg-sized machine.
+func EstimateCost(p *bvm.Program, cfg Config) Cost {
+	c := Cost{ByRoute: make(map[string]int64)}
+	for _, in := range p.Instrs {
+		c.Instructions++
+		c.ByRoute[routeName(in.D.Via)]++
+		if in.D.Via != bvm.Local {
+			c.Routed++
+		}
+	}
+	c.InputBits = c.ByRoute[routeName(bvm.RouteI)]
+	c.OutputBits = c.InputBits
+	n := int64(cfg.Top.N)
+	c.BitOps = c.Instructions * n
+	c.LinkBits = c.Routed * n
+	return c
+}
+
+// routeSummary renders the per-route counts compactly in fixed order.
+func (c Cost) routeSummary() string {
+	var parts []string
+	for _, r := range routeOrder {
+		if n := c.ByRoute[routeName(r)]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", routeName(r), n))
+		}
+	}
+	if len(parts) == 0 {
+		return "empty"
+	}
+	return strings.Join(parts, " ")
+}
+
+// CheckAgainst compares the static estimate with a machine's dynamic
+// counters after a replay (ResetCounters before Replay, then call this).
+// The BVM's unit-cost execution model means any mismatch is a bug — in the
+// recording, the replay, or this checker.
+func (c Cost) CheckAgainst(m *bvm.Machine) error {
+	if m.InstrCount != c.Instructions {
+		return fmt.Errorf("bvmcheck: static instruction count %d != dynamic %d", c.Instructions, m.InstrCount)
+	}
+	for _, r := range routeOrder {
+		if got, want := m.RouteCount[r], c.ByRoute[routeName(r)]; got != want {
+			return fmt.Errorf("bvmcheck: route %s: static count %d != dynamic %d", routeName(r), want, got)
+		}
+	}
+	var dynTotal int64
+	for r, n := range m.RouteCount {
+		if !knownRoute(r) {
+			return fmt.Errorf("bvmcheck: dynamic counters include unknown route %d", uint8(r))
+		}
+		dynTotal += n
+	}
+	if dynTotal != c.Instructions {
+		return fmt.Errorf("bvmcheck: dynamic route counts sum to %d, want %d", dynTotal, c.Instructions)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package bvmcheck_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bvm"
+	"repro/internal/bvmcheck"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// seededDefects are four deliberately broken programs, one per major
+// diagnostic family. Each golden file holds the disassembly listing followed
+// by the full lint report; the listing's line numbers are the indices the
+// diagnostics refer to.
+func seededDefects() map[string]*bvm.Program {
+	mustParse := func(name, src string) *bvm.Program {
+		p, err := bvm.ParseProgram(name, src)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	progs := map[string]*bvm.Program{
+		// A register index beyond the machine's L = 256.
+		"bad-register": mustParse("bad-register", `
+			R[1], B = 1, B (A, A, B);
+			R[300], B = D, B (A, R[1], B);
+			A, B = D, B (A, R[300], B);
+		`),
+		// A store overwritten before any read.
+		"dead-store": mustParse("dead-store", `
+			R[1], B = 1, B (A, A, B);
+			R[1], B = 0, B (A, A, B);
+			R[2], B = D, B (A, R[1], B);
+		`),
+		// An ASCEND exchange sequence that skips dimension 1: low-dim
+		// exchange on 0 (clear set {0,2}), lateral exchange on 2 (IF {0}),
+		// then back to the low-dim exchange on 1 (clear set {0,1}).
+		"skipped-dimension": mustParse("skipped-dimension", `
+			R[1], B = 0, B (A, A, B);
+			R[2], B = 1, B (A, A, B);
+			R[1], B = D, B (A, R[2], B) IF {0,2};
+			R[1], B = D, B (A, R[2].L, B) IF {0};
+			R[1], B = D, B (A, R[2], B) IF {0,1};
+		`),
+	}
+	// An exchange over a route byte no machine implements; inexpressible in
+	// the assembly syntax, so built directly.
+	progs["bad-route"] = &bvm.Program{Name: "bad-route", Instrs: []bvm.Instr{
+		{Dst: bvm.R(1), FTT: bvm.TTOne, GTT: bvm.TTB, F: bvm.A, D: bvm.Loc(bvm.A)},
+		{Dst: bvm.R(2), FTT: bvm.TTD, GTT: bvm.TTB, F: bvm.A, D: bvm.Operand{Reg: bvm.R(1), Via: bvm.Route(9)}},
+	}}
+	return progs
+}
+
+func TestGoldenSeededDefects(t *testing.T) {
+	cfg := cfg2(t)
+	wantCat := map[string]string{
+		"bad-register":      bvmcheck.CatBadRegister,
+		"bad-route":         bvmcheck.CatBadRoute,
+		"dead-store":        bvmcheck.CatDeadStore,
+		"skipped-dimension": bvmcheck.CatSweep,
+	}
+	for name, p := range seededDefects() {
+		t.Run(name, func(t *testing.T) {
+			rep := bvmcheck.Lint(p, cfg)
+			found := false
+			for _, d := range rep.Diags {
+				if d.Category == wantCat[name] {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("lint report lacks the seeded %s diagnostic:\n%s", wantCat[name], rep)
+			}
+			got := p.Disassemble() + "\n" + rep.String()
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if got != string(want) {
+				t.Errorf("report drifted from %s (run with -update to regenerate)\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

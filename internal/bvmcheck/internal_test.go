@@ -1,0 +1,84 @@
+package bvmcheck
+
+import (
+	"testing"
+
+	"repro/internal/bvm"
+)
+
+func TestTTDeps(t *testing.T) {
+	cases := []struct {
+		tt      uint8
+		f, d, b bool
+	}{
+		{bvm.TTZero, false, false, false},
+		{bvm.TTOne, false, false, false},
+		{bvm.TTF, true, false, false},
+		{bvm.TTD, false, true, false},
+		{bvm.TTB, false, false, true},
+		{bvm.TTAndFD, true, true, false},
+		{bvm.TTMuxB, true, true, true},
+		{bvm.TTParity, true, true, true},
+		{bvm.TTMajority, true, true, true},
+		{bvm.TTNotF, true, false, false},
+	}
+	for _, c := range cases {
+		f, d, b := ttDeps(c.tt)
+		if f != c.f || d != c.d || b != c.b {
+			t.Errorf("ttDeps(%#02x) = %v %v %v, want %v %v %v", c.tt, f, d, b, c.f, c.d, c.b)
+		}
+	}
+}
+
+func TestMatchClearSet(t *testing.T) {
+	// r = 2, Q = 4: dim 0 clear set {0, 2}, dim 1 clear set {0, 1}.
+	if d, ok := matchClearSet([]int{0, 2}, 2, 4); !ok || d != 0 {
+		t.Errorf("clear set {0,2}: got dim %d ok %v, want 0 true", d, ok)
+	}
+	if d, ok := matchClearSet([]int{1, 0}, 2, 4); !ok || d != 1 {
+		t.Errorf("clear set {1,0}: got dim %d ok %v, want 1 true", d, ok)
+	}
+	for _, bad := range [][]int{{0}, {0, 1, 2}, {0, 3}, {2, 2}, {0, 4}, {-1, 0}} {
+		if _, ok := matchClearSet(bad, 2, 4); ok {
+			t.Errorf("positions %v unexpectedly matched a clear set", bad)
+		}
+	}
+}
+
+func TestInstrEffectsTruthTableAware(t *testing.T) {
+	a := newAnalysis(Config{Registers: 8})
+	// SetConst: f = 1 reads nothing despite naming A twice.
+	eff := a.instrEffects(bvm.Instr{Dst: bvm.R(3), FTT: bvm.TTOne, GTT: bvm.TTB, F: bvm.A, D: bvm.Loc(bvm.A)}, false)
+	if len(eff.reads) != 0 || eff.dstID != 3 || !eff.dstFull || eff.writesB {
+		t.Errorf("SetConst effects = %+v, want no reads, full write of R[3], no B write", eff)
+	}
+	// AddStep: parity/majority read F, D, B and write both halves.
+	eff = a.instrEffects(bvm.Instr{Dst: bvm.R(0), FTT: bvm.TTParity, GTT: bvm.TTMajority, F: bvm.R(1), D: bvm.Loc(bvm.R(2))}, false)
+	if len(eff.reads) != 3 || !eff.writesB || !eff.bFull {
+		t.Errorf("AddStep effects = %+v, want 3 reads and a full B write", eff)
+	}
+	// Masked move: the destination's old value is read.
+	eff = a.instrEffects(bvm.Instr{Dst: bvm.R(0), FTT: bvm.TTD, GTT: bvm.TTB, F: bvm.A, D: bvm.Loc(bvm.R(2)), Cond: bvm.IF(1)}, false)
+	if eff.dstFull {
+		t.Error("masked write reported as full")
+	}
+	found := false
+	for _, r := range eff.reads {
+		if r == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("masked write does not read its destination: reads %v", eff.reads)
+	}
+	// E destination: untracked, always a full write.
+	eff = a.instrEffects(bvm.Instr{Dst: bvm.E, FTT: bvm.TTOne, GTT: bvm.TTB, F: bvm.A, D: bvm.Loc(bvm.A), Cond: bvm.IF(0)}, false)
+	if eff.dstID != -1 {
+		t.Errorf("E destination tracked as id %d", eff.dstID)
+	}
+	// Self-shift streaming: the routed self-read is exempt.
+	eff = a.instrEffects(bvm.Instr{Dst: bvm.R(5), FTT: bvm.TTD, GTT: bvm.TTB, F: bvm.A, D: bvm.Via(bvm.R(5), bvm.RouteI)}, false)
+	if eff.exemptRead != 5 {
+		t.Errorf("self-shift exempt read = %d, want 5", eff.exemptRead)
+	}
+}

@@ -1,0 +1,312 @@
+package bvmcheck
+
+import (
+	"fmt"
+
+	"repro/internal/bvm"
+)
+
+// Def-use and liveness analysis. BVM programs are straight-line code (there
+// is no branch instruction; control flow lives on the host), so dataflow is
+// exact — no joins, no fixpoints.
+//
+// The analysis is truth-table aware: an instruction reads its F, D, or B
+// input only if the f or g truth table actually depends on that input. A
+// SetConst (f = 0 or 1) reads nothing even though its operand fields name A;
+// a Mov (f = D) reads only D. The g half with GTT = TTB assigns B its own
+// value, which is the ISA's "leave B alone" idiom, so it neither reads nor
+// writes B for dataflow purposes.
+//
+// Masked writes (an IF/NF activation clause) preserve the old value on
+// inactive PEs, so they count as a read plus a may-write: they never kill a
+// value. Writes are also gated by the enable register E; the analysis
+// assumes E is all-ones at program entry (the machine's reset state) and,
+// after the first instruction that writes E, conservatively treats every
+// subsequent write as masked.
+
+// Liveness is the register-usage summary of a program.
+type Liveness struct {
+	// Footprint is the number of distinct general registers the program
+	// effectively reads or writes (truth-table aware).
+	Footprint int `json:"footprint"`
+	// PeakLive is the maximum number of general registers simultaneously
+	// live at any program point (values written earlier and still needed by
+	// a later instruction of the program itself).
+	PeakLive int `json:"peak_live"`
+	// PeakLiveIndex is the instruction index before which the peak occurs.
+	PeakLiveIndex int `json:"peak_live_index"`
+	// HighestRegister is the largest general-register index used, -1 if the
+	// program uses only the special registers.
+	HighestRegister int `json:"highest_register"`
+}
+
+// ttDeps reports which of the three inputs (F, D, B) the truth table
+// actually depends on. Minterm order is F<<2 | D<<1 | B.
+func ttDeps(tt uint8) (f, d, b bool) {
+	for m := 0; m < 8; m++ {
+		v := tt >> uint(m) & 1
+		if tt>>uint(m^4)&1 != v {
+			f = true
+		}
+		if tt>>uint(m^2)&1 != v {
+			d = true
+		}
+		if tt>>uint(m^1)&1 != v {
+			b = true
+		}
+	}
+	return
+}
+
+// effects is the exact dataflow footprint of one instruction.
+type effects struct {
+	reads   []int // effective register reads (ids; E excluded)
+	dstID   int   // destination id, -1 when the destination is E
+	dstFull bool  // unconditional, unmasked write (kills the old value)
+	writesB bool  // the g half writes B (GTT != TTB)
+	bFull   bool  // ... unconditionally
+	// exemptRead is the id of a register whose read is exempt from the
+	// read-before-write check, -1 if none. Two idioms qualify: the
+	// input-chain / rotation self-move "X = D (X.route)", which streams new
+	// contents through X so the pre-program value is discarded rather than
+	// consumed, and the identity f half "X = F (X, ...)" used when the
+	// instruction's payload is the g half, which merely preserves X.
+	exemptRead int
+	// gInactive marks GTT == TTB: the instruction exists only for its f
+	// half, so a dead f-half store means the instruction does nothing.
+	gInactive bool
+}
+
+type analysis struct {
+	cfg   Config
+	nRegs int // general registers + A, B (E excluded from tracking)
+	idA   int
+	idB   int
+}
+
+func newAnalysis(cfg Config) *analysis {
+	return &analysis{cfg: cfg, nRegs: cfg.Registers + 2, idA: cfg.Registers, idB: cfg.Registers + 1}
+}
+
+// id maps a register to its dense index; E maps to -1 (untracked).
+func (a *analysis) id(r bvm.RegRef) int {
+	switch r.Kind {
+	case bvm.KindR:
+		return r.Index
+	case bvm.KindA:
+		return a.idA
+	case bvm.KindB:
+		return a.idB
+	default:
+		return -1
+	}
+}
+
+func (a *analysis) name(id int) string {
+	switch id {
+	case a.idA:
+		return "A"
+	case a.idB:
+		return "B"
+	default:
+		return fmt.Sprintf("R[%d]", id)
+	}
+}
+
+func (a *analysis) instrEffects(in bvm.Instr, eGated bool) effects {
+	eff := effects{dstID: a.id(in.Dst), exemptRead: -1}
+	fF, fD, fB := ttDeps(in.FTT)
+	gActive := in.GTT != bvm.TTB
+	eff.gInactive = !gActive
+	var gF, gD, gB bool
+	if gActive {
+		gF, gD, gB = ttDeps(in.GTT)
+	}
+	masked := in.Cond != nil || eGated
+
+	addRead := func(id int) {
+		if id < 0 {
+			return
+		}
+		for _, r := range eff.reads {
+			if r == id {
+				return
+			}
+		}
+		eff.reads = append(eff.reads, id)
+	}
+	if fF || gF {
+		addRead(a.id(in.F))
+	}
+	if fD || gD {
+		addRead(a.id(in.D.Reg))
+	}
+	if fB || gB {
+		addRead(a.idB)
+	}
+
+	if in.Dst.Kind == bvm.KindE {
+		// E ignores activation masks and its own gating: always a full write.
+		eff.dstID = -1
+	} else {
+		eff.dstFull = !masked
+		if masked {
+			// Inactive PEs keep the old destination value: a read.
+			addRead(eff.dstID)
+		}
+	}
+	eff.writesB = gActive
+	eff.bFull = gActive && !masked
+
+	// The self-move streaming idiom: X = D (X.route). The old value of X is
+	// shifted through and discarded, never consumed as data.
+	if in.D.Via != bvm.Local && in.Dst == in.D.Reg && in.FTT == bvm.TTD && !gActive {
+		eff.exemptRead = a.id(in.D.Reg)
+	}
+	// The identity f half: X = F (X, ...) with the payload in g. The value
+	// of X is preserved, not consumed (unless g itself reads F).
+	if in.Dst == in.F && in.FTT == bvm.TTF && !gF {
+		eff.exemptRead = a.id(in.F)
+	}
+	return eff
+}
+
+// firstEWrite returns the index of the first instruction writing E, or
+// p.Len() if none.
+func firstEWrite(p *bvm.Program) int {
+	for i, in := range p.Instrs {
+		if in.Dst.Kind == bvm.KindE {
+			return i
+		}
+	}
+	return p.Len()
+}
+
+// analyzeLiveness runs the forward read-before-write scan and the backward
+// dead-store and pressure scans. Assumes the program is well-formed.
+func analyzeLiveness(p *bvm.Program, cfg Config) ([]Diag, Liveness) {
+	a := newAnalysis(cfg)
+	n := p.Len()
+	eIdx := firstEWrite(p)
+	effs := make([]effects, n)
+	for i, in := range p.Instrs {
+		effs[i] = a.instrEffects(in, i > eIdx)
+	}
+
+	var diags []Diag
+	emit := func(i int, sev Severity, cat, format string, args ...any) {
+		d := Diag{Index: i, Severity: sev, Category: cat, Message: fmt.Sprintf(format, args...)}
+		if i >= 0 && i < n {
+			d.Instr = p.Instrs[i].String()
+		}
+		diags = append(diags, d)
+	}
+
+	// Forward: read-before-write + footprint.
+	written := make([]bool, a.nRegs)
+	warned := make([]bool, a.nRegs)
+	touched := make([]bool, a.nRegs)
+	highest := -1
+	for i := range effs {
+		eff := &effs[i]
+		for _, r := range eff.reads {
+			touched[r] = true
+			if r < cfg.Registers && r > highest {
+				highest = r
+			}
+			if !written[r] && !warned[r] && r != eff.exemptRead {
+				warned[r] = true
+				emit(i, SevWarning, CatReadBeforeWrite,
+					"%s read before any write; the program relies on pre-program machine state", a.name(r))
+			}
+		}
+		if eff.dstID >= 0 {
+			written[eff.dstID] = true
+			touched[eff.dstID] = true
+			if eff.dstID < cfg.Registers && eff.dstID > highest {
+				highest = eff.dstID
+			}
+		}
+		if eff.writesB {
+			written[a.idB] = true
+			touched[a.idB] = true
+		}
+	}
+	footprint := 0
+	for r := 0; r < cfg.Registers; r++ {
+		if touched[r] {
+			footprint++
+		}
+	}
+
+	// Backward: dead stores (everything live at exit — program results are
+	// unknown, so only an overwrite with no intervening read proves a store
+	// dead) and pressure (nothing live at exit — only values the program
+	// itself still needs count).
+	liveDead := make([]bool, a.nRegs)
+	for r := range liveDead {
+		liveDead[r] = true
+	}
+	livePress := make([]bool, a.nRegs)
+	pressCount := 0
+	peak, peakIdx := 0, 0
+	nextKill := make([]int, a.nRegs)
+	for r := range nextKill {
+		nextKill[r] = -1
+	}
+	var deadDiags []Diag
+	for i := n - 1; i >= 0; i-- {
+		eff := &effs[i]
+		if eff.dstID >= 0 && eff.dstFull {
+			// Only instructions whose g half is inactive are flagged: the
+			// ISA forces every instruction to name an f destination, so a
+			// discarded f result beside a live g half (B as the payload,
+			// A as the conventional scrap destination) is idiom, not a bug.
+			if !liveDead[eff.dstID] && eff.gInactive {
+				d := Diag{Index: i, Severity: SevWarning, Category: CatDeadStore,
+					Message: fmt.Sprintf("value stored to %s is overwritten at instruction %d without being read",
+						a.name(eff.dstID), nextKill[eff.dstID]),
+					Instr: p.Instrs[i].String()}
+				deadDiags = append(deadDiags, d)
+			}
+			liveDead[eff.dstID] = false
+			if livePress[eff.dstID] {
+				livePress[eff.dstID] = false
+				if eff.dstID < cfg.Registers {
+					pressCount--
+				}
+			}
+			nextKill[eff.dstID] = i
+		}
+		if eff.writesB && eff.bFull {
+			liveDead[a.idB] = false
+			livePress[a.idB] = false
+		}
+		for _, r := range eff.reads {
+			liveDead[r] = true
+			if !livePress[r] {
+				livePress[r] = true
+				if r < cfg.Registers {
+					pressCount++
+				}
+			}
+		}
+		if pressCount > peak {
+			peak, peakIdx = pressCount, i
+		}
+	}
+	// Backward scan discovers dead stores last-first; report in program order.
+	for i := len(deadDiags) - 1; i >= 0; i-- {
+		diags = append(diags, deadDiags[i])
+	}
+
+	live := Liveness{Footprint: footprint, PeakLive: peak, PeakLiveIndex: peakIdx, HighestRegister: highest}
+	highStr := "-"
+	if highest >= 0 {
+		highStr = fmt.Sprintf("R[%d]", highest)
+	}
+	emit(-1, SevInfo, CatPressure,
+		"register footprint %d, peak live %d (before instruction %d), highest %s, machine L=%d",
+		live.Footprint, live.PeakLive, live.PeakLiveIndex, highStr, cfg.Registers)
+	return diags, live
+}

@@ -1,0 +1,174 @@
+package bvmcheck
+
+import (
+	"fmt"
+
+	"repro/internal/bvm"
+)
+
+// Communication-discipline analysis. The §4–§6 algorithms traverse hypercube
+// dimensions in ASCEND or DESCEND order, one FetchPartner exchange per
+// dimension. The checker recovers those dimension-exchange events from the
+// instruction stream:
+//
+//   - High dimensions (dim >= r) pair cycles across lateral links that exist
+//     only at in-cycle position u = dim - r: the idiom's signature is a
+//     lateral-routed D operand under a single-position IF mask, and the
+//     event's dimension is r + u.
+//   - Low dimensions (dim < r) pair PEs inside a cycle by rotating copies
+//     both ways and selecting by position bit: the signature is a local D
+//     operand under an IF mask whose position set is exactly the positions
+//     with address bit dim clear.
+//
+// Adjacent events on the same dimension coalesce into one logical exchange
+// (one FetchPartner emits one selection instruction per routed bit plane, and
+// a high-dimension fetch repeats its grab every rotation step). The coalesced
+// event sequence is then segmented into sweeps — maximal runs with a constant
+// step of +1 (ascending) or -1 (descending). A new sweep may restart at any
+// dimension, but a run that jumps *forward* past a dimension (step >= 2 in
+// its own direction, or at program start where ASCEND order is the paper's
+// convention) is flagged: that is the off-by-one that leaves one hypercube
+// axis uncombined. Because identical adjacent exchanges coalesce, a
+// duplicated FetchPartner on the same dimension is reported as part of the
+// same event rather than as a separate repeat.
+
+// Sweep is one maximal monotone run of dimension exchanges.
+type Sweep struct {
+	// Start and End are the instruction indices of the first and last
+	// exchange event in the run.
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Dims lists the dimensions in traversal order.
+	Dims []int `json:"dims"`
+	// Direction is +1 (ascending), -1 (descending), or 0 (single exchange).
+	Direction int `json:"direction"`
+}
+
+type dimEvent struct {
+	index int // instruction index of the (first coalesced) event
+	last  int // instruction index of the last coalesced event
+	dim   int
+}
+
+// dimEvents extracts the coalesced dimension-exchange events.
+func dimEvents(p *bvm.Program, cfg Config) []dimEvent {
+	r, Q := cfg.Top.R, cfg.Top.Q
+	var events []dimEvent
+	add := func(i, dim int) {
+		if n := len(events); n > 0 && events[n-1].dim == dim {
+			events[n-1].last = i
+			return
+		}
+		events = append(events, dimEvent{index: i, last: i, dim: dim})
+	}
+	for i, in := range p.Instrs {
+		c := in.Cond
+		if c == nil || c.Negate {
+			continue
+		}
+		switch in.D.Via {
+		case bvm.RouteL:
+			// High-dimension lateral grab at in-cycle position u.
+			if len(c.Positions) == 1 {
+				if u := c.Positions[0]; u >= 0 && u < Q {
+					add(i, r+u)
+				}
+			}
+		case bvm.Local:
+			// Low-dimension select: position set = {p : p>>dim & 1 == 0}.
+			if dim, ok := matchClearSet(c.Positions, r, Q); ok {
+				add(i, dim)
+			}
+		}
+	}
+	return events
+}
+
+// matchClearSet reports whether positions is exactly the set of in-cycle
+// positions with bit dim clear, for some dim < r.
+func matchClearSet(positions []int, r, Q int) (int, bool) {
+	if len(positions) != Q/2 {
+		return 0, false
+	}
+	set := make(map[int]bool, len(positions))
+	for _, p := range positions {
+		if p < 0 || p >= Q || set[p] {
+			return 0, false
+		}
+		set[p] = true
+	}
+	for dim := 0; dim < r; dim++ {
+		match := true
+		for p := 0; p < Q; p++ {
+			if set[p] != (p>>uint(dim)&1 == 0) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return dim, true
+		}
+	}
+	return 0, false
+}
+
+// analyzeSweeps segments the dimension events into monotone sweeps and flags
+// forward skips. Assumes the program is well-formed.
+func analyzeSweeps(p *bvm.Program, cfg Config) ([]Diag, []Sweep) {
+	events := dimEvents(p, cfg)
+	if len(events) == 0 {
+		return nil, nil
+	}
+	var diags []Diag
+	var sweeps []Sweep
+	cur := Sweep{Start: events[0].index, End: events[0].last, Dims: []int{events[0].dim}}
+	anyRunCompleted := false
+	closeRun := func() {
+		if len(cur.Dims) >= 2 {
+			anyRunCompleted = true
+		}
+		sweeps = append(sweeps, cur)
+	}
+	for _, ev := range events[1:] {
+		prev := cur.Dims[len(cur.Dims)-1]
+		delta := ev.dim - prev
+		step := 1
+		if delta < 0 {
+			step = -1
+		}
+		switch {
+		case delta == cur.Direction || (cur.Direction == 0 && (delta == 1 || delta == -1)):
+			// Contiguous step: extend the run.
+			cur.Dims = append(cur.Dims, ev.dim)
+			cur.End = ev.last
+			cur.Direction = step
+			continue
+		case cur.Direction != 0 && step == cur.Direction,
+			cur.Direction == 0 && !anyRunCompleted && delta > 0:
+			// Jumping forward in the run's own direction (or forward at
+			// program start, where ASCEND is the paper's convention) skips
+			// dimensions instead of restarting a sweep.
+			dir := "ascending"
+			if step < 0 {
+				dir = "descending"
+			}
+			diags = append(diags, Diag{
+				Index: ev.index, Severity: SevWarning, Category: CatSweep,
+				Message: fmt.Sprintf("%s sweep jumps from dimension %d to %d, skipping %d dimension(s)",
+					dir, prev, ev.dim, abs(delta)-1),
+				Instr: p.Instrs[ev.index].String(),
+			})
+		}
+		closeRun()
+		cur = Sweep{Start: ev.index, End: ev.last, Dims: []int{ev.dim}}
+	}
+	closeRun()
+	return diags, sweeps
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

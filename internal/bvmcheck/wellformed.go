@@ -1,0 +1,89 @@
+package bvmcheck
+
+import (
+	"fmt"
+
+	"repro/internal/bvm"
+)
+
+// checkWellFormed validates every instruction against the machine geometry.
+// Error-severity diagnostics correspond one-to-one to Machine.Exec panics;
+// warnings are legal constructions that are almost certainly mistakes
+// (duplicate activation positions, activation sets that enable no PE).
+func checkWellFormed(p *bvm.Program, cfg Config) []Diag {
+	var diags []Diag
+	emit := func(i int, sev Severity, cat, format string, args ...any) {
+		d := Diag{Index: i, Severity: sev, Category: cat, Message: fmt.Sprintf(format, args...)}
+		if i >= 0 && i < p.Len() {
+			d.Instr = p.Instrs[i].String()
+		}
+		diags = append(diags, d)
+	}
+	for i, in := range p.Instrs {
+		// Destination: B is written by the g half, never by f.
+		if in.Dst.Kind == bvm.KindB {
+			emit(i, SevError, CatBadDestination, "B cannot be the f destination; it is written by the g half")
+		} else {
+			checkRef(emit, i, "destination", in.Dst, cfg)
+		}
+		checkRef(emit, i, "F operand", in.F, cfg)
+		checkRef(emit, i, "D operand", in.D.Reg, cfg)
+		if !knownRoute(in.D.Via) {
+			emit(i, SevError, CatBadRoute, "D operand routed through unknown link %d (machine links: S, P, L, XS, XP, I)", uint8(in.D.Via))
+		}
+		checkActivation(emit, i, in, cfg)
+	}
+	return diags
+}
+
+func checkRef(emit func(int, Severity, string, string, ...any), i int, role string, r bvm.RegRef, cfg Config) {
+	switch r.Kind {
+	case bvm.KindA, bvm.KindB, bvm.KindE:
+		return
+	case bvm.KindR:
+		if r.Index < 0 || r.Index >= cfg.Registers {
+			emit(i, SevError, CatBadRegister, "%s R[%d] out of range [0,%d)", role, r.Index, cfg.Registers)
+		}
+	default:
+		emit(i, SevError, CatBadRegister, "%s has unknown register kind %d", role, uint8(r.Kind))
+	}
+}
+
+func knownRoute(r bvm.Route) bool {
+	switch r {
+	case bvm.Local, bvm.RouteS, bvm.RouteP, bvm.RouteL, bvm.RouteXS, bvm.RouteXP, bvm.RouteI:
+		return true
+	}
+	return false
+}
+
+func checkActivation(emit func(int, Severity, string, string, ...any), i int, in bvm.Instr, cfg Config) {
+	c := in.Cond
+	if c == nil {
+		return
+	}
+	Q := cfg.Top.Q
+	seen := make(map[int]bool, len(c.Positions))
+	valid := 0
+	for _, pos := range c.Positions {
+		if pos < 0 || pos >= Q {
+			emit(i, SevError, CatBadActivation, "activation position %d out of range [0,%d)", pos, Q)
+			continue
+		}
+		if seen[pos] {
+			emit(i, SevWarning, CatBadActivation, "duplicate activation position %d", pos)
+			continue
+		}
+		seen[pos] = true
+		valid++
+	}
+	// An activation that enables no in-cycle position makes the instruction
+	// a no-op on every PE — except writes to E, which ignore masks.
+	enabled := valid
+	if c.Negate {
+		enabled = Q - valid
+	}
+	if enabled == 0 && in.Dst.Kind != bvm.KindE {
+		emit(i, SevWarning, CatBadActivation, "activation enables no in-cycle position; instruction has no effect")
+	}
+}

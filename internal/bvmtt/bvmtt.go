@@ -48,6 +48,13 @@ type Result struct {
 	Width    int
 	LogN     int
 	MachineR int
+	// Program is the recorded instruction stream of the whole run, set only
+	// by SolveRecorded. Replaying it on a fresh machine of the same geometry
+	// re-executes every instruction (external input bits consumed through
+	// the I chain read as zeros on replay, so register contents differ, but
+	// instruction and route counts are reproduced exactly — the property the
+	// static cost checker in internal/bvmcheck relies on).
+	Program *bvm.Program
 }
 
 // Phase is one section of the TT program's instruction budget.
@@ -122,6 +129,16 @@ func planLayout(q, k, w int) (layout, error) {
 // Solve runs the TT program on the smallest BVM that fits the instance.
 // width 0 means SuggestWidth(p).
 func Solve(p *core.Problem, width int) (*Result, error) {
+	return solve(p, width, false)
+}
+
+// SolveRecorded is Solve with instruction capture: Result.Program holds the
+// complete recorded program, ready for static analysis (bvmcheck) or replay.
+func SolveRecorded(p *core.Problem, width int) (*Result, error) {
+	return solve(p, width, true)
+}
+
+func solve(p *core.Problem, width int, record bool) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -156,6 +173,9 @@ func Solve(p *core.Problem, width int) (*Result, error) {
 	m, err := bvm.New(top.R, bvm.DefaultRegisters)
 	if err != nil {
 		return nil, err
+	}
+	if record {
+		m.StartRecording(fmt.Sprintf("tt-k%d-n%d-w%d", k, len(p.Actions), width))
 	}
 
 	// Pad the action table to 2^logN with dummy entries (paper §6: infinite-
@@ -275,6 +295,7 @@ func Solve(p *core.Problem, width int) (*Result, error) {
 
 	res := &Result{
 		Phases:           phases,
+		Program:          stopRecording(m, record),
 		Instructions:     m.InstrCount,
 		LoadInstructions: load,
 		PEs:              top.N,
@@ -292,6 +313,14 @@ func Solve(p *core.Problem, width int) (*Result, error) {
 	}
 	res.Cost = res.C[len(res.C)-1]
 	return res, nil
+}
+
+// stopRecording ends capture when it was started, else returns nil.
+func stopRecording(m *bvm.Machine, record bool) *bvm.Program {
+	if !record {
+		return nil
+	}
+	return m.StopRecording()
 }
 
 // streamPlane loads a register plane whose bit at PE (S, i) depends only on

@@ -1,0 +1,86 @@
+package bvmtt_test
+
+import (
+	"testing"
+
+	"repro/internal/bvm"
+	"repro/internal/bvmcheck"
+	"repro/internal/bvmtt"
+	"repro/internal/core"
+)
+
+// TestSolveRecordedVerifiesClean records the whole §6 test-and-treatment
+// program and puts it through the static checker: well-formed, lint-clean,
+// and with a static cost estimate that matches the dynamic counters of both
+// the original run and a fresh replay.
+func TestSolveRecordedVerifiesClean(t *testing.T) {
+	p := &core.Problem{
+		K:       2,
+		Weights: []uint64{1, 1},
+		Actions: []core.Action{
+			{Name: "treat-both", Set: core.SetOf(0, 1), Cost: 3, Treatment: true},
+			{Name: "treat-0", Set: core.SetOf(0), Cost: 1, Treatment: true},
+			{Name: "treat-1", Set: core.SetOf(1), Cost: 1, Treatment: true},
+			{Name: "test-0", Set: core.SetOf(0), Cost: 1},
+		},
+	}
+	res, err := bvmtt.SolveRecorded(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 3 {
+		t.Fatalf("C(U) = %d, want 3 (recording must not perturb the run)", res.Cost)
+	}
+	if res.Program == nil {
+		t.Fatal("SolveRecorded returned no program")
+	}
+	if int64(res.Program.Len()) != res.Instructions {
+		t.Fatalf("recording has %d instructions, counters say %d", res.Program.Len(), res.Instructions)
+	}
+
+	cfg, err := bvmcheck.DefaultConfig(res.MachineR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bvmcheck.Verify(res.Program, cfg); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	rep := bvmcheck.Lint(res.Program, cfg)
+	if n := len(rep.Errors()); n != 0 {
+		t.Errorf("%d lint errors:\n%s", n, rep)
+	}
+	if n := len(rep.Warnings()); n != 0 {
+		t.Errorf("%d lint warnings:\n%s", n, rep)
+	}
+
+	cost := bvmcheck.EstimateCost(res.Program, cfg)
+	if cost.Instructions != res.Instructions {
+		t.Errorf("static cost %d instructions, run counted %d", cost.Instructions, res.Instructions)
+	}
+	// Replay on a fresh machine: input bits read as zeros, so values differ,
+	// but the unit-cost SIMD counters must agree exactly.
+	m, err := bvm.New(res.MachineR, bvm.DefaultRegisters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Program.Replay(m)
+	if err := cost.CheckAgainst(m); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveDoesNotRecord pins the default path: recording is opt-in.
+func TestSolveDoesNotRecord(t *testing.T) {
+	p := &core.Problem{
+		K:       2,
+		Weights: []uint64{1, 1},
+		Actions: []core.Action{{Set: core.Universe(2), Cost: 2, Treatment: true}},
+	}
+	res, err := bvmtt.Solve(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Program != nil {
+		t.Error("Solve recorded a program; only SolveRecorded should")
+	}
+}

@@ -388,7 +388,7 @@ func TestBinaryTestingRecoversIdentification(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !p.Actions[tree.Action].Treatment == false && tree.Depth() != 3 {
+	if p.Actions[tree.Action].Treatment || tree.Depth() != 3 {
 		t.Fatalf("expected test-test-treat structure, depth %d", tree.Depth())
 	}
 }

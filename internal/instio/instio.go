@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/core"
 )
@@ -61,6 +62,19 @@ func Read(r io.Reader) (*core.Problem, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// ReadFile reads an instance from a file, or from stdin when path is "-".
+func ReadFile(path string) (*core.Problem, error) {
+	if path == "-" {
+		return Read(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("instio: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
 }
 
 // Write serializes an instance with stable, human-diffable formatting.
