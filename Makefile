@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-short golden
+.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,18 @@ fuzz-short:
 # Regenerate the bvmcheck golden reports after an intentional format change.
 golden:
 	$(GO) test ./internal/bvmcheck/ -run TestGoldenSeededDefects -update
+
+# Simulator-throughput benchmark suite, rendered to JSON. The committed
+# BENCH_bvm.json holds the pre-kernel scalar baseline that the route-kernel
+# speedups in EXPERIMENTS.md are measured against; rerun this target to
+# re-baseline after an intentional performance change.
+BENCH_PATTERN = BenchmarkExecPerRoute|BenchmarkExecActivation|BenchmarkApply3|BenchmarkGather|BenchmarkE3CycleID|BenchmarkE13BVMTT|BenchmarkA2WavefrontBVM
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 200ms ./internal/bvm ./internal/bitvec . \
+		| $(GO) run ./cmd/benchjson > BENCH_bvm.json
+
+# One-iteration benchmark smoke: exercises every route kernel and Apply3
+# fast path under the bench harness so a silent fallback to the scalar path
+# (or a kernel panic on any geometry) fails CI fast.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkExecPerRoute|BenchmarkApply3|BenchmarkE3CycleID' -benchtime 1x ./internal/bvm ./internal/bitvec .

@@ -1,0 +1,66 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON document on stdout, so benchmark baselines can be committed
+// (BENCH_bvm.json) and diffed. Only result lines are parsed; everything else
+// (pass/fail chatter, pkg headers) is ignored.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . ./... | go run ./cmd/benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+func main() {
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8   12345   678.9 ns/op [...]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		results = append(results, Result{Name: name, Iterations: iters, NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,35 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkApply3 measures the three-input combiner over a 2048-bit vector
+// (one register row of the r=3 machine) for the truth tables BVM programs
+// use most, plus an arbitrary table that exercises the generic path.
+func BenchmarkApply3(b *testing.B) {
+	cases := []struct {
+		name string
+		tt   uint8
+	}{
+		{"copyD", 0xCC},
+		{"and", 0xC0},
+		{"or", 0xFC},
+		{"xor", 0x3C},
+		{"mux", 0xD8},
+		{"parity", 0x96},
+		{"generic", 0x6B},
+	}
+	r := rand.New(rand.NewSource(1))
+	const n = 2048
+	x, y, z := randVec(r, n), randVec(r, n), randVec(r, n)
+	v := New(n)
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v.Apply3(c.tt, x, y, z)
+			}
+		})
+	}
+}

@@ -218,38 +218,95 @@ func (v *Vector) Not(a *Vector) {
 // truth table: output bit for inputs (x,y,z) is bit x<<2|y<<1|z of tt.
 // This is the workhorse of the BVM instruction cycle, which allows any
 // Boolean function of three one-bit operands. v may alias any input.
+//
+// The hottest tables (constants, copies, the two-input connectives, the B
+// mux, and the full-adder pair) run as dedicated word loops; everything else
+// goes through a branchless three-level mux network over the spread truth
+// table — both orders of magnitude cheaper than evaluating minterms
+// per word.
 func (v *Vector) Apply3(tt uint8, a, b, c *Vector) {
 	v.sameLen(a)
 	v.sameLen(b)
 	v.sameLen(c)
-	for i := range v.words {
-		aw, bw, cw := a.words[i], b.words[i], c.words[i]
-		var out uint64
-		for m := uint8(0); m < 8; m++ {
-			if tt>>(m)&1 == 0 {
-				continue
-			}
-			t := ^uint64(0)
-			if m&4 != 0 {
-				t &= aw
-			} else {
-				t &^= aw
-			}
-			if m&2 != 0 {
-				t &= bw
-			} else {
-				t &^= bw
-			}
-			if m&1 != 0 {
-				t &= cw
-			} else {
-				t &^= cw
-			}
-			out |= t
+	switch tt {
+	case 0x00: // constant 0
+		for i := range v.words {
+			v.words[i] = 0
 		}
-		v.words[i] = out
+	case 0xFF: // constant 1
+		for i := range v.words {
+			v.words[i] = ^uint64(0)
+		}
+	case 0xF0: // F
+		copy(v.words, a.words)
+	case 0xCC: // D
+		copy(v.words, b.words)
+	case 0xAA: // B
+		copy(v.words, c.words)
+	case 0x0F: // ~F
+		for i := range v.words {
+			v.words[i] = ^a.words[i]
+		}
+	case 0x33: // ~D
+		for i := range v.words {
+			v.words[i] = ^b.words[i]
+		}
+	case 0xC0: // F & D
+		for i := range v.words {
+			v.words[i] = a.words[i] & b.words[i]
+		}
+	case 0xFC: // F | D
+		for i := range v.words {
+			v.words[i] = a.words[i] | b.words[i]
+		}
+	case 0x3C: // F ^ D
+		for i := range v.words {
+			v.words[i] = a.words[i] ^ b.words[i]
+		}
+	case 0x30: // F & ~D
+		for i := range v.words {
+			v.words[i] = a.words[i] &^ b.words[i]
+		}
+	case 0xD8: // B ? D : F
+		for i := range v.words {
+			cw := c.words[i]
+			v.words[i] = b.words[i]&cw | a.words[i]&^cw
+		}
+	case 0x96: // F ^ D ^ B
+		for i := range v.words {
+			v.words[i] = a.words[i] ^ b.words[i] ^ c.words[i]
+		}
+	case 0xE8: // majority(F, D, B)
+		for i := range v.words {
+			aw, bw := a.words[i], b.words[i]
+			v.words[i] = aw&bw | c.words[i]&(aw|bw)
+		}
+	default:
+		v.apply3Generic(tt, a, b, c)
 	}
 	v.maskTail()
+}
+
+// apply3Generic evaluates an arbitrary truth table as a three-level mux
+// network: each minterm bit is spread to a full word once, then every word
+// needs 7 word-muxes regardless of the table's weight.
+func (v *Vector) apply3Generic(tt uint8, a, b, c *Vector) {
+	var e [8]uint64
+	for m := 0; m < 8; m++ {
+		if tt>>uint(m)&1 == 1 {
+			e[m] = ^uint64(0)
+		}
+	}
+	for i := range v.words {
+		aw, bw, cw := a.words[i], b.words[i], c.words[i]
+		u0 := e[0]&^cw | e[1]&cw // a=0, b=0
+		u1 := e[2]&^cw | e[3]&cw // a=0, b=1
+		u2 := e[4]&^cw | e[5]&cw // a=1, b=0
+		u3 := e[6]&^cw | e[7]&cw // a=1, b=1
+		t0 := u0&^bw | u1&bw
+		t1 := u2&^bw | u3&bw
+		v.words[i] = t0&^aw | t1&aw
+	}
 }
 
 // MaskedCopy sets v[i] = src[i] wherever mask[i] is 1, leaving other bits of v

@@ -399,17 +399,6 @@ func vecFromWords(words []uint64, n int) *Vector {
 	return v
 }
 
-func BenchmarkApply3(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
-	n := 1 << 16
-	x, y, z := randVec(rng, n), randVec(rng, n), randVec(rng, n)
-	v := New(n)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		v.Apply3(0b10010110, x, y, z)
-	}
-}
-
 func BenchmarkGather(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	n := 1 << 16

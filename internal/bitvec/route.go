@@ -1,0 +1,167 @@
+package bitvec
+
+import "fmt"
+
+// Word-parallel permutation kernels for the structured routes of the BVM's
+// cube-connected-cycles network (see internal/ccc: route structure
+// constants). Each kernel realizes a whole class of Gather permutations as a
+// handful of shift/mask operations per 64-bit word instead of one table
+// lookup per bit; Gather remains the differential-test reference.
+//
+// All kernels require the relevant block size or sub-word stride to divide
+// the 64-bit word size, which holds for every supported CCC geometry
+// (Q = 2^r <= 16). They preserve the tail invariant (bits >= Len() zero).
+
+// repeatPattern replicates the low `period` bits of pat across a 64-bit
+// word. period must divide 64.
+func repeatPattern(period int, pat uint64) uint64 {
+	pat &= 1<<uint(period) - 1
+	for w := period; w < 64; w *= 2 {
+		pat |= pat << uint(w)
+	}
+	return pat
+}
+
+func checkBlock(block int) {
+	if block <= 0 || block > 64 || 64%block != 0 {
+		panic(fmt.Sprintf("bitvec: block size %d does not divide 64", block))
+	}
+}
+
+// RotateWithinBlocks sets v[b·B+j] = src[b·B + (j+shift) mod B] for every
+// aligned block b of size B = block: the read rotation realizing the CCC
+// cycle routes (shift +1 = successor, -1 = predecessor). block must divide
+// 64 and v.Len() must be a multiple of block. v may alias src.
+func (v *Vector) RotateWithinBlocks(src *Vector, block, shift int) {
+	v.rotateWithinBlocks(src, block, shift, ^uint64(0))
+}
+
+// RotateWithinBlocksMasked is RotateWithinBlocks restricted to the positions
+// selected by the repeating 64-bit pattern sel; unselected bits of v keep
+// their old value. v must not alias src (old bits of v are re-read).
+func (v *Vector) RotateWithinBlocksMasked(src *Vector, block, shift int, sel uint64) {
+	if v == src {
+		panic("bitvec: RotateWithinBlocksMasked dst aliases src")
+	}
+	v.rotateWithinBlocks(src, block, shift, sel)
+}
+
+func (v *Vector) rotateWithinBlocks(src *Vector, block, shift int, sel uint64) {
+	v.sameLen(src)
+	checkBlock(block)
+	if v.n%block != 0 {
+		panic(fmt.Sprintf("bitvec: length %d not a multiple of block %d", v.n, block))
+	}
+	s := ((shift % block) + block) % block
+	if s == 0 {
+		for i, w := range src.words {
+			v.words[i] = v.words[i]&^sel | w&sel
+		}
+		return
+	}
+	// Destination offset j reads source offset (j+s) mod block: offsets
+	// [0, block-s) arrive via >>s, the wrapped tail [block-s, block) via
+	// <<(block-s).
+	loMask := repeatPattern(block, 1<<uint(block-s)-1)
+	hiMask := ^loMask // within-block complement; exact since block divides 64
+	up := uint(s)
+	down := uint(block - s)
+	for i, w := range src.words {
+		rot := w>>up&loMask | w<<down&hiMask
+		v.words[i] = v.words[i]&^sel | rot&sel
+	}
+	v.maskTail()
+}
+
+// StrideSwap sets v[i] = src[i^stride] for every i: the XOR exchange
+// realizing the XS route (stride 1) and the lateral route's per-position
+// exchanges (stride Q·2^pos). stride must be a power of two; v.Len() must be
+// a multiple of 2·stride. v must not alias src.
+func (v *Vector) StrideSwap(src *Vector, stride int) {
+	v.StrideSwapMasked(src, stride, ^uint64(0))
+}
+
+// StrideSwapMasked is StrideSwap restricted to the positions selected by the
+// repeating 64-bit pattern sel; unselected bits of v keep their old value.
+// For strides >= 64 the exchange moves whole words, so sel selects the same
+// in-word offsets on both sides.
+func (v *Vector) StrideSwapMasked(src *Vector, stride int, sel uint64) {
+	v.sameLen(src)
+	if stride <= 0 || stride&(stride-1) != 0 {
+		panic(fmt.Sprintf("bitvec: stride %d is not a positive power of two", stride))
+	}
+	if v == src {
+		panic("bitvec: StrideSwap dst aliases src")
+	}
+	if v.n%(2*stride) != 0 {
+		panic(fmt.Sprintf("bitvec: length %d not a multiple of 2*stride %d", v.n, 2*stride))
+	}
+	if stride < wordBits {
+		// In-word delta swap: positions with the stride bit clear read from
+		// i+stride (>>), the others from i-stride (<<).
+		lo := repeatPattern(2*stride, 1<<uint(stride)-1)
+		hi := lo << uint(stride)
+		for i, w := range src.words {
+			sw := w>>uint(stride)&lo | w<<uint(stride)&hi
+			v.words[i] = v.words[i]&^sel | sw&sel
+		}
+		v.maskTail()
+		return
+	}
+	// Word-aligned exchange: partner word index is wi XOR stride/64.
+	wstride := stride / wordBits
+	for wi := range v.words {
+		v.words[wi] = v.words[wi]&^sel | src.words[wi^wstride]&sel
+	}
+	v.maskTail()
+}
+
+// ShiftUp1 sets v[i] = src[i-1] for i >= 1 and v[0] = in — the input-chain
+// route, which threads all positions in flat order — and returns the bit
+// shifted out of the top (src's last bit). v may alias src.
+func (v *Vector) ShiftUp1(src *Vector, in bool) bool {
+	v.sameLen(src)
+	if v.n == 0 {
+		return false
+	}
+	out := src.Get(v.n - 1)
+	for i := len(v.words) - 1; i > 0; i-- {
+		v.words[i] = src.words[i]<<1 | src.words[i-1]>>(wordBits-1)
+	}
+	w0 := src.words[0] << 1
+	if in {
+		w0 |= 1
+	}
+	v.words[0] = w0
+	v.maskTail()
+	return out
+}
+
+// FillWord sets every word of v to the repeating 64-bit pattern, honoring
+// the tail invariant. It is the constant-time constructor for periodic masks
+// such as the BVM's in-cycle activation sets.
+func (v *Vector) FillWord(pattern uint64) {
+	for i := range v.words {
+		v.words[i] = pattern
+	}
+	v.maskTail()
+}
+
+// AllOnes reports whether every bit of v is set (vacuously true for length
+// 0).
+func (v *Vector) AllOnes() bool {
+	if v.n == 0 {
+		return true
+	}
+	last := len(v.words) - 1
+	for _, w := range v.words[:last] {
+		if w != ^uint64(0) {
+			return false
+		}
+	}
+	tail := ^uint64(0)
+	if r := v.n % wordBits; r != 0 {
+		tail = 1<<uint(r) - 1
+	}
+	return v.words[last] == tail
+}

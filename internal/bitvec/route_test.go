@@ -1,0 +1,209 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// gatherRef builds the Gather-reference result for perm[i] = f(i).
+func gatherRef(src *Vector, f func(int) int) *Vector {
+	perm := make([]int32, src.Len())
+	for i := range perm {
+		perm[i] = int32(f(i))
+	}
+	v := New(src.Len())
+	v.Gather(src, perm)
+	return v
+}
+
+func TestRotateWithinBlocksMatchesGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, block := range []int{2, 4, 8, 16, 32, 64} {
+		for _, nBlocks := range []int{1, 3, 7, 40} {
+			n := block * nBlocks
+			src := randVec(rng, n)
+			for shift := -block; shift <= block; shift++ {
+				want := gatherRef(src, func(i int) int {
+					base := i - i%block
+					return base + ((i%block+shift)%block+block)%block
+				})
+				got := New(n)
+				got.RotateWithinBlocks(src, block, shift)
+				if !got.Equal(want) {
+					t.Fatalf("RotateWithinBlocks(block=%d, shift=%d, n=%d) mismatch", block, shift, n)
+				}
+			}
+		}
+	}
+}
+
+func TestRotateWithinBlocksAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	src := randVec(rng, 128)
+	want := New(128)
+	want.RotateWithinBlocks(src, 8, 3)
+	got := src.Clone()
+	got.RotateWithinBlocks(got, 8, 3)
+	if !got.Equal(want) {
+		t.Fatal("in-place RotateWithinBlocks differs from out-of-place")
+	}
+}
+
+func TestRotateWithinBlocksMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	src := randVec(rng, 192)
+	old := randVec(rng, 192)
+	sel := uint64(0xAAAA_AAAA_AAAA_AAAA)
+	got := old.Clone()
+	got.RotateWithinBlocksMasked(src, 16, 5, sel)
+	full := New(192)
+	full.RotateWithinBlocks(src, 16, 5)
+	for i := 0; i < 192; i++ {
+		want := old.Get(i)
+		if sel>>(uint(i)%64)&1 == 1 {
+			want = full.Get(i)
+		}
+		if got.Get(i) != want {
+			t.Fatalf("masked rotate bit %d: got %v want %v", i, got.Get(i), want)
+		}
+	}
+}
+
+func TestStrideSwapMatchesGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, stride := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		for _, n := range []int{2 * stride, 8 * stride, 512 * stride} {
+			src := randVec(rng, n)
+			want := gatherRef(src, func(i int) int { return i ^ stride })
+			got := New(n)
+			got.StrideSwap(src, stride)
+			if !got.Equal(want) {
+				t.Fatalf("StrideSwap(stride=%d, n=%d) mismatch", stride, n)
+			}
+		}
+	}
+}
+
+func TestStrideSwapMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	const n = 1024
+	src := randVec(rng, n)
+	old := randVec(rng, n)
+	sel := uint64(0x0F0F_0F0F_0F0F_0F0F)
+	for _, stride := range []int{4, 64, 256} {
+		got := old.Clone()
+		got.StrideSwapMasked(src, stride, sel)
+		for i := 0; i < n; i++ {
+			want := old.Get(i)
+			if sel>>(uint(i)%64)&1 == 1 {
+				want = src.Get(i ^ stride)
+			}
+			if got.Get(i) != want {
+				t.Fatalf("masked swap stride %d bit %d: got %v want %v", stride, i, got.Get(i), want)
+			}
+		}
+	}
+}
+
+func TestShiftUp1(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for _, n := range []int{1, 8, 63, 64, 65, 200, 2048} {
+		src := randVec(rng, n)
+		for _, in := range []bool{false, true} {
+			got := New(n)
+			out := got.ShiftUp1(src, in)
+			if out != src.Get(n-1) {
+				t.Fatalf("n=%d: shifted-out bit %v, want %v", n, out, src.Get(n-1))
+			}
+			if got.Get(0) != in {
+				t.Fatalf("n=%d: input bit not inserted", n)
+			}
+			for i := 1; i < n; i++ {
+				if got.Get(i) != src.Get(i-1) {
+					t.Fatalf("n=%d: bit %d = %v, want src[%d] = %v", n, i, got.Get(i), i-1, src.Get(i-1))
+				}
+			}
+			// In-place operation must agree.
+			inPlace := src.Clone()
+			if out2 := inPlace.ShiftUp1(inPlace, in); out2 != out || !inPlace.Equal(got) {
+				t.Fatalf("n=%d: in-place ShiftUp1 differs", n)
+			}
+		}
+	}
+}
+
+func TestFillWordAndAllOnes(t *testing.T) {
+	for _, n := range []int{1, 5, 64, 70, 130} {
+		v := New(n)
+		v.FillWord(^uint64(0))
+		if !v.AllOnes() {
+			t.Fatalf("n=%d: FillWord(ones) not AllOnes", n)
+		}
+		if v.Count() != n {
+			t.Fatalf("n=%d: FillWord set %d bits (tail invariant broken)", n, v.Count())
+		}
+		v.Set(n-1, false)
+		if v.AllOnes() {
+			t.Fatalf("n=%d: AllOnes after clearing a bit", n)
+		}
+		v.FillWord(0x5555_5555_5555_5555)
+		for i := 0; i < n; i++ {
+			if v.Get(i) != (i%2 == 0) {
+				t.Fatalf("n=%d: FillWord pattern bit %d wrong", n, i)
+			}
+		}
+	}
+	if !New(0).AllOnes() {
+		t.Fatal("empty vector should be vacuously AllOnes")
+	}
+}
+
+func TestKernelPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	v, src := New(128), New(128)
+	expectPanic("bad block", func() { v.RotateWithinBlocks(src, 48, 1) })
+	expectPanic("unaligned length", func() { New(96).RotateWithinBlocks(New(96), 64, 1) })
+	expectPanic("bad stride", func() { v.StrideSwap(src, 3) })
+	expectPanic("stride alias", func() { v.StrideSwap(v, 2) })
+	expectPanic("masked rotate alias", func() { v.RotateWithinBlocksMasked(v, 8, 1, 1) })
+}
+
+// TestApply3AllTables cross-checks every one of the 256 truth tables —
+// specialized fast paths and the generic mux network alike — against direct
+// per-bit evaluation.
+func TestApply3AllTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 131 // odd length exercises the tail invariant
+	a, b, c := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+	v := New(n)
+	for tt := 0; tt < 256; tt++ {
+		v.Apply3(uint8(tt), a, b, c)
+		for i := 0; i < n; i++ {
+			m := 0
+			if a.Get(i) {
+				m |= 4
+			}
+			if b.Get(i) {
+				m |= 2
+			}
+			if c.Get(i) {
+				m |= 1
+			}
+			if want := tt>>uint(m)&1 == 1; v.Get(i) != want {
+				t.Fatalf("tt=%#02x bit %d: got %v want %v", tt, i, v.Get(i), want)
+			}
+		}
+		inv := New(n)
+		inv.Not(v) // Not masks its own tail, so garbage in v's tail shows up
+		if v.Count()+inv.Count() != n {
+			t.Fatalf("tt=%#02x: tail invariant broken", tt)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package bvm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkExecPerRoute measures one Exec per D-operand route on the 2048-PE
+// machine (r=3), the instruction mix every BVM program is built from. The
+// committed baseline lives in BENCH_bvm.json (make bench-json); the route
+// kernels must stay well ahead of the scalar perm-table path.
+func BenchmarkExecPerRoute(b *testing.B) {
+	routes := []struct {
+		name string
+		via  Route
+	}{
+		{"local", Local},
+		{"S", RouteS},
+		{"P", RouteP},
+		{"L", RouteL},
+		{"XS", RouteXS},
+		{"XP", RouteXP},
+		{"I", RouteI},
+	}
+	for _, rc := range routes {
+		b.Run(rc.name, func(b *testing.B) {
+			m, err := New(3, DefaultRegisters)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := Instr{Dst: R(0), FTT: TTD, GTT: TTB, F: A, D: Via(R(1), rc.via)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Exec(in)
+				if len(m.Output) > 1<<20 {
+					b.StopTimer()
+					m.Output = m.Output[:0]
+					b.StartTimer()
+				}
+			}
+		})
+	}
+	// The big machine (r=4, 2^20 PEs) stresses the lateral exchange, whose
+	// strides span whole words.
+	for _, rc := range routes[1:6] {
+		b.Run(fmt.Sprintf("%s-r4", rc.name), func(b *testing.B) {
+			m, err := New(4, DefaultRegisters)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := Instr{Dst: R(0), FTT: TTD, GTT: TTB, F: A, D: Via(R(1), rc.via)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Exec(in)
+			}
+		})
+	}
+}
+
+// BenchmarkExecActivation measures conditioned instructions, whose
+// (IF/NF) <set> masks are rebuilt per Exec on the scalar path and served from
+// the per-machine cache on the kernel path.
+func BenchmarkExecActivation(b *testing.B) {
+	cases := []struct {
+		name string
+		cond *Activation
+	}{
+		{"none", nil},
+		{"IF0", IF(0)},
+		{"NF07", NF(0, 7)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			m, err := New(3, DefaultRegisters)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := Instr{Dst: R(0), FTT: TTXorFD, GTT: TTB, F: R(1), D: Loc(R(2)), Cond: c.cond}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Exec(in)
+			}
+		})
+	}
+}

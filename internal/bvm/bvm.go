@@ -89,6 +89,8 @@ const (
 	RouteXS              // from the even-successor exchange partner
 	RouteXP              // from the even-predecessor exchange partner
 	RouteI               // from the input chain predecessor (external bit at PE 0)
+
+	numRoutes = int(RouteI) + 1
 )
 
 func (r Route) String() string {
@@ -199,13 +201,32 @@ type Machine struct {
 	a, b *bitvec.Vector
 	e    *bitvec.Vector
 
+	// perms holds the scalar perm tables, retained as the differential-test
+	// reference for the word-parallel route kernels (see route.go).
 	perms map[Route][]int32
+
+	// Route kernel constants: per-position and odd-position repeating word
+	// selectors (internal/ccc.PosSelector / ParitySelector).
+	posSel []uint64
+	oddSel uint64
+
+	// Activation machinery: onesMask is the shared all-active mask, actCache
+	// memoizes composed (IF/NF <set>) masks keyed by position bitmask (bit 31
+	// = negate); it is seeded with one mask per in-cycle position. eAllOnes
+	// tracks whether E is entirely 1, enabling the unmasked write fast path.
+	onesMask *bitvec.Vector
+	actCache map[uint32]*bitvec.Vector
+	eAllOnes bool
+
+	// refExec, when true, forces the scalar reference execution path.
+	refExec bool
 
 	// InstrCount is the number of executed instructions; the experiment
 	// harness treats it as the machine's time in cycles.
 	InstrCount int64
-	// RouteCount tallies instructions per D-operand route.
-	RouteCount map[Route]int64
+	// routeTally counts instructions per D-operand route (RouteCount builds
+	// the map-shaped view).
+	routeTally [numRoutes]int64
 
 	inputs   []bool // pending external input bits for RouteI
 	inputPos int
@@ -236,20 +257,23 @@ func New(r, registers int) (*Machine, error) {
 		return nil, fmt.Errorf("bvm: register count %d < 1", registers)
 	}
 	m := &Machine{
-		Top:        top,
-		L:          registers,
-		regs:       make([]*bitvec.Vector, registers),
-		a:          bitvec.New(top.N),
-		b:          bitvec.New(top.N),
-		e:          bitvec.New(top.N),
-		perms:      make(map[Route][]int32),
-		RouteCount: make(map[Route]int64),
-		sF:         bitvec.New(top.N),
-		sD:         bitvec.New(top.N),
-		sRes:       bitvec.New(top.N),
-		sResB:      bitvec.New(top.N),
-		sMask:      bitvec.New(top.N),
-		sGate:      bitvec.New(top.N),
+		Top:      top,
+		L:        registers,
+		regs:     make([]*bitvec.Vector, registers),
+		a:        bitvec.New(top.N),
+		b:        bitvec.New(top.N),
+		e:        bitvec.New(top.N),
+		perms:    make(map[Route][]int32),
+		posSel:   make([]uint64, top.Q),
+		oddSel:   top.ParitySelector(true),
+		onesMask: bitvec.New(top.N),
+		actCache: make(map[uint32]*bitvec.Vector),
+		sF:       bitvec.New(top.N),
+		sD:       bitvec.New(top.N),
+		sRes:     bitvec.New(top.N),
+		sResB:    bitvec.New(top.N),
+		sMask:    bitvec.New(top.N),
+		sGate:    bitvec.New(top.N),
 	}
 	for j := range m.regs {
 		m.regs[j] = bitvec.New(top.N)
@@ -259,7 +283,17 @@ func New(r, registers int) (*Machine, error) {
 	m.perms[RouteL] = top.Perm(ccc.KindLateral)
 	m.perms[RouteXS] = top.Perm(ccc.KindXS)
 	m.perms[RouteXP] = top.Perm(ccc.KindXP)
+	m.onesMask.Fill(true)
+	// One precomputed activation mask per in-cycle position; composed
+	// (IF/NF) sets are built from these patterns and memoized on first use.
+	for p := 0; p < top.Q; p++ {
+		m.posSel[p] = top.PosSelector(p)
+		pv := bitvec.New(top.N)
+		pv.FillWord(m.posSel[p])
+		m.actCache[1<<uint(p)] = pv
+	}
 	m.e.Fill(true) // all PEs enabled at reset
+	m.eAllOnes = true
 	return m, nil
 }
 
@@ -310,18 +344,10 @@ func (m *Machine) Exec(in Instr) {
 		vD = srcD
 	case RouteI:
 		m.Output = append(m.Output, srcD.Get(m.Top.N-1))
-		m.sD.Fill(false)
-		for x := m.Top.N - 1; x >= 1; x-- {
-			m.sD.Set(x, srcD.Get(x-1))
-		}
-		m.sD.Set(0, m.nextInput())
+		m.routeI(m.sD, srcD, m.nextInput())
 		vD = m.sD
 	default:
-		perm, ok := m.perms[in.D.Via]
-		if !ok {
-			panic(fmt.Sprintf("bvm: unknown route %v", in.D.Via))
-		}
-		m.sD.Gather(srcD, perm)
+		m.routeD(m.sD, srcD, in.D.Via)
 		if in.D.Via == RouteL && len(m.brokenLat) > 0 {
 			for pe := range m.brokenLat {
 				m.sD.Set(pe, false)
@@ -331,23 +357,39 @@ func (m *Machine) Exec(in Instr) {
 	}
 
 	m.sRes.Apply3(in.FTT, vF, vD, m.b)
-	m.sResB.Apply3(in.GTT, vF, vD, m.b)
-
-	m.activationMask(in.Cond, m.sMask)
-	// Both halves gate on activation AND the pre-instruction enable register.
-	m.sGate.And(m.sMask, m.e)
-	if in.Dst.Kind == KindE {
-		// E is always enabled and, per the paper, is written even on
-		// deactivated/disabled PEs.
-		m.e.CopyFrom(m.sRes)
-	} else {
-		m.reg(in.Dst).MaskedCopy(m.sGate, m.sRes)
+	// g = B leaves B unchanged on every PE (active PEs write back the old
+	// value, inactive ones keep it), so the whole g half can be skipped.
+	writeB := in.GTT != TTB || m.refExec
+	if writeB {
+		m.sResB.Apply3(in.GTT, vF, vD, m.b)
 	}
-	m.b.MaskedCopy(m.sGate, m.sResB)
+
+	switch {
+	case m.refExec:
+		m.activationMaskInto(in.Cond, m.sMask)
+		// Both halves gate on activation AND the pre-instruction enable
+		// register.
+		m.sGate.And(m.sMask, m.e)
+		m.writeBack(in, m.sGate, writeB)
+	case in.Cond == nil && m.eAllOnes:
+		// All PEs active and enabled: masked copies degenerate to copies.
+		if in.Dst.Kind == KindE {
+			m.e.CopyFrom(m.sRes)
+			m.noteEWrite()
+		} else {
+			m.reg(in.Dst).CopyFrom(m.sRes)
+		}
+		if writeB {
+			m.b.CopyFrom(m.sResB)
+		}
+	default:
+		m.sGate.And(m.activationMask(in.Cond), m.e)
+		m.writeBack(in, m.sGate, writeB)
+	}
 
 	m.applyFaults()
 	m.InstrCount++
-	m.RouteCount[in.D.Via]++
+	m.routeTally[in.D.Via]++
 	if m.rec != nil {
 		m.rec.Instrs = append(m.rec.Instrs, in)
 	}
@@ -356,23 +398,25 @@ func (m *Machine) Exec(in Instr) {
 	}
 }
 
-func (m *Machine) activationMask(c *Activation, dst *bitvec.Vector) {
-	if c == nil {
-		dst.Fill(true)
-		return
+// writeBack commits the f (and optionally g) results under the gate mask.
+func (m *Machine) writeBack(in Instr, gate *bitvec.Vector, writeB bool) {
+	if in.Dst.Kind == KindE {
+		// E is always enabled and, per the paper, is written even on
+		// deactivated/disabled PEs.
+		m.e.CopyFrom(m.sRes)
+		m.noteEWrite()
+	} else {
+		m.reg(in.Dst).MaskedCopy(gate, m.sRes)
 	}
-	inSet := make([]bool, m.Top.Q)
-	for _, p := range c.Positions {
-		if p < 0 || p >= m.Top.Q {
-			panic(fmt.Sprintf("bvm: activation position %d out of range [0,%d)", p, m.Top.Q))
-		}
-		inSet[p] = true
-	}
-	for x := 0; x < m.Top.N; x++ {
-		_, p := m.Top.Split(x)
-		dst.Set(x, inSet[p] != c.Negate)
+	if writeB {
+		m.b.MaskedCopy(gate, m.sResB)
 	}
 }
+
+// noteEWrite re-derives the all-enabled fast-path flag after any write that
+// can touch E (instruction destination, host Poke, snapshot restore, or a
+// stuck-bit fault on E).
+func (m *Machine) noteEWrite() { m.eAllOnes = m.e.AllOnes() }
 
 // --- immediate-mode assembler conveniences ---
 // Each helper emits exactly one instruction; the g half defaults to TTB,
@@ -456,10 +500,20 @@ func (m *Machine) PeekBit(r RegRef, pe int) bool { return m.reg(r).Get(pe) }
 // Poke overwrites a register. Host-side DMA used to load problem data in
 // tests and benchmarks; a hardware BVM would stream data through the I chain
 // (see LoadViaInput), which is measured separately.
-func (m *Machine) Poke(r RegRef, v *bitvec.Vector) { m.reg(r).CopyFrom(v) }
+func (m *Machine) Poke(r RegRef, v *bitvec.Vector) {
+	m.reg(r).CopyFrom(v)
+	if r.Kind == KindE {
+		m.noteEWrite()
+	}
+}
 
 // PokeBit sets one PE's bit of a register. Host-side; not counted.
-func (m *Machine) PokeBit(r RegRef, pe int, bit bool) { m.reg(r).Set(pe, bit) }
+func (m *Machine) PokeBit(r RegRef, pe int, bit bool) {
+	m.reg(r).Set(pe, bit)
+	if r.Kind == KindE {
+		m.noteEWrite()
+	}
+}
 
 // LoadViaInput streams an n-bit pattern into dst through the input chain, the
 // way a hardware BVM ingests data: n RouteI instructions, last pattern bit
@@ -500,7 +554,20 @@ func (m *Machine) ReadViaOutput(src RegRef) *bitvec.Vector {
 // ResetCounters zeroes the instruction counters (not the register state).
 func (m *Machine) ResetCounters() {
 	m.InstrCount = 0
-	m.RouteCount = make(map[Route]int64)
+	m.routeTally = [numRoutes]int64{}
+}
+
+// RouteCount returns the per-route instruction tally as a map (routes with a
+// zero count are omitted). The tally itself is a fixed array bumped once per
+// Exec; the map is materialized only when asked for.
+func (m *Machine) RouteCount() map[Route]int64 {
+	out := make(map[Route]int64, numRoutes)
+	for r, n := range m.routeTally {
+		if n != 0 {
+			out[Route(r)] = n
+		}
+	}
+	return out
 }
 
 // Uint reads, per PE, the unsigned number stored LSB-first across the width

@@ -146,8 +146,8 @@ func TestRoutes(t *testing.T) {
 		t.Errorf("RouteL: got %s want %s", m.Peek(R(2)), wantL)
 	}
 
-	if m.RouteCount[RouteS] != 1 || m.RouteCount[RouteL] != 1 {
-		t.Errorf("route counts: %v", m.RouteCount)
+	if rc := m.RouteCount(); rc[RouteS] != 1 || rc[RouteL] != 1 {
+		t.Errorf("route counts: %v", rc)
 	}
 }
 
@@ -299,7 +299,7 @@ func TestResetCounters(t *testing.T) {
 	m := newMachine(t, 1)
 	m.SetConst(R(0), true)
 	m.ResetCounters()
-	if m.InstrCount != 0 || len(m.RouteCount) != 0 {
+	if m.InstrCount != 0 || len(m.RouteCount()) != 0 {
 		t.Fatal("counters not reset")
 	}
 }

@@ -35,6 +35,9 @@ func (m *Machine) InjectStuckBit(reg RegRef, pe int, val bool) func() {
 	f := stuckFault{reg: reg, pe: pe, val: val}
 	m.stuck = append(m.stuck, f)
 	m.reg(reg).Set(pe, val)
+	if reg.Kind == KindE {
+		m.noteEWrite()
+	}
 	idx := len(m.stuck) - 1
 	return func() { m.stuck[idx].pe = -1 }
 }
@@ -62,6 +65,9 @@ func (m *Machine) applyFaults() {
 	for _, f := range m.stuck {
 		if f.pe >= 0 {
 			m.reg(f.reg).Set(f.pe, f.val)
+			if f.reg.Kind == KindE {
+				m.noteEWrite()
+			}
 		}
 	}
 }

@@ -1,0 +1,119 @@
+package bvm
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Route kernels: every neighbor route of the CCC is a structured permutation
+// (see internal/ccc route structure constants), so Exec realizes them as
+// word-parallel bitvec kernels instead of per-bit perm-table gathers. The
+// perm tables are kept as the differential-test reference: a machine in
+// reference mode (SetReferenceExec) runs the original scalar path, and the
+// test suite asserts bit-identical state against the kernels for every
+// geometry.
+
+// routeD computes into dst the value of src routed via `via` (any route
+// except Local and RouteI, which Exec handles inline).
+func (m *Machine) routeD(dst, src *bitvec.Vector, via Route) {
+	if m.refExec {
+		perm, ok := m.perms[via]
+		if !ok {
+			panic(fmt.Sprintf("bvm: unknown route %v", via))
+		}
+		dst.Gather(src, perm)
+		return
+	}
+	q := m.Top.Q
+	switch via {
+	case RouteS:
+		dst.RotateWithinBlocks(src, q, 1)
+	case RouteP:
+		dst.RotateWithinBlocks(src, q, -1)
+	case RouteXS:
+		dst.StrideSwap(src, 1)
+	case RouteXP:
+		// Odd positions read their successor, even ones their predecessor.
+		dst.RotateWithinBlocksMasked(src, q, 1, m.oddSel)
+		dst.RotateWithinBlocksMasked(src, q, -1, ^m.oddSel)
+	case RouteL:
+		// Per in-cycle position p, the lateral link is the XOR exchange at
+		// flat-address stride Q·2^p; the position selectors partition all
+		// PEs, so the masked swaps compose into the full permutation.
+		for p := 0; p < q; p++ {
+			dst.StrideSwapMasked(src, m.Top.LateralStride(p), m.posSel[p])
+		}
+	default:
+		panic(fmt.Sprintf("bvm: unknown route %v", via))
+	}
+}
+
+// routeI shifts src up the input chain into dst, feeding `in` at PE 0.
+func (m *Machine) routeI(dst, src *bitvec.Vector, in bool) {
+	if m.refExec {
+		dst.Fill(false)
+		for x := m.Top.N - 1; x >= 1; x-- {
+			dst.Set(x, src.Get(x-1))
+		}
+		dst.Set(0, in)
+		return
+	}
+	dst.ShiftUp1(src, in)
+}
+
+// SetReferenceExec switches the machine onto the scalar reference execution
+// path: perm-table Gather routes, per-bit activation mask construction, and
+// no fast paths. The kernels must match it bit for bit and counter for
+// counter; it exists for differential tests and should not be used for
+// performance work.
+func (m *Machine) SetReferenceExec(on bool) { m.refExec = on }
+
+// activationMaskInto builds the (IF or NF) <set> mask one bit at a time —
+// the reference implementation the cached masks are tested against.
+func (m *Machine) activationMaskInto(c *Activation, dst *bitvec.Vector) {
+	if c == nil {
+		dst.Fill(true)
+		return
+	}
+	inSet := make([]bool, m.Top.Q)
+	for _, p := range c.Positions {
+		if p < 0 || p >= m.Top.Q {
+			panic(fmt.Sprintf("bvm: activation position %d out of range [0,%d)", p, m.Top.Q))
+		}
+		inSet[p] = true
+	}
+	for x := 0; x < m.Top.N; x++ {
+		_, p := m.Top.Split(x)
+		dst.Set(x, inSet[p] != c.Negate)
+	}
+}
+
+// activationMask returns the machine-wide activation mask for c, serving and
+// memoizing composed masks from the per-position masks precomputed at
+// construction. The returned vector is shared and must not be mutated.
+func (m *Machine) activationMask(c *Activation) *bitvec.Vector {
+	if c == nil {
+		return m.onesMask
+	}
+	var key uint32
+	var pat uint64
+	for _, p := range c.Positions {
+		if p < 0 || p >= m.Top.Q {
+			panic(fmt.Sprintf("bvm: activation position %d out of range [0,%d)", p, m.Top.Q))
+		}
+		key |= 1 << uint(p)
+		pat |= m.posSel[p]
+	}
+	if c.Negate {
+		key |= 1 << 31
+		pat = ^pat
+	}
+	if v, ok := m.actCache[key]; ok {
+		return v
+	}
+	v := bitvec.New(m.Top.N)
+	v.FillWord(pat)
+	m.actCache[key] = v
+	return v
+}

@@ -1,0 +1,232 @@
+package bvm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/ccc"
+)
+
+// Differential tests: the word-parallel route kernels and cached activation
+// masks against the scalar perm-table/per-bit reference, for every supported
+// CCC geometry. The reference path stays reachable via SetReferenceExec, so
+// these tests pin bit-identical behavior forever.
+
+var allRouted = []Route{RouteS, RouteP, RouteL, RouteXS, RouteXP}
+
+func randVecN(rng *rand.Rand, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for w := 0; w < n; w += 64 {
+		width := min(64, n-w)
+		v.SetUint64(w, width, rng.Uint64())
+	}
+	return v
+}
+
+// TestRouteKernelsMatchGather drives every kernel against the perm-table
+// Gather reference on random vectors for all r in the supported range.
+func TestRouteKernelsMatchGather(t *testing.T) {
+	for r := 1; r <= ccc.MaxR; r++ {
+		m, err := New(r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(100 + r)))
+		rounds := 8
+		if r == ccc.MaxR {
+			rounds = 2 // 2^20-bit vectors; keep the big geometry cheap
+		}
+		for round := 0; round < rounds; round++ {
+			src := randVecN(rng, m.Top.N)
+			for _, via := range allRouted {
+				want := bitvec.New(m.Top.N)
+				want.Gather(src, m.perms[via])
+				got := bitvec.New(m.Top.N)
+				m.routeD(got, src, via)
+				if !got.Equal(want) {
+					t.Fatalf("r=%d route %v: kernel differs from Gather reference", r, via)
+				}
+			}
+			// The input chain: kernel vs the per-bit reference shift.
+			for _, in := range []bool{false, true} {
+				want := bitvec.New(m.Top.N)
+				m.refExec = true
+				m.routeI(want, src, in)
+				m.refExec = false
+				got := bitvec.New(m.Top.N)
+				m.routeI(got, src, in)
+				if !got.Equal(want) {
+					t.Fatalf("r=%d route I (in=%v): kernel differs from reference", r, in)
+				}
+			}
+		}
+	}
+}
+
+// TestActivationMaskCacheMatchesReference checks composed/memoized masks
+// against the per-bit builder for every subset of positions (r<=3) and a
+// random sample at r=4.
+func TestActivationMaskCacheMatchesReference(t *testing.T) {
+	for r := 1; r <= ccc.MaxR; r++ {
+		m, err := New(r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := m.Top.Q
+		var sets [][]int
+		if q <= 8 {
+			for bits := 0; bits < 1<<uint(q); bits++ {
+				var pos []int
+				for p := 0; p < q; p++ {
+					if bits>>uint(p)&1 == 1 {
+						pos = append(pos, p)
+					}
+				}
+				sets = append(sets, pos)
+			}
+		} else {
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < 32; i++ {
+				var pos []int
+				for p := 0; p < q; p++ {
+					if rng.Intn(2) == 1 {
+						pos = append(pos, p)
+					}
+				}
+				sets = append(sets, pos)
+			}
+		}
+		want := bitvec.New(m.Top.N)
+		for _, pos := range sets {
+			for _, neg := range []bool{false, true} {
+				c := &Activation{Negate: neg, Positions: pos}
+				m.activationMaskInto(c, want)
+				got := m.activationMask(c)
+				if !got.Equal(want) {
+					t.Fatalf("r=%d %v negate=%v: cached mask differs from reference", r, pos, neg)
+				}
+				// Second lookup must serve the memoized vector.
+				if got2 := m.activationMask(c); got2 != got {
+					t.Fatalf("r=%d %v negate=%v: mask not memoized", r, pos, neg)
+				}
+			}
+		}
+		m.activationMaskInto(nil, want)
+		if !m.activationMask(nil).Equal(want) {
+			t.Fatalf("r=%d: nil-cond mask differs", r)
+		}
+	}
+}
+
+// randomInstr draws an instruction over a few registers, covering all
+// routes, E destinations, arbitrary truth tables, and IF/NF activations.
+func randomInstr(rng *rand.Rand, q, regs int) Instr {
+	dsts := []RegRef{R(rng.Intn(regs)), A, E}
+	in := Instr{
+		Dst: dsts[rng.Intn(len(dsts))],
+		FTT: uint8(rng.Intn(256)),
+		GTT: uint8(rng.Intn(256)),
+		F:   R(rng.Intn(regs)),
+		D:   Operand{Reg: R(rng.Intn(regs)), Via: Route(rng.Intn(numRoutes))},
+	}
+	if rng.Intn(3) == 0 {
+		in.GTT = TTB // exercise the g-half skip often
+	}
+	if rng.Intn(2) == 0 {
+		var pos []int
+		for p := 0; p < q; p++ {
+			if rng.Intn(3) == 0 {
+				pos = append(pos, p)
+			}
+		}
+		in.Cond = &Activation{Negate: rng.Intn(2) == 1, Positions: pos}
+	}
+	return in
+}
+
+// TestExecDifferentialRandomPrograms runs identical random instruction
+// streams on a kernel machine and a reference machine and demands
+// bit-identical architectural state and identical counters throughout.
+func TestExecDifferentialRandomPrograms(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		const regs = 4
+		fast, err := New(r, regs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := New(r, regs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.SetReferenceExec(true)
+		rng := rand.New(rand.NewSource(int64(1000 + r)))
+		for j := 0; j < regs; j++ {
+			v := randVecN(rng, fast.Top.N)
+			fast.Poke(R(j), v)
+			ref.Poke(R(j), v)
+		}
+		inputs := make([]bool, 64)
+		for i := range inputs {
+			inputs[i] = rng.Intn(2) == 1
+		}
+		fast.PushInput(inputs...)
+		ref.PushInput(inputs...)
+
+		steps := 300
+		for i := 0; i < steps; i++ {
+			in := randomInstr(rng, fast.Top.Q, regs)
+			fast.Exec(in)
+			ref.Exec(in)
+			if i%25 == 0 && !fast.Snapshot().Equal(ref.Snapshot()) {
+				t.Fatalf("r=%d: state diverged at step %d executing %v", r, i, in)
+			}
+		}
+		if !fast.Snapshot().Equal(ref.Snapshot()) {
+			t.Fatalf("r=%d: final state diverged", r)
+		}
+		if fast.InstrCount != ref.InstrCount {
+			t.Fatalf("r=%d: InstrCount %d != %d", r, fast.InstrCount, ref.InstrCount)
+		}
+		fc, rc := fast.RouteCount(), ref.RouteCount()
+		for route := Route(0); route < Route(numRoutes); route++ {
+			if fc[route] != rc[route] {
+				t.Fatalf("r=%d: RouteCount[%v] %d != %d", r, route, fc[route], rc[route])
+			}
+		}
+		if len(fast.Output) != len(ref.Output) {
+			t.Fatalf("r=%d: output lengths differ", r)
+		}
+		for i := range fast.Output {
+			if fast.Output[i] != ref.Output[i] {
+				t.Fatalf("r=%d: output bit %d differs", r, i)
+			}
+		}
+	}
+}
+
+// FuzzRouteKernels feeds arbitrary register words and route choices through
+// both execution paths.
+func FuzzRouteKernels(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint64(0xDEADBEEF))
+	f.Add(int64(7), uint8(4), uint64(1))
+	f.Fuzz(func(t *testing.T, seed int64, routeByte uint8, w uint64) {
+		r := int(routeByte)%3 + 1 // r in 1..3
+		m, err := New(r, 2)
+		if err != nil {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		src := randVecN(rng, m.Top.N)
+		src.SetUint64(0, min(64, m.Top.N), w)
+		for _, via := range allRouted {
+			want := bitvec.New(m.Top.N)
+			want.Gather(src, m.perms[via])
+			got := bitvec.New(m.Top.N)
+			m.routeD(got, src, via)
+			if !got.Equal(want) {
+				t.Fatalf("r=%d route %v: kernel differs from Gather", r, via)
+			}
+		}
+	})
+}

@@ -43,6 +43,7 @@ func (m *Machine) Restore(s *Snapshot) {
 	m.a.CopyFrom(s.a)
 	m.b.CopyFrom(s.b)
 	m.e.CopyFrom(s.e)
+	m.noteEWrite()
 	for j, r := range s.regs {
 		m.regs[j].CopyFrom(r)
 	}

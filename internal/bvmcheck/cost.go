@@ -85,13 +85,14 @@ func (c Cost) CheckAgainst(m *bvm.Machine) error {
 	if m.InstrCount != c.Instructions {
 		return fmt.Errorf("bvmcheck: static instruction count %d != dynamic %d", c.Instructions, m.InstrCount)
 	}
+	dyn := m.RouteCount()
 	for _, r := range routeOrder {
-		if got, want := m.RouteCount[r], c.ByRoute[routeName(r)]; got != want {
+		if got, want := dyn[r], c.ByRoute[routeName(r)]; got != want {
 			return fmt.Errorf("bvmcheck: route %s: static count %d != dynamic %d", routeName(r), want, got)
 		}
 	}
 	var dynTotal int64
-	for r, n := range m.RouteCount {
+	for r, n := range dyn {
 		if !knownRoute(r) {
 			return fmt.Errorf("bvmcheck: dynamic counters include unknown route %d", uint8(r))
 		}

@@ -1,0 +1,66 @@
+package bvmtt_test
+
+import (
+	"testing"
+
+	"repro/internal/bvm"
+	"repro/internal/bvmtt"
+	"repro/internal/workload"
+)
+
+// TestRecordedRunKernelVsReference records a complete §6 test-and-treatment
+// run and replays it on two fresh machines — one on the word-parallel kernel
+// path, one on the scalar reference path — demanding bit-identical final
+// architectural state and identical instruction/route counters. This is the
+// end-to-end guarantee that the route kernels, cached activation masks, and
+// Apply3 fast paths change nothing but speed.
+func TestRecordedRunKernelVsReference(t *testing.T) {
+	p := workload.SystematicBiology(3, 3)
+	res, err := bvmtt.SolveRecorded(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Program == nil {
+		t.Fatal("SolveRecorded returned no program")
+	}
+
+	fast, err := bvm.New(res.MachineR, bvm.DefaultRegisters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := bvm.New(res.MachineR, bvm.DefaultRegisters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetReferenceExec(true)
+
+	res.Program.Replay(fast)
+	res.Program.Replay(ref)
+
+	if !fast.Snapshot().Equal(ref.Snapshot()) {
+		t.Fatal("kernel replay state differs from reference replay")
+	}
+	if fast.InstrCount != ref.InstrCount {
+		t.Fatalf("InstrCount: kernel %d, reference %d", fast.InstrCount, ref.InstrCount)
+	}
+	fc, rc := fast.RouteCount(), ref.RouteCount()
+	if len(fc) != len(rc) {
+		t.Fatalf("route count maps differ: %v vs %v", fc, rc)
+	}
+	for r, n := range rc {
+		if fc[r] != n {
+			t.Fatalf("RouteCount[%v]: kernel %d, reference %d", r, fc[r], n)
+		}
+	}
+	if fast.InstrCount != res.Instructions {
+		t.Fatalf("replay executed %d instructions, original run %d", fast.InstrCount, res.Instructions)
+	}
+	if len(fast.Output) != len(ref.Output) {
+		t.Fatal("output streams differ in length")
+	}
+	for i := range fast.Output {
+		if fast.Output[i] != ref.Output[i] {
+			t.Fatalf("output bit %d differs between kernel and reference", i)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package ccc
+
+import "fmt"
+
+// Route structure constants.
+//
+// Every SIMD operand route of the machine is a *structured* permutation of
+// the flat address space, which is what makes word-parallel simulation
+// possible (internal/bitvec holds the kernels; internal/bvm composes them):
+//
+//   - Succ and Pred rotate each aligned Q-block of flat addresses by +1 and
+//     -1 respectively: Succ(c·Q+p) = c·Q + (p+1) mod Q.
+//   - XS complements flat address bit 0: XS(x) = x XOR 1 (positions are
+//     paired (0,1), (2,3), ... inside each cycle).
+//   - XP is the parity-split rotation: odd positions read their successor,
+//     even positions their predecessor.
+//   - Lateral complements flat address bit pos+R: Lateral(x) = x XOR
+//     LateralStride(pos) where pos = x mod Q, because flipping bit pos of
+//     the cycle number moves the address by 2^pos cycles of Q PEs each.
+//
+// Since Q = 2^R is at most 16 (MaxR = 4), Q always divides the 64-bit word
+// size, so the block rotations and the sub-word lateral strides never
+// straddle words unaligned — TestRouteStructure pins these identities
+// against the Neighbor definitions.
+
+// LateralStride returns the flat-address distance between lateral partners
+// at in-cycle position pos: Q·2^pos. Lateral(x) = x XOR LateralStride(pos)
+// for every x with x mod Q == pos.
+func (t *Topology) LateralStride(pos int) int {
+	if pos < 0 || pos >= t.Q {
+		panic(fmt.Sprintf("ccc: position %d out of range [0,%d)", pos, t.Q))
+	}
+	return t.Q << uint(pos)
+}
+
+// PosSelector returns a 64-bit repeating mask pattern whose bit i is set iff
+// a flat address congruent to i mod 64 has in-cycle position pos. Because Q
+// divides 64 the selector is exact for every word of a packed bit vector.
+func (t *Topology) PosSelector(pos int) uint64 {
+	if pos < 0 || pos >= t.Q {
+		panic(fmt.Sprintf("ccc: position %d out of range [0,%d)", pos, t.Q))
+	}
+	var sel uint64
+	for i := pos; i < 64; i += t.Q {
+		sel |= 1 << uint(i)
+	}
+	return sel
+}
+
+// ParitySelector returns the 64-bit repeating mask pattern selecting flat
+// addresses whose in-cycle position is odd (odd=true) or even (odd=false).
+// Position parity is flat-address bit 0 because Q is even for every
+// supported geometry.
+func (t *Topology) ParitySelector(odd bool) uint64 {
+	var sel uint64
+	for p := 0; p < t.Q; p++ {
+		if (p%2 == 1) == odd {
+			sel |= t.PosSelector(p)
+		}
+	}
+	return sel
+}

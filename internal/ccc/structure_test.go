@@ -1,0 +1,62 @@
+package ccc
+
+import "testing"
+
+// TestRouteStructure pins the closed-form route structure the word-parallel
+// kernels rely on (structure.go) against the Neighbor definitions, for every
+// supported geometry.
+func TestRouteStructure(t *testing.T) {
+	for r := 1; r <= MaxR; r++ {
+		top, err := New(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < top.N; x++ {
+			_, p := top.Split(x)
+			base := x - p // block-aligned cycle start
+			if got, want := top.Succ(x), base+(p+1)%top.Q; got != want {
+				t.Fatalf("r=%d: Succ(%d) = %d, want block rotation %d", r, x, got, want)
+			}
+			if got, want := top.Pred(x), base+(p+top.Q-1)%top.Q; got != want {
+				t.Fatalf("r=%d: Pred(%d) = %d, want block rotation %d", r, x, got, want)
+			}
+			if got, want := top.XS(x), x^1; got != want {
+				t.Fatalf("r=%d: XS(%d) = %d, want %d", r, x, got, want)
+			}
+			if got, want := top.Lateral(x), x^top.LateralStride(p); got != want {
+				t.Fatalf("r=%d: Lateral(%d) = %d, want XOR stride %d", r, x, got, want)
+			}
+			wantXP := base + (p+1)%top.Q
+			if p%2 == 0 {
+				wantXP = base + (p+top.Q-1)%top.Q
+			}
+			if got := top.XP(x); got != wantXP {
+				t.Fatalf("r=%d: XP(%d) = %d, want parity-split rotation %d", r, x, got, wantXP)
+			}
+		}
+	}
+}
+
+// TestSelectors checks the repeating word selectors against Split.
+func TestSelectors(t *testing.T) {
+	for r := 1; r <= MaxR; r++ {
+		top, err := New(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		odd := top.ParitySelector(true)
+		even := top.ParitySelector(false)
+		if odd^even != ^uint64(0) {
+			t.Fatalf("r=%d: parity selectors do not partition the word", r)
+		}
+		for p := 0; p < top.Q; p++ {
+			sel := top.PosSelector(p)
+			for i := 0; i < 64; i++ {
+				want := i%top.Q == p
+				if got := sel>>uint(i)&1 == 1; got != want {
+					t.Fatalf("r=%d: PosSelector(%d) bit %d = %v, want %v", r, p, i, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // This file holds the comparison solvers: an exhaustive enumerator that
 // proves optimality on tiny instances, and a greedy heuristic of the kind
@@ -22,7 +25,7 @@ func SolveExhaustive(p *Problem) (uint64, error) {
 	psum := make([]uint64, 1<<uint(p.K))
 	for s := 1; s < len(psum); s++ {
 		low := s & -s
-		psum[s] = satAdd(psum[s&(s-1)], p.Weights[trailingZeros(low)])
+		psum[s] = satAdd(psum[s&(s-1)], p.Weights[bits.TrailingZeros(uint(low))])
 	}
 	var rec func(s Set) uint64
 	rec = func(s Set) uint64 {
@@ -69,7 +72,7 @@ func GreedyTree(p *Problem) (*Node, error) {
 	psum := make([]uint64, 1<<uint(p.K))
 	for s := 1; s < len(psum); s++ {
 		low := s & -s
-		psum[s] = satAdd(psum[s&(s-1)], p.Weights[trailingZeros(low)])
+		psum[s] = satAdd(psum[s&(s-1)], p.Weights[bits.TrailingZeros(uint(low))])
 	}
 	var build func(s Set) (*Node, error)
 	build = func(s Set) (*Node, error) {

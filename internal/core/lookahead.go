@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // This file implements a depth-d lookahead policy: the anytime middle ground
 // between the one-step greedy and the exponential exact DP. At each realized
@@ -40,7 +43,7 @@ func LookaheadTree(p *Problem, depth int) (*Node, error) {
 	}
 	for s := 1; s < len(ls.psum); s++ {
 		low := s & -s
-		ls.psum[s] = satAdd(ls.psum[s&(s-1)], p.Weights[trailingZeros(low)])
+		ls.psum[s] = satAdd(ls.psum[s&(s-1)], p.Weights[bits.TrailingZeros(uint(low))])
 	}
 	return ls.build(Universe(p.K), depth)
 }

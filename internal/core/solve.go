@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Solution is the output of the sequential DP solver.
 type Solution struct {
@@ -39,7 +42,7 @@ func Solve(p *Problem) (*Solution, error) {
 	}
 	for s := 1; s < size; s++ {
 		low := s & -s
-		sol.PSum[s] = satAdd(sol.PSum[s&(s-1)], p.Weights[trailingZeros(low)])
+		sol.PSum[s] = satAdd(sol.PSum[s&(s-1)], p.Weights[bits.TrailingZeros(uint(low))])
 	}
 	sol.Choice[0] = -1
 	for s := 1; s < size; s++ {
@@ -91,7 +94,7 @@ func SolveMemo(p *Problem) (uint64, error) {
 	psum := make([]uint64, size)
 	for s := 1; s < size; s++ {
 		low := s & -s
-		psum[s] = satAdd(psum[s&(s-1)], p.Weights[trailingZeros(low)])
+		psum[s] = satAdd(psum[s&(s-1)], p.Weights[bits.TrailingZeros(uint(low))])
 	}
 	known[0] = true
 	var rec func(s Set) uint64
@@ -120,15 +123,6 @@ func SolveMemo(p *Problem) (uint64, error) {
 		return best
 	}
 	return rec(Universe(p.K)), nil
-}
-
-func trailingZeros(x int) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }
 
 // String summarizes the solution.

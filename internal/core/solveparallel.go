@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 )
@@ -13,6 +14,11 @@ import (
 // depends only on strictly smaller sets, so all sets of one level are
 // independent and can be sharded across workers. Results are identical to
 // Solve (same recurrence, same tie-breaking by lowest action index).
+//
+// No level is ever materialized: each level is split into equal rank ranges
+// of the Gosper sequence, the range starts are computed directly by
+// combinadic unranking, and a worker pool reused across all levels streams
+// through its ranges by iterating Gosper's hack locally.
 func SolveParallel(p *Problem, workers int) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -28,28 +34,28 @@ func SolveParallel(p *Problem, workers int) (*Solution, error) {
 	}
 	for s := 1; s < size; s++ {
 		low := s & -s
-		sol.PSum[s] = satAdd(sol.PSum[s&(s-1)], p.Weights[trailingZeros(low)])
+		sol.PSum[s] = satAdd(sol.PSum[s&(s-1)], p.Weights[bits.TrailingZeros(uint(low))])
 	}
 	sol.Choice[0] = -1
 	// Ops accounting matches Solve: (N+1) per non-empty subset.
 	sol.Ops = int64(size-1) * int64(len(p.Actions)+1)
 
-	for level := 1; level <= p.K; level++ {
-		sets := subsetsOfSize(p.K, level)
-		var wg sync.WaitGroup
-		chunk := (len(sets) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			if lo >= len(sets) {
-				break
-			}
-			hi := min(lo+chunk, len(sets))
-			wg.Add(1)
-			go func(batch []Set) {
-				defer wg.Done()
-				for _, s := range batch {
+	// gosperRange is one unit of work: `count` consecutive sets of one
+	// popcount level, starting at `start` in increasing numeric order.
+	type gosperRange struct {
+		start uint32
+		count uint64
+	}
+	jobs := make(chan gosperRange)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		go func() {
+			for jb := range jobs {
+				v := jb.start
+				for i := uint64(0); i < jb.count; i++ {
+					s := Set(v)
 					best, bestIdx := Inf, int32(-1)
-					for i, a := range p.Actions {
+					for ai, a := range p.Actions {
 						inter := s & a.Set
 						diff := s &^ a.Set
 						if inter == 0 || (!a.Treatment && diff == 0) {
@@ -62,21 +68,69 @@ func SolveParallel(p *Problem, workers int) (*Solution, error) {
 							cost = satAdd(cost, satAdd(sol.C[inter], sol.C[diff]))
 						}
 						if cost < best {
-							best, bestIdx = cost, int32(i)
+							best, bestIdx = cost, int32(ai)
 						}
 					}
 					sol.C[s], sol.Choice[s] = best, bestIdx
+					// Gosper: next higher number with the same popcount.
+					c := v & -v
+					r := v + c
+					v = (r^v)>>2/c | r
 				}
-			}(sets[lo:hi])
-		}
-		wg.Wait()
+				wg.Done()
+			}
+		}()
 	}
+	for level := 1; level <= p.K; level++ {
+		total := binomial(p.K, level)
+		chunk := (total + uint64(workers) - 1) / uint64(workers)
+		for lo := uint64(0); lo < total; lo += chunk {
+			n := min(chunk, total-lo)
+			wg.Add(1)
+			jobs <- gosperRange{start: nthSubset(lo, level), count: n}
+		}
+		wg.Wait() // barrier: level j+1 reads level j's C values
+	}
+	close(jobs)
 	sol.Cost = sol.C[size-1]
 	return sol, nil
 }
 
+// binomial returns C(n, k) for the instance sizes the DP supports (n <= 32).
+func binomial(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	c := uint64(1)
+	for i := 0; i < k; i++ {
+		c = c * uint64(n-i) / uint64(i+1)
+	}
+	return c
+}
+
+// nthSubset returns the subset of popcount j with `rank` predecessors in
+// increasing numeric order (equivalently, in the Gosper sequence): the
+// combinadic unranking that lets level ranges start anywhere without
+// enumerating the level. For fixed popcount, numeric order is colex order,
+// so the highest element e of the rank-m subset is the largest e with
+// C(e, j) <= m.
+func nthSubset(rank uint64, j int) uint32 {
+	var set uint32
+	for ; j > 0; j-- {
+		e := j - 1
+		for binomial(e+1, j) <= rank {
+			e++
+		}
+		set |= 1 << uint(e)
+		rank -= binomial(e, j)
+	}
+	return set
+}
+
 // subsetsOfSize enumerates all k-bit subsets with exactly j set bits in
-// increasing numeric order (Gosper's hack).
+// increasing numeric order (Gosper's hack). SolveParallel streams ranges of
+// the same sequence instead of calling this; it remains the reference
+// enumeration for tests.
 func subsetsOfSize(k, j int) []Set {
 	if j < 0 || j > k {
 		panic(fmt.Sprintf("core: %d-subsets of %d elements", j, k))
@@ -84,7 +138,7 @@ func subsetsOfSize(k, j int) []Set {
 	if j == 0 {
 		return []Set{0}
 	}
-	var out []Set
+	out := make([]Set, 0, binomial(k, j))
 	v := uint32(1)<<uint(j) - 1
 	limit := uint32(1) << uint(k)
 	for v < limit {
@@ -92,10 +146,7 @@ func subsetsOfSize(k, j int) []Set {
 		// Gosper: next higher number with the same popcount.
 		c := v & -v
 		r := v + c
-		v = (((r ^ v) >> 2) / c) | r
-		if c == 0 {
-			break
-		}
+		v = (r^v)>>2/c | r
 	}
 	return out
 }
