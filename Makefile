@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke
+.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -49,3 +49,9 @@ bench-json:
 # (or a kernel panic on any geometry) fails CI fast.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkExecPerRoute|BenchmarkApply3|BenchmarkE3CycleID' -benchtime 1x ./internal/bvm ./internal/bitvec .
+
+# End-to-end smoke of the solver service: boots ttserve on a random port
+# through its real run loop, then drives a solve, a cache hit, an oversized
+# 422 reject, and a graceful shutdown (see cmd/ttserve/main_test.go).
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke' -v ./cmd/ttserve

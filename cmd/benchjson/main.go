@@ -57,9 +57,17 @@ func main() {
 		os.Exit(1)
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
-	enc := json.NewEncoder(os.Stdout)
+	// Write through an explicit buffer and check the Flush: stdout is
+	// normally a redirect to BENCH.json, and a full disk that only surfaces
+	// at flush time must not silently truncate the committed baseline.
+	out := bufio.NewWriter(os.Stdout)
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := out.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -36,23 +37,40 @@ func run(args []string, stdout io.Writer) error {
 	if *which == "" {
 		return fmt.Errorf("ttbench: -run or -list required")
 	}
-	w := stdout
-	if *outFile != "" {
-		f, err := os.Create(*outFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	if *which == "all" {
-		return experiments.RunAll(w)
-	}
 	exp := experiments.Lookup(*which)
-	if exp == nil {
+	if *which != "all" && exp == nil {
 		return fmt.Errorf("ttbench: unknown experiment %q (try -list)", *which)
 	}
-	return exp.Run(w)
+	w := io.Writer(stdout)
+	var f *os.File
+	var buf *bufio.Writer
+	if *outFile != "" {
+		var err error
+		if f, err = os.Create(*outFile); err != nil {
+			return err
+		}
+		buf = bufio.NewWriter(f)
+		w = buf
+	}
+	var runErr error
+	if *which == "all" {
+		runErr = experiments.RunAll(w)
+	} else {
+		runErr = exp.Run(w)
+	}
+	// A full disk surfaces at Flush or Close, not (necessarily) at the
+	// buffered writes — losing those errors silently truncates the report.
+	if buf != nil {
+		if err := buf.Flush(); runErr == nil && err != nil {
+			runErr = fmt.Errorf("ttbench: writing %s: %w", *outFile, err)
+		}
+	}
+	if f != nil {
+		if err := f.Close(); runErr == nil && err != nil {
+			runErr = fmt.Errorf("ttbench: closing %s: %w", *outFile, err)
+		}
+	}
+	return runErr
 }
 
 func main() {

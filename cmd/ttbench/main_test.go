@@ -51,6 +51,24 @@ func TestRunToFile(t *testing.T) {
 	}
 }
 
+// TestRunToFullDevice pins the flush/close error path: writes to /dev/full
+// succeed into the buffer but fail with ENOSPC at Flush, which run must
+// surface instead of silently truncating the report (the old defer f.Close()
+// discarded it).
+func TestRunToFullDevice(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	var out strings.Builder
+	err := run([]string{"-run", "fig6", "-o", "/dev/full"}, &out)
+	if err == nil {
+		t.Fatal("writing to /dev/full reported success")
+	}
+	if !strings.Contains(err.Error(), "/dev/full") {
+		t.Errorf("error does not name the output file: %v", err)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{}, &out); err == nil {

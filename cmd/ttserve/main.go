@@ -1,0 +1,119 @@
+// Command ttserve runs the test-and-treatment solver as a long-lived HTTP
+// service (internal/serve): instances are POSTed in the instio JSON wire
+// format and solved by a selectable engine, with an order-normalized LRU
+// solution cache, singleflight collapsing of identical concurrent requests,
+// admission control (solver semaphore, bounded queue, K/action budget),
+// per-request deadlines that genuinely cancel the O(N·2^K) sweep, and
+// graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	ttserve [-addr :8080] [-engine seq] [-timeout 10s] [-max-k 20] ...
+//
+// Endpoints:
+//
+//	POST /v1/solve?engine=seq|parallel|lockstep|goroutine|ccc|bvm&timeout_ms=...&tree=1&greedy=1
+//	POST /v1/eval                     — price a stored policy under a weight vector
+//	GET  /healthz                     — liveness (503 while draining)
+//	GET  /v1/stats                    — per-server counters and latency histograms
+//	GET  /debug/vars, /debug/pprof/*  — expvar and profiling
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// run boots the service and blocks until a shutdown signal (or a closed
+// stop channel, the test hook), then drains. When ready is non-nil it
+// receives the bound address once the listener is up.
+func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("ttserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	engine := fs.String("engine", "seq", "default solver engine: seq, parallel, lockstep, goroutine, ccc, or bvm")
+	maxConcurrent := fs.Int("max-concurrent", 0, "simultaneous solver runs (0 = GOMAXPROCS)")
+	maxPending := fs.Int("max-pending", 0, "queued+running solves before shedding with 503 (0 = 4x max-concurrent)")
+	cacheEntries := fs.Int("cache", 0, "LRU capacity in solved instances (0 = 1024, negative disables)")
+	timeout := fs.Duration("timeout", 0, "default per-request solve budget (0 = 10s)")
+	maxTimeout := fs.Duration("max-timeout", 0, "ceiling on client-requested timeouts (0 = 60s)")
+	maxK := fs.Int("max-k", 0, "largest universe accepted; larger instances get 422 (0 = 20)")
+	maxActions := fs.Int("max-actions", 0, "most actions accepted (0 = 64)")
+	workers := fs.Int("workers", 0, "worker goroutines per parallel solve (0 = GOMAXPROCS)")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
+	srv := serve.New(serve.Config{
+		MaxConcurrent:  *maxConcurrent,
+		MaxPending:     *maxPending,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxK:           *maxK,
+		MaxActions:     *maxActions,
+		Workers:        *workers,
+		DefaultEngine:  *engine,
+		Logger:         logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("ttserve: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	logger.Info("ttserve listening", "addr", ln.Addr().String(), "engine", *engine)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("ttserve: %w", err)
+	case s := <-sig:
+		logger.Info("shutting down", "signal", s.String())
+	case <-stop:
+		logger.Info("shutting down", "signal", "stop")
+	}
+
+	// Drain: stop routing (healthz 503), finish accepted requests, then
+	// cancel whatever is still running past the budget.
+	srv.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err = hs.Shutdown(ctx)
+	srv.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("ttserve: drain: %w", err)
+	}
+	logger.Info("drained cleanly")
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

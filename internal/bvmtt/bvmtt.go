@@ -16,6 +16,7 @@
 package bvmtt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitvec"
@@ -129,17 +130,34 @@ func planLayout(q, k, w int) (layout, error) {
 // Solve runs the TT program on the smallest BVM that fits the instance.
 // width 0 means SuggestWidth(p).
 func Solve(p *core.Problem, width int) (*Result, error) {
-	return solve(p, width, false)
+	return solve(context.Background(), p, width, false)
+}
+
+// SolveCtx is Solve with cancellation: the context is polled between the
+// program's phases and at every round j = 1..k of the main loop, so a
+// deadline stops a long bit-level simulation between rounds instead of
+// after the whole program has run.
+func SolveCtx(ctx context.Context, p *core.Problem, width int) (*Result, error) {
+	return solve(ctx, p, width, false)
 }
 
 // SolveRecorded is Solve with instruction capture: Result.Program holds the
 // complete recorded program, ready for static analysis (bvmcheck) or replay.
 func SolveRecorded(p *core.Problem, width int) (*Result, error) {
-	return solve(p, width, true)
+	return solve(context.Background(), p, width, true)
 }
 
-func solve(p *core.Problem, width int, record bool) (*Result, error) {
+// SolveRecordedCtx is SolveRecorded with the cancellation behaviour of
+// SolveCtx.
+func SolveRecordedCtx(ctx context.Context, p *core.Problem, width int) (*Result, error) {
+	return solve(ctx, p, width, true)
+}
+
+func solve(ctx context.Context, p *core.Problem, width int, record bool) (*Result, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if width == 0 {
@@ -217,6 +235,9 @@ func solve(p *core.Problem, width int, record bool) (*Result, error) {
 	}
 	load := m.InstrCount - loadStart
 	endPhase("load")
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// p(S): ASCEND over the S-dimensions accumulating per-element weights.
 	bvmalg.SetWordConst(m, lay.ps, 0)
@@ -248,6 +269,9 @@ func solve(p *core.Problem, width int, record bool) (*Result, error) {
 	rqPairs := append(bvmalg.WordPairs(lay.r, lay.sh1), bvmalg.WordPairs(lay.q, lay.sh2)...)
 
 	for j := 1; j <= k; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// (1) Propagate the group mark one level up (first-kind propagation).
 		m.SetConst(bvm.R(lay.rcv), false)
 		for e := 0; e < k; e++ {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 )
@@ -31,7 +32,18 @@ type Solution struct {
 // still-infinite C[S] and drop out of the minimum exactly as in the paper's
 // infinity-initialization argument. Time O(N·2^K), space O(2^K).
 func Solve(p *Problem) (*Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx is Solve with cancellation: the context is polled every ctxStride
+// subsets, so a deadline or client disconnect stops the O(N·2^K) sweep
+// promptly. On cancellation the context's error is returned and the partial
+// table is discarded.
+func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	size := 1 << uint(p.K)
@@ -46,6 +58,11 @@ func Solve(p *Problem) (*Solution, error) {
 	}
 	sol.Choice[0] = -1
 	for s := 1; s < size; s++ {
+		if s&(ctxStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		best, bestIdx := Inf, int32(-1)
 		for i, a := range p.Actions {
 			inter := Set(s) & a.Set

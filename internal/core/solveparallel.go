@@ -1,11 +1,22 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
 )
+
+// ctxStride is how many subsets a solver processes between context polls: a
+// power of two large enough to keep the poll off the hot path and small
+// enough that cancellation lands within microseconds of the deadline.
+const ctxStride = 1 << 12
+
+// solveParallelRangeHook, when non-nil, is called by each worker at the start
+// of every dispatched range. Test-only: it lets the fault-injection tests
+// panic inside a worker and prove the pool shuts down instead of deadlocking.
+var solveParallelRangeHook func(start Set)
 
 // SolveParallel is the sequential DP parallelized across host CPU cores —
 // not the paper's machine (that is internal/parttsolve) but the natural way
@@ -20,7 +31,21 @@ import (
 // combinadic unranking, and a worker pool reused across all levels streams
 // through its ranges by iterating Gosper's hack locally.
 func SolveParallel(p *Problem, workers int) (*Solution, error) {
+	return SolveParallelCtx(context.Background(), p, workers)
+}
+
+// SolveParallelCtx is SolveParallel with cancellation: the context is polled
+// at every level barrier and every ctxStride subsets inside each Gosper
+// range, so a deadline or client disconnect stops the O(N·2^K) sweep
+// promptly instead of after it completes. On cancellation the context's
+// error is returned and the partially filled solution is discarded. A panic
+// in a worker (for any range) is recovered, converted to an error, and shuts
+// the pool down cleanly instead of deadlocking the level barrier.
+func SolveParallelCtx(ctx context.Context, p *Problem, workers int) (*Solution, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if workers <= 0 {
@@ -47,51 +72,113 @@ func SolveParallel(p *Problem, workers int) (*Solution, error) {
 		count uint64
 	}
 	jobs := make(chan gosperRange)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		go func() {
-			for jb := range jobs {
-				v := jb.start
-				for i := uint64(0); i < jb.count; i++ {
-					s := Set(v)
-					best, bestIdx := Inf, int32(-1)
-					for ai, a := range p.Actions {
-						inter := s & a.Set
-						diff := s &^ a.Set
-						if inter == 0 || (!a.Treatment && diff == 0) {
-							continue
-						}
-						cost := satMul(a.Cost, sol.PSum[s])
-						if a.Treatment {
-							cost = satAdd(cost, sol.C[diff])
-						} else {
-							cost = satAdd(cost, satAdd(sol.C[inter], sol.C[diff]))
-						}
-						if cost < best {
-							best, bestIdx = cost, int32(ai)
-						}
-					}
-					sol.C[s], sol.Choice[s] = best, bestIdx
-					// Gosper: next higher number with the same popcount.
-					c := v & -v
-					r := v + c
-					v = (r^v)>>2/c | r
+	// stop is closed at the first failure (context cancellation seen by any
+	// goroutine, or a recovered worker panic); failErr records why. Ranges
+	// already in flight notice it at their next stride poll and bail out.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var failErr error
+	fail := func(err error) {
+		stopOnce.Do(func() {
+			failErr = err
+			close(stop)
+		})
+	}
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	var wg sync.WaitGroup // in-flight ranges of the current level
+	runRange := func(jb gosperRange) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				fail(fmt.Errorf("core: SolveParallel worker panicked: %v", r))
+			}
+		}()
+		if stopped() {
+			return
+		}
+		if h := solveParallelRangeHook; h != nil {
+			h(Set(jb.start))
+		}
+		v := jb.start
+		for i := uint64(0); i < jb.count; i++ {
+			if i&(ctxStride-1) == ctxStride-1 {
+				if stopped() {
+					return
 				}
-				wg.Done()
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+			}
+			s := Set(v)
+			best, bestIdx := Inf, int32(-1)
+			for ai, a := range p.Actions {
+				inter := s & a.Set
+				diff := s &^ a.Set
+				if inter == 0 || (!a.Treatment && diff == 0) {
+					continue
+				}
+				cost := satMul(a.Cost, sol.PSum[s])
+				if a.Treatment {
+					cost = satAdd(cost, sol.C[diff])
+				} else {
+					cost = satAdd(cost, satAdd(sol.C[inter], sol.C[diff]))
+				}
+				if cost < best {
+					best, bestIdx = cost, int32(ai)
+				}
+			}
+			sol.C[s], sol.Choice[s] = best, bestIdx
+			// Gosper: next higher number with the same popcount.
+			c := v & -v
+			r := v + c
+			v = (r^v)>>2/c | r
+		}
+	}
+
+	var poolWG sync.WaitGroup // the workers themselves
+	for w := 0; w < workers; w++ {
+		poolWG.Add(1)
+		go func() {
+			defer poolWG.Done()
+			for jb := range jobs {
+				runRange(jb)
 			}
 		}()
 	}
+	defer func() {
+		close(jobs)
+		poolWG.Wait()
+	}()
+
 	for level := 1; level <= p.K; level++ {
 		total := binomial(p.K, level)
 		chunk := (total + uint64(workers) - 1) / uint64(workers)
-		for lo := uint64(0); lo < total; lo += chunk {
+		for lo := uint64(0); lo < total && !stopped(); lo += chunk {
 			n := min(chunk, total-lo)
 			wg.Add(1)
-			jobs <- gosperRange{start: nthSubset(lo, level), count: n}
+			select {
+			case jobs <- gosperRange{start: nthSubset(lo, level), count: n}:
+			case <-stop:
+				wg.Done() // never dispatched
+			}
 		}
 		wg.Wait() // barrier: level j+1 reads level j's C values
+		if stopped() {
+			return nil, failErr
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
-	close(jobs)
 	sol.Cost = sol.C[size-1]
 	return sol, nil
 }

@@ -1,8 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestSolveParallelMatchesSolve(t *testing.T) {
@@ -73,6 +78,164 @@ func TestSubsetsOfSize(t *testing.T) {
 				t.Fatalf("|%d-subsets of %d| = %d, want %d", j, k, got, binom(k, j))
 			}
 		}
+	}
+}
+
+// gosperNext is the reference successor: the next higher number with the same
+// popcount.
+func gosperNext(v uint32) uint32 {
+	c := v & -v
+	r := v + c
+	return (r^v)>>2/c | r
+}
+
+// TestNthSubsetMatchesEnumeration cross-checks the combinadic unranking
+// against the reference Gosper enumeration at every rank of every level for
+// all universes up to k=12 (C(12,6)=924 per level — exhaustive but cheap).
+func TestNthSubsetMatchesEnumeration(t *testing.T) {
+	for k := 1; k <= 12; k++ {
+		for j := 1; j <= k; j++ {
+			all := subsetsOfSize(k, j)
+			if uint64(len(all)) != binomial(k, j) {
+				t.Fatalf("k=%d j=%d: %d subsets, want C=%d", k, j, len(all), binomial(k, j))
+			}
+			for rank, want := range all {
+				if got := nthSubset(uint64(rank), j); Set(got) != want {
+					t.Fatalf("nthSubset(%d, %d) = %b, want %b (k=%d)", rank, j, got, want, k)
+				}
+			}
+		}
+	}
+}
+
+// TestNthSubsetBoundariesMaxK checks the ranks SolveParallel's sharding
+// actually lands on at the largest supported universe (k=MaxK, where
+// enumeration is impossible): the first rank of each level is the lowest j
+// bits, the last is the highest j bits, and unranking agrees with the Gosper
+// successor at the seams of evenly split ranges.
+func TestNthSubsetBoundariesMaxK(t *testing.T) {
+	const k = MaxK
+	for j := 1; j <= k; j++ {
+		total := binomial(k, j)
+		if first, want := nthSubset(0, j), uint32(1)<<uint(j)-1; first != want {
+			t.Fatalf("level %d: first = %b, want %b", j, first, want)
+		}
+		last := nthSubset(total-1, j)
+		if want := (uint32(1)<<uint(j) - 1) << uint(k-j); last != want {
+			t.Fatalf("level %d: last = %b, want %b", j, last, want)
+		}
+		// Range starts for a 7-way split, plus the very ends: each start's
+		// Gosper successor must be the next rank's unranking. Only ranks with
+		// a successor qualify (total-2 underflows when the level is a
+		// singleton, so guard before subtracting).
+		if total < 2 {
+			continue
+		}
+		chunk := (total + 6) / 7
+		for _, rank := range []uint64{0, chunk, 2 * chunk, 3 * chunk, total - 2} {
+			if rank >= total-1 {
+				continue
+			}
+			v := nthSubset(rank, j)
+			next := nthSubset(rank+1, j)
+			if next <= v {
+				t.Fatalf("level %d: rank %d -> %d not increasing (%b, %b)", j, rank, rank+1, v, next)
+			}
+			if g := gosperNext(v); g != next {
+				t.Fatalf("level %d rank %d: gosper(%b) = %b, want %b", j, rank, v, g, next)
+			}
+		}
+	}
+}
+
+// TestSolveParallelMoreWorkersThanRanges pins the sharding when the pool is
+// far wider than any level (workers > C(k, level) for every level): every
+// range degenerates to a single subset and the result still matches Solve.
+func TestSolveParallelMoreWorkersThanRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	p := randomProblem(rng, 4, 6)
+	seq, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SolveParallel(p, 64) // C(4,2) = 6 is the widest level
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Cost != seq.Cost {
+		t.Fatalf("cost %d, want %d", par.Cost, seq.Cost)
+	}
+	for s := range seq.C {
+		if par.C[s] != seq.C[s] || par.Choice[s] != seq.Choice[s] {
+			t.Fatalf("state %b differs", s)
+		}
+	}
+}
+
+// TestSolveParallelCtxCancellation drives a deadline into the middle of a
+// large sweep: SolveParallelCtx must return context.DeadlineExceeded promptly
+// (the stride polls bail out) rather than finishing the O(N·2^K) scan.
+func TestSolveParallelCtxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	p := randomProblem(rng, 20, 40)
+
+	// Pre-cancelled: rejected before any worker spins up.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := SolveParallelCtx(pre, p, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	sol, err := SolveParallelCtx(ctx, p, 4)
+	elapsed := time.Since(start)
+	if sol != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got (%v, %v), want DeadlineExceeded", sol, err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, deadline not honored mid-sweep", elapsed)
+	}
+
+	// The sequential solver honors the same contract.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	if _, err := SolveCtx(ctx2, p); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SolveCtx: %v", err)
+	}
+}
+
+// TestSolveParallelWorkerPanicPropagates injects a panic into one worker's
+// range via the test hook: the pool must shut down and surface the panic as
+// an error instead of deadlocking the level barrier (wg.Done was unreachable
+// before the recover fix).
+func TestSolveParallelWorkerPanicPropagates(t *testing.T) {
+	var fired atomic.Bool
+	solveParallelRangeHook = func(start Set) {
+		if start.Size() == 2 && fired.CompareAndSwap(false, true) {
+			panic("injected fault") // blow up somewhere mid-DP, not level 1
+		}
+	}
+	defer func() { solveParallelRangeHook = nil }()
+
+	rng := rand.New(rand.NewSource(65))
+	p := randomProblem(rng, 10, 8)
+	done := make(chan error, 1)
+	go func() {
+		_, err := SolveParallel(p, 4)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("err = %v, want worker-panicked error", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SolveParallel deadlocked after a worker panic")
+	}
+	if !fired.Load() {
+		t.Fatal("fault never injected")
 	}
 }
 

@@ -30,6 +30,7 @@
 package parttsolve
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -116,7 +117,18 @@ func (r *Result) Steps() int { return r.DimSteps + r.LocalSteps }
 // Solve runs the parallel algorithm. The instance must validate (same rules
 // as core.Solve).
 func Solve(p *core.Problem, kind EngineKind) (*Result, error) {
+	return SolveCtx(context.Background(), p, kind)
+}
+
+// SolveCtx is Solve with cancellation: the context is polled before the
+// machine is built and at every round barrier j = 1..k (each round is one
+// full set of ASCEND passes, the natural preemption point of the simulated
+// machine), so deadlines stop a long simulation between rounds.
+func SolveCtx(ctx context.Context, p *core.Problem, kind EngineKind) (*Result, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	k := p.K
@@ -207,6 +219,9 @@ func Solve(p *core.Problem, kind EngineKind) (*Result, error) {
 	})
 
 	for j := 1; j <= k; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// (1) Advance the group mark: propagation of the first kind over the
 		// S-dimensions.
 		eng.AscendRange(logN, dim, func(d, addr int, self, partner Cell) Cell {

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"container/list"
+
+	"repro/internal/core"
+)
+
+// cacheEntry is one solved instance. It stores the canonical problem and the
+// (small, O(K²)-node) optimal procedure tree rather than the 2^K DP vectors,
+// so a full cache stays within a few megabytes even at the admission-control
+// size limit. Tree is nil when the solving engine reports costs but not
+// argmins (the bvm engine) or the instance is inadequate.
+type cacheEntry struct {
+	hash     string
+	engine   string // engine that originally solved the instance
+	cost     uint64 // C(U); core.Inf for inadequate instances
+	adequate bool
+	canon    *core.Problem // canonicalized instance (action order normalized)
+	tree     *core.Node    // optimal procedure over canon's action indices
+}
+
+// lruCache is a plain LRU over solved instances, keyed by canonical hash.
+// It is not safe for concurrent use; the server guards it with its mutex.
+type lruCache struct {
+	capacity int
+	ll       *list.List // front = most recently used; values are *cacheEntry
+	byHash   map[string]*list.Element
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byHash:   make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the entry for hash and marks it most recently used.
+func (c *lruCache) get(hash string) *cacheEntry {
+	el, ok := c.byHash[hash]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry)
+}
+
+// add inserts (or refreshes) an entry, evicting the least recently used
+// entries beyond capacity.
+func (c *lruCache) add(e *cacheEntry) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.byHash[e.hash]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byHash[e.hash] = c.ll.PushFront(e)
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byHash, oldest.Value.(*cacheEntry).hash)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

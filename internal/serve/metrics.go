@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a fixed-bucket exponential latency histogram (thresholds
+// 1ms, 4ms, 16ms, ... ×4 up to 16s, plus overflow), lock-free on the
+// observe path.
+type latencyHist struct {
+	counts  [histBuckets + 1]atomic.Int64
+	n       atomic.Int64
+	totalNS atomic.Int64
+}
+
+const (
+	histBuckets = 8
+	histBaseNS  = int64(time.Millisecond)
+)
+
+func histLabel(i int) string {
+	labels := [histBuckets + 1]string{
+		"<1ms", "<4ms", "<16ms", "<64ms", "<256ms", "<1s", "<4s", "<16s", ">=16s",
+	}
+	return labels[i]
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ns := int64(d)
+	bucket := histBuckets
+	for i, bound := 0, histBaseNS; i < histBuckets; i, bound = i+1, bound*4 {
+		if ns < bound {
+			bucket = i
+			break
+		}
+	}
+	h.counts[bucket].Add(1)
+	h.n.Add(1)
+	h.totalNS.Add(ns)
+}
+
+func (h *latencyHist) snapshot() map[string]any {
+	buckets := make(map[string]int64, histBuckets+1)
+	for i := range h.counts {
+		if v := h.counts[i].Load(); v > 0 {
+			buckets[histLabel(i)] = v
+		}
+	}
+	out := map[string]any{"count": h.n.Load(), "buckets": buckets}
+	if n := h.n.Load(); n > 0 {
+		out["mean_ms"] = float64(h.totalNS.Load()) / float64(n) / 1e6
+	}
+	return out
+}
+
+// Metrics is the server's counter set, exported at /v1/stats (per server)
+// and through the process-wide expvar page at /debug/vars.
+type Metrics struct {
+	Requests       atomic.Int64 // HTTP requests to /v1/ endpoints
+	Solves         atomic.Int64 // solver runs actually executed
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	Coalesced      atomic.Int64 // requests collapsed onto an in-flight solve
+	RejectOversize atomic.Int64 // 422: over the K/action budget
+	RejectBusy     atomic.Int64 // 503: admission queue full
+	Timeouts       atomic.Int64 // 504: solver deadline exceeded
+	ClientGone     atomic.Int64 // client disconnected before the answer
+	Failures       atomic.Int64 // 5xx
+
+	mu        sync.Mutex
+	perEngine map[string]*latencyHist
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{perEngine: make(map[string]*latencyHist)}
+}
+
+// observe records one completed solver run for an engine.
+func (m *Metrics) observe(engine string, d time.Duration) {
+	m.mu.Lock()
+	h, ok := m.perEngine[engine]
+	if !ok {
+		h = &latencyHist{}
+		m.perEngine[engine] = h
+	}
+	m.mu.Unlock()
+	h.observe(d)
+}
+
+// Snapshot renders every counter and histogram as a JSON-ready map.
+func (m *Metrics) Snapshot() map[string]any {
+	engines := make(map[string]any)
+	m.mu.Lock()
+	for name, h := range m.perEngine {
+		engines[name] = h.snapshot()
+	}
+	m.mu.Unlock()
+	return map[string]any{
+		"requests":        m.Requests.Load(),
+		"solves":          m.Solves.Load(),
+		"cache_hits":      m.CacheHits.Load(),
+		"cache_misses":    m.CacheMisses.Load(),
+		"coalesced":       m.Coalesced.Load(),
+		"reject_oversize": m.RejectOversize.Load(),
+		"reject_busy":     m.RejectBusy.Load(),
+		"timeouts":        m.Timeouts.Load(),
+		"client_gone":     m.ClientGone.Load(),
+		"failures":        m.Failures.Load(),
+		"engine_latency":  engines,
+	}
+}
+
+// publishExpvar exposes a server's metrics as the process-wide "ttserve"
+// expvar. expvar names are global and re-publishing panics, so only the
+// first server in a process is published — the normal case for cmd/ttserve;
+// test servers beyond the first keep their per-server /v1/stats endpoint.
+var publishExpvar sync.Once
+
+func (m *Metrics) publish() {
+	publishExpvar.Do(func() {
+		expvar.Publish("ttserve", expvar.Func(func() any { return m.Snapshot() }))
+	})
+}

@@ -1,0 +1,616 @@
+// Package serve implements the ttserve HTTP solver service: a long-running
+// request/response front end over the repository's TT solver engines. The
+// paper's own applications — medical diagnosis, logistical breakdown
+// correction — are serving workloads (the same instance is solved once and
+// queried many times, under response-time expectations), and this package
+// supplies the production shape for them:
+//
+//   - POST /v1/solve  — solve an instio-format instance with a selectable
+//     engine (seq, parallel, lockstep, goroutine, ccc, bvm), per-request
+//     deadline, and optional procedure-tree rendering;
+//   - POST /v1/eval   — evaluate a stored policy against a weight vector
+//     (the misspecified-prior question served online);
+//   - GET  /healthz, /v1/stats, /debug/vars, /debug/pprof — liveness,
+//     per-server counters, process expvar, and profiling.
+//
+// Three mechanisms keep it stable under heavy traffic: an LRU cache keyed by
+// a canonical instance hash (action order normalized, so permuted re-asks of
+// the same instance hit one slot) with singleflight collapsing of concurrent
+// identical requests; admission control (a solver semaphore, a bounded
+// pending queue, and a K/action budget that 422s oversized instances before
+// they can allocate 2^K state); and context plumbing through every engine,
+// so deadlines and client disconnects actually stop the O(N·2^K) sweep.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bvmtt"
+	"repro/internal/ccc"
+	"repro/internal/core"
+	"repro/internal/instio"
+	"repro/internal/parttsolve"
+)
+
+// maxBodyBytes bounds request bodies; the largest admissible instance is a
+// few tens of kilobytes of JSON.
+const maxBodyBytes = 1 << 20
+
+// Config tunes the service; zero values select the defaults noted per field.
+type Config struct {
+	MaxConcurrent  int           // simultaneous solver runs (default GOMAXPROCS)
+	MaxPending     int           // queued+running solves before shedding with 503 (default 4×MaxConcurrent)
+	CacheEntries   int           // LRU capacity in solved instances (default 1024; negative disables)
+	DefaultTimeout time.Duration // per-request solve budget (default 10s)
+	MaxTimeout     time.Duration // ceiling on client-requested timeouts (default 60s)
+	MaxK           int           // admission: largest universe accepted (default 20)
+	MaxActions     int           // admission: most actions accepted (default 64)
+	Workers        int           // worker goroutines per parallel solve (default GOMAXPROCS)
+	DefaultEngine  string        // engine when the request names none (default "seq")
+	Logger         *slog.Logger  // structured request log (default slog.Default())
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 4 * c.MaxConcurrent
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 20
+	}
+	if c.MaxK > core.MaxK {
+		c.MaxK = core.MaxK
+	}
+	if c.MaxActions <= 0 {
+		c.MaxActions = 64
+	}
+	if c.DefaultEngine == "" {
+		c.DefaultEngine = "seq"
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+var (
+	errOversize = errors.New("instance exceeds the configured size budget")
+	errBusy     = errors.New("server is at solve capacity")
+)
+
+// flightCall is one in-flight solve that concurrent identical requests
+// attach to instead of re-solving (singleflight). waiters is guarded by the
+// server mutex; when the last waiter abandons the call, the solve context is
+// cancelled so the engine actually stops.
+type flightCall struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	entry   *cacheEntry
+	err     error
+	waiters int
+}
+
+// Server is the solver service. Create with New, mount Handler on an
+// http.Server, and Close only after that server has drained.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	mux     *http.ServeMux
+	metrics *Metrics
+
+	sem      chan struct{} // solver semaphore, capacity MaxConcurrent
+	pending  atomic.Int64  // queued+running solves, bounded by MaxPending
+	reqID    atomic.Int64
+	draining atomic.Bool
+
+	baseCtx    context.Context // parent of every solve context; Close cancels it
+	baseCancel context.CancelFunc
+
+	mu      sync.Mutex
+	cache   *lruCache
+	flights map[string]*flightCall
+}
+
+// New builds a Server from cfg (zero value is a sensible default).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		log:        cfg.Logger,
+		mux:        http.NewServeMux(),
+		metrics:    newMetrics(),
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		cache:      newLRU(cfg.CacheEntries),
+		flights:    make(map[string]*flightCall),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.metrics.publish()
+	return s
+}
+
+// Handler returns the service's HTTP handler with request logging attached.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqID.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		s.mux.ServeHTTP(rec, r)
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000)
+	})
+}
+
+// Metrics exposes the server's counters (also served at /v1/stats).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// CacheLen reports the number of cached solved instances.
+func (s *Server) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.len()
+}
+
+// SetDraining flips the /healthz readiness signal, so load balancers stop
+// routing new work while the HTTP server drains.
+func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
+
+// Close cancels every in-flight solve context. Call it only after the HTTP
+// server has drained (http.Server.Shutdown) — accepted requests finish
+// first, then Close reaps anything still running past the drain deadline.
+func (s *Server) Close() { s.baseCancel() }
+
+// --- /v1/solve ---
+
+// SolveResponse is the /v1/solve reply.
+type SolveResponse struct {
+	InstanceHash string  `json:"instance_hash"`
+	K            int     `json:"k"`
+	Actions      int     `json:"actions"`
+	Engine       string  `json:"engine"`              // engine this request asked for
+	SolvedBy     string  `json:"solved_by"`           // engine that produced the solution
+	Cached       bool    `json:"cached"`              // served from the LRU without solving
+	Coalesced    bool    `json:"coalesced,omitempty"` // shared a concurrent identical solve
+	Adequate     bool    `json:"adequate"`
+	Cost         *uint64 `json:"cost,omitempty"` // C(U); absent when inadequate
+	FirstAction  string  `json:"first_action,omitempty"`
+	Tree         string  `json:"tree,omitempty"`
+	Greedy       *uint64 `json:"greedy,omitempty"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
+var engineKinds = map[string]parttsolve.EngineKind{
+	"lockstep":  parttsolve.Lockstep,
+	"goroutine": parttsolve.Goroutine,
+	"ccc":       parttsolve.CCC,
+}
+
+func validEngine(e string) bool {
+	switch e {
+	case "seq", "parallel", "lockstep", "goroutine", "ccc", "bvm":
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	q := r.URL.Query()
+	engine := q.Get("engine")
+	if engine == "" {
+		engine = s.cfg.DefaultEngine
+	}
+	if !validEngine(engine) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown engine %q", engine))
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if ms := q.Get("timeout_ms"); ms != "" {
+		n, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "timeout_ms must be a positive integer")
+			return
+		}
+		timeout = min(time.Duration(n)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+	p, err := instio.Read(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.admit(p, engine); err != nil {
+		s.metrics.RejectOversize.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	canon := Canonicalize(p)
+	hash, err := Hash(canon)
+	if err != nil {
+		s.metrics.Failures.Add(1)
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	start := time.Now()
+	ent, cached, coalesced, err := s.solveShared(ctx, hash, canon, engine, timeout)
+	if err != nil {
+		s.solveError(w, err)
+		return
+	}
+	resp := &SolveResponse{
+		InstanceHash: ent.hash,
+		K:            canon.K,
+		Actions:      len(canon.Actions),
+		Engine:       engine,
+		SolvedBy:     ent.engine,
+		Cached:       cached,
+		Coalesced:    coalesced,
+		Adequate:     ent.adequate,
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if ent.adequate {
+		cost := ent.cost
+		resp.Cost = &cost
+	}
+	if ent.tree != nil {
+		resp.FirstAction = actionName(ent.canon, ent.tree.Action)
+		if isTrue(q.Get("tree")) {
+			resp.Tree = ent.tree.Render(ent.canon)
+		}
+	}
+	if isTrue(q.Get("greedy")) {
+		if g, err := core.GreedyCost(canon); err == nil {
+			resp.Greedy = &g
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// admit enforces the size budget: the global K/action caps plus the
+// engine-specific machine bounds, checked before any 2^K allocation so an
+// oversized instance costs the server nothing but the parse.
+func (s *Server) admit(p *core.Problem, engine string) error {
+	if p.K > s.cfg.MaxK {
+		return fmt.Errorf("%w: %d objects > max %d", errOversize, p.K, s.cfg.MaxK)
+	}
+	if len(p.Actions) > s.cfg.MaxActions {
+		return fmt.Errorf("%w: %d actions > max %d", errOversize, len(p.Actions), s.cfg.MaxActions)
+	}
+	dim := p.K + parttsolve.PaddedLogN(len(p.Actions))
+	switch engine {
+	case "lockstep", "goroutine":
+		if dim > core.MaxK {
+			return fmt.Errorf("%w: engine %s needs 2^%d simulated PEs", errOversize, engine, dim)
+		}
+	case "ccc":
+		top, err := ccc.ForPEs(1 << uint(dim))
+		if err != nil {
+			return fmt.Errorf("%w: engine ccc: %v", errOversize, err)
+		}
+		if top.AddrBits > core.MaxK {
+			return fmt.Errorf("%w: engine ccc needs 2^%d simulated PEs", errOversize, top.AddrBits)
+		}
+	case "bvm":
+		if dim > bvmtt.MaxDim {
+			return fmt.Errorf("%w: engine bvm needs 2^%d PEs, bit-level cap is 2^%d", errOversize, dim, bvmtt.MaxDim)
+		}
+		if width := bvmtt.SuggestWidth(p); width > 32 {
+			return fmt.Errorf("%w: engine bvm needs %d-bit words (max 32)", errOversize, width)
+		}
+	}
+	return nil
+}
+
+// solveShared resolves one request to a cache entry: LRU hit, attach to an
+// identical in-flight solve, or start the solve. The solve runs under its
+// own context (derived from the server, bounded by timeout), so it survives
+// any single client's disconnect while other waiters remain — and stops as
+// soon as the last waiter is gone.
+func (s *Server) solveShared(ctx context.Context, hash string, canon *core.Problem, engine string, timeout time.Duration) (ent *cacheEntry, cached, coalesced bool, err error) {
+	s.mu.Lock()
+	if e := s.cache.get(hash); e != nil {
+		s.mu.Unlock()
+		s.metrics.CacheHits.Add(1)
+		return e, true, false, nil
+	}
+	s.metrics.CacheMisses.Add(1)
+	if c, ok := s.flights[hash]; ok {
+		c.waiters++
+		s.mu.Unlock()
+		s.metrics.Coalesced.Add(1)
+		e, err := s.await(ctx, c)
+		return e, false, true, err
+	}
+	solveCtx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	c := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	s.flights[hash] = c
+	s.mu.Unlock()
+	go s.runSolve(solveCtx, hash, c, canon, engine)
+	e, err := s.await(ctx, c)
+	return e, false, false, err
+}
+
+// await blocks until the shared solve finishes or this request's own
+// context ends; an abandoning waiter that was the last one cancels the
+// solve so the engine goroutines actually stop.
+func (s *Server) await(ctx context.Context, c *flightCall) (*cacheEntry, error) {
+	select {
+	case <-c.done:
+		return c.entry, c.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		s.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// runSolve executes one admitted solve under the pool semaphore and
+// publishes the result to every waiter and (on success) the cache.
+func (s *Server) runSolve(ctx context.Context, hash string, c *flightCall, canon *core.Problem, engine string) {
+	defer c.cancel()
+	var ent *cacheEntry
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ent, err = nil, fmt.Errorf("serve: %s engine panicked: %v", engine, r)
+			}
+		}()
+		if s.pending.Add(1) > int64(s.cfg.MaxPending) {
+			s.pending.Add(-1)
+			err = errBusy
+			return
+		}
+		defer s.pending.Add(-1)
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			err = ctx.Err()
+			return
+		}
+		defer func() { <-s.sem }()
+		s.metrics.Solves.Add(1)
+		start := time.Now()
+		ent, err = solveEngine(ctx, canon, engine, s.cfg.Workers)
+		s.metrics.observe(engine, time.Since(start))
+		if ent != nil {
+			ent.hash = hash
+		}
+	}()
+	s.mu.Lock()
+	delete(s.flights, hash)
+	c.entry, c.err = ent, err
+	if err == nil {
+		s.cache.add(ent)
+	}
+	s.mu.Unlock()
+	close(c.done)
+}
+
+// solveEngine dispatches to the selected solver engine and converts its
+// result to a cache entry (building the procedure tree while the argmin
+// vector is in hand; the bvm engine reports costs only).
+func solveEngine(ctx context.Context, canon *core.Problem, engine string, workers int) (*cacheEntry, error) {
+	var (
+		cost    uint64
+		choices []int32
+	)
+	switch engine {
+	case "seq":
+		sol, err := core.SolveCtx(ctx, canon)
+		if err != nil {
+			return nil, err
+		}
+		cost, choices = sol.Cost, sol.Choice
+	case "parallel":
+		sol, err := core.SolveParallelCtx(ctx, canon, workers)
+		if err != nil {
+			return nil, err
+		}
+		cost, choices = sol.Cost, sol.Choice
+	case "lockstep", "goroutine", "ccc":
+		res, err := parttsolve.SolveCtx(ctx, canon, engineKinds[engine])
+		if err != nil {
+			return nil, err
+		}
+		cost, choices = res.Cost, res.Choice
+	case "bvm":
+		res, err := bvmtt.SolveCtx(ctx, canon, 0)
+		if err != nil {
+			return nil, err
+		}
+		cost = res.Cost
+	default:
+		return nil, fmt.Errorf("serve: unknown engine %q", engine)
+	}
+	ent := &cacheEntry{engine: engine, cost: cost, adequate: cost < core.Inf, canon: canon}
+	if ent.adequate && choices != nil {
+		sol := &core.Solution{Cost: cost, Choice: choices}
+		tree, err := sol.Tree(canon)
+		if err != nil {
+			return nil, err
+		}
+		ent.tree = tree
+	}
+	return ent, nil
+}
+
+// solveError maps a solve failure to its HTTP status and counter.
+func (s *Server) solveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.Timeouts.Add(1)
+		httpError(w, http.StatusGatewayTimeout, "solve deadline exceeded")
+	case errors.Is(err, errBusy):
+		s.metrics.RejectBusy.Add(1)
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.Canceled):
+		// The client went away (or the server is closing); nobody will read
+		// the body, but account for it.
+		s.metrics.ClientGone.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "request cancelled")
+	default:
+		s.metrics.Failures.Add(1)
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// --- /v1/eval ---
+
+// EvalRequest asks for a stored policy's expected cost under a weight
+// vector — the deployed-procedure evaluation (including drifted priors)
+// served online.
+type EvalRequest struct {
+	Policy  *core.Policy `json:"policy"`
+	Weights []uint64     `json:"weights"`
+}
+
+// EvalResponse is the /v1/eval reply.
+type EvalResponse struct {
+	Cost   uint64 `json:"cost"`
+	States int    `json:"states"`
+	Nodes  int    `json:"nodes"`
+	Depth  int    `json:"depth"`
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	var req EvalRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing eval request: %v", err))
+		return
+	}
+	if req.Policy == nil {
+		httpError(w, http.StatusBadRequest, "missing policy")
+		return
+	}
+	if len(req.Weights) != req.Policy.K {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("%d weights for a %d-object policy", len(req.Weights), req.Policy.K))
+		return
+	}
+	if req.Policy.K > s.cfg.MaxK {
+		s.metrics.RejectOversize.Add(1)
+		httpError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("%v: %d objects > max %d", errOversize, req.Policy.K, s.cfg.MaxK))
+		return
+	}
+	p := &core.Problem{K: req.Policy.K, Weights: req.Weights, Actions: req.Policy.Actions}
+	if err := p.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	tree, err := req.Policy.Tree()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cost, err := core.TreeCost(p, tree)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, &EvalResponse{
+		Cost:   cost,
+		States: req.Policy.States(),
+		Nodes:  tree.CountNodes(),
+		Depth:  tree.Depth(),
+	})
+}
+
+// --- health and stats ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// --- plumbing ---
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func actionName(p *core.Problem, idx int) string {
+	if idx < 0 || idx >= len(p.Actions) {
+		return ""
+	}
+	if n := p.Actions[idx].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("T%d", idx+1)
+}
+
+func isTrue(v string) bool { return v == "1" || v == "true" }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to recover
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

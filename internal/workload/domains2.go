@@ -23,24 +23,52 @@ func LaboratoryAnalysis(seed int64, k int) *core.Problem {
 	}
 	u := core.Universe(k)
 	nPanels := max(3, k)
+	seen := make(map[core.Set]bool, nPanels)
 	for i := 0; i < nPanels; i++ {
 		set := randomSubset(rng, k, k/3+1) & u
-		if set == 0 || set == u {
-			set = core.SetOf(i % k)
+		if set == 0 || set == u || seen[set] {
+			// Fall back to the first singleton not already used by a panel;
+			// a plain SetOf(i%k) here could duplicate an earlier fallback.
+			set = 0
+			for d := 0; d < k; d++ {
+				if cand := core.SetOf((i + d) % k); cand != u && !seen[cand] {
+					set = cand
+					break
+				}
+			}
+			if set == 0 {
+				continue // every distinct panel is taken; drop, never duplicate
+			}
 		}
+		seen[set] = true
 		p.Actions = append(p.Actions, core.Action{
 			Name: fmt.Sprintf("reagent-panel-%d", i),
 			Set:  set,
 			Cost: uint64(1 + rng.Intn(3)),
 		})
 	}
+	instruments := 0
 	for i := 0; i < max(1, k/4); i++ {
 		set := balancedSubset(rng, k)
 		if set == 0 || set == u {
 			continue
 		}
+		instruments++
 		p.Actions = append(p.Actions, core.Action{
 			Name: fmt.Sprintf("instrument-run-%d", i),
+			Set:  set,
+			Cost: uint64(12 + rng.Intn(8)),
+		})
+	}
+	if instruments == 0 && k >= 2 {
+		// The doc promises "a few precise but slow instrument runs"; when every
+		// balanced draw degenerated, split the low half off deterministically.
+		var set core.Set
+		for j := 0; j < (k+1)/2; j++ {
+			set |= core.SetOf(j)
+		}
+		p.Actions = append(p.Actions, core.Action{
+			Name: "instrument-run-0",
 			Set:  set,
 			Cost: uint64(12 + rng.Intn(8)),
 		})

@@ -35,6 +35,38 @@ func TestLaboratoryAnalysisStructure(t *testing.T) {
 	}
 }
 
+// TestLaboratoryAnalysisShapeInvariants pins the generator's documented shape
+// across many seeds: reagent-panel sets are pairwise distinct (the old
+// SetOf(i%k) fallback could collide), and every instance with k >= 2 has at
+// least one instrument run (the old loop could continue its way to zero).
+func TestLaboratoryAnalysisShapeInvariants(t *testing.T) {
+	for k := 2; k <= 10; k++ {
+		for seed := int64(0); seed < 40; seed++ {
+			p := LaboratoryAnalysis(seed, k)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+			panelSets := make(map[core.Set]string)
+			instruments := 0
+			for _, a := range p.Actions {
+				switch {
+				case strings.HasPrefix(a.Name, "reagent-panel"):
+					if prev, dup := panelSets[a.Set]; dup {
+						t.Fatalf("k=%d seed=%d: panels %s and %s share set %b",
+							k, seed, prev, a.Name, a.Set)
+					}
+					panelSets[a.Set] = a.Name
+				case strings.HasPrefix(a.Name, "instrument-run"):
+					instruments++
+				}
+			}
+			if instruments < 1 {
+				t.Fatalf("k=%d seed=%d: no instrument runs", k, seed)
+			}
+		}
+	}
+}
+
 func TestLogisticsStructure(t *testing.T) {
 	p := Logistics(5, 9, 3)
 	checkValidAdequate(t, "logistics", p)
