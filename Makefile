@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke serve-smoke
+.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -55,3 +55,10 @@ bench-smoke:
 # 422 reject, and a graceful shutdown (see cmd/ttserve/main_test.go).
 serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServeSmoke' -v ./cmd/ttserve
+
+# Crash drill: builds the real ttserve binary, SIGKILLs it mid-solve with
+# durable checkpointing on, restarts it against the same checkpoint
+# directory, and verifies the interrupted solve was finished from disk (see
+# cmd/ttserve/chaos_smoke_test.go and docs/RESILIENCE.md).
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosSmoke' -v ./cmd/ttserve

@@ -32,6 +32,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -48,7 +49,18 @@ import (
 	"repro/internal/instio"
 )
 
+// run buffers all demo/report output and surfaces the flush error: a full
+// disk or closed pipe must exit nonzero, not silently truncate a listing.
 func run(args []string, stdout io.Writer) error {
+	out := bufio.NewWriter(stdout)
+	err := dispatch(args, out)
+	if ferr := out.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("bvmrun: writing output: %w", ferr)
+	}
+	return err
+}
+
+func dispatch(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bvmrun", flag.ContinueOnError)
 	r := fs.Int("r", 2, "CCC parameter r (machine has 2^r·2^(2^r) PEs)")
 	fs.SetOutput(stdout)

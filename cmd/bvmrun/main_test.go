@@ -163,3 +163,20 @@ func TestErrors(t *testing.T) {
 		t.Error("bad r accepted")
 	}
 }
+
+// TestRunToFullDevice pins the flush error path: a demo listing sent to
+// /dev/full must exit nonzero instead of silently truncating.
+func TestRunToFullDevice(t *testing.T) {
+	f, err := os.OpenFile("/dev/full", os.O_WRONLY, 0)
+	if err != nil {
+		t.Skip("/dev/full not available")
+	}
+	defer f.Close()
+	err = run([]string{"layout"}, f)
+	if err == nil {
+		t.Fatal("writing the listing to /dev/full reported success")
+	}
+	if !strings.Contains(err.Error(), "bvmrun: writing output") {
+		t.Fatalf("error does not name the output write: %v", err)
+	}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -21,7 +22,18 @@ import (
 	"repro/internal/workload"
 )
 
+// run buffers the emitted instance and surfaces the flush error: a full disk
+// must exit nonzero, not leave a truncated JSON file that parses as garbage.
 func run(args []string, stdout io.Writer) error {
+	out := bufio.NewWriter(stdout)
+	err := generate(args, out)
+	if ferr := out.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("ttgen: writing instance: %w", ferr)
+	}
+	return err
+}
+
+func generate(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ttgen", flag.ContinueOnError)
 	domain := fs.String("domain", "medical", "workload: medical, fault, biology, laboratory, logistics, binary, random")
 	k := fs.Int("k", 8, "universe size (number of objects)")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -40,5 +41,22 @@ func TestUnknownDomain(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-domain", "quantum"}, &out); err == nil {
 		t.Fatal("unknown domain accepted")
+	}
+}
+
+// TestRunToFullDevice pins the flush error path: generating onto /dev/full
+// must exit nonzero, not leave a truncated instance that parses as garbage.
+func TestRunToFullDevice(t *testing.T) {
+	f, err := os.OpenFile("/dev/full", os.O_WRONLY, 0)
+	if err != nil {
+		t.Skip("/dev/full not available")
+	}
+	defer f.Close()
+	err = run([]string{"-domain", "binary", "-k", "6"}, f)
+	if err == nil {
+		t.Fatal("writing the instance to /dev/full reported success")
+	}
+	if !strings.Contains(err.Error(), "writing instance") {
+		t.Fatalf("error does not name the instance write: %v", err)
 	}
 }

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/instio"
+	"repro/internal/workload"
+)
+
+// TestChaosSmoke is the `make chaos-smoke` sequence: build the real binary,
+// start it with durable checkpointing and an artificial per-level delay,
+// SIGKILL it in the middle of a solve, restart it against the same checkpoint
+// directory, and verify the new process finishes the interrupted solve from
+// disk — the retried request is a cache hit with the right cost, and the
+// consumed checkpoint file is gone.
+func TestChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server process")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ttserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building ttserve: %v\n%s", err, out)
+	}
+	ckDir := filepath.Join(dir, "checkpoints")
+
+	p := workload.MedicalDiagnosis(11, 10)
+	want, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := instio.Write(&body, p, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: every level barrier pauses 250ms, so a K=10 solve is slow
+	// enough to kill mid-sweep but checkpoints several levels first.
+	victim, url := startServer(t, bin,
+		"-checkpoint-dir", ckDir, "-chaos-level-delay", "250ms", "-timeout", "30s")
+	go http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body.Bytes()))
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint file ever appeared")
+		}
+		if len(checkpointFiles(t, ckDir)) > 0 {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// SIGKILL: no drain, no cleanup — the process dies mid-solve and only
+	// the durable frontier survives.
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+	if len(checkpointFiles(t, ckDir)) == 0 {
+		t.Fatal("checkpoint did not survive the kill")
+	}
+
+	// Second life: no chaos. Startup recovery must finish the interrupted
+	// solve before the listener is ready, so the very first request hits the
+	// cache.
+	successor, url2 := startServer(t, bin, "-checkpoint-dir", ckDir)
+	defer func() {
+		successor.Process.Signal(os.Interrupt)
+		successor.Wait()
+	}()
+
+	stats := getStats(t, url2)
+	if n, _ := stats["checkpoints_resumed"].(float64); n < 1 {
+		t.Fatalf("checkpoints_resumed = %v, want >= 1 (stats: %v)", stats["checkpoints_resumed"], stats)
+	}
+	resp := postSolve(t, url2, body.Bytes(), http.StatusOK)
+	if !resp.Cached {
+		t.Fatalf("retried request was not served from the recovered cache: %+v", resp)
+	}
+	if !resp.Adequate || resp.Cost == nil || *resp.Cost != want.Cost {
+		t.Fatalf("recovered cost %+v, want %d", resp.Cost, want.Cost)
+	}
+	if files := checkpointFiles(t, ckDir); len(files) != 0 {
+		t.Fatalf("consumed checkpoint files still on disk: %v", files)
+	}
+}
+
+// startServer launches the built binary on a random port and returns the
+// running command plus its base URL, parsed from the ready log line.
+func startServer(t *testing.T, bin string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "ttserve listening") {
+				for _, f := range strings.Fields(line) {
+					if a, ok := strings.CutPrefix(f, "addr="); ok {
+						addrCh <- a
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("server never logged its listen address")
+		return nil, ""
+	}
+}
+
+func checkpointFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*"+checkpoint.Ext))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func getStats(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -4,11 +4,14 @@
 // solution cache, singleflight collapsing of identical concurrent requests,
 // admission control (solver semaphore, bounded queue, K/action budget),
 // per-request deadlines that genuinely cancel the O(N·2^K) sweep, and
-// graceful drain on SIGINT/SIGTERM.
+// graceful drain on SIGINT/SIGTERM. Solves self-heal (retries, per-engine
+// circuit breakers, fallback chains) and, with -checkpoint-dir, write durable
+// mid-sweep checkpoints that a restarted process finishes from disk before
+// serving (docs/RESILIENCE.md).
 //
 // Usage:
 //
-//	ttserve [-addr :8080] [-engine seq] [-timeout 10s] [-max-k 20] ...
+//	ttserve [-addr :8080] [-engine seq] [-timeout 10s] [-checkpoint-dir /var/lib/ttserve] ...
 //
 // Endpoints:
 //
@@ -30,9 +33,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/serve"
 )
 
@@ -52,24 +58,59 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	maxActions := fs.Int("max-actions", 0, "most actions accepted (0 = 64)")
 	workers := fs.Int("workers", 0, "worker goroutines per parallel solve (0 = GOMAXPROCS)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	cacheBytes := fs.Int64("cache-bytes", 0, "LRU byte budget across cached solutions (0 = entry count only)")
+	checkpointDir := fs.String("checkpoint-dir", "", "directory for durable mid-solve checkpoints; crashes resume from here (empty disables)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures opening an engine's circuit breaker (0 = 3, negative disables)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open breaker's half-open probe delay (0 = 5s)")
+	retries := fs.Int("retries", 0, "extra attempts per engine before falling back (0 = 1, negative disables)")
+	noFallback := fs.Bool("no-fallback", false, "fail requests instead of degrading to the next engine in the chain")
+	chaosLevelDelay := fs.Duration("chaos-level-delay", 0, "TESTING: artificial pause at every DP level barrier")
+	chaosFailEngine := fs.String("chaos-fail-engine", "", "TESTING: inject solve faults, as engine[:count] (count omitted = every attempt)")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	engineFault, err := parseChaosFail(*chaosFailEngine)
+	if err != nil {
+		return fmt.Errorf("ttserve: %w", err)
+	}
 
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
 	srv := serve.New(serve.Config{
-		MaxConcurrent:  *maxConcurrent,
-		MaxPending:     *maxPending,
-		CacheEntries:   *cacheEntries,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxK:           *maxK,
-		MaxActions:     *maxActions,
-		Workers:        *workers,
-		DefaultEngine:  *engine,
-		Logger:         logger,
+		MaxConcurrent:    *maxConcurrent,
+		MaxPending:       *maxPending,
+		CacheEntries:     *cacheEntries,
+		CacheBytes:       *cacheBytes,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		MaxK:             *maxK,
+		MaxActions:       *maxActions,
+		Workers:          *workers,
+		DefaultEngine:    *engine,
+		Logger:           logger,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Retries:          *retries,
+		DisableFallback:  *noFallback,
+		CheckpointDir:    *checkpointDir,
+		EngineFault:      engineFault,
+		LevelDelay:       *chaosLevelDelay,
 	})
+
+	// Before accepting traffic, finish any solve a previous process died in
+	// the middle of: their durable level frontiers are on disk, and resuming
+	// them now means the requests that triggered them hit the cache on retry.
+	if *checkpointDir != "" {
+		rctx, rcancel := context.WithTimeout(context.Background(), *drain)
+		resumed, discarded, err := srv.RecoverCheckpoints(rctx)
+		rcancel()
+		if err != nil {
+			return fmt.Errorf("ttserve: recovering checkpoints: %w", err)
+		}
+		if resumed > 0 || discarded > 0 {
+			logger.Info("checkpoint recovery", "resumed", resumed, "discarded", discarded)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -109,6 +150,25 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	}
 	logger.Info("drained cleanly")
 	return nil
+}
+
+// parseChaosFail turns "-chaos-fail-engine engine[:count]" into the serve
+// fault hook: the named engine's first count attempts fail (count omitted =
+// every attempt). Empty spec means no injection.
+func parseChaosFail(spec string) (func(string) error, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	engine, countStr, hasCount := strings.Cut(spec, ":")
+	n := int64(1<<62 - 1)
+	if hasCount {
+		v, err := strconv.ParseInt(countStr, 10, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -chaos-fail-engine count %q", countStr)
+		}
+		n = v
+	}
+	return chaos.FailFirst(engine, n, errors.New("injected chaos fault")), nil
 }
 
 func main() {

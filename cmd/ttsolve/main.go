@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,7 +33,19 @@ import (
 	"repro/internal/simulate"
 )
 
+// run buffers all report output and surfaces the flush error: when stdout is
+// a full disk or closed pipe the command must exit nonzero, not silently
+// truncate (fmt.Fprintf return values are otherwise unchecked).
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	out := bufio.NewWriter(stdout)
+	err := solve(args, stdin, out)
+	if ferr := out.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("ttsolve: writing output: %w", ferr)
+	}
+	return err
+}
+
+func solve(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ttsolve", flag.ContinueOnError)
 	engine := fs.String("engine", "seq", "solver: seq, lockstep, goroutine, ccc, or bvm")
 	showTree := fs.Bool("tree", false, "print the optimal procedure tree (seq engine)")

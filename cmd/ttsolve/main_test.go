@@ -110,3 +110,20 @@ func TestRunMissingFile(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// TestRunToFullDevice pins the flush error path: solving with stdout on
+// /dev/full must exit nonzero instead of silently truncating the report.
+func TestRunToFullDevice(t *testing.T) {
+	f, err := os.OpenFile("/dev/full", os.O_WRONLY, 0)
+	if err != nil {
+		t.Skip("/dev/full not available")
+	}
+	defer f.Close()
+	err = run(nil, strings.NewReader(sample), f)
+	if err == nil {
+		t.Fatal("writing the report to /dev/full reported success")
+	}
+	if !strings.Contains(err.Error(), "writing output") {
+		t.Fatalf("error does not name the output write: %v", err)
+	}
+}

@@ -1,0 +1,138 @@
+package bvm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential tests for fault injection: an injected fault must perturb the
+// word-parallel kernel path and the scalar reference path identically —
+// otherwise the cross-validation experiments that rely on faults being
+// visible would depend on which execution path ran. These complement
+// route_kernel_test.go, which pins the two paths together on healthy
+// machines.
+
+// faultPair builds a kernel-path and a reference-path machine with identical
+// random register contents.
+func faultPair(t *testing.T, r, regs int, seed int64) (fast, ref *Machine) {
+	t.Helper()
+	var err error
+	if fast, err = New(r, regs); err != nil {
+		t.Fatal(err)
+	}
+	if ref, err = New(r, regs); err != nil {
+		t.Fatal(err)
+	}
+	ref.SetReferenceExec(true)
+	rng := rand.New(rand.NewSource(seed))
+	for j := 0; j < regs; j++ {
+		v := randVecN(rng, fast.Top.N)
+		fast.Poke(R(j), v)
+		ref.Poke(R(j), v)
+	}
+	return fast, ref
+}
+
+// runLockstep feeds the same random instruction stream to both machines and
+// demands bit-identical architectural state throughout.
+func runLockstep(t *testing.T, fast, ref *Machine, rng *rand.Rand, regs, steps int, tag string) {
+	t.Helper()
+	for i := 0; i < steps; i++ {
+		in := randomInstr(rng, fast.Top.Q, regs)
+		fast.Exec(in)
+		ref.Exec(in)
+		if !fast.Snapshot().Equal(ref.Snapshot()) {
+			t.Fatalf("%s: state diverged at step %d executing %v", tag, i, in)
+		}
+	}
+}
+
+// TestStuckBitDifferential injects the same stuck register bits (including a
+// stuck E bit) into both execution paths mid-stream and requires them to stay
+// bit-identical, through the fault and after its undo.
+func TestStuckBitDifferential(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		const regs = 4
+		fast, ref := faultPair(t, r, regs, int64(4000+r))
+		rng := rand.New(rand.NewSource(int64(40 + r)))
+
+		runLockstep(t, fast, ref, rng, regs, 40, "pre-fault")
+
+		pe := rng.Intn(fast.Top.N)
+		undos := []func(){
+			fast.InjectStuckBit(R(1), pe, true),
+			fast.InjectStuckBit(E, (pe+3)%fast.Top.N, false),
+		}
+		refUndos := []func(){
+			ref.InjectStuckBit(R(1), pe, true),
+			ref.InjectStuckBit(E, (pe+3)%ref.Top.N, false),
+		}
+		if !fast.Snapshot().Equal(ref.Snapshot()) {
+			t.Fatalf("r=%d: injection itself diverged", r)
+		}
+		runLockstep(t, fast, ref, rng, regs, 120, "faulted")
+
+		for i := range undos {
+			undos[i]()
+			refUndos[i]()
+		}
+		runLockstep(t, fast, ref, rng, regs, 40, "post-undo")
+	}
+}
+
+// TestBrokenLateralDifferential does the same for a broken lateral link: the
+// RouteL kernel (masked stride swaps) and the perm-table Gather must zero the
+// same two link ends.
+func TestBrokenLateralDifferential(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		const regs = 4
+		fast, ref := faultPair(t, r, regs, int64(5000+r))
+		rng := rand.New(rand.NewSource(int64(50 + r)))
+
+		pe := rng.Intn(fast.Top.N)
+		undoFast := fast.InjectBrokenLateral(pe)
+		undoRef := ref.InjectBrokenLateral(pe)
+		runLockstep(t, fast, ref, rng, regs, 120, "broken lateral")
+
+		undoFast()
+		undoRef()
+		runLockstep(t, fast, ref, rng, regs, 40, "post-undo")
+	}
+}
+
+// TestStuckEBitDefeatsFastPath pins the interaction between fault injection
+// and the eAllOnes fast path: an unconditional instruction on a machine whose
+// E register has a stuck-at-zero bit must NOT take the "all PEs enabled"
+// unmasked-copy shortcut — the disabled PE has to keep its old value, exactly
+// as the per-bit reference path computes it.
+func TestStuckEBitDefeatsFastPath(t *testing.T) {
+	const badPE = 5
+	fast, ref := faultPair(t, 2, 2, 6000)
+	before := fast.Peek(R(1))
+
+	fast.InjectStuckBit(E, badPE, false)
+	ref.InjectStuckBit(E, badPE, false)
+
+	// Unconditional write of ~R[1] into R[1]: with E genuinely all ones this
+	// is the unmasked-copy fast path; with one E bit stuck low it must be a
+	// masked write that skips the disabled PE.
+	in := Instr{Dst: R(1), FTT: TTNotF, GTT: TTB, F: R(1), D: Operand{Reg: R(0), Via: Local}}
+	fast.Exec(in)
+	ref.Exec(in)
+
+	if got := fast.PeekBit(R(1), badPE); got != before.Get(badPE) {
+		t.Fatalf("disabled PE %d took an unconditional write: %v -> %v (fast path ignored the stuck E bit)", badPE, before.Get(badPE), got)
+	}
+	if !fast.Snapshot().Equal(ref.Snapshot()) {
+		t.Fatal("kernel path diverged from reference with a stuck E bit")
+	}
+	// Every other PE must have taken the write (bit inverted).
+	for pe := 0; pe < fast.N(); pe++ {
+		if pe == badPE {
+			continue
+		}
+		if fast.PeekBit(R(1), pe) != !before.Get(pe) {
+			t.Fatalf("enabled PE %d did not take the write", pe)
+		}
+	}
+}

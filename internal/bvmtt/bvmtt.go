@@ -18,6 +18,7 @@ package bvmtt
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitvec"
 	"repro/internal/bvm"
@@ -130,7 +131,7 @@ func planLayout(q, k, w int) (layout, error) {
 // Solve runs the TT program on the smallest BVM that fits the instance.
 // width 0 means SuggestWidth(p).
 func Solve(p *core.Problem, width int) (*Result, error) {
-	return solve(context.Background(), p, width, false)
+	return solve(context.Background(), p, width, false, nil, nil)
 }
 
 // SolveCtx is Solve with cancellation: the context is polled between the
@@ -138,22 +139,35 @@ func Solve(p *core.Problem, width int) (*Result, error) {
 // deadline stops a long bit-level simulation between rounds instead of
 // after the whole program has run.
 func SolveCtx(ctx context.Context, p *core.Problem, width int) (*Result, error) {
-	return solve(ctx, p, width, false)
+	return solve(ctx, p, width, false, nil, nil)
+}
+
+// SolveCheckpointedCtx is SolveCtx with durable-solve plumbing. A non-nil
+// frontier skips rounds 1..f.Level by host-poking the state those rounds
+// would have left on the machine — the M plane of every completed group and
+// the #S = f.Level mark register; the program phases before the main loop
+// (load, p(S), TP) re-execute as BVM instructions and are deterministic. A
+// cost-only frontier suffices: the BVM program tracks no argmins. A non-nil
+// ck fires after every round j < k with the cost plane read off the machine
+// (Solution.Choice nil). Costs are bit-identical to an uninterrupted run;
+// instruction counts reflect only the rounds actually executed.
+func SolveCheckpointedCtx(ctx context.Context, p *core.Problem, width int, f *core.Frontier, ck core.Checkpointer) (*Result, error) {
+	return solve(ctx, p, width, false, f, ck)
 }
 
 // SolveRecorded is Solve with instruction capture: Result.Program holds the
 // complete recorded program, ready for static analysis (bvmcheck) or replay.
 func SolveRecorded(p *core.Problem, width int) (*Result, error) {
-	return solve(context.Background(), p, width, true)
+	return solve(context.Background(), p, width, true, nil, nil)
 }
 
 // SolveRecordedCtx is SolveRecorded with the cancellation behaviour of
 // SolveCtx.
 func SolveRecordedCtx(ctx context.Context, p *core.Problem, width int) (*Result, error) {
-	return solve(ctx, p, width, true)
+	return solve(ctx, p, width, true, nil, nil)
 }
 
-func solve(ctx context.Context, p *core.Problem, width int, record bool) (*Result, error) {
+func solve(ctx context.Context, p *core.Problem, width int, record bool, f *core.Frontier, ck core.Checkpointer) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -167,6 +181,11 @@ func solve(ctx context.Context, p *core.Problem, width int, record bool) (*Resul
 		return nil, fmt.Errorf("bvmtt: width %d outside [2,32]", width)
 	}
 	k := p.K
+	if f != nil {
+		if err := f.Validate(k); err != nil {
+			return nil, err
+		}
+	}
 	minLogN := 1
 	for 1<<uint(minLogN) < len(p.Actions) {
 		minLogN++
@@ -268,7 +287,34 @@ func solve(ctx context.Context, p *core.Problem, width int, record bool) (*Resul
 	markPair := []bvmalg.Pair{{Src: bvm.R(lay.mark), Shadow: bvm.R(lay.cond2)}}
 	rqPairs := append(bvmalg.WordPairs(lay.r, lay.sh1), bvmalg.WordPairs(lay.q, lay.sh2)...)
 
-	for j := 1; j <= k; j++ {
+	startRound := 1
+	if f != nil {
+		// Restore the machine to its state after round f.Level. The min-reduce
+		// of step (5) is an all-reduce over the action dimensions, so every PE
+		// of a completed group holds C(S): poke it into the whole group, with
+		// core.Inf mapped to the word infinity. The mark register becomes the
+		// #S = f.Level predicate the next first-kind propagation starts from.
+		mark := bitvec.New(m.N())
+		for pe := 0; pe < m.N(); pe++ {
+			s := pe >> uint(logN)
+			pc := bits.OnesCount(uint(s))
+			mark.Set(pe, pc == f.Level)
+			if pc > f.Level {
+				continue
+			}
+			w := f.C[s]
+			if w == core.Inf {
+				w = inf
+			} else if w >= inf {
+				return nil, fmt.Errorf("bvmtt: checkpointed cost %d saturates %d-bit words", w, width)
+			}
+			m.SetUint(lay.m.Base, width, pe, w)
+		}
+		m.Poke(bvm.R(lay.mark), mark)
+		startRound = f.Level + 1
+	}
+
+	for j := startRound; j <= k; j++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -313,6 +359,13 @@ func solve(ctx context.Context, p *core.Problem, width int, record bool) (*Resul
 
 		// (5) Minimization over the action-index dimensions.
 		bvmalg.MinReduce(m, lay.m, 0, logN, lay.sh1, lay.scratch)
+
+		if ck != nil && j < k {
+			sol := &core.Solution{C: readCostPlane(m, lay, width, k, logN, inf)}
+			if err := ck.CheckpointLevel(j, sol); err != nil {
+				return nil, fmt.Errorf("bvmtt: checkpoint at level %d: %w", j, err)
+			}
+		}
 	}
 
 	endPhase("rounds")
@@ -326,17 +379,24 @@ func solve(ctx context.Context, p *core.Problem, width int, record bool) (*Resul
 		Width:            width,
 		LogN:             logN,
 		MachineR:         top.R,
-		C:                make([]uint64, 1<<uint(k)),
+		C:                readCostPlane(m, lay, width, k, logN, inf),
 	}
-	for s := range res.C {
+	res.Cost = res.C[len(res.C)-1]
+	return res, nil
+}
+
+// readCostPlane reads C(S) for every subset off the machine's M plane (PE
+// (S, 0) representative), mapping the word infinity back to core.Inf.
+func readCostPlane(m *bvm.Machine, lay layout, width, k, logN int, inf uint64) []uint64 {
+	c := make([]uint64, 1<<uint(k))
+	for s := range c {
 		v := m.Uint(lay.m.Base, width, s<<uint(logN))
 		if v == inf {
 			v = core.Inf
 		}
-		res.C[s] = v
+		c[s] = v
 	}
-	res.Cost = res.C[len(res.C)-1]
-	return res, nil
+	return c
 }
 
 // stopRecording ends capture when it was started, else returns nil.

@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"io/fs"
+	"sync"
+	"syscall"
+
+	"repro/internal/checkpoint"
+)
+
+// FaultFS is a checkpoint.FS that forwards to Inner until a configured call
+// index, then injects disk failures: ENOSPC (optionally leaving a torn
+// prefix of the file behind, as a real short write does) and failed renames.
+// Once a fault point is reached the operation keeps failing — a full disk
+// stays full — so tests also exercise repeated-failure paths.
+type FaultFS struct {
+	Inner checkpoint.FS // nil means the real filesystem (checkpoint.OS)
+
+	// FailWriteAt makes WriteFile calls numbered >= it (1-based) fail; 0
+	// disables. WriteErr overrides the default ENOSPC. TornBytes > 0 writes
+	// that prefix through to Inner before failing, leaving torn residue.
+	FailWriteAt int
+	WriteErr    error
+	TornBytes   int
+
+	// FailRenameAt makes Rename calls numbered >= it (1-based) fail; 0
+	// disables. RenameErr overrides the default ENOSPC.
+	FailRenameAt int
+	RenameErr    error
+
+	mu      sync.Mutex
+	writes  int
+	renames int
+}
+
+func (f *FaultFS) inner() checkpoint.FS {
+	if f.Inner != nil {
+		return f.Inner
+	}
+	return checkpoint.OS{}
+}
+
+// Writes reports how many WriteFile calls have been attempted.
+func (f *FaultFS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// WriteFile implements checkpoint.FS.
+func (f *FaultFS) WriteFile(name string, data []byte) error {
+	f.mu.Lock()
+	f.writes++
+	fail := f.FailWriteAt > 0 && f.writes >= f.FailWriteAt
+	f.mu.Unlock()
+	if !fail {
+		return f.inner().WriteFile(name, data)
+	}
+	if n := min(f.TornBytes, len(data)); n > 0 {
+		_ = f.inner().WriteFile(name, data[:n])
+	}
+	err := f.WriteErr
+	if err == nil {
+		err = syscall.ENOSPC
+	}
+	return &fs.PathError{Op: "write", Path: name, Err: err}
+}
+
+// Rename implements checkpoint.FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	f.renames++
+	fail := f.FailRenameAt > 0 && f.renames >= f.FailRenameAt
+	f.mu.Unlock()
+	if !fail {
+		return f.inner().Rename(oldname, newname)
+	}
+	err := f.RenameErr
+	if err == nil {
+		err = syscall.ENOSPC
+	}
+	return &fs.PathError{Op: "rename", Path: newname, Err: err}
+}
+
+// ReadFile implements checkpoint.FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner().ReadFile(name) }
+
+// ReadDir implements checkpoint.FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner().ReadDir(dir) }
+
+// Remove implements checkpoint.FS.
+func (f *FaultFS) Remove(name string) error { return f.inner().Remove(name) }
+
+// MkdirAll implements checkpoint.FS.
+func (f *FaultFS) MkdirAll(dir string) error { return f.inner().MkdirAll(dir) }

@@ -1,0 +1,212 @@
+package checkpoint
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testProblem() *core.Problem {
+	return &core.Problem{
+		K:       4,
+		Weights: []uint64{8, 4, 2, 1},
+		Actions: []core.Action{
+			{Name: "t01", Set: core.SetOf(0, 1), Cost: 2},
+			{Name: "r0", Set: core.SetOf(0), Cost: 3, Treatment: true},
+			{Name: "r1", Set: core.SetOf(1), Cost: 3, Treatment: true},
+			{Name: "all", Set: core.Universe(4), Cost: 9, Treatment: true},
+		},
+	}
+}
+
+// solveTo runs the checkpointed sequential solve and captures the frontier
+// written at the requested level.
+func solveTo(t *testing.T, p *core.Problem, w *Writer) *core.Solution {
+	t.Helper()
+	sol, err := core.SolveCheckpointedCtx(context.Background(), p, nil, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	p := testProblem()
+	hash, err := ProblemHash(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	w, err := NewWriter(nil, dir, p, hash, "seq", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := solveTo(t, p, w)
+	if w.Levels() != p.K-1 {
+		t.Fatalf("wrote %d levels, want %d", w.Levels(), p.K-1)
+	}
+	snap, err := Load(nil, w.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Engine != "seq" || snap.Hash != hash || snap.Level != p.K-1 {
+		t.Fatalf("snapshot meta: %+v", snap)
+	}
+	if snap.Problem.K != p.K || len(snap.Problem.Actions) != len(p.Actions) {
+		t.Fatalf("embedded problem shape: %+v", snap.Problem)
+	}
+	// Resume from the stored frontier: bit-identical final solution.
+	got, err := core.SolveCheckpointedCtx(context.Background(), snap.Problem, snap.Frontier, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost {
+		t.Fatalf("resumed cost %d, want %d", got.Cost, want.Cost)
+	}
+	for s := range want.C {
+		if got.C[s] != want.C[s] || got.Choice[s] != want.Choice[s] {
+			t.Fatalf("resumed table mismatch at subset %d", s)
+		}
+	}
+	// No temp residue after a clean run; Discard removes the file.
+	if _, err := os.Stat(w.Path() + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	if err := w.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(w.Path()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("Discard left the checkpoint file")
+	}
+	if err := w.Discard(); err != nil {
+		t.Fatalf("second Discard not idempotent: %v", err)
+	}
+}
+
+func TestCostOnlyFrontier(t *testing.T) {
+	p := testProblem()
+	hash, _ := ProblemHash(p)
+	sol, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costOnly := &core.Solution{C: sol.C} // bvm-style: no argmins
+	data, err := Encode(p, hash, "bvm", 9, 2, costOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Frontier.HasChoice() {
+		t.Fatal("cost-only encode produced choices")
+	}
+	if snap.Width != 9 || snap.Engine != "bvm" {
+		t.Fatalf("meta: %+v", snap)
+	}
+}
+
+// TestDecodeRejectsDamage flips, truncates, and rewrites a valid image in
+// every section and requires Decode to fail with ErrCorrupt — never panic,
+// never return a snapshot.
+func TestDecodeRejectsDamage(t *testing.T) {
+	p := testProblem()
+	hash, _ := ProblemHash(p)
+	sol, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(p, hash, "seq", 0, 3, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("pristine image rejected: %v", err)
+	}
+
+	check := func(name string, img []byte) {
+		t.Helper()
+		snap, err := Decode(img)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v (snap %v), want ErrCorrupt", name, err, snap)
+		}
+	}
+	// Truncation at every prefix boundary of interest (torn writes).
+	for _, n := range []int{0, 3, 7, 12, len(data) / 2, len(data) - 1} {
+		check("truncate", data[:n])
+	}
+	// Single-bit rot in every region: magic, version, meta, payload, CRC.
+	for _, off := range []int{0, 5, 16, len(data) / 2, len(data) - 2} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x40
+		check("bitflip", bad)
+	}
+	// Trailing garbage.
+	check("trailing", append(append([]byte(nil), data...), 0xEE))
+	// Hash that does not match the embedded problem.
+	mismatch, err := Encode(p, "00deadbeef", "seq", 0, 3, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("hash-mismatch", mismatch)
+}
+
+func TestScan(t *testing.T) {
+	p := testProblem()
+	hash, _ := ProblemHash(p)
+	dir := t.TempDir()
+	w, err := NewWriter(nil, dir, p, hash, "parallel", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveTo(t, p, w)
+	// Plant a corrupt checkpoint, a stray temp file, and an unrelated file.
+	if err := os.WriteFile(filepath.Join(dir, "bad.ckpt"), []byte("TTCKnope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "torn.ckpt.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snaps, discard, err := Scan(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].Hash != hash || snaps[0].Engine != "parallel" {
+		t.Fatalf("snaps: %+v", snaps)
+	}
+	if len(discard) != 2 {
+		t.Fatalf("discard: %v", discard)
+	}
+	// A missing directory is an empty scan.
+	snaps, discard, err = Scan(nil, filepath.Join(dir, "absent"))
+	if err != nil || snaps != nil || discard != nil {
+		t.Fatalf("missing dir: %v %v %v", snaps, discard, err)
+	}
+}
+
+func TestFrontierPacking(t *testing.T) {
+	if n := frontierCount(4, 0); n != 1 {
+		t.Fatalf("frontierCount(4,0) = %d", n)
+	}
+	if n := frontierCount(4, 4); n != 16 {
+		t.Fatalf("frontierCount(4,4) = %d", n)
+	}
+	seen := map[int]bool{}
+	forEachFrontierSubset(5, 3, func(s int) {
+		if seen[s] {
+			t.Fatalf("subset %d visited twice", s)
+		}
+		seen[s] = true
+	})
+	if len(seen) != frontierCount(5, 3) {
+		t.Fatalf("visited %d subsets, want %d", len(seen), frontierCount(5, 3))
+	}
+}

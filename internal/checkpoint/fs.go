@@ -1,0 +1,80 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// FS abstracts the handful of filesystem operations the checkpoint layer
+// performs, so the chaos harness (internal/chaos) can inject ENOSPC, short
+// writes, torn writes, and rename failures without touching a real disk.
+// Implementations must return errors that wrap the underlying os sentinel
+// errors (fs.ErrNotExist in particular), as the real filesystem does.
+type FS interface {
+	// WriteFile creates or truncates name with data, durably (the real
+	// implementation fsyncs before returning).
+	WriteFile(name string, data []byte) error
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// ReadFile returns the whole content of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the file names (not paths) in dir.
+	ReadDir(dir string) ([]string, error)
+	// Remove deletes name.
+	Remove(name string) error
+	// MkdirAll creates dir and its parents.
+	MkdirAll(dir string) error
+}
+
+// OS is the real filesystem. WriteFile syncs file contents and Rename syncs
+// the containing directory, so a published checkpoint survives power loss —
+// the durability the whole subsystem exists to provide.
+type OS struct{}
+
+func (OS) WriteFile(name string, data []byte) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (OS) Rename(oldname, newname string) error {
+	if err := os.Rename(oldname, newname); err != nil {
+		return err
+	}
+	// Sync the directory so the rename itself is durable; best-effort on
+	// filesystems that refuse directory fsync.
+	if d, err := os.Open(filepath.Dir(newname)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (OS) Remove(name string) error  { return os.Remove(name) }
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }

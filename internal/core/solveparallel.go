@@ -42,6 +42,17 @@ func SolveParallel(p *Problem, workers int) (*Solution, error) {
 // in a worker (for any range) is recovered, converted to an error, and shuts
 // the pool down cleanly instead of deadlocking the level barrier.
 func SolveParallelCtx(ctx context.Context, p *Problem, workers int) (*Solution, error) {
+	return SolveParallelCheckpointedCtx(ctx, p, workers, nil, nil)
+}
+
+// SolveParallelCheckpointedCtx is SolveParallelCtx with durable-solve
+// plumbing: a non-nil frontier restores the (C, Choice) tables for every
+// level <= f.Level and restarts the sweep mid-induction at f.Level+1, and a
+// non-nil ck fires at every completed level barrier j < K (the natural
+// preemption point: all sets of the level are final, none of the next level
+// started). Results are bit-identical to Solve whether or not the sweep was
+// interrupted. Resuming requires a frontier with choices.
+func SolveParallelCheckpointedCtx(ctx context.Context, p *Problem, workers int, f *Frontier, ck Checkpointer) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -64,6 +75,19 @@ func SolveParallelCtx(ctx context.Context, p *Problem, workers int) (*Solution, 
 	sol.Choice[0] = -1
 	// Ops accounting matches Solve: (N+1) per non-empty subset.
 	sol.Ops = int64(size-1) * int64(len(p.Actions)+1)
+	startLevel := 1
+	if f != nil {
+		if err := f.Validate(p.K); err != nil {
+			return nil, err
+		}
+		if !f.HasChoice() {
+			return nil, fmt.Errorf("core: cost-only frontier cannot seed a choice-producing resume")
+		}
+		copy(sol.C, f.C)
+		copy(sol.Choice, f.Choice)
+		sol.C[0], sol.Choice[0] = 0, -1
+		startLevel = f.Level + 1
+	}
 
 	// gosperRange is one unit of work: `count` consecutive sets of one
 	// popcount level, starting at `start` in increasing numeric order.
@@ -159,7 +183,7 @@ func SolveParallelCtx(ctx context.Context, p *Problem, workers int) (*Solution, 
 		poolWG.Wait()
 	}()
 
-	for level := 1; level <= p.K; level++ {
+	for level := startLevel; level <= p.K; level++ {
 		total := binomial(p.K, level)
 		chunk := (total + uint64(workers) - 1) / uint64(workers)
 		for lo := uint64(0); lo < total && !stopped(); lo += chunk {
@@ -177,6 +201,11 @@ func SolveParallelCtx(ctx context.Context, p *Problem, workers int) (*Solution, 
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if ck != nil && level < p.K {
+			if err := ck.CheckpointLevel(level, sol); err != nil {
+				return nil, fmt.Errorf("core: checkpoint at level %d: %w", level, err)
+			}
 		}
 	}
 	sol.Cost = sol.C[size-1]

@@ -125,6 +125,18 @@ func Solve(p *core.Problem, kind EngineKind) (*Result, error) {
 // full set of ASCEND passes, the natural preemption point of the simulated
 // machine), so deadlines stop a long simulation between rounds.
 func SolveCtx(ctx context.Context, p *core.Problem, kind EngineKind) (*Result, error) {
+	return SolveCheckpointedCtx(ctx, p, kind, nil, nil)
+}
+
+// SolveCheckpointedCtx is SolveCtx with durable-solve plumbing. A non-nil
+// frontier skips rounds 1..f.Level by restoring the machine state those
+// rounds would have produced — the M and MI planes for every completed group
+// and the #S = f.Level group mark; everything else (p(S), TP, the R/Q
+// scratch) is recomputed, so the restored machine is indistinguishable from
+// one that ran the skipped rounds. A non-nil ck fires after every round
+// j < k with the (C, Choice) planes extracted from the machine. Results are
+// bit-identical to an uninterrupted run.
+func SolveCheckpointedCtx(ctx context.Context, p *core.Problem, kind EngineKind, f *core.Frontier, ck core.Checkpointer) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,6 +144,14 @@ func SolveCtx(ctx context.Context, p *core.Problem, kind EngineKind) (*Result, e
 		return nil, err
 	}
 	k := p.K
+	if f != nil {
+		if err := f.Validate(k); err != nil {
+			return nil, err
+		}
+		if !f.HasChoice() {
+			return nil, fmt.Errorf("parttsolve: cost-only frontier cannot seed a choice-producing resume")
+		}
+	}
 	logN := 1
 	for 1<<uint(logN) < len(p.Actions) {
 		logN++
@@ -218,7 +238,25 @@ func SolveCtx(ctx context.Context, p *core.Problem, kind EngineKind) (*Result, e
 		c.TP = core.SatMul(actions[addr&iMask].Cost, c.PS)
 	})
 
-	for j := 1; j <= k; j++ {
+	startRound := 1
+	if f != nil {
+		// Restore the machine to its state after round f.Level: every PE of a
+		// completed group (#S <= f.Level) holds C(S) and its argmin — the
+		// min-reduce of step (5) is an all-reduce over the action dimensions,
+		// so the whole group agrees — and the group mark is the #S = f.Level
+		// predicate the next first-kind propagation advances from.
+		local(eng, res, func(addr int, c *Cell) {
+			s := addr >> uint(logN)
+			pc := popcount(s)
+			if pc <= f.Level {
+				c.M, c.MI = f.C[s], f.Choice[s]
+			}
+			c.Mark = pc == f.Level
+		})
+		startRound = f.Level + 1
+	}
+
+	for j := startRound; j <= k; j++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -296,23 +334,41 @@ func SolveCtx(ctx context.Context, p *core.Problem, kind EngineKind) (*Result, e
 			return self
 		})
 		res.DimSteps += logN
-	}
 
-	state = eng.State()
-	res.C = make([]uint64, 1<<uint(k))
-	res.Choice = make([]int32, 1<<uint(k))
-	for s := range res.C {
-		res.C[s] = state[s<<uint(logN)].M
-		res.Choice[s] = state[s<<uint(logN)].MI
-		if s == 0 || res.C[s] == core.Inf {
-			res.Choice[s] = -1
+		if ck != nil && j < k {
+			if err := ck.CheckpointLevel(j, extractPlanes(eng, k, logN)); err != nil {
+				return nil, fmt.Errorf("parttsolve: checkpoint at level %d: %w", j, err)
+			}
 		}
 	}
+
+	sol := extractPlanes(eng, k, logN)
+	res.C, res.Choice = sol.C, sol.Choice
 	res.Cost = res.C[len(res.C)-1]
 	if cccEng != nil {
 		res.CCCSteps = cccEng.Steps()
 	}
 	return res, nil
+}
+
+// extractPlanes reads the (C, Choice) tables off the machine: PE (S, 0)
+// holds C(S) in M and the achieving action in MI after the round that
+// activated S (and on every later round — completed groups are never
+// rewritten).
+func extractPlanes(eng Engine, k, logN int) *core.Solution {
+	state := eng.State()
+	sol := &core.Solution{
+		C:      make([]uint64, 1<<uint(k)),
+		Choice: make([]int32, 1<<uint(k)),
+	}
+	for s := range sol.C {
+		sol.C[s] = state[s<<uint(logN)].M
+		sol.Choice[s] = state[s<<uint(logN)].MI
+		if s == 0 || sol.C[s] == core.Inf {
+			sol.Choice[s] = -1
+		}
+	}
+	return sol
 }
 
 // local applies a per-PE update to the whole machine and counts one local

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-engine circuit breaker. After `threshold` consecutive
+// solve failures the breaker opens and the engine is skipped (its fallback
+// runs instead of burning a full solve budget on a sick engine every
+// request). After `cooldown` it lets exactly one probe attempt through
+// (half-open); a successful probe closes it, a failed one re-opens it for
+// another cooldown. Context errors never reach the breaker — a deadline says
+// the instance was big, not that the engine is broken.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	state    breakerState
+	failures int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool  // the single half-open probe is in flight
+	opens    int64 // lifetime count of closed/half-open -> open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a solve attempt may proceed right now.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed solve and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a failed solve: a failed half-open probe re-opens
+// immediately, and the threshold-th consecutive failure opens a closed
+// breaker.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.trip()
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip moves to open; callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.probing = false
+	b.failures = 0
+	b.opens++
+}
+
+// snapshot renders the breaker for /v1/stats.
+func (b *breaker) snapshot() map[string]any {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return map[string]any{
+		"state":                b.state.String(),
+		"consecutive_failures": b.failures,
+		"opens":                b.opens,
+	}
+}

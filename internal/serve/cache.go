@@ -18,21 +18,45 @@ type cacheEntry struct {
 	adequate bool
 	canon    *core.Problem // canonicalized instance (action order normalized)
 	tree     *core.Node    // optimal procedure over canon's action indices
+	bytes    int64         // estimated resident size, for the byte budget
 }
 
-// lruCache is a plain LRU over solved instances, keyed by canonical hash.
-// It is not safe for concurrent use; the server guards it with its mutex.
+// entryBytes estimates an entry's resident size: struct and hash overhead,
+// the canonical problem (weights plus per-action struct and name), and the
+// procedure tree (two child pointers, action index, and allocator overhead
+// per node). An estimate is enough — the budget bounds growth, it does not
+// audit the allocator.
+func entryBytes(e *cacheEntry) int64 {
+	n := int64(160) + int64(len(e.hash))
+	if e.canon != nil {
+		n += int64(8 * len(e.canon.Weights))
+		for _, a := range e.canon.Actions {
+			n += 40 + int64(len(a.Name))
+		}
+	}
+	if e.tree != nil {
+		n += int64(48 * e.tree.CountNodes())
+	}
+	return n
+}
+
+// lruCache is an LRU over solved instances, keyed by canonical hash, bounded
+// by entry count and optionally by total estimated bytes. It is not safe for
+// concurrent use; the server guards it with its mutex.
 type lruCache struct {
-	capacity int
-	ll       *list.List // front = most recently used; values are *cacheEntry
-	byHash   map[string]*list.Element
+	capacity   int
+	byteBudget int64 // 0: no byte bound
+	totalBytes int64
+	ll         *list.List // front = most recently used; values are *cacheEntry
+	byHash     map[string]*list.Element
 }
 
-func newLRU(capacity int) *lruCache {
+func newLRU(capacity int, byteBudget int64) *lruCache {
 	return &lruCache{
-		capacity: capacity,
-		ll:       list.New(),
-		byHash:   make(map[string]*list.Element, capacity),
+		capacity:   capacity,
+		byteBudget: byteBudget,
+		ll:         list.New(),
+		byHash:     make(map[string]*list.Element, max(capacity, 0)),
 	}
 }
 
@@ -46,22 +70,36 @@ func (c *lruCache) get(hash string) *cacheEntry {
 	return el.Value.(*cacheEntry)
 }
 
-// add inserts (or refreshes) an entry, evicting the least recently used
-// entries beyond capacity.
+// add inserts (or refreshes) an entry, evicting least recently used entries
+// until both the entry capacity and the byte budget hold. An entry larger
+// than the whole byte budget is not cached at all.
 func (c *lruCache) add(e *cacheEntry) {
 	if c.capacity <= 0 {
 		return
 	}
-	if el, ok := c.byHash[e.hash]; ok {
-		el.Value = e
-		c.ll.MoveToFront(el)
+	if e.bytes == 0 {
+		e.bytes = entryBytes(e)
+	}
+	if c.byteBudget > 0 && e.bytes > c.byteBudget {
 		return
 	}
-	c.byHash[e.hash] = c.ll.PushFront(e)
-	for c.ll.Len() > c.capacity {
+	if el, ok := c.byHash[e.hash]; ok {
+		c.totalBytes += e.bytes - el.Value.(*cacheEntry).bytes
+		el.Value = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.byHash[e.hash] = c.ll.PushFront(e)
+		c.totalBytes += e.bytes
+	}
+	for c.ll.Len() > c.capacity || (c.byteBudget > 0 && c.totalBytes > c.byteBudget) {
 		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		old := oldest.Value.(*cacheEntry)
 		c.ll.Remove(oldest)
-		delete(c.byHash, oldest.Value.(*cacheEntry).hash)
+		delete(c.byHash, old.hash)
+		c.totalBytes -= old.bytes
 	}
 }
 

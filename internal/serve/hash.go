@@ -1,13 +1,10 @@
 package serve
 
 import (
-	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
-	"repro/internal/instio"
 )
 
 // Canonicalize returns a copy of p with the action list order-normalized:
@@ -34,15 +31,10 @@ func Canonicalize(p *core.Problem) *core.Problem {
 }
 
 // Hash returns the canonical instance hash: SHA-256 over the instio wire
-// form of the canonicalized instance. Serializing through instio (rather
-// than hashing in-memory structs) ties the key to the exact wire semantics
-// clients speak, so the hash is stable across server versions that keep the
-// wire format.
+// form of the canonicalized instance. It delegates to the checkpoint
+// package's ProblemHash so cache keys and checkpoint-file hashes are the
+// same function by construction — a crash-resumed checkpoint lands in the
+// cache slot future requests for the instance will look up.
 func Hash(canon *core.Problem) (string, error) {
-	var buf bytes.Buffer
-	if err := instio.Write(&buf, canon, ""); err != nil {
-		return "", err
-	}
-	sum := sha256.Sum256(buf.Bytes())
-	return hex.EncodeToString(sum[:]), nil
+	return checkpoint.ProblemHash(canon)
 }

@@ -66,9 +66,22 @@ type Metrics struct {
 	Coalesced      atomic.Int64 // requests collapsed onto an in-flight solve
 	RejectOversize atomic.Int64 // 422: over the K/action budget
 	RejectBusy     atomic.Int64 // 503: admission queue full
+	RejectDraining atomic.Int64 // 503: shed because the server is draining
 	Timeouts       atomic.Int64 // 504: solver deadline exceeded
 	ClientGone     atomic.Int64 // client disconnected before the answer
 	Failures       atomic.Int64 // 5xx
+
+	// Self-healing path (resilience.go).
+	EngineFailures atomic.Int64 // solve attempts that failed for non-context reasons
+	Retries        atomic.Int64 // backoff retries taken after a failed attempt
+	Fallbacks      atomic.Int64 // downgrades to the next engine in the chain
+	BreakerRejects atomic.Int64 // attempts skipped because a breaker was open
+
+	// Durable checkpoints (resilience.go).
+	CheckpointLevels     atomic.Int64 // level frontiers durably written
+	CheckpointErrors     atomic.Int64 // persistence failures (swallowed, solve continues)
+	CheckpointsResumed   atomic.Int64 // interrupted solves finished from disk at startup
+	CheckpointsDiscarded atomic.Int64 // corrupt/torn checkpoint files deleted at startup
 
 	mu        sync.Mutex
 	perEngine map[string]*latencyHist
@@ -99,28 +112,54 @@ func (m *Metrics) Snapshot() map[string]any {
 	}
 	m.mu.Unlock()
 	return map[string]any{
-		"requests":        m.Requests.Load(),
-		"solves":          m.Solves.Load(),
-		"cache_hits":      m.CacheHits.Load(),
-		"cache_misses":    m.CacheMisses.Load(),
-		"coalesced":       m.Coalesced.Load(),
-		"reject_oversize": m.RejectOversize.Load(),
-		"reject_busy":     m.RejectBusy.Load(),
-		"timeouts":        m.Timeouts.Load(),
-		"client_gone":     m.ClientGone.Load(),
-		"failures":        m.Failures.Load(),
-		"engine_latency":  engines,
+		"requests":              m.Requests.Load(),
+		"solves":                m.Solves.Load(),
+		"cache_hits":            m.CacheHits.Load(),
+		"cache_misses":          m.CacheMisses.Load(),
+		"coalesced":             m.Coalesced.Load(),
+		"reject_oversize":       m.RejectOversize.Load(),
+		"reject_busy":           m.RejectBusy.Load(),
+		"reject_draining":       m.RejectDraining.Load(),
+		"timeouts":              m.Timeouts.Load(),
+		"client_gone":           m.ClientGone.Load(),
+		"failures":              m.Failures.Load(),
+		"engine_failures":       m.EngineFailures.Load(),
+		"retries":               m.Retries.Load(),
+		"fallbacks":             m.Fallbacks.Load(),
+		"breaker_rejects":       m.BreakerRejects.Load(),
+		"checkpoint_levels":     m.CheckpointLevels.Load(),
+		"checkpoint_errors":     m.CheckpointErrors.Load(),
+		"checkpoints_resumed":   m.CheckpointsResumed.Load(),
+		"checkpoints_discarded": m.CheckpointsDiscarded.Load(),
+		"engine_latency":        engines,
 	}
 }
 
-// publishExpvar exposes a server's metrics as the process-wide "ttserve"
-// expvar. expvar names are global and re-publishing panics, so only the
-// first server in a process is published — the normal case for cmd/ttserve;
-// test servers beyond the first keep their per-server /v1/stats endpoint.
+// meanSolveSeconds is the observed mean solve latency across all engines,
+// 0 when nothing has been observed yet. Feeds the Retry-After estimate.
+func (m *Metrics) meanSolveSeconds() float64 {
+	var n, totalNS int64
+	m.mu.Lock()
+	for _, h := range m.perEngine {
+		n += h.n.Load()
+		totalNS += h.totalNS.Load()
+	}
+	m.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	return float64(totalNS) / float64(n) / 1e9
+}
+
+// publishStats exposes a server's stats payload as the process-wide
+// "ttserve" expvar. expvar names are global and re-publishing panics, so
+// only the first server in a process is published — the normal case for
+// cmd/ttserve; test servers beyond the first keep their per-server /v1/stats
+// endpoint.
 var publishExpvar sync.Once
 
-func (m *Metrics) publish() {
+func publishStats(payload func() map[string]any) {
 	publishExpvar.Do(func() {
-		expvar.Publish("ttserve", expvar.Func(func() any { return m.Snapshot() }))
+		expvar.Publish("ttserve", expvar.Func(func() any { return payload() }))
 	})
 }

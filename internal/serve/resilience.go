@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bvmtt"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/parttsolve"
+)
+
+// fallbackChains orders the engines tried for each requested engine: the
+// exotic simulated machines degrade to the host-parallel DP, which degrades
+// to the plain sequential DP. Every chain ends in "seq" — the engine with no
+// machine to mis-simulate — so a request only fails when the DP itself
+// cannot run. All engines produce bit-identical costs, so a fallback changes
+// solved_by, never the answer.
+var fallbackChains = map[string][]string{
+	"seq":       {"seq"},
+	"parallel":  {"parallel", "seq"},
+	"lockstep":  {"lockstep", "parallel", "seq"},
+	"goroutine": {"goroutine", "parallel", "seq"},
+	"ccc":       {"ccc", "parallel", "seq"},
+	"bvm":       {"bvm", "parallel", "seq"},
+}
+
+// breaker returns the engine's circuit breaker, or nil when breakers are
+// disabled by configuration.
+func (s *Server) breaker(engine string) *breaker {
+	if s.cfg.BreakerThreshold <= 0 {
+		return nil
+	}
+	s.brMu.Lock()
+	defer s.brMu.Unlock()
+	b, ok := s.breakers[engine]
+	if !ok {
+		b = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown)
+		s.breakers[engine] = b
+	}
+	return b
+}
+
+// solveResilient runs one admitted solve through the engine's fallback chain
+// with bounded retries per engine and per-engine circuit breakers. Context
+// errors (deadline, client gone, shutdown) abort immediately — they are not
+// engine failures and retrying cannot help. Everything else (engine error,
+// engine panic, injected fault) counts against the engine's breaker, is
+// retried with jittered backoff, and finally falls through to the next
+// engine in the chain.
+func (s *Server) solveResilient(ctx context.Context, hash string, canon *core.Problem, engine string) (*cacheEntry, error) {
+	chain := fallbackChains[engine]
+	if chain == nil {
+		return nil, fmt.Errorf("serve: unknown engine %q", engine)
+	}
+	if s.cfg.DisableFallback {
+		chain = chain[:1]
+	}
+	var firstErr error
+	for ci, eng := range chain {
+		if ci > 0 {
+			s.metrics.Fallbacks.Add(1)
+			s.log.Warn("falling back", "from", chain[ci-1], "to", eng, "hash", hash[:12])
+		}
+		br := s.breaker(eng)
+		for attempt := 0; ; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if br != nil && !br.allow() {
+				s.metrics.BreakerRejects.Add(1)
+				break // breaker open: skip to the next engine in the chain
+			}
+			s.metrics.Solves.Add(1)
+			start := time.Now()
+			ent, err := s.solveAttempt(ctx, hash, canon, eng)
+			s.metrics.observe(eng, time.Since(start))
+			if err == nil {
+				if br != nil {
+					br.success()
+				}
+				return ent, nil
+			}
+			if isContextErr(err) {
+				return nil, err
+			}
+			s.metrics.EngineFailures.Add(1)
+			if br != nil {
+				br.failure()
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", eng, err)
+			}
+			s.log.Warn("engine attempt failed", "engine", eng, "attempt", attempt+1, "err", err)
+			if attempt >= s.cfg.Retries {
+				break
+			}
+			s.metrics.Retries.Add(1)
+			if !sleepBackoff(ctx, attempt) {
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return nil, fmt.Errorf("serve: all engines failed: %w", firstErr)
+}
+
+// sleepBackoff waits 2^attempt × 10ms plus up to 50% jitter (capped at 1s),
+// or until the context ends; it reports whether the context is still live.
+func sleepBackoff(ctx context.Context, attempt int) bool {
+	base := 10 * time.Millisecond << uint(min(attempt, 6))
+	d := min(base+time.Duration(rand.Int63n(int64(base))), time.Second)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// solveAttempt runs exactly one engine once, with panic isolation, the
+// chaos fault hook, and — when a checkpoint directory is configured — a
+// best-effort durable checkpointer plus resume from any compatible
+// checkpoint already on disk for this instance. A finished solve discards
+// its checkpoint file: the durable frontier exists only while the answer
+// does not.
+func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Problem, engine string) (ent *cacheEntry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ent, err = nil, fmt.Errorf("serve: %s engine panicked: %v", engine, r)
+		}
+	}()
+	if hook := s.cfg.EngineFault; hook != nil {
+		if err := hook(engine); err != nil {
+			return nil, err
+		}
+	}
+	frontier := s.loadResume(hash, engine)
+	ck, w := s.checkpointerFor(ctx, hash, canon, engine)
+
+	var (
+		cost    uint64
+		choices []int32
+	)
+	switch engine {
+	case "seq":
+		sol, err := core.SolveCheckpointedCtx(ctx, canon, frontier, ck)
+		if err != nil {
+			return nil, err
+		}
+		cost, choices = sol.Cost, sol.Choice
+	case "parallel":
+		sol, err := core.SolveParallelCheckpointedCtx(ctx, canon, s.cfg.Workers, frontier, ck)
+		if err != nil {
+			return nil, err
+		}
+		cost, choices = sol.Cost, sol.Choice
+	case "lockstep", "goroutine", "ccc":
+		res, err := parttsolve.SolveCheckpointedCtx(ctx, canon, engineKinds[engine], frontier, ck)
+		if err != nil {
+			return nil, err
+		}
+		cost, choices = res.Cost, res.Choice
+	case "bvm":
+		res, err := bvmtt.SolveCheckpointedCtx(ctx, canon, 0, frontier, ck)
+		if err != nil {
+			return nil, err
+		}
+		cost = res.Cost
+	default:
+		return nil, fmt.Errorf("serve: unknown engine %q", engine)
+	}
+	if w != nil {
+		if err := w.Discard(); err != nil {
+			s.log.Warn("discarding finished checkpoint", "err", err)
+		}
+	}
+	ent = &cacheEntry{engine: engine, cost: cost, adequate: cost < core.Inf, canon: canon, hash: hash}
+	if ent.adequate && choices != nil {
+		sol := &core.Solution{Cost: cost, Choice: choices}
+		tree, err := sol.Tree(canon)
+		if err != nil {
+			return nil, err
+		}
+		ent.tree = tree
+	}
+	ent.bytes = entryBytes(ent)
+	return ent, nil
+}
+
+// loadResume returns a frontier for this instance if a compatible durable
+// checkpoint exists: the hashes must match (guaranteed by the file name but
+// re-verified by Load) and a choice-producing engine needs stored argmins —
+// a cost-only frontier (written by bvm) only seeds another bvm run.
+func (s *Server) loadResume(hash, engine string) *core.Frontier {
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	snap, err := checkpoint.Load(s.cfg.CheckpointFS, s.checkpointPath(hash))
+	if err != nil {
+		return nil // missing or corrupt: solve from scratch
+	}
+	if snap.Hash != hash {
+		return nil
+	}
+	if engine != "bvm" && !snap.Frontier.HasChoice() {
+		return nil
+	}
+	return snap.Frontier
+}
+
+// checkpointerFor builds the per-solve checkpointer: a durable writer when a
+// checkpoint directory is configured, wrapped so persistence failures are
+// counted and logged but never abort the solve (an ENOSPC disk must not take
+// down answers), plus the chaos LevelDelay pause. Returns (nil, nil) when
+// there is nothing to do at level barriers.
+func (s *Server) checkpointerFor(ctx context.Context, hash string, canon *core.Problem, engine string) (core.Checkpointer, *checkpoint.Writer) {
+	var w *checkpoint.Writer
+	if s.cfg.CheckpointDir != "" {
+		width := 0
+		if engine == "bvm" {
+			width = bvmtt.SuggestWidth(canon)
+		}
+		var err error
+		w, err = checkpoint.NewWriter(s.cfg.CheckpointFS, s.cfg.CheckpointDir, canon, hash, engine, width)
+		if err != nil {
+			s.metrics.CheckpointErrors.Add(1)
+			s.log.Warn("checkpointing disabled for solve", "err", err)
+			w = nil
+		}
+	}
+	if w == nil && s.cfg.LevelDelay <= 0 {
+		return nil, nil
+	}
+	return &bestEffortCk{s: s, ctx: ctx, w: w, delay: s.cfg.LevelDelay}, w
+}
+
+func (s *Server) checkpointPath(hash string) string {
+	return filepath.Join(s.cfg.CheckpointDir, hash+checkpoint.Ext)
+}
+
+// bestEffortCk adapts a durable checkpoint.Writer to the solver contract:
+// core aborts the sweep when a checkpointer errors (correct for chaos kills),
+// but in the serving path a failed persistence write must cost durability,
+// not the answer — so errors are swallowed after counting. The optional
+// delay is the chaos harness's artificial per-level slowness.
+type bestEffortCk struct {
+	s     *Server
+	ctx   context.Context
+	w     *checkpoint.Writer
+	delay time.Duration
+}
+
+func (b *bestEffortCk) CheckpointLevel(level int, sol *core.Solution) error {
+	if b.delay > 0 {
+		t := time.NewTimer(b.delay)
+		select {
+		case <-t.C:
+		case <-b.ctx.Done():
+			t.Stop()
+			return b.ctx.Err()
+		}
+	}
+	if b.w == nil {
+		return nil
+	}
+	if err := b.w.CheckpointLevel(level, sol); err != nil {
+		b.s.metrics.CheckpointErrors.Add(1)
+		b.s.log.Warn("checkpoint write failed", "level", level, "err", err)
+		b.w = nil // the disk is sick; stop paying for it this solve
+		return nil
+	}
+	b.s.metrics.CheckpointLevels.Add(1)
+	return nil
+}
+
+// RecoverCheckpoints scans the checkpoint directory for solves interrupted
+// by a crash, finishes each one from its durable frontier (through the
+// normal resilient path, so a sick engine still falls back), installs the
+// answers in the cache, and deletes consumed files. Corrupt files and torn
+// temp residue are deleted outright. Call it after New and before serving
+// traffic; it returns (resumed, discarded).
+func (s *Server) RecoverCheckpoints(ctx context.Context) (resumed, discarded int, err error) {
+	if s.cfg.CheckpointDir == "" {
+		return 0, 0, nil
+	}
+	snaps, discard, err := checkpoint.Scan(s.cfg.CheckpointFS, s.cfg.CheckpointDir)
+	if err != nil {
+		return 0, 0, err
+	}
+	fsys := s.cfg.CheckpointFS
+	if fsys == nil {
+		fsys = checkpoint.OS{}
+	}
+	for _, path := range discard {
+		s.log.Warn("discarding unusable checkpoint", "path", path)
+		_ = fsys.Remove(path)
+		s.metrics.CheckpointsDiscarded.Add(1)
+		discarded++
+	}
+	for _, snap := range snaps {
+		engine := snap.Engine
+		if !validEngine(engine) {
+			engine = s.cfg.DefaultEngine
+		}
+		ent, err := s.solveResilient(ctx, snap.Hash, snap.Problem, engine)
+		if err != nil {
+			// Leave the file: the frontier is still good and the next start
+			// (or the next request for this instance) can try again.
+			s.log.Warn("checkpoint resume failed", "hash", snap.Hash[:12], "err", err)
+			continue
+		}
+		s.mu.Lock()
+		s.cache.add(ent)
+		s.mu.Unlock()
+		s.metrics.CheckpointsResumed.Add(1)
+		resumed++
+		s.log.Info("resumed interrupted solve",
+			"hash", snap.Hash[:12], "from_level", snap.Level, "engine", ent.engine)
+	}
+	return resumed, discarded, nil
+}

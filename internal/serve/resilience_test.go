@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+var errInjected = errors.New("injected engine fault")
+
+// TestFallbackOnEngineFailure: a persistently failing bvm engine must not
+// fail the request — the chain degrades to parallel, the response reports
+// both the asked-for and the solving engine, and the failures are counted.
+func TestFallbackOnEngineFailure(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		EngineFault: chaos.FailFirst("bvm", 1<<30, errInjected),
+		Retries:     -1, // no retries: the fallback itself is under test
+	})
+	p := workload.MedicalDiagnosis(3, 6)
+	want, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, status := postSolve(t, ts, "?engine=bvm", instanceJSON(t, p))
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if sr.Engine != "bvm" || sr.SolvedBy != "parallel" {
+		t.Fatalf("engine %q solved_by %q, want bvm/parallel", sr.Engine, sr.SolvedBy)
+	}
+	if sr.Cost == nil || *sr.Cost != want.Cost {
+		t.Fatalf("fallback cost %v, want %d", sr.Cost, want.Cost)
+	}
+	if s.metrics.Fallbacks.Load() == 0 || s.metrics.EngineFailures.Load() == 0 {
+		t.Fatalf("fallbacks=%d engine_failures=%d, want both > 0",
+			s.metrics.Fallbacks.Load(), s.metrics.EngineFailures.Load())
+	}
+}
+
+// TestBreakerOpensAndRecovers drives the full breaker lifecycle: consecutive
+// bvm failures open its breaker (visible in stats), requests then skip bvm
+// without attempting it, and after the cooldown a half-open probe against the
+// healed engine closes it again.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	fail := chaos.FailFirst("bvm", 2, errInjected)
+	s, ts := newTestServer(t, Config{
+		EngineFault:      fail,
+		Retries:          -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  30 * time.Millisecond,
+	})
+	// Two distinct instances, two bvm failures: breaker opens.
+	for seed := int64(0); seed < 2; seed++ {
+		if _, status := postSolve(t, ts, "?engine=bvm", instanceJSON(t, workload.MedicalDiagnosis(seed, 5))); status != http.StatusOK {
+			t.Fatalf("request %d: status %d", seed, status)
+		}
+	}
+	br := s.breaker("bvm")
+	if snap := br.snapshot(); snap["state"] != "open" || snap["opens"].(int64) != 1 {
+		t.Fatalf("after 2 failures: %v", snap)
+	}
+	// While open, bvm is skipped outright: solved_by degrades with no attempt.
+	attempts := s.metrics.Solves.Load()
+	sr, status := postSolve(t, ts, "?engine=bvm", instanceJSON(t, workload.MedicalDiagnosis(2, 5)))
+	if status != http.StatusOK || sr.SolvedBy != "parallel" {
+		t.Fatalf("open-breaker request: status %d solved_by %q", status, sr.SolvedBy)
+	}
+	if s.metrics.BreakerRejects.Load() == 0 {
+		t.Fatal("open breaker did not reject")
+	}
+	if got := s.metrics.Solves.Load() - attempts; got != 1 {
+		t.Fatalf("%d attempts while breaker open, want 1 (parallel only)", got)
+	}
+	// After the cooldown the hook has healed (it failed only twice): the
+	// half-open probe succeeds and the breaker closes.
+	time.Sleep(50 * time.Millisecond)
+	sr, status = postSolve(t, ts, "?engine=bvm", instanceJSON(t, workload.MedicalDiagnosis(3, 5)))
+	if status != http.StatusOK || sr.SolvedBy != "bvm" {
+		t.Fatalf("post-cooldown request: status %d solved_by %q", status, sr.SolvedBy)
+	}
+	if snap := br.snapshot(); snap["state"] != "closed" {
+		t.Fatalf("breaker did not close after successful probe: %v", snap)
+	}
+}
+
+// TestPanicIsolationAndRetry: an engine that panics is one failed attempt —
+// recovered, retried, and (here) healed on the second try, never a crashed
+// process.
+func TestPanicIsolationAndRetry(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		EngineFault: chaos.PanicFirst("seq", 1, "chaos panic"),
+		Retries:     1,
+	})
+	p := workload.MedicalDiagnosis(5, 6)
+	sr, status := postSolve(t, ts, "?engine=seq", instanceJSON(t, p))
+	if status != http.StatusOK || sr.SolvedBy != "seq" {
+		t.Fatalf("status %d solved_by %q", status, sr.SolvedBy)
+	}
+	if s.metrics.Retries.Load() != 1 || s.metrics.EngineFailures.Load() != 1 {
+		t.Fatalf("retries=%d engine_failures=%d, want 1/1",
+			s.metrics.Retries.Load(), s.metrics.EngineFailures.Load())
+	}
+}
+
+// TestDisableFallback: with the chain disabled, a sick engine's failure is
+// the request's failure.
+func TestDisableFallback(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		EngineFault:     chaos.FailFirst("bvm", 1<<30, errInjected),
+		Retries:         -1,
+		DisableFallback: true,
+	})
+	_, status := postSolve(t, ts, "?engine=bvm", instanceJSON(t, workload.MedicalDiagnosis(3, 5)))
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", status)
+	}
+}
+
+// TestCheckpointLifecycle: a solve with a checkpoint directory writes level
+// frontiers while running and removes the file once the answer exists.
+func TestCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{CheckpointDir: dir})
+	p := workload.MedicalDiagnosis(7, 9)
+	if _, status := postSolve(t, ts, "?engine=seq", instanceJSON(t, p)); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if got := s.metrics.CheckpointLevels.Load(); got != int64(p.K-1) {
+		t.Fatalf("wrote %d levels, want %d", got, p.K-1)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("checkpoint residue after a finished solve: %v", ents)
+	}
+}
+
+// TestCheckpointDiskFailureDoesNotFailSolve: persistence is best-effort in
+// the serving path — a full disk costs durability, not answers.
+func TestCheckpointDiskFailureDoesNotFailSolve(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{
+		CheckpointDir: dir,
+		CheckpointFS:  &chaos.FaultFS{FailWriteAt: 1, WriteErr: syscall.ENOSPC},
+	})
+	p := workload.MedicalDiagnosis(11, 8)
+	want, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, status := postSolve(t, ts, "?engine=seq", instanceJSON(t, p))
+	if status != http.StatusOK || sr.Cost == nil || *sr.Cost != want.Cost {
+		t.Fatalf("status %d cost %v, want 200/%d", status, sr.Cost, want.Cost)
+	}
+	if s.metrics.CheckpointErrors.Load() == 0 {
+		t.Fatal("disk failure not counted")
+	}
+}
+
+// TestCrashResume is the crash-recovery path end to end, in-process: a solve
+// killed at a level barrier leaves its durable frontier; a freshly started
+// server recovers it before serving, the instance is answered from cache,
+// and the consumed checkpoint plus a planted corrupt one are cleaned up.
+func TestCrashResume(t *testing.T) {
+	dir := t.TempDir()
+	canon := Canonicalize(workload.MedicalDiagnosis(13, 9))
+	hash, err := Hash(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Solve(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": die right after level 5's durable write.
+	w, err := checkpoint.NewWriter(nil, dir, canon, hash, "seq", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.SolveCheckpointedCtx(context.Background(), canon, nil, &chaos.Kill{Inner: w, Level: 5}); !errors.Is(err, chaos.ErrKilled) {
+		t.Fatal(err)
+	}
+	// Plant garbage the scan must quarantine.
+	if err := os.WriteFile(filepath.Join(dir, "junk.ckpt"), []byte("TTCKjunk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := newTestServer(t, Config{CheckpointDir: dir})
+	resumed, discarded, err := s.RecoverCheckpoints(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 1 || discarded != 1 {
+		t.Fatalf("resumed=%d discarded=%d, want 1/1", resumed, discarded)
+	}
+	sr, status := postSolve(t, ts, "", instanceJSON(t, canon))
+	if status != http.StatusOK || !sr.Cached || sr.Cost == nil || *sr.Cost != want.Cost {
+		t.Fatalf("recovered instance: status %d cached %v cost %v, want cached %d", status, sr.Cached, sr.Cost, want.Cost)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("checkpoint dir not clean after recovery: %v", ents)
+	}
+	if s.metrics.CheckpointsResumed.Load() != 1 || s.metrics.CheckpointsDiscarded.Load() != 1 {
+		t.Fatalf("resume counters %d/%d, want 1/1",
+			s.metrics.CheckpointsResumed.Load(), s.metrics.CheckpointsDiscarded.Load())
+	}
+}
+
+// TestShedRetryAfter: a full admission queue sheds with a Retry-After
+// derived from queue depth, and a draining server sheds immediately; both
+// land in their own stats counter.
+func TestShedRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		MaxPending:    1,
+		LevelDelay:    100 * time.Millisecond,
+	})
+	slow := workload.MedicalDiagnosis(17, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postSolve(t, ts, "", instanceJSON(t, slow))
+	}()
+	// Wait until the slow solve holds the queue slot, then overflow it with
+	// distinct instances (distinct so the probes can't answer from cache).
+	deadline := time.Now().Add(2 * time.Second)
+	for s.pending.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow solve never admitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var resp *http.Response
+	for seed := int64(100); ; seed++ {
+		if time.Now().After(deadline) {
+			t.Fatal("never shed")
+		}
+		var err error
+		resp, err = http.Post(ts.URL+"/v1/solve", "application/json",
+			bytes.NewReader(instanceJSON(t, workload.MedicalDiagnosis(seed, 7))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		resp.Body.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	resp.Body.Close()
+	if err != nil || ra < 1 || ra > 60 {
+		t.Fatalf("Retry-After %q outside [1,60]", resp.Header.Get("Retry-After"))
+	}
+	if s.metrics.RejectBusy.Load() == 0 {
+		t.Fatal("busy shed not counted")
+	}
+	<-done
+
+	s.SetDraining(true)
+	resp, err = http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(instanceJSON(t, slow)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if s.metrics.RejectDraining.Load() != 1 {
+		t.Fatalf("reject_draining = %d, want 1", s.metrics.RejectDraining.Load())
+	}
+}
+
+// TestCacheByteBudget: the LRU evicts by total estimated bytes, refuses
+// entries larger than the whole budget, and keeps its accounting exact.
+func TestCacheByteBudget(t *testing.T) {
+	mk := func(hash string, b int64) *cacheEntry { return &cacheEntry{hash: hash, bytes: b} }
+	c := newLRU(100, 1000)
+	c.add(mk("a", 400))
+	c.add(mk("b", 400))
+	if c.get("a") == nil || c.totalBytes != 800 {
+		t.Fatalf("bytes = %d, want 800", c.totalBytes)
+	}
+	c.add(mk("c", 400)) // 1200 > 1000: evict LRU ("b": "a" was touched by get)
+	if c.get("b") != nil || c.get("a") == nil || c.get("c") == nil {
+		t.Fatal("wrong eviction under byte pressure")
+	}
+	if c.totalBytes != 800 {
+		t.Fatalf("bytes = %d after eviction, want 800", c.totalBytes)
+	}
+	c.add(mk("huge", 5000)) // larger than the whole budget: not cached
+	if c.get("huge") != nil || c.totalBytes != 800 {
+		t.Fatalf("oversized entry cached (bytes %d)", c.totalBytes)
+	}
+	c.add(mk("a", 700)) // refresh grows in place and evicts to fit
+	if c.totalBytes > 1000 {
+		t.Fatalf("refresh overran budget: %d", c.totalBytes)
+	}
+	if c.get("a") == nil {
+		t.Fatal("refreshed entry evicted")
+	}
+	// An entry landing through the real solve path carries a real estimate.
+	p := workload.MedicalDiagnosis(3, 6)
+	ent := &cacheEntry{hash: "real", canon: p}
+	if entryBytes(ent) <= 160 {
+		t.Fatalf("entryBytes = %d, want > struct overhead", entryBytes(ent))
+	}
+}
+
+// TestStatsExposeResilience: /v1/stats carries the new gauges end to end.
+func TestStatsExposeResilience(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		EngineFault:      chaos.FailFirst("lockstep", 1<<30, errInjected),
+		Retries:          -1,
+		BreakerThreshold: 1,
+	})
+	if _, status := postSolve(t, ts, "?engine=lockstep", instanceJSON(t, workload.MedicalDiagnosis(3, 5))); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"cache_bytes", "cache_entries", "breakers", "fallbacks", "engine_failures", "reject_draining", "checkpoint_levels", "pending"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("stats missing %q", key)
+		}
+	}
+	br, ok := stats["breakers"].(map[string]any)
+	if !ok {
+		t.Fatal("breakers not an object")
+	}
+	ls, ok := br["lockstep"].(map[string]any)
+	if !ok || ls["state"] != "open" {
+		t.Fatalf("lockstep breaker not open in stats: %v", br)
+	}
+	if stats["cache_bytes"].(float64) <= 0 {
+		t.Fatal("cache_bytes not positive after a cached solve")
+	}
+}

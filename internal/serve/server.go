@@ -29,6 +29,7 @@ import (
 	"expvar"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -39,6 +40,7 @@ import (
 
 	"repro/internal/bvmtt"
 	"repro/internal/ccc"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/instio"
 	"repro/internal/parttsolve"
@@ -53,6 +55,7 @@ type Config struct {
 	MaxConcurrent  int           // simultaneous solver runs (default GOMAXPROCS)
 	MaxPending     int           // queued+running solves before shedding with 503 (default 4×MaxConcurrent)
 	CacheEntries   int           // LRU capacity in solved instances (default 1024; negative disables)
+	CacheBytes     int64         // LRU byte budget across cached entries (default 0: entry count only)
 	DefaultTimeout time.Duration // per-request solve budget (default 10s)
 	MaxTimeout     time.Duration // ceiling on client-requested timeouts (default 60s)
 	MaxK           int           // admission: largest universe accepted (default 20)
@@ -60,6 +63,18 @@ type Config struct {
 	Workers        int           // worker goroutines per parallel solve (default GOMAXPROCS)
 	DefaultEngine  string        // engine when the request names none (default "seq")
 	Logger         *slog.Logger  // structured request log (default slog.Default())
+
+	// Self-healing knobs (docs/RESILIENCE.md).
+	BreakerThreshold int           // consecutive failures opening an engine's breaker (default 3; negative disables breakers)
+	BreakerCooldown  time.Duration // open -> half-open probe delay (default 5s)
+	Retries          int           // extra attempts per engine on non-context failure (default 1; negative disables)
+	DisableFallback  bool          // fail instead of degrading to the next engine in the chain
+	CheckpointDir    string        // durable level-frontier snapshots land here ("" disables)
+	CheckpointFS     checkpoint.FS // checkpoint filesystem (nil: real disk; tests inject chaos.FaultFS)
+
+	// Chaos hooks, wired to ttserve's -chaos-* flags; zero in production.
+	EngineFault func(engine string) error // called before each solve attempt; error or panic = engine fault
+	LevelDelay  time.Duration             // artificial pause at every level barrier
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +107,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
 	}
 	return c
 }
@@ -132,6 +159,9 @@ type Server struct {
 	mu      sync.Mutex
 	cache   *lruCache
 	flights map[string]*flightCall
+
+	brMu     sync.Mutex
+	breakers map[string]*breaker
 }
 
 // New builds a Server from cfg (zero value is a sensible default).
@@ -146,8 +176,9 @@ func New(cfg Config) *Server {
 		sem:        make(chan struct{}, cfg.MaxConcurrent),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		cache:      newLRU(cfg.CacheEntries),
+		cache:      newLRU(cfg.CacheEntries, cfg.CacheBytes),
 		flights:    make(map[string]*flightCall),
+		breakers:   make(map[string]*breaker),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
@@ -159,7 +190,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	s.metrics.publish()
+	publishStats(s.statsPayload)
 	return s
 }
 
@@ -233,6 +264,14 @@ func validEngine(e string) bool {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Requests.Add(1)
+	if s.draining.Load() {
+		// A draining process sheds new solves immediately: the client should
+		// retry against a replica, not wait out this process's shutdown.
+		s.metrics.RejectDraining.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	q := r.URL.Query()
 	engine := q.Get("engine")
 	if engine == "" {
@@ -390,7 +429,9 @@ func (s *Server) await(ctx context.Context, c *flightCall) (*cacheEntry, error) 
 }
 
 // runSolve executes one admitted solve under the pool semaphore and
-// publishes the result to every waiter and (on success) the cache.
+// publishes the result to every waiter and (on success) the cache. The solve
+// itself goes through the resilient path: fallback chain, retries, circuit
+// breakers, and durable checkpointing (resilience.go).
 func (s *Server) runSolve(ctx context.Context, hash string, c *flightCall, canon *core.Problem, engine string) {
 	defer c.cancel()
 	var ent *cacheEntry
@@ -414,13 +455,7 @@ func (s *Server) runSolve(ctx context.Context, hash string, c *flightCall, canon
 			return
 		}
 		defer func() { <-s.sem }()
-		s.metrics.Solves.Add(1)
-		start := time.Now()
-		ent, err = solveEngine(ctx, canon, engine, s.cfg.Workers)
-		s.metrics.observe(engine, time.Since(start))
-		if ent != nil {
-			ent.hash = hash
-		}
+		ent, err = s.solveResilient(ctx, hash, canon, engine)
 	}()
 	s.mu.Lock()
 	delete(s.flights, hash)
@@ -432,54 +467,6 @@ func (s *Server) runSolve(ctx context.Context, hash string, c *flightCall, canon
 	close(c.done)
 }
 
-// solveEngine dispatches to the selected solver engine and converts its
-// result to a cache entry (building the procedure tree while the argmin
-// vector is in hand; the bvm engine reports costs only).
-func solveEngine(ctx context.Context, canon *core.Problem, engine string, workers int) (*cacheEntry, error) {
-	var (
-		cost    uint64
-		choices []int32
-	)
-	switch engine {
-	case "seq":
-		sol, err := core.SolveCtx(ctx, canon)
-		if err != nil {
-			return nil, err
-		}
-		cost, choices = sol.Cost, sol.Choice
-	case "parallel":
-		sol, err := core.SolveParallelCtx(ctx, canon, workers)
-		if err != nil {
-			return nil, err
-		}
-		cost, choices = sol.Cost, sol.Choice
-	case "lockstep", "goroutine", "ccc":
-		res, err := parttsolve.SolveCtx(ctx, canon, engineKinds[engine])
-		if err != nil {
-			return nil, err
-		}
-		cost, choices = res.Cost, res.Choice
-	case "bvm":
-		res, err := bvmtt.SolveCtx(ctx, canon, 0)
-		if err != nil {
-			return nil, err
-		}
-		cost = res.Cost
-	default:
-		return nil, fmt.Errorf("serve: unknown engine %q", engine)
-	}
-	ent := &cacheEntry{engine: engine, cost: cost, adequate: cost < core.Inf, canon: canon}
-	if ent.adequate && choices != nil {
-		sol := &core.Solution{Cost: cost, Choice: choices}
-		tree, err := sol.Tree(canon)
-		if err != nil {
-			return nil, err
-		}
-		ent.tree = tree
-	}
-	return ent, nil
-}
-
 // solveError maps a solve failure to its HTTP status and counter.
 func (s *Server) solveError(w http.ResponseWriter, err error) {
 	switch {
@@ -488,6 +475,7 @@ func (s *Server) solveError(w http.ResponseWriter, err error) {
 		httpError(w, http.StatusGatewayTimeout, "solve deadline exceeded")
 	case errors.Is(err, errBusy):
 		s.metrics.RejectBusy.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, context.Canceled):
 		// The client went away (or the server is closing); nobody will read
@@ -576,7 +564,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	writeJSON(w, http.StatusOK, s.statsPayload())
+}
+
+// statsPayload is the /v1/stats and expvar body: the counter set plus live
+// gauges — cache occupancy (entries and bytes), queue depth, and the state
+// of every engine's circuit breaker.
+func (s *Server) statsPayload() map[string]any {
+	out := s.metrics.Snapshot()
+	s.mu.Lock()
+	out["cache_entries"] = s.cache.len()
+	out["cache_bytes"] = s.cache.totalBytes
+	s.mu.Unlock()
+	breakers := make(map[string]any)
+	s.brMu.Lock()
+	for name, b := range s.breakers {
+		breakers[name] = b.snapshot()
+	}
+	s.brMu.Unlock()
+	out["breakers"] = breakers
+	out["pending"] = s.pending.Load()
+	return out
+}
+
+// retryAfterSeconds estimates when shed work could be admitted again: the
+// queue depth times the observed mean solve time, divided across the solver
+// slots, clamped to [1, 60] — an honest Retry-After instead of a constant.
+func (s *Server) retryAfterSeconds() int {
+	mean := s.metrics.meanSolveSeconds()
+	if mean <= 0 {
+		mean = 1
+	}
+	est := math.Ceil(float64(s.pending.Load()) * mean / float64(s.cfg.MaxConcurrent))
+	return int(min(60, max(1, est)))
 }
 
 // --- plumbing ---

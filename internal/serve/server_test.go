@@ -102,7 +102,7 @@ func TestCanonicalHashIgnoresActionOrder(t *testing.T) {
 }
 
 func TestLRUCacheEviction(t *testing.T) {
-	c := newLRU(2)
+	c := newLRU(2, 0)
 	a := &cacheEntry{hash: "a"}
 	b := &cacheEntry{hash: "b"}
 	d := &cacheEntry{hash: "d"}
