@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke serve-smoke chaos-smoke
+.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke serve-smoke chaos-smoke certify-smoke
 
 build:
 	$(GO) build ./...
@@ -39,16 +39,17 @@ golden:
 # BENCH_bvm.json holds the pre-kernel scalar baseline that the route-kernel
 # speedups in EXPERIMENTS.md are measured against; rerun this target to
 # re-baseline after an intentional performance change.
-BENCH_PATTERN = BenchmarkExecPerRoute|BenchmarkExecActivation|BenchmarkApply3|BenchmarkGather|BenchmarkE3CycleID|BenchmarkE13BVMTT|BenchmarkA2WavefrontBVM
+BENCH_PATTERN = BenchmarkExecPerRoute|BenchmarkExecActivation|BenchmarkApply3|BenchmarkGather|BenchmarkE3CycleID|BenchmarkE13BVMTT|BenchmarkA2WavefrontBVM|BenchmarkCertifyOverhead
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 200ms ./internal/bvm ./internal/bitvec . \
 		| $(GO) run ./cmd/benchjson > BENCH_bvm.json
 
-# One-iteration benchmark smoke: exercises every route kernel and Apply3
-# fast path under the bench harness so a silent fallback to the scalar path
-# (or a kernel panic on any geometry) fails CI fast.
+# One-iteration benchmark smoke: exercises every route kernel, Apply3 fast
+# path, and the certification pipeline under the bench harness so a silent
+# fallback to the scalar path (or a kernel panic on any geometry, or a
+# certifier regression) fails CI fast.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkExecPerRoute|BenchmarkApply3|BenchmarkE3CycleID' -benchtime 1x ./internal/bvm ./internal/bitvec .
+	$(GO) test -run '^$$' -bench 'BenchmarkExecPerRoute|BenchmarkApply3|BenchmarkE3CycleID|BenchmarkCertifyOverhead' -benchtime 1x ./internal/bvm ./internal/bitvec .
 
 # End-to-end smoke of the solver service: boots ttserve on a random port
 # through its real run loop, then drives a solve, a cache hit, an oversized
@@ -62,3 +63,11 @@ serve-smoke:
 # cmd/ttserve/chaos_smoke_test.go and docs/RESILIENCE.md).
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaosSmoke' -v ./cmd/ttserve
+
+# Live-fire certification drill: boots the real ttserve binary with
+# -certify=fast while chaos hooks corrupt one engine's answers and inject a
+# stuck-bit hardware fault into every BVM machine, then verifies zero wrong
+# answers escape — served or cached (see cmd/ttserve/certify_smoke_test.go
+# and docs/RESILIENCE.md).
+certify-smoke:
+	$(GO) test -race -count=1 -run 'TestCertifySmoke' -v ./cmd/ttserve

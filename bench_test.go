@@ -11,6 +11,7 @@ import (
 	"repro/internal/bvm"
 	"repro/internal/bvmalg"
 	"repro/internal/bvmtt"
+	"repro/internal/certify"
 	"repro/internal/cccsim"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -250,6 +251,36 @@ func BenchmarkE18FullBVMProgram(b *testing.B) {
 		if _, err := bvmtt.Solve(p, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCertifyOverhead — the silent-corruption defense end to end: the
+// same solve-plus-tree pipeline the server runs per answer, uncertified and
+// under each certification mode. The committed BENCH_bvm.json records the
+// three, pinning the claim that fast-mode certification costs at most a few
+// percent of the answer it protects (audit is the deliberately expensive
+// deep check).
+func BenchmarkCertifyOverhead(b *testing.B) {
+	p := workload.MedicalDiagnosis(14, 12)
+	for _, mode := range []certify.Mode{certify.ModeOff, certify.ModeFast, certify.ModeAudit} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol, err := core.Solve(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tree, err := sol.Tree(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == certify.ModeOff {
+					continue
+				}
+				if rep := certify.Check(p, sol.Cost, tree, sol.C, sol.Choice, mode, 7); !rep.OK() {
+					b.Fatalf("certification failed: %v", rep.Err())
+				}
+			}
+		})
 	}
 }
 

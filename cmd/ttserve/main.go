@@ -15,7 +15,7 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve?engine=seq|parallel|lockstep|goroutine|ccc|bvm&timeout_ms=...&tree=1&greedy=1
+//	POST /v1/solve?engine=seq|parallel|lockstep|goroutine|ccc|bvm&certify=off|fast|audit&timeout_ms=...&tree=1&greedy=1
 //	POST /v1/eval                     — price a stored policy under a weight vector
 //	GET  /healthz                     — liveness (503 while draining)
 //	GET  /v1/stats                    — per-server counters and latency histograms
@@ -38,6 +38,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/bvm"
+	"repro/internal/bvmtt"
 	"repro/internal/chaos"
 	"repro/internal/serve"
 )
@@ -64,8 +66,11 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open breaker's half-open probe delay (0 = 5s)")
 	retries := fs.Int("retries", 0, "extra attempts per engine before falling back (0 = 1, negative disables)")
 	noFallback := fs.Bool("no-fallback", false, "fail requests instead of degrading to the next engine in the chain")
+	certifyMode := fs.String("certify", "", "answer certification before caching/serving: off, fast, or audit (empty = fast); a failure counts as an engine fault")
 	chaosLevelDelay := fs.Duration("chaos-level-delay", 0, "TESTING: artificial pause at every DP level barrier")
 	chaosFailEngine := fs.String("chaos-fail-engine", "", "TESTING: inject solve faults, as engine[:count] (count omitted = every attempt)")
+	chaosCorruptEngine := fs.String("chaos-corrupt-engine", "", "TESTING: silently corrupt finished answers, as engine[:count] (count omitted = every attempt)")
+	chaosBVMFault := fs.String("chaos-bvm-fault", "", "TESTING: inject a hardware fault kernel into every BVM machine: stuck-bit[:pe], stuck-e[:pe], or broken-lateral[:pe]")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +78,18 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	engineFault, err := parseChaosFail(*chaosFailEngine)
 	if err != nil {
 		return fmt.Errorf("ttserve: %w", err)
+	}
+	resultFault, err := parseChaosCorrupt(*chaosCorruptEngine)
+	if err != nil {
+		return fmt.Errorf("ttserve: %w", err)
+	}
+	if *chaosBVMFault != "" {
+		hook, err := parseBVMFault(*chaosBVMFault)
+		if err != nil {
+			return fmt.Errorf("ttserve: %w", err)
+		}
+		restore := bvmtt.SetMachineHook(hook)
+		defer restore()
 	}
 
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
@@ -93,7 +110,9 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		Retries:          *retries,
 		DisableFallback:  *noFallback,
 		CheckpointDir:    *checkpointDir,
+		CertifyMode:      *certifyMode,
 		EngineFault:      engineFault,
+		ResultFault:      resultFault,
 		LevelDelay:       *chaosLevelDelay,
 	})
 
@@ -152,23 +171,74 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	return nil
 }
 
+// parseChaosSpec splits an "engine[:count]" chaos spec (count omitted =
+// every attempt).
+func parseChaosSpec(flagName, spec string) (engine string, n int64, err error) {
+	engine, countStr, hasCount := strings.Cut(spec, ":")
+	n = 1<<62 - 1
+	if hasCount {
+		v, err := strconv.ParseInt(countStr, 10, 64)
+		if err != nil || v < 0 {
+			return "", 0, fmt.Errorf("bad %s count %q", flagName, countStr)
+		}
+		n = v
+	}
+	return engine, n, nil
+}
+
 // parseChaosFail turns "-chaos-fail-engine engine[:count]" into the serve
-// fault hook: the named engine's first count attempts fail (count omitted =
-// every attempt). Empty spec means no injection.
+// fault hook: the named engine's first count attempts fail. Empty spec means
+// no injection.
 func parseChaosFail(spec string) (func(string) error, error) {
 	if spec == "" {
 		return nil, nil
 	}
-	engine, countStr, hasCount := strings.Cut(spec, ":")
-	n := int64(1<<62 - 1)
-	if hasCount {
-		v, err := strconv.ParseInt(countStr, 10, 64)
-		if err != nil || v < 0 {
-			return nil, fmt.Errorf("bad -chaos-fail-engine count %q", countStr)
-		}
-		n = v
+	engine, n, err := parseChaosSpec("-chaos-fail-engine", spec)
+	if err != nil {
+		return nil, err
 	}
 	return chaos.FailFirst(engine, n, errors.New("injected chaos fault")), nil
+}
+
+// parseChaosCorrupt turns "-chaos-corrupt-engine engine[:count]" into the
+// serve result-corruption hook: the named engine's first count answers are
+// silently wrong, exercising the certify-before-cache gate. Empty spec means
+// no injection.
+func parseChaosCorrupt(spec string) (func(string) bool, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	engine, n, err := parseChaosSpec("-chaos-corrupt-engine", spec)
+	if err != nil {
+		return nil, err
+	}
+	return chaos.CorruptFirst(engine, n), nil
+}
+
+// parseBVMFault turns "-chaos-bvm-fault kind[:pe]" into a machine hook that
+// injects one of internal/bvm's hardware fault kernels into every BVM the
+// server builds — the live-fire test of the ABFT layer: with -certify=fast
+// the faulted machine must repair or refuse, never answer wrong.
+func parseBVMFault(spec string) (func(*bvm.Machine), error) {
+	kind, peStr, hasPE := strings.Cut(spec, ":")
+	pe := 0
+	if hasPE {
+		v, err := strconv.Atoi(peStr)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -chaos-bvm-fault PE %q", peStr)
+		}
+		pe = v
+	}
+	switch kind {
+	case "stuck-bit":
+		return func(m *bvm.Machine) { m.InjectStuckBit(bvm.R(0), pe%m.N(), true) }, nil
+	case "stuck-e":
+		return func(m *bvm.Machine) { m.InjectStuckBit(bvm.E, pe%m.N(), false) }, nil
+	case "broken-lateral":
+		return func(m *bvm.Machine) { m.InjectBrokenLateral(pe % m.N()) }, nil
+	default:
+		return nil, fmt.Errorf("unknown -chaos-bvm-fault kind %q (want stuck-bit, stuck-e, or broken-lateral)", kind)
+	}
 }
 
 func main() {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ttsolve [-engine seq|lockstep|goroutine|ccc|bvm] [-tree] [-greedy] [file.json]
+//	ttsolve [-engine seq|lockstep|goroutine|ccc|bvm] [-certify off|fast|audit] [-tree] [-greedy] [file.json]
 //
 // Reading from stdin when no file is given. The instance format:
 //
@@ -20,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"os"
 
 	"repro/internal/bvmtt"
+	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/instio"
 	"repro/internal/parttsolve"
@@ -55,9 +57,14 @@ func solve(args []string, stdin io.Reader, stdout io.Writer) error {
 	policyOut := fs.String("policy", "", "write the reachable-state policy as JSON to this file (seq engine)")
 	explain := fs.Bool("explain", false, "print the per-action M[U,i] pricing table (seq engine)")
 	showGreedy := fs.Bool("greedy", false, "also report the greedy heuristic's cost")
+	certifyFlag := fs.String("certify", "off", "certify the answer before reporting it: off, fast, or audit; simulated-machine engines also run their ABFT layer")
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	mode, err := certify.ParseMode(*certifyFlag)
+	if err != nil {
+		return fmt.Errorf("ttsolve: %w", err)
 	}
 
 	in := stdin
@@ -76,14 +83,18 @@ func solve(args []string, stdin io.Reader, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "instance: %d objects, %d tests, %d treatments\n",
 		p.K, p.NumTests(), p.NumTreatments())
 
-	var cost uint64
+	var (
+		cost    uint64
+		cplane  []uint64
+		choices []int32
+	)
 	switch *engine {
 	case "seq":
 		sol, err := core.Solve(p)
 		if err != nil {
 			return err
 		}
-		cost = sol.Cost
+		cost, cplane, choices = sol.Cost, sol.C, sol.Choice
 		if *explain {
 			fmt.Fprintln(stdout, "action pricing at the full universe (M[U,i]):")
 			for _, row := range core.Explain(p, sol, core.Universe(p.K)) {
@@ -143,28 +154,51 @@ func solve(args []string, stdin io.Reader, stdout io.Writer) error {
 		kind := map[string]parttsolve.EngineKind{
 			"lockstep": parttsolve.Lockstep, "goroutine": parttsolve.Goroutine, "ccc": parttsolve.CCC,
 		}[*engine]
-		res, err := parttsolve.Solve(p, kind)
+		res, err := parttsolve.SolveOpts(context.Background(), p, kind,
+			parttsolve.Options{Verify: mode != certify.ModeOff})
 		if err != nil {
 			return err
 		}
-		cost = res.Cost
+		cost, cplane, choices = res.Cost, res.C, res.Choice
 		fmt.Fprintf(stdout, "parallel machine: %d PEs, %d dimension steps", res.PEs, res.DimSteps)
 		if res.CCCSteps > 0 {
 			fmt.Fprintf(stdout, ", %d CCC steps", res.CCCSteps)
 		}
 		fmt.Fprintln(stdout)
+		if res.Repairs > 0 {
+			fmt.Fprintf(stdout, "ABFT: %d round repairs\n", res.Repairs)
+		}
 	case "bvm":
-		res, err := bvmtt.Solve(p, 0)
+		res, err := bvmtt.SolveOpts(context.Background(), p,
+			bvmtt.Options{Verify: mode != certify.ModeOff})
 		if err != nil {
 			return err
 		}
-		cost = res.Cost
+		cost, cplane = res.Cost, res.C
 		fmt.Fprintf(stdout, "BVM: %d PEs, %d-bit words, %d instructions (%d loading)\n",
 			res.PEs, res.Width, res.Instructions, res.LoadInstructions)
+		if res.Repairs > 0 {
+			fmt.Fprintf(stdout, "ABFT: %d round repairs\n", res.Repairs)
+		}
 	default:
 		return fmt.Errorf("ttsolve: unknown engine %q", *engine)
 	}
 
+	if mode != certify.ModeOff {
+		rep := certify.Check(p, cost, nil, cplane, choices, mode, 0)
+		if !rep.OK() {
+			fmt.Fprintf(stdout, "certify: FAILED (%d violations)\n", len(rep.Violations))
+			for _, v := range rep.Violations {
+				fmt.Fprintf(stdout, "  %s\n", v)
+			}
+			return fmt.Errorf("ttsolve: answer failed %s certification", mode)
+		}
+		if rep.Checked > 0 {
+			fmt.Fprintf(stdout, "certify: PASS (%s, %d cells audited)\n", mode, rep.Checked)
+		} else {
+			fmt.Fprintf(stdout, "certify: PASS (%s)\n", mode)
+		}
+	}
 	if cost == core.Inf {
 		fmt.Fprintln(stdout, "result: INADEQUATE — no successful procedure exists")
 	} else {

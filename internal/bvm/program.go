@@ -15,10 +15,43 @@ import (
 // real instruction listings for the §4 algorithms, and the test suite uses
 // replay to check that recorded programs are self-contained.
 
-// Program is a recorded instruction sequence.
+// Program is a recorded instruction sequence. Marks carry in-band metadata
+// for static analysis (internal/bvmcheck); they are not instructions, do not
+// replay, and do not appear in the assembly text.
 type Program struct {
 	Name   string
 	Instrs []Instr
+	Marks  []Mark
+}
+
+// Mark annotates an instruction boundary of a recorded program: it sits
+// before Instrs[Index] (Index == len(Instrs) marks the end). The ABFT layer
+// in bvmtt emits checksum/barrier mark pairs around its plane verifications
+// so bvmcheck can warn when a future kernel edit slides a write to a
+// checksummed register between a checksum update and its barrier check.
+type Mark struct {
+	Index int    // instruction boundary the mark precedes
+	Kind  string // MarkABFTChecksum, MarkABFTBarrier, ...
+	Regs  []int  // register indices the mark covers
+}
+
+// Mark kinds emitted by the ABFT instrumentation.
+const (
+	// MarkABFTChecksum: the registers in Regs have just been checksummed;
+	// they must not be written before the matching barrier mark.
+	MarkABFTChecksum = "abft-checksum"
+	// MarkABFTBarrier: the checksum over the matching checksum mark's
+	// registers has been verified.
+	MarkABFTBarrier = "abft-barrier"
+)
+
+// MarkRecording appends a Mark at the current instruction boundary of the
+// active recording; it is a no-op when nothing is being recorded.
+func (m *Machine) MarkRecording(kind string, regs ...int) {
+	if m.rec == nil {
+		return
+	}
+	m.rec.Marks = append(m.rec.Marks, Mark{Index: len(m.rec.Instrs), Kind: kind, Regs: regs})
 }
 
 // StartRecording begins capturing executed instructions into a new Program.

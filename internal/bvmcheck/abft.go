@@ -1,0 +1,81 @@
+package bvmcheck
+
+import (
+	"fmt"
+
+	"repro/internal/bvm"
+)
+
+// ABFT mark discipline. The bvmtt solver's ABFT layer checksums the frozen
+// M/C plane registers at each level barrier: it emits a MarkABFTChecksum over
+// the covered registers when the checksum is taken and a MarkABFTBarrier when
+// the verification over those registers has run. Between the two marks the
+// covered registers must be quiescent — a write inside the window means the
+// barrier verifies registers that no longer match the frozen checksum, so the
+// verify either fires a false violation or (if the checksum is recomputed
+// from the mutated state) silently blesses the mutation. Either way the ABFT
+// guarantee is gone. This pass warns when a kernel edit slides a write into
+// the window, and when marks are unpaired — the failure modes a refactor of
+// the solve loop would introduce.
+//
+// Pairing rule: a barrier closes the nearest preceding open checksum mark. A
+// second checksum mark while one is open supersedes it (the repair path
+// re-checksums after a re-run, and only the fresh checksum is the one the
+// barrier verifies), restarting the window.
+
+// analyzeABFT scans the program's marks and flags window and pairing
+// violations. Assumes the program is well-formed (register indices valid).
+func analyzeABFT(p *bvm.Program, cfg Config) []Diag {
+	var diags []Diag
+	emit := func(i int, sev Severity, format string, args ...any) {
+		d := Diag{Index: i, Severity: sev, Category: CatABFTWindow, Message: fmt.Sprintf(format, args...)}
+		if i >= 0 && i < p.Len() {
+			d.Instr = p.Instrs[i].String()
+		}
+		diags = append(diags, d)
+	}
+
+	var (
+		open     bool
+		openIdx  int // instruction boundary of the open checksum mark
+		covered  map[int]bool
+		scanFrom int // next instruction to scan for window writes
+	)
+	scanWindow := func(until int) {
+		for i := scanFrom; i < until && i < p.Len(); i++ {
+			dst := p.Instrs[i].Dst
+			if dst.Kind == bvm.KindR && covered[dst.Index] {
+				emit(i, SevWarning,
+					"write to checksummed R[%d] between abft-checksum (boundary %d) and its barrier; the barrier will verify a stale checksum",
+					dst.Index, openIdx)
+			}
+		}
+		scanFrom = until
+	}
+	for _, mk := range p.Marks {
+		switch mk.Kind {
+		case bvm.MarkABFTChecksum:
+			// A fresh checksum while one is open supersedes it (the repair
+			// path re-checksums after a re-run); the abandoned window is not
+			// scanned — only the fresh checksum reaches a barrier.
+			open, openIdx, scanFrom = true, mk.Index, mk.Index
+			covered = make(map[int]bool, len(mk.Regs))
+			for _, r := range mk.Regs {
+				covered[r] = true
+			}
+		case bvm.MarkABFTBarrier:
+			if !open {
+				emit(-1, SevWarning,
+					"abft-barrier at boundary %d has no preceding abft-checksum mark", mk.Index)
+				continue
+			}
+			scanWindow(mk.Index)
+			open = false
+		}
+	}
+	if open {
+		emit(-1, SevWarning,
+			"abft-checksum at boundary %d is never verified: no matching abft-barrier mark", openIdx)
+	}
+	return diags
+}

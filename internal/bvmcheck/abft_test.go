@@ -1,0 +1,131 @@
+package bvmcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bvm"
+	"repro/internal/bvmcheck"
+	"repro/internal/bvmtt"
+	"repro/internal/core"
+)
+
+// TestABFTWindowClean: writes before the checksum and after the barrier are
+// fine; a quiet window produces no abft-window diagnostics.
+func TestABFTWindowClean(t *testing.T) {
+	p := record(t, 2, "abft-clean", func(m *bvm.Machine) {
+		m.SetConst(bvm.R(0), true)
+		m.SetConst(bvm.R(1), false)
+		m.MarkRecording(bvm.MarkABFTChecksum, 0, 1)
+		m.SetConst(bvm.R(5), true) // uncovered register: allowed in the window
+		m.MarkRecording(bvm.MarkABFTBarrier, 0, 1)
+		m.SetConst(bvm.R(0), false) // after the barrier: allowed
+	})
+	rep := bvmcheck.Lint(p, cfg2(t))
+	if ds := diagsOf(rep, bvmcheck.CatABFTWindow); len(ds) != 0 {
+		t.Fatalf("clean program got abft-window diags: %v", ds)
+	}
+}
+
+// TestABFTWindowWriteFlagged: a write to a checksummed register between the
+// checksum mark and its barrier is the bug this pass exists for.
+func TestABFTWindowWriteFlagged(t *testing.T) {
+	p := record(t, 2, "abft-dirty", func(m *bvm.Machine) {
+		m.SetConst(bvm.R(3), true)
+		m.MarkRecording(bvm.MarkABFTChecksum, 3, 4)
+		m.SetConst(bvm.R(4), false) // covered: the barrier verifies a stale checksum
+		m.MarkRecording(bvm.MarkABFTBarrier, 3, 4)
+	})
+	rep := bvmcheck.Lint(p, cfg2(t))
+	ds := diagsOf(rep, bvmcheck.CatABFTWindow)
+	if len(ds) != 1 {
+		t.Fatalf("got %d abft-window diags, want 1: %v", len(ds), ds)
+	}
+	if ds[0].Severity != bvmcheck.SevWarning || !strings.Contains(ds[0].Message, "R[4]") {
+		t.Fatalf("diag: %+v", ds[0])
+	}
+	if ds[0].Index != 1 {
+		t.Fatalf("diag at instruction %d, want 1", ds[0].Index)
+	}
+}
+
+// TestABFTSupersededChecksum: the repair path re-checksums after a re-run; a
+// barrier verifies only the nearest preceding checksum, so a write between
+// the superseded mark and the fresh one is not a violation.
+func TestABFTSupersededChecksum(t *testing.T) {
+	p := record(t, 2, "abft-repair", func(m *bvm.Machine) {
+		m.MarkRecording(bvm.MarkABFTChecksum, 0)
+		m.SetConst(bvm.R(0), true) // re-run rewrites the plane...
+		m.MarkRecording(bvm.MarkABFTChecksum, 0)
+		// ...then the fresh checksum is taken and the window is quiet.
+		m.MarkRecording(bvm.MarkABFTBarrier, 0)
+	})
+	rep := bvmcheck.Lint(p, cfg2(t))
+	if ds := diagsOf(rep, bvmcheck.CatABFTWindow); len(ds) != 0 {
+		t.Fatalf("superseded checksum flagged: %v", ds)
+	}
+}
+
+// TestABFTUnpairedMarks: a barrier with no checksum and a checksum with no
+// barrier are both mark-discipline bugs.
+func TestABFTUnpairedMarks(t *testing.T) {
+	orphanBarrier := record(t, 2, "abft-orphan-barrier", func(m *bvm.Machine) {
+		m.SetConst(bvm.R(0), true)
+		m.MarkRecording(bvm.MarkABFTBarrier, 0)
+	})
+	rep := bvmcheck.Lint(orphanBarrier, cfg2(t))
+	ds := diagsOf(rep, bvmcheck.CatABFTWindow)
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, "no preceding abft-checksum") {
+		t.Fatalf("orphan barrier diags: %v", ds)
+	}
+
+	orphanChecksum := record(t, 2, "abft-orphan-checksum", func(m *bvm.Machine) {
+		m.SetConst(bvm.R(0), true)
+		m.MarkRecording(bvm.MarkABFTChecksum, 0)
+	})
+	rep = bvmcheck.Lint(orphanChecksum, cfg2(t))
+	ds = diagsOf(rep, bvmcheck.CatABFTWindow)
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, "never verified") {
+		t.Fatalf("orphan checksum diags: %v", ds)
+	}
+}
+
+// TestABFTSolverProgramClean is the integration contract: the real bvmtt
+// solve, recorded with its ABFT instrumentation live, obeys its own mark
+// discipline — every checksum window is quiet and every mark is paired.
+func TestABFTSolverProgramClean(t *testing.T) {
+	p := &core.Problem{
+		K:       3,
+		Weights: []uint64{4, 2, 1},
+		Actions: []core.Action{
+			{Name: "t01", Set: core.SetOf(0, 1), Cost: 2},
+			{Name: "r0", Set: core.SetOf(0), Cost: 3, Treatment: true},
+			{Name: "r1", Set: core.SetOf(1), Cost: 3, Treatment: true},
+			{Name: "r2", Set: core.SetOf(2), Cost: 5, Treatment: true},
+		},
+	}
+	res, err := bvmtt.SolveOpts(t.Context(), p, bvmtt.Options{Record: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Program == nil {
+		t.Fatal("no program recorded")
+	}
+	var marks int
+	for _, mk := range res.Program.Marks {
+		if mk.Kind == bvm.MarkABFTChecksum || mk.Kind == bvm.MarkABFTBarrier {
+			marks++
+		}
+	}
+	if marks == 0 {
+		t.Fatal("solver program carries no ABFT marks; the pass would be vacuous")
+	}
+	cfg, err := bvmcheck.DefaultConfig(res.MachineR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := bvmcheck.Lint(res.Program, cfg)
+	if ds := diagsOf(rep, bvmcheck.CatABFTWindow); len(ds) != 0 {
+		t.Fatalf("solver program violates its own ABFT mark discipline: %v", ds)
+	}
+}

@@ -34,7 +34,13 @@
 //     run, flagging sweeps that skip ahead over a dimension — the classic
 //     off-by-one that leaves one hypercube axis uncombined.
 //
-//  4. Static cost (EstimateCost): instruction count, per-route traffic, and
+//  4. ABFT mark discipline (Lint): the bvmtt ABFT layer brackets its plane
+//     verifications with checksum/barrier marks (bvm.MarkABFTChecksum /
+//     bvm.MarkABFTBarrier). The checker warns when an instruction writes a
+//     checksummed register inside the window — a stale checksum makes the
+//     barrier verify worthless — and when marks are unpaired.
+//
+//  5. Static cost (EstimateCost): instruction count, per-route traffic, and
 //     bit-step totals predicted from the instruction stream alone. Because
 //     the machine is SIMD with unit-cost instructions, the static estimate
 //     must match the dynamic counters (Machine.InstrCount / RouteCount) of
@@ -88,6 +94,7 @@ const (
 	CatDeadStore       = "dead-store"         // full write overwritten with no intervening read
 	CatSweep           = "out-of-order-sweep" // dimension sweep skips ahead non-contiguously
 	CatPressure        = "register-pressure"  // informational liveness metrics
+	CatABFTWindow      = "abft-window"        // write to a checksummed register before its barrier, or unpaired marks
 )
 
 // Diag is one diagnostic. Index is the instruction index exactly as printed
@@ -218,6 +225,7 @@ func Lint(p *bvm.Program, cfg Config) *Report {
 	sweepDiags, sweeps := analyzeSweeps(p, cfg)
 	rep.Diags = append(rep.Diags, sweepDiags...)
 	rep.Sweeps = sweeps
+	rep.Diags = append(rep.Diags, analyzeABFT(p, cfg)...)
 	return rep
 }
 

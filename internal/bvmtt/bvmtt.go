@@ -24,6 +24,7 @@ import (
 	"repro/internal/bvm"
 	"repro/internal/bvmalg"
 	"repro/internal/ccc"
+	"repro/internal/certify"
 	"repro/internal/core"
 )
 
@@ -57,6 +58,10 @@ type Result struct {
 	// instruction and route counts are reproduced exactly — the property the
 	// static cost checker in internal/bvmcheck relies on).
 	Program *bvm.Program
+	// Repairs counts ABFT round repairs: barriers where verification failed,
+	// the machine was rebuilt from the trusted mirror by host pokes, and the
+	// round re-ran successfully. Always 0 unless Options.Verify is set.
+	Repairs int
 }
 
 // Phase is one section of the TT program's instruction budget.
@@ -128,10 +133,34 @@ func planLayout(q, k, w int) (layout, error) {
 	return lay, nil
 }
 
+// Options bundles the optional plumbing of a BVM solve.
+type Options struct {
+	// Width is the cost word width in bits; 0 means SuggestWidth(p).
+	Width int
+	// Record captures the executed instruction stream into Result.Program.
+	Record bool
+	// Frontier resumes from a restored level frontier (cost-only suffices).
+	Frontier *core.Frontier
+	// Checkpointer fires after every completed round j < K.
+	Checkpointer core.Checkpointer
+	// Verify enables the ABFT layer (abft.go): running checksums over the
+	// frozen M word plane plus direct host verification of the new level,
+	// the mark register, and the PS/TP planes at every round barrier, with
+	// one poke-repair-and-re-run before refusing with a certify.LevelError.
+	// With a healthy machine the result is bit-identical to an unverified
+	// run (Repairs = 0).
+	Verify bool
+}
+
 // Solve runs the TT program on the smallest BVM that fits the instance.
 // width 0 means SuggestWidth(p).
 func Solve(p *core.Problem, width int) (*Result, error) {
-	return solve(context.Background(), p, width, false, nil, nil)
+	return solve(context.Background(), p, Options{Width: width})
+}
+
+// SolveOpts runs the TT program with the full option set.
+func SolveOpts(ctx context.Context, p *core.Problem, opt Options) (*Result, error) {
+	return solve(ctx, p, opt)
 }
 
 // SolveCtx is Solve with cancellation: the context is polled between the
@@ -139,7 +168,7 @@ func Solve(p *core.Problem, width int) (*Result, error) {
 // deadline stops a long bit-level simulation between rounds instead of
 // after the whole program has run.
 func SolveCtx(ctx context.Context, p *core.Problem, width int) (*Result, error) {
-	return solve(ctx, p, width, false, nil, nil)
+	return solve(ctx, p, Options{Width: width})
 }
 
 // SolveCheckpointedCtx is SolveCtx with durable-solve plumbing. A non-nil
@@ -152,22 +181,23 @@ func SolveCtx(ctx context.Context, p *core.Problem, width int) (*Result, error) 
 // (Solution.Choice nil). Costs are bit-identical to an uninterrupted run;
 // instruction counts reflect only the rounds actually executed.
 func SolveCheckpointedCtx(ctx context.Context, p *core.Problem, width int, f *core.Frontier, ck core.Checkpointer) (*Result, error) {
-	return solve(ctx, p, width, false, f, ck)
+	return solve(ctx, p, Options{Width: width, Frontier: f, Checkpointer: ck})
 }
 
 // SolveRecorded is Solve with instruction capture: Result.Program holds the
 // complete recorded program, ready for static analysis (bvmcheck) or replay.
 func SolveRecorded(p *core.Problem, width int) (*Result, error) {
-	return solve(context.Background(), p, width, true, nil, nil)
+	return solve(context.Background(), p, Options{Width: width, Record: true})
 }
 
 // SolveRecordedCtx is SolveRecorded with the cancellation behaviour of
 // SolveCtx.
 func SolveRecordedCtx(ctx context.Context, p *core.Problem, width int) (*Result, error) {
-	return solve(ctx, p, width, true, nil, nil)
+	return solve(ctx, p, Options{Width: width, Record: true})
 }
 
-func solve(ctx context.Context, p *core.Problem, width int, record bool, f *core.Frontier, ck core.Checkpointer) (*Result, error) {
+func solve(ctx context.Context, p *core.Problem, opt Options) (*Result, error) {
+	width, record, f, ck := opt.Width, opt.Record, opt.Frontier, opt.Checkpointer
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -210,6 +240,9 @@ func solve(ctx context.Context, p *core.Problem, width int, record bool, f *core
 	m, err := bvm.New(top.R, bvm.DefaultRegisters)
 	if err != nil {
 		return nil, err
+	}
+	if machineHook != nil {
+		machineHook(m)
 	}
 	if record {
 		m.StartRecording(fmt.Sprintf("tt-k%d-n%d-w%d", k, len(p.Actions), width))
@@ -314,10 +347,18 @@ func solve(ctx context.Context, p *core.Problem, width int, record bool, f *core
 		startRound = f.Level + 1
 	}
 
-	for j := startRound; j <= k; j++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	var ab *abft
+	if opt.Verify {
+		ab = newABFT(p, actions, logN, width, inf)
+		if f != nil {
+			ab.seed(f)
 		}
+	}
+
+	// runRound executes one complete round j (steps 1–5). It is re-runnable:
+	// everything it reads — the frozen M plane, the mark register, PS, TP and
+	// the streamed problem planes — is exactly what the ABFT repair rebuilds.
+	runRound := func(j int) {
 		// (1) Propagate the group mark one level up (first-kind propagation).
 		m.SetConst(bvm.R(lay.rcv), false)
 		for e := 0; e < k; e++ {
@@ -359,7 +400,36 @@ func solve(ctx context.Context, p *core.Problem, width int, record bool, f *core
 
 		// (5) Minimization over the action-index dimensions.
 		bvmalg.MinReduce(m, lay.m, 0, logN, lay.sh1, lay.scratch)
+		if abftCorruptHook != nil {
+			abftCorruptHook(j, m)
+		}
+	}
 
+	var repairs int
+	for j := startRound; j <= k; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if ab != nil {
+			ab.advance(j)
+		}
+		runRound(j)
+		if ab != nil {
+			// The M plane is checksummed here; the lint pass in bvmcheck
+			// warns if instructions ever slide between this mark and the
+			// barrier mark below (a write would stale the checksum).
+			m.MarkRecording(bvm.MarkABFTChecksum, wordRegs(lay.m)...)
+			if rep := ab.verify(m, lay, j); !rep.OK() {
+				ab.repair(m, lay, q, j)
+				runRound(j)
+				m.MarkRecording(bvm.MarkABFTChecksum, wordRegs(lay.m)...)
+				if rep = ab.verify(m, lay, j); !rep.OK() {
+					return nil, &certify.LevelError{Engine: "bvm", Level: j, Report: rep}
+				}
+				repairs++
+			}
+			m.MarkRecording(bvm.MarkABFTBarrier, wordRegs(lay.m)...)
+		}
 		if ck != nil && j < k {
 			sol := &core.Solution{C: readCostPlane(m, lay, width, k, logN, inf)}
 			if err := ck.CheckpointLevel(j, sol); err != nil {
@@ -380,6 +450,7 @@ func solve(ctx context.Context, p *core.Problem, width int, record bool, f *core
 		LogN:             logN,
 		MachineR:         top.R,
 		C:                readCostPlane(m, lay, width, k, logN, inf),
+		Repairs:          repairs,
 	}
 	res.Cost = res.C[len(res.C)-1]
 	return res, nil

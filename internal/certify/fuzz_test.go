@@ -1,0 +1,132 @@
+package certify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Mutation classes for the certifier-as-oracle fuzz: each takes a valid
+// (problem, tree) pair and damages the tree in one characteristic way. Every
+// class constructs a mutation the certifier is *guaranteed* to be able to
+// detect (the mutators skip configurations where the damage would be a
+// no-op), so any clean report is a certifier bug.
+const (
+	mutReportedCost = iota // perturb the claimed C(U)
+	mutReparent            // point a child link at the root (re-parented node)
+	mutDropLeaf            // remove a treatment leaf
+	mutSwapBranches        // swap a test node's Pos and Neg subtrees
+	mutWrongAction         // relabel a node with a different action
+	mutPerturbSet          // flip one bit of a node's candidate set
+	mutCount
+)
+
+// applyMutation damages the tree (or returns a perturbed reported cost) and
+// reports whether the mutation was applicable to this tree.
+func applyMutation(rng *rand.Rand, p *core.Problem, root *core.Node, reported uint64, class int) (*core.Node, uint64, bool) {
+	nodes := collect(root)
+	switch class {
+	case mutReportedCost:
+		return root, reported + 1, true
+	case mutReparent:
+		// Any node's Neg link re-pointed at the root violates the child-set
+		// equation: the root's set is the full universe, and every legal
+		// child set is a strict subset of its parent's.
+		n := nodes[rng.Intn(len(nodes))]
+		n.Neg = root
+		return root, reported, true
+	case mutDropLeaf:
+		// Detach a leaf from its parent. A legal tree never has a nil child
+		// where the action equations demand one.
+		for _, parent := range shuffled(rng, nodes) {
+			if parent.Pos != nil && parent.Pos.Pos == nil && parent.Pos.Neg == nil {
+				parent.Pos = nil
+				return root, reported, true
+			}
+			if parent.Neg != nil && parent.Neg.Pos == nil && parent.Neg.Neg == nil {
+				parent.Neg = nil
+				return root, reported, true
+			}
+		}
+		return root, reported, false // single-node tree: no parent to damage
+	case mutSwapBranches:
+		// A test's Pos and Neg cover disjoint non-empty sets, so swapping
+		// them always breaks the S∩T / S−T equations.
+		for _, n := range shuffled(rng, nodes) {
+			if !p.Actions[n.Action].Treatment {
+				n.Pos, n.Neg = n.Neg, n.Pos
+				return root, reported, true
+			}
+		}
+		return root, reported, false // all-treatment chain
+	case mutWrongAction:
+		// Relabel with an action whose kind or induced split differs — the
+		// existing children no longer satisfy the new action's equations.
+		for _, n := range shuffled(rng, nodes) {
+			a := p.Actions[n.Action]
+			for _, j := range rng.Perm(len(p.Actions)) {
+				b := p.Actions[j]
+				if j == n.Action || (b.Treatment == a.Treatment && b.Set&n.Set == a.Set&n.Set) {
+					continue
+				}
+				n.Action = j
+				return root, reported, true
+			}
+		}
+		return root, reported, false // every action splits identically
+	case mutPerturbSet:
+		// Flip one universe bit of a node's set: the root stops covering the
+		// universe, or a child stops matching its parent's equation.
+		n := nodes[rng.Intn(len(nodes))]
+		n.Set ^= 1 << uint(rng.Intn(p.K))
+		return root, reported, true
+	}
+	return root, reported, false
+}
+
+func shuffled(rng *rand.Rand, nodes []*core.Node) []*core.Node {
+	out := append([]*core.Node(nil), nodes...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// FuzzTreeMutations drives the certifier as an oracle: for a random valid
+// instance and its true optimal tree, every applicable mutation class must be
+// detected by certify.Tree. Run with `go test -fuzz FuzzTreeMutations` for
+// open-ended exploration; the seeded corpus covers every class at several
+// universe sizes as part of the normal test suite.
+func FuzzTreeMutations(f *testing.F) {
+	for class := 0; class < mutCount; class++ {
+		for seed := int64(1); seed <= 4; seed++ {
+			f.Add(seed, class)
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed int64, class int) {
+		if class < 0 || class >= mutCount {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(5)
+		p := randomProblem(rng, k, 1+rng.Intn(6))
+		sol, err := core.Solve(p)
+		if err != nil || !sol.Adequate() {
+			return
+		}
+		root, err := sol.Tree(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sanity: the untouched tree certifies.
+		if r := Tree(p, cloneTree(root), sol.Cost); !r.OK() {
+			t.Fatalf("valid tree rejected before mutation: %v", r.Violations)
+		}
+		mutated, reported, ok := applyMutation(rng, p, cloneTree(root), sol.Cost, class)
+		if !ok {
+			return // class not applicable to this tree shape
+		}
+		if r := Tree(p, mutated, reported); r.OK() {
+			t.Fatalf("mutation class %d escaped certification (seed %d, k %d)", class, seed, k)
+		}
+	})
+}

@@ -63,6 +63,17 @@ func FailFirst(engine string, n int64, err error) func(string) error {
 	}
 }
 
+// CorruptFirst returns a result-corruption hook (for serve.Config.ResultFault)
+// that silently corrupts the named engine's first n answers, then heals — the
+// shape needed to prove certify-before-cache keeps wrong answers out of the
+// cache and off the wire.
+func CorruptFirst(engine string, n int64) func(string) bool {
+	var calls atomic.Int64
+	return func(e string) bool {
+		return e == engine && calls.Add(1) <= n
+	}
+}
+
 // PanicFirst is FailFirst with a panic instead of an error return: the first
 // n solve attempts on the named engine panic with msg. It proves the serving
 // layer's per-solve panic isolation (a crashing engine must translate to a

@@ -13,7 +13,11 @@
 // at the last frame. Load rejects — with an error wrapping ErrCorrupt, never
 // a panic — torn writes, truncation, bit rot, version skew, geometry
 // mismatches, and files whose embedded problem no longer hashes to the
-// recorded hash. Writers publish atomically (temp file + rename with fsync),
+// recorded hash. Beyond framing, Decode re-derives the whole restored
+// frontier from the DP recurrence and rejects any file whose values
+// disagree — a CRC-consistent checkpoint written by faulty hardware is
+// quarantined on resume instead of seeding a wrong answer.
+// Writers publish atomically (temp file + rename with fsync),
 // so a crash mid-write leaves either the previous complete checkpoint or a
 // stray .tmp that Scan reports for deletion.
 package checkpoint
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io/fs"
+	"math/bits"
 	"path/filepath"
 	"strings"
 
@@ -281,6 +286,9 @@ func Decode(data []byte) (*Snapshot, error) {
 	if f.C[0] != 0 {
 		return nil, fmt.Errorf("%w: frontier C(∅) = %d", ErrCorrupt, f.C[0])
 	}
+	if err := validateFrontier(p, f); err != nil {
+		return nil, err
+	}
 	return &Snapshot{
 		Engine:   m.Engine,
 		Hash:     m.Hash,
@@ -289,6 +297,59 @@ func Decode(data []byte) (*Snapshot, error) {
 		Problem:  p,
 		Frontier: f,
 	}, nil
+}
+
+// validateFrontier is the certify-on-resume check: it re-derives every
+// frontier cell from the DP recurrence — C(∅)=0, M[S,i] = t_i·p(S) +
+// C(S∩T_i) + C(S−T_i) with treatments dropping the intersection term,
+// C(S) = min_i M[S,i] with the lowest index winning ties — and compares the
+// stored values against the independent recomputation. The frame CRCs catch
+// bit rot on disk, but a checkpoint written by a machine that was already
+// computing garbage is internally consistent; without this check a resumed
+// solve would inherit the wrong frontier and certify-before-cache would only
+// catch the damage after the remaining levels were wasted on it. Every cell's
+// recurrence reads only strict subsets, which have strictly smaller popcount
+// and therefore also live inside the frontier, so the whole restored prefix
+// is checkable from C(∅)=0 alone. Cost is O(N·2^K) — the same order as the
+// resumed solve itself.
+func validateFrontier(p *core.Problem, f *core.Frontier) error {
+	size := 1 << uint(p.K)
+	psum := make([]uint64, size)
+	for s := 1; s < size; s++ {
+		low := s & -s
+		psum[s] = core.SatAdd(psum[s&(s-1)], p.Weights[bits.TrailingZeros(uint(low))])
+	}
+	want := make([]uint64, size)
+	for s := 1; s < size; s++ {
+		if bits.OnesCount(uint(s)) > f.Level {
+			continue
+		}
+		best, bestIdx := core.Inf, int32(-1)
+		for i, a := range p.Actions {
+			inter := core.Set(s) & a.Set
+			diff := core.Set(s) &^ a.Set
+			cost := core.SatMul(a.Cost, psum[s])
+			switch {
+			case a.Treatment && inter == 0, !a.Treatment && (inter == 0 || diff == 0):
+				cost = core.Inf // action does not make progress on S
+			case a.Treatment:
+				cost = core.SatAdd(cost, want[diff])
+			default:
+				cost = core.SatAdd(cost, core.SatAdd(want[inter], want[diff]))
+			}
+			if cost < best {
+				best, bestIdx = cost, int32(i)
+			}
+		}
+		want[s] = best
+		if f.C[s] != best {
+			return fmt.Errorf("%w: frontier C(%#x) = %d, recurrence gives %d", ErrCorrupt, s, f.C[s], best)
+		}
+		if f.Choice != nil && f.Choice[s] != bestIdx {
+			return fmt.Errorf("%w: frontier choice for %#x is %d, recurrence gives %d", ErrCorrupt, s, f.Choice[s], bestIdx)
+		}
+	}
+	return nil
 }
 
 // Writer persists one solve's frontier, overwriting the same file at each

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"os"
+	"math/bits"
 	"path/filepath"
 	"testing"
 
@@ -208,5 +209,69 @@ func TestFrontierPacking(t *testing.T) {
 	})
 	if len(seen) != frontierCount(5, 3) {
 		t.Fatalf("visited %d subsets, want %d", len(seen), frontierCount(5, 3))
+	}
+}
+
+// TestDecodeRejectsTamperedFrontier is the certify-on-resume contract: a
+// checkpoint whose framing is pristine — every CRC recomputed over the
+// tampered payload — but whose frontier disagrees with the DP recurrence must
+// be quarantined, exactly like a torn write. This is the file a machine with
+// silently corrupting hardware would produce.
+func TestDecodeRejectsTamperedFrontier(t *testing.T) {
+	p := testProblem()
+	hash, _ := ProblemHash(p)
+	sol, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a frontier cell inside level 3 with a finite cost to perturb.
+	var target int
+	for s := 1; s < 1<<uint(p.K); s++ {
+		if bits.OnesCount(uint(s)) <= 3 && sol.C[s] > 0 && sol.C[s] < core.Inf {
+			target = s
+			break
+		}
+	}
+	if target == 0 {
+		t.Fatal("no finite frontier cell to tamper with")
+	}
+
+	encode := func(mutate func(*core.Solution)) []byte {
+		t.Helper()
+		bad := &core.Solution{
+			C:      append([]uint64(nil), sol.C...),
+			Choice: append([]int32(nil), sol.Choice...),
+		}
+		mutate(bad)
+		data, err := Encode(p, hash, "seq", 0, 3, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	check := func(name string, img []byte) {
+		t.Helper()
+		snap, err := Decode(img)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v (snap %v), want ErrCorrupt", name, err, snap)
+		}
+	}
+
+	check("cost-off-by-one", encode(func(b *core.Solution) { b.C[target]++ }))
+	check("cost-zeroed", encode(func(b *core.Solution) { b.C[target] = 0 }))
+	check("cost-inf", encode(func(b *core.Solution) { b.C[target] = core.Inf }))
+	// A wrong argmin with the right cost is still a lie: resuming from it
+	// would rebuild a wrong procedure tree.
+	check("choice-swapped", encode(func(b *core.Solution) {
+		b.Choice[target] = (b.Choice[target] + 1) % int32(len(p.Actions))
+	}))
+
+	// Sanity: the untampered image still decodes.
+	good, err := Encode(p, hash, "seq", 0, 3, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(good); err != nil {
+		t.Fatalf("pristine image rejected: %v", err)
 	}
 }

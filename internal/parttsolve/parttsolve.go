@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/ccc"
 	"repro/internal/cccsim"
+	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/hypercube"
 )
@@ -109,6 +110,10 @@ type Result struct {
 	// engine is CCC; 0 otherwise.
 	CCCSteps int
 	Engine   EngineKind
+	// Repairs counts ABFT round repairs: barriers where verification failed,
+	// the machine was rebuilt from the trusted mirror, and the round re-ran
+	// successfully. Always 0 unless Options.Verify is set.
+	Repairs int
 }
 
 // Steps returns total parallel word-level steps (dimension + local).
@@ -128,6 +133,21 @@ func SolveCtx(ctx context.Context, p *core.Problem, kind EngineKind) (*Result, e
 	return SolveCheckpointedCtx(ctx, p, kind, nil, nil)
 }
 
+// Options bundles the optional plumbing of a parallel solve.
+type Options struct {
+	// Frontier resumes from a restored level frontier (must carry choices).
+	Frontier *core.Frontier
+	// Checkpointer fires after every completed round j < K.
+	Checkpointer core.Checkpointer
+	// Verify enables the ABFT layer (abft.go): a host-side shadow DP checks
+	// the machine's full architectural state at every round barrier, repairs
+	// one transient corruption per round by rebuilding the machine from the
+	// trusted mirror, and refuses with a certify.LevelError when a fault
+	// persists through the repair. With a healthy machine the result is
+	// bit-identical to an unverified run (Repairs = 0).
+	Verify bool
+}
+
 // SolveCheckpointedCtx is SolveCtx with durable-solve plumbing. A non-nil
 // frontier skips rounds 1..f.Level by restoring the machine state those
 // rounds would have produced — the M and MI planes for every completed group
@@ -137,6 +157,12 @@ func SolveCtx(ctx context.Context, p *core.Problem, kind EngineKind) (*Result, e
 // j < k with the (C, Choice) planes extracted from the machine. Results are
 // bit-identical to an uninterrupted run.
 func SolveCheckpointedCtx(ctx context.Context, p *core.Problem, kind EngineKind, f *core.Frontier, ck core.Checkpointer) (*Result, error) {
+	return SolveOpts(ctx, p, kind, Options{Frontier: f, Checkpointer: ck})
+}
+
+// SolveOpts runs the parallel algorithm with the full option set.
+func SolveOpts(ctx context.Context, p *core.Problem, kind EngineKind, opt Options) (*Result, error) {
+	f, ck := opt.Frontier, opt.Checkpointer
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -256,10 +282,18 @@ func SolveCheckpointedCtx(ctx context.Context, p *core.Problem, kind EngineKind,
 		startRound = f.Level + 1
 	}
 
-	for j := startRound; j <= k; j++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	var ab *abft
+	if opt.Verify {
+		ab = newABFT(p, actions, logN)
+		if f != nil {
+			ab.seed(f)
 		}
+	}
+
+	// runRound executes one complete round j (steps 1–5). It is re-runnable:
+	// everything it reads — the frozen M/MI prefix, PS, TP, the mark plane —
+	// is exactly what the ABFT repair rebuilds from the trusted mirror.
+	runRound := func(j int) error {
 		// (1) Advance the group mark: propagation of the first kind over the
 		// S-dimensions.
 		eng.AscendRange(logN, dim, func(d, addr int, self, partner Cell) Cell {
@@ -275,7 +309,7 @@ func SolveCheckpointedCtx(ctx context.Context, p *core.Problem, kind EngineKind,
 		})
 		if debugChecks {
 			if err := CheckGroupInvariant(eng.State(), logN, j); err != nil {
-				return nil, err
+				return err
 			}
 		}
 
@@ -334,7 +368,55 @@ func SolveCheckpointedCtx(ctx context.Context, p *core.Problem, kind EngineKind,
 			return self
 		})
 		res.DimSteps += logN
+		if abftCorruptHook != nil {
+			abftCorruptHook(j, eng.State())
+		}
+		return nil
+	}
 
+	// repair rebuilds the machine from the ABFT mirror as if round j-1 had
+	// just completed — the same reconstruction a frontier restore performs,
+	// extended to every recomputable plane (PS, TP, scratch), so only a fault
+	// that re-asserts itself during the re-run can survive.
+	repair := func(j int) {
+		local(eng, res, func(addr int, c *Cell) {
+			s := addr >> uint(logN)
+			pc := popcount(s)
+			if pc <= j-1 {
+				c.M, c.MI = ab.c[s], ab.choice[s]
+			} else {
+				c.M, c.MI = core.Inf, -1
+			}
+			c.Mark = pc == j-1
+			c.Rcv = false
+			c.R, c.Q = 0, 0
+			c.PS = ab.psum[s]
+			c.TP = core.SatMul(actions[addr&iMask].Cost, ab.psum[s])
+		})
+	}
+
+	for j := startRound; j <= k; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if ab != nil {
+			ab.advance(j)
+		}
+		if err := runRound(j); err != nil {
+			return nil, err
+		}
+		if ab != nil {
+			if rep := ab.verify(eng.State(), j); !rep.OK() {
+				repair(j)
+				if err := runRound(j); err != nil {
+					return nil, err
+				}
+				if rep = ab.verify(eng.State(), j); !rep.OK() {
+					return nil, &certify.LevelError{Engine: kind.String(), Level: j, Report: rep}
+				}
+				res.Repairs++
+			}
+		}
 		if ck != nil && j < k {
 			if err := ck.CheckpointLevel(j, extractPlanes(eng, k, logN)); err != nil {
 				return nil, fmt.Errorf("parttsolve: checkpoint at level %d: %w", j, err)

@@ -12,7 +12,10 @@ import (
 // size limit. Tree is nil when the solving engine reports costs but not
 // argmins (the bvm engine) or the instance is inadequate.
 type cacheEntry struct {
-	hash     string
+	hash string
+	key  string // cache key: hash plus certify mode ("" means hash) — an
+	// uncertified answer must never be served to a request that asked for
+	// certification, so entries solved under different modes get distinct slots
 	engine   string // engine that originally solved the instance
 	cost     uint64 // C(U); core.Inf for inadequate instances
 	adequate bool
@@ -40,7 +43,8 @@ func entryBytes(e *cacheEntry) int64 {
 	return n
 }
 
-// lruCache is an LRU over solved instances, keyed by canonical hash, bounded
+// lruCache is an LRU over solved instances, keyed by cache key (canonical
+// hash plus certify mode), bounded
 // by entry count and optionally by total estimated bytes. It is not safe for
 // concurrent use; the server guards it with its mutex.
 type lruCache struct {
@@ -60,9 +64,9 @@ func newLRU(capacity int, byteBudget int64) *lruCache {
 	}
 }
 
-// get returns the entry for hash and marks it most recently used.
-func (c *lruCache) get(hash string) *cacheEntry {
-	el, ok := c.byHash[hash]
+// get returns the entry for key and marks it most recently used.
+func (c *lruCache) get(key string) *cacheEntry {
+	el, ok := c.byHash[key]
 	if !ok {
 		return nil
 	}
@@ -77,18 +81,21 @@ func (c *lruCache) add(e *cacheEntry) {
 	if c.capacity <= 0 {
 		return
 	}
+	if e.key == "" {
+		e.key = e.hash
+	}
 	if e.bytes == 0 {
 		e.bytes = entryBytes(e)
 	}
 	if c.byteBudget > 0 && e.bytes > c.byteBudget {
 		return
 	}
-	if el, ok := c.byHash[e.hash]; ok {
+	if el, ok := c.byHash[e.key]; ok {
 		c.totalBytes += e.bytes - el.Value.(*cacheEntry).bytes
 		el.Value = e
 		c.ll.MoveToFront(el)
 	} else {
-		c.byHash[e.hash] = c.ll.PushFront(e)
+		c.byHash[e.key] = c.ll.PushFront(e)
 		c.totalBytes += e.bytes
 	}
 	for c.ll.Len() > c.capacity || (c.byteBudget > 0 && c.totalBytes > c.byteBudget) {
@@ -98,7 +105,7 @@ func (c *lruCache) add(e *cacheEntry) {
 		}
 		old := oldest.Value.(*cacheEntry)
 		c.ll.Remove(oldest)
-		delete(c.byHash, old.hash)
+		delete(c.byHash, old.key)
 		c.totalBytes -= old.bytes
 	}
 }

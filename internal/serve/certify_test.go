@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestCertifyCorruptAnswerNeverServedOrCached is the serving half of the
+// silent-corruption defense: a chaos hook corrupts every answer the lockstep
+// engine produces, and certification must refuse each one — the request is
+// answered by the fallback chain with the correct cost, the corrupt answer is
+// never cached, and the counters record the refusals.
+func TestCertifyCorruptAnswerNeverServedOrCached(t *testing.T) {
+	p := workload.MedicalDiagnosis(4, 6)
+	s, ts := newTestServer(t, Config{
+		ResultFault: func(engine string) bool { return engine == "lockstep" },
+	})
+	want, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, code := postSolve(t, ts, "?engine=lockstep", instanceJSON(t, p))
+	if code != http.StatusOK {
+		t.Fatalf("lockstep request: status %d", code)
+	}
+	if sr.SolvedBy == "lockstep" {
+		t.Fatal("corrupted lockstep answer was served")
+	}
+	if sr.Cost == nil || *sr.Cost != want.Cost {
+		t.Fatalf("served cost %v, want %v", sr.Cost, want.Cost)
+	}
+	if got := s.Metrics().CertifyFail.Load(); got == 0 {
+		t.Fatal("no certification failure was recorded")
+	}
+	if got := s.Metrics().CertifyPass.Load(); got == 0 {
+		t.Fatal("no certification pass was recorded")
+	}
+	// The cache must hold only certified answers: a re-ask is a hit and
+	// still carries the right cost.
+	again, _ := postSolve(t, ts, "?engine=lockstep", instanceJSON(t, p))
+	if !again.Cached || *again.Cost != want.Cost {
+		t.Fatalf("re-ask: cached=%v cost=%v, want cached hit of %d", again.Cached, *again.Cost, want.Cost)
+	}
+}
+
+// TestCertifyAllEnginesCorruptFailsClosed: when every engine in the chain
+// produces a corrupt answer, the server returns 5xx and caches nothing — a
+// wrong answer never escapes, which is the whole contract.
+func TestCertifyAllEnginesCorruptFailsClosed(t *testing.T) {
+	p := workload.MedicalDiagnosis(4, 6)
+	s, ts := newTestServer(t, Config{
+		Retries:     -1,
+		ResultFault: func(string) bool { return true },
+	})
+	_, code := postSolve(t, ts, "?engine=lockstep", instanceJSON(t, p))
+	if code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", code)
+	}
+	if n := s.CacheLen(); n != 0 {
+		t.Fatalf("%d corrupt entries cached, want 0", n)
+	}
+	if got := s.Metrics().CertifyFail.Load(); got == 0 {
+		t.Fatal("no certification failure was recorded")
+	}
+}
+
+// TestCertifyModeOffLetsCorruptionThrough documents the threat model: with
+// certification off the same corruption is served — which is why off-mode
+// answers must never satisfy a certifying request (next test).
+func TestCertifyModeOffLetsCorruptionThrough(t *testing.T) {
+	p := workload.MedicalDiagnosis(4, 6)
+	_, ts := newTestServer(t, Config{
+		CertifyMode: "off",
+		ResultFault: func(engine string) bool { return engine == "seq" },
+	})
+	sr, code := postSolve(t, ts, "?engine=seq", instanceJSON(t, p))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if sr.CertifyMode != "off" {
+		t.Fatalf("certify_mode %q, want off", sr.CertifyMode)
+	}
+	// The corrupted cost sailed through; nothing checked it.
+}
+
+// TestCertifyModeKeysCache: answers are cached per certify mode, so a request
+// that asks for certification never gets an answer that skipped it.
+func TestCertifyModeKeysCache(t *testing.T) {
+	p := workload.MedicalDiagnosis(4, 6)
+	s, ts := newTestServer(t, Config{CertifyMode: "off"})
+	first, _ := postSolve(t, ts, "?engine=seq", instanceJSON(t, p))
+	if first.Cached {
+		t.Fatal("first solve reported cached")
+	}
+	// Same instance, now with certification: must NOT hit the off-mode slot.
+	fast, _ := postSolve(t, ts, "?engine=seq&certify=fast", instanceJSON(t, p))
+	if fast.Cached {
+		t.Fatal("fast-mode request was served the uncertified cached answer")
+	}
+	if fast.CertifyMode != "fast" {
+		t.Fatalf("certify_mode %q, want fast", fast.CertifyMode)
+	}
+	// Each mode has its own slot from here on.
+	for _, q := range []string{"?engine=seq", "?engine=seq&certify=fast"} {
+		if again, _ := postSolve(t, ts, q, instanceJSON(t, p)); !again.Cached {
+			t.Fatalf("%s: expected a cache hit", q)
+		}
+	}
+	if n := s.CacheLen(); n != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (one per mode)", n)
+	}
+	// Audit mode runs the deep checks and gets a third slot.
+	audit, code := postSolve(t, ts, "?engine=seq&certify=audit", instanceJSON(t, p))
+	if code != http.StatusOK || audit.Cached || audit.CertifyMode != "audit" {
+		t.Fatalf("audit request: code=%d cached=%v mode=%q", code, audit.Cached, audit.CertifyMode)
+	}
+	if *audit.Cost != *first.Cost {
+		t.Fatalf("audit cost %d, want %d", *audit.Cost, *first.Cost)
+	}
+}
+
+// TestCertifyInvalidModeRejected: an unknown certify= value is a 400, not a
+// silent fallback.
+func TestCertifyInvalidModeRejected(t *testing.T) {
+	p := workload.MedicalDiagnosis(3, 4)
+	_, ts := newTestServer(t, Config{})
+	if _, code := postSolve(t, ts, "?certify=paranoid", instanceJSON(t, p)); code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", code)
+	}
+}
+
+// TestCertifyBVMTableAnswer: the cost-only bvm engine certifies through the
+// table path (top cell re-priced bottom-up), in both fast and audit modes.
+func TestCertifyBVMTableAnswer(t *testing.T) {
+	p := workload.MedicalDiagnosis(4, 6)
+	s, ts := newTestServer(t, Config{})
+	for _, mode := range []string{"fast", "audit"} {
+		sr, code := postSolve(t, ts, "?engine=bvm&certify="+mode, instanceJSON(t, p))
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", mode, code)
+		}
+		if sr.SolvedBy != "bvm" {
+			t.Fatalf("%s: solved_by %q, want bvm", mode, sr.SolvedBy)
+		}
+	}
+	if got := s.Metrics().CertifyPass.Load(); got != 2 {
+		t.Fatalf("certify_pass = %d, want 2", got)
+	}
+}

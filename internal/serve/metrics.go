@@ -77,6 +77,11 @@ type Metrics struct {
 	Fallbacks      atomic.Int64 // downgrades to the next engine in the chain
 	BreakerRejects atomic.Int64 // attempts skipped because a breaker was open
 
+	// Certification (resilience.go): every answer is checked by the
+	// engine-independent certifier before it is cached or returned.
+	CertifyPass atomic.Int64 // answers that passed certification
+	CertifyFail atomic.Int64 // answers refused: certification found a violation
+
 	// Durable checkpoints (resilience.go).
 	CheckpointLevels     atomic.Int64 // level frontiers durably written
 	CheckpointErrors     atomic.Int64 // persistence failures (swallowed, solve continues)
@@ -127,6 +132,8 @@ func (m *Metrics) Snapshot() map[string]any {
 		"retries":               m.Retries.Load(),
 		"fallbacks":             m.Fallbacks.Load(),
 		"breaker_rejects":       m.BreakerRejects.Load(),
+		"certify_pass":          m.CertifyPass.Load(),
+		"certify_fail":          m.CertifyFail.Load(),
 		"checkpoint_levels":     m.CheckpointLevels.Load(),
 		"checkpoint_errors":     m.CheckpointErrors.Load(),
 		"checkpoints_resumed":   m.CheckpointsResumed.Load(),

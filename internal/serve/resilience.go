@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/bvmtt"
+	"repro/internal/certify"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/parttsolve"
@@ -52,7 +53,7 @@ func (s *Server) breaker(engine string) *breaker {
 // engine panic, injected fault) counts against the engine's breaker, is
 // retried with jittered backoff, and finally falls through to the next
 // engine in the chain.
-func (s *Server) solveResilient(ctx context.Context, hash string, canon *core.Problem, engine string) (*cacheEntry, error) {
+func (s *Server) solveResilient(ctx context.Context, hash string, canon *core.Problem, engine string, mode certify.Mode) (*cacheEntry, error) {
 	chain := fallbackChains[engine]
 	if chain == nil {
 		return nil, fmt.Errorf("serve: unknown engine %q", engine)
@@ -77,7 +78,7 @@ func (s *Server) solveResilient(ctx context.Context, hash string, canon *core.Pr
 			}
 			s.metrics.Solves.Add(1)
 			start := time.Now()
-			ent, err := s.solveAttempt(ctx, hash, canon, eng)
+			ent, err := s.solveAttempt(ctx, hash, canon, eng, mode)
 			s.metrics.observe(eng, time.Since(start))
 			if err == nil {
 				if br != nil {
@@ -133,7 +134,14 @@ func isContextErr(err error) bool {
 // checkpoint already on disk for this instance. A finished solve discards
 // its checkpoint file: the durable frontier exists only while the answer
 // does not.
-func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Problem, engine string) (ent *cacheEntry, err error) {
+//
+// Under any mode but off, the answer is certified before it is returned (and
+// therefore before runSolve can cache it): the simulated-machine engines run
+// with their ABFT layer on, and the finished answer — tree or cost table plus
+// reported C(U) — must pass the engine-independent certifier. A failed
+// certification is an engine fault like any other: it feeds the breaker,
+// is retried, and falls through to the next engine in the chain.
+func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Problem, engine string, mode certify.Mode) (ent *cacheEntry, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ent, err = nil, fmt.Errorf("serve: %s engine panicked: %v", engine, r)
@@ -146,10 +154,12 @@ func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Prob
 	}
 	frontier := s.loadResume(hash, engine)
 	ck, w := s.checkpointerFor(ctx, hash, canon, engine)
+	verify := mode != certify.ModeOff
 
 	var (
 		cost    uint64
 		choices []int32
+		cplane  []uint64
 	)
 	switch engine {
 	case "seq":
@@ -157,34 +167,46 @@ func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Prob
 		if err != nil {
 			return nil, err
 		}
-		cost, choices = sol.Cost, sol.Choice
+		cost, choices, cplane = sol.Cost, sol.Choice, sol.C
 	case "parallel":
 		sol, err := core.SolveParallelCheckpointedCtx(ctx, canon, s.cfg.Workers, frontier, ck)
 		if err != nil {
 			return nil, err
 		}
-		cost, choices = sol.Cost, sol.Choice
+		cost, choices, cplane = sol.Cost, sol.Choice, sol.C
 	case "lockstep", "goroutine", "ccc":
-		res, err := parttsolve.SolveCheckpointedCtx(ctx, canon, engineKinds[engine], frontier, ck)
+		res, err := parttsolve.SolveOpts(ctx, canon, engineKinds[engine],
+			parttsolve.Options{Frontier: frontier, Checkpointer: ck, Verify: verify})
 		if err != nil {
 			return nil, err
 		}
-		cost, choices = res.Cost, res.Choice
+		cost, choices, cplane = res.Cost, res.Choice, res.C
 	case "bvm":
-		res, err := bvmtt.SolveCheckpointedCtx(ctx, canon, 0, frontier, ck)
+		res, err := bvmtt.SolveOpts(ctx, canon,
+			bvmtt.Options{Frontier: frontier, Checkpointer: ck, Verify: verify})
 		if err != nil {
 			return nil, err
 		}
-		cost = res.Cost
+		cost, cplane = res.Cost, res.C
 	default:
 		return nil, fmt.Errorf("serve: unknown engine %q", engine)
+	}
+	if hook := s.cfg.ResultFault; hook != nil && hook(engine) {
+		// Chaos: a silent in-memory corruption of the finished answer — the
+		// exact failure the certifier exists to stop at the door.
+		if cost >= core.Inf {
+			cost = 42
+		} else {
+			cost++
+		}
 	}
 	if w != nil {
 		if err := w.Discard(); err != nil {
 			s.log.Warn("discarding finished checkpoint", "err", err)
 		}
 	}
-	ent = &cacheEntry{engine: engine, cost: cost, adequate: cost < core.Inf, canon: canon, hash: hash}
+	ent = &cacheEntry{engine: engine, cost: cost, adequate: cost < core.Inf,
+		canon: canon, hash: hash, key: hash + "|" + mode.String()}
 	if ent.adequate && choices != nil {
 		sol := &core.Solution{Cost: cost, Choice: choices}
 		tree, err := sol.Tree(canon)
@@ -193,8 +215,27 @@ func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Prob
 		}
 		ent.tree = tree
 	}
+	if mode != certify.ModeOff {
+		rep := certify.Check(canon, cost, ent.tree, cplane, choices, mode, certifySeed(hash))
+		if !rep.OK() {
+			s.metrics.CertifyFail.Add(1)
+			return nil, fmt.Errorf("serve: %s answer refused: %w", engine, rep.Err())
+		}
+		s.metrics.CertifyPass.Add(1)
+	}
 	ent.bytes = entryBytes(ent)
 	return ent, nil
+}
+
+// certifySeed derives the audit-mode sampling seed from the instance hash, so
+// re-certifying the same instance audits the same cells (reproducible) while
+// different instances audit different ones.
+func certifySeed(hash string) int64 {
+	var s uint64 = 14695981039346656037
+	for i := 0; i < len(hash); i++ {
+		s = (s ^ uint64(hash[i])) * 1099511628211
+	}
+	return int64(s)
 }
 
 // loadResume returns a frontier for this instance if a compatible durable
@@ -312,7 +353,7 @@ func (s *Server) RecoverCheckpoints(ctx context.Context) (resumed, discarded int
 		if !validEngine(engine) {
 			engine = s.cfg.DefaultEngine
 		}
-		ent, err := s.solveResilient(ctx, snap.Hash, snap.Problem, engine)
+		ent, err := s.solveResilient(ctx, snap.Hash, snap.Problem, engine, s.certifyMode)
 		if err != nil {
 			// Leave the file: the frontier is still good and the next start
 			// (or the next request for this instance) can try again.

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/bvmtt"
 	"repro/internal/ccc"
+	"repro/internal/certify"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/instio"
@@ -62,6 +63,7 @@ type Config struct {
 	MaxActions     int           // admission: most actions accepted (default 64)
 	Workers        int           // worker goroutines per parallel solve (default GOMAXPROCS)
 	DefaultEngine  string        // engine when the request names none (default "seq")
+	CertifyMode    string        // answer certification: "off", "fast", "audit" (default "fast"); per-request certify= overrides
 	Logger         *slog.Logger  // structured request log (default slog.Default())
 
 	// Self-healing knobs (docs/RESILIENCE.md).
@@ -74,6 +76,7 @@ type Config struct {
 
 	// Chaos hooks, wired to ttserve's -chaos-* flags; zero in production.
 	EngineFault func(engine string) error // called before each solve attempt; error or panic = engine fault
+	ResultFault func(engine string) bool  // true = silently corrupt this attempt's answer before certification
 	LevelDelay  time.Duration             // artificial pause at every level barrier
 }
 
@@ -104,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultEngine == "" {
 		c.DefaultEngine = "seq"
+	}
+	if c.CertifyMode == "" {
+		c.CertifyMode = "fast"
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -143,10 +149,11 @@ type flightCall struct {
 // Server is the solver service. Create with New, mount Handler on an
 // http.Server, and Close only after that server has drained.
 type Server struct {
-	cfg     Config
-	log     *slog.Logger
-	mux     *http.ServeMux
-	metrics *Metrics
+	cfg         Config
+	log         *slog.Logger
+	mux         *http.ServeMux
+	metrics     *Metrics
+	certifyMode certify.Mode // parsed Config.CertifyMode, the per-server default
 
 	sem      chan struct{} // solver semaphore, capacity MaxConcurrent
 	pending  atomic.Int64  // queued+running solves, bounded by MaxPending
@@ -167,18 +174,24 @@ type Server struct {
 // New builds a Server from cfg (zero value is a sensible default).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	mode, err := certify.ParseMode(cfg.CertifyMode)
+	if err != nil {
+		cfg.Logger.Warn("invalid certify mode, using fast", "mode", cfg.CertifyMode)
+		mode = certify.ModeFast
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		log:        cfg.Logger,
-		mux:        http.NewServeMux(),
-		metrics:    newMetrics(),
-		sem:        make(chan struct{}, cfg.MaxConcurrent),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		cache:      newLRU(cfg.CacheEntries, cfg.CacheBytes),
-		flights:    make(map[string]*flightCall),
-		breakers:   make(map[string]*breaker),
+		cfg:         cfg,
+		certifyMode: mode,
+		log:         cfg.Logger,
+		mux:         http.NewServeMux(),
+		metrics:     newMetrics(),
+		sem:         make(chan struct{}, cfg.MaxConcurrent),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		cache:       newLRU(cfg.CacheEntries, cfg.CacheBytes),
+		flights:     make(map[string]*flightCall),
+		breakers:    make(map[string]*breaker),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
@@ -240,6 +253,7 @@ type SolveResponse struct {
 	SolvedBy     string  `json:"solved_by"`           // engine that produced the solution
 	Cached       bool    `json:"cached"`              // served from the LRU without solving
 	Coalesced    bool    `json:"coalesced,omitempty"` // shared a concurrent identical solve
+	CertifyMode  string  `json:"certify_mode"`        // certification the answer passed: off, fast, audit
 	Adequate     bool    `json:"adequate"`
 	Cost         *uint64 `json:"cost,omitempty"` // C(U); absent when inadequate
 	FirstAction  string  `json:"first_action,omitempty"`
@@ -281,6 +295,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown engine %q", engine))
 		return
 	}
+	mode := s.certifyMode
+	if cm := q.Get("certify"); cm != "" {
+		var err error
+		if mode, err = certify.ParseMode(cm); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	timeout := s.cfg.DefaultTimeout
 	if ms := q.Get("timeout_ms"); ms != "" {
 		n, err := strconv.ParseInt(ms, 10, 64)
@@ -311,7 +333,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	start := time.Now()
-	ent, cached, coalesced, err := s.solveShared(ctx, hash, canon, engine, timeout)
+	ent, cached, coalesced, err := s.solveShared(ctx, hash, canon, engine, mode, timeout)
 	if err != nil {
 		s.solveError(w, err)
 		return
@@ -324,6 +346,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		SolvedBy:     ent.engine,
 		Cached:       cached,
 		Coalesced:    coalesced,
+		CertifyMode:  mode.String(),
 		Adequate:     ent.adequate,
 		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
 	}
@@ -381,19 +404,23 @@ func (s *Server) admit(p *core.Problem, engine string) error {
 }
 
 // solveShared resolves one request to a cache entry: LRU hit, attach to an
-// identical in-flight solve, or start the solve. The solve runs under its
-// own context (derived from the server, bounded by timeout), so it survives
-// any single client's disconnect while other waiters remain — and stops as
-// soon as the last waiter is gone.
-func (s *Server) solveShared(ctx context.Context, hash string, canon *core.Problem, engine string, timeout time.Duration) (ent *cacheEntry, cached, coalesced bool, err error) {
+// identical in-flight solve, or start the solve. Cache and singleflight are
+// keyed by hash *and* certify mode, so an answer solved without
+// certification is never handed to a request that asked for it (and an
+// audit-mode answer is not diluted to an off-mode one). The solve runs under
+// its own context (derived from the server, bounded by timeout), so it
+// survives any single client's disconnect while other waiters remain — and
+// stops as soon as the last waiter is gone.
+func (s *Server) solveShared(ctx context.Context, hash string, canon *core.Problem, engine string, mode certify.Mode, timeout time.Duration) (ent *cacheEntry, cached, coalesced bool, err error) {
+	key := hash + "|" + mode.String()
 	s.mu.Lock()
-	if e := s.cache.get(hash); e != nil {
+	if e := s.cache.get(key); e != nil {
 		s.mu.Unlock()
 		s.metrics.CacheHits.Add(1)
 		return e, true, false, nil
 	}
 	s.metrics.CacheMisses.Add(1)
-	if c, ok := s.flights[hash]; ok {
+	if c, ok := s.flights[key]; ok {
 		c.waiters++
 		s.mu.Unlock()
 		s.metrics.Coalesced.Add(1)
@@ -402,9 +429,9 @@ func (s *Server) solveShared(ctx context.Context, hash string, canon *core.Probl
 	}
 	solveCtx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	c := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
-	s.flights[hash] = c
+	s.flights[key] = c
 	s.mu.Unlock()
-	go s.runSolve(solveCtx, hash, c, canon, engine)
+	go s.runSolve(solveCtx, hash, c, canon, engine, mode)
 	e, err := s.await(ctx, c)
 	return e, false, false, err
 }
@@ -432,8 +459,9 @@ func (s *Server) await(ctx context.Context, c *flightCall) (*cacheEntry, error) 
 // publishes the result to every waiter and (on success) the cache. The solve
 // itself goes through the resilient path: fallback chain, retries, circuit
 // breakers, and durable checkpointing (resilience.go).
-func (s *Server) runSolve(ctx context.Context, hash string, c *flightCall, canon *core.Problem, engine string) {
+func (s *Server) runSolve(ctx context.Context, hash string, c *flightCall, canon *core.Problem, engine string, mode certify.Mode) {
 	defer c.cancel()
+	key := hash + "|" + mode.String()
 	var ent *cacheEntry
 	var err error
 	func() {
@@ -455,10 +483,10 @@ func (s *Server) runSolve(ctx context.Context, hash string, c *flightCall, canon
 			return
 		}
 		defer func() { <-s.sem }()
-		ent, err = s.solveResilient(ctx, hash, canon, engine)
+		ent, err = s.solveResilient(ctx, hash, canon, engine, mode)
 	}()
 	s.mu.Lock()
-	delete(s.flights, hash)
+	delete(s.flights, key)
 	c.entry, c.err = ent, err
 	if err == nil {
 		s.cache.add(ent)
