@@ -1,5 +1,6 @@
 # Development targets. CI (.github/workflows/ci.yml) runs build, vet,
-# staticcheck, test, race, and a short fuzz pass on every push.
+# staticcheck, ttlint, govulncheck, test, race, and a short fuzz pass on
+# every push.
 
 GO ?= go
 
@@ -17,15 +18,22 @@ race:
 vet:
 	$(GO) vet ./...
 
-# staticcheck is not vendored; install with
-#   go install honnef.co/go/tools/cmd/staticcheck@2025.1
-# The target degrades to a notice when the binary is absent so offline
-# checkouts still make.
+# ttlint is this repo's own analyzer suite (cmd/ttlint, docs/ANALYSIS.md):
+# flushcheck, ctxflow, certorder, panicsafe, durability. It builds from the
+# tree, so the target works offline. staticcheck and govulncheck are not
+# vendored; each degrades to a notice when absent so offline checkouts
+# still make (CI installs and runs them).
 lint: vet
+	$(GO) run ./cmd/ttlint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
 	fi
 
 fuzz-short:

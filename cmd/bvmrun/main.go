@@ -5,8 +5,8 @@
 // Usage:
 //
 //	bvmrun [-r 2] <demo>
-//	bvmrun [-r 2] lint  [-json] <file.bvm | ->
-//	bvmrun [-r 2] check [-json] [-i instance.json] [-w width] <program>
+//	bvmrun [-r 2] lint  [-json|-sarif] <file.bvm | ->
+//	bvmrun [-r 2] check [-json|-sarif] [-i instance.json] [-w width] <program>
 //
 // Demos:
 //
@@ -145,10 +145,15 @@ func dispatch(args []string, stdout io.Writer) error {
 	return err
 }
 
-// emitReport prints a lint report (text or JSON) and returns a nonzero-exit
-// error when the program has error-level diagnostics.
-func emitReport(rep *bvmcheck.Report, asJSON bool, stdout io.Writer) error {
-	if asJSON {
+// emitReport prints a lint report (text, JSON, or SARIF) and returns a
+// nonzero-exit error when the program has error-level diagnostics.
+func emitReport(rep *bvmcheck.Report, asJSON, asSARIF bool, stdout io.Writer) error {
+	switch {
+	case asSARIF:
+		if err := rep.SARIF().Encode(stdout); err != nil {
+			return err
+		}
+	case asJSON:
 		raw, err := rep.JSON()
 		if err != nil {
 			return err
@@ -156,8 +161,10 @@ func emitReport(rep *bvmcheck.Report, asJSON bool, stdout io.Writer) error {
 		if _, err := stdout.Write(append(raw, '\n')); err != nil {
 			return err
 		}
-	} else if _, err := io.WriteString(stdout, rep.String()); err != nil {
-		return err
+	default:
+		if _, err := io.WriteString(stdout, rep.String()); err != nil {
+			return err
+		}
 	}
 	if n := len(rep.Errors()); n > 0 {
 		return fmt.Errorf("bvmrun: program %s has %d error(s)", rep.Program, n)
@@ -169,6 +176,7 @@ func emitReport(rep *bvmcheck.Report, asJSON bool, stdout io.Writer) error {
 func runLint(r int, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bvmrun lint", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	asSARIF := fs.Bool("sarif", false, "emit the report as SARIF 2.1.0")
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -199,7 +207,7 @@ func runLint(r int, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return emitReport(bvmcheck.Lint(prog, cfg), *asJSON, stdout)
+	return emitReport(bvmcheck.Lint(prog, cfg), *asJSON, *asSARIF, stdout)
 }
 
 // defaultInstance is the hand-computed problem from the test suite: 2
@@ -222,6 +230,7 @@ func defaultInstance() *core.Problem {
 func runCheck(r int, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bvmrun check", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	asSARIF := fs.Bool("sarif", false, "emit the report as SARIF 2.1.0")
 	instPath := fs.String("i", "", "instance file for the tt program (JSON; - for stdin)")
 	width := fs.Int("w", 0, "cost-word width for the tt program (0 = auto)")
 	fs.SetOutput(stdout)
@@ -285,8 +294,10 @@ func runCheck(r int, args []string, stdout io.Writer) error {
 		if res.Cost == core.Inf {
 			cu = "inf"
 		}
-		fmt.Fprintf(stdout, "; tt solved: C(U)=%s on %d PEs (r=%d, width %d)\n",
-			cu, res.PEs, res.MachineR, res.Width)
+		if !*asJSON && !*asSARIF {
+			fmt.Fprintf(stdout, "; tt solved: C(U)=%s on %d PEs (r=%d, width %d)\n",
+				cu, res.PEs, res.MachineR, res.Width)
+		}
 	default:
 		return fmt.Errorf("bvmrun check: unknown program %q", fs.Arg(0))
 	}
@@ -299,7 +310,7 @@ func runCheck(r int, args []string, stdout io.Writer) error {
 		return err
 	}
 	rep := bvmcheck.Lint(prog, cfg)
-	if err := emitReport(rep, *asJSON, stdout); err != nil {
+	if err := emitReport(rep, *asJSON, *asSARIF, stdout); err != nil {
 		return err
 	}
 
@@ -313,7 +324,7 @@ func runCheck(r int, args []string, stdout io.Writer) error {
 	if err := rep.Cost.CheckAgainst(m); err != nil {
 		return fmt.Errorf("static/dynamic cost mismatch: %w", err)
 	}
-	if !*asJSON {
+	if !*asJSON && !*asSARIF {
 		fmt.Fprintf(stdout, "; cost cross-check: static estimate matches dynamic replay (%d instructions, %d routed)\n",
 			rep.Cost.Instructions, rep.Cost.Routed)
 	}

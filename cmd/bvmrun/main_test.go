@@ -92,6 +92,77 @@ func TestLintJSON(t *testing.T) {
 	}
 }
 
+// TestLintSARIF: -sarif output is a well-formed single-run SARIF log whose
+// results carry the diagnostic category as ruleId and the listing line as the
+// region, and nothing else pollutes the stream.
+func TestLintSARIF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.bvm")
+	if err := os.WriteFile(path, []byte("R[300], B = D, B (A, R[1], B);\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"lint", "-sarif", path}, &out)
+	if err == nil {
+		t.Fatal("lint accepted a program with errors")
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					Physical struct {
+						Region *struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("lint -sarif output does not parse: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "bvmcheck" {
+		t.Fatalf("unexpected SARIF envelope: %s", out.String())
+	}
+	found := false
+	for _, res := range log.Runs[0].Results {
+		if res.RuleID == "bad-register" && res.Level == "error" {
+			found = true
+			if len(res.Locations) == 0 || res.Locations[0].Physical.Region == nil ||
+				res.Locations[0].Physical.Region.StartLine != 1 {
+				t.Errorf("bad-register result lacks its listing line: %+v", res)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no bad-register error in SARIF results: %s", out.String())
+	}
+}
+
+// TestCheckSARIF: check -sarif emits only the SARIF document (banners and
+// cross-check lines are suppressed so the stream stays machine-readable).
+func TestCheckSARIF(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"check", "-sarif", "tt"}, &out); err != nil {
+		t.Fatalf("check -sarif tt: %v\n%s", err, out.String())
+	}
+	var log map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("check -sarif output is not pure JSON: %v\n%s", err, out.String())
+	}
+	if log["version"] != "2.1.0" {
+		t.Fatalf("SARIF version = %v", log["version"])
+	}
+}
+
 func TestDisasmPipesIntoLint(t *testing.T) {
 	var listing strings.Builder
 	if err := run([]string{"disasm"}, &listing); err != nil {

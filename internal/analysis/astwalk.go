@@ -1,0 +1,62 @@
+package analysis
+
+import "go/ast"
+
+// WithStack walks the AST rooted at n in depth-first order, calling fn with
+// each node and the stack of its ancestors (outermost first, n itself last).
+// Returning false from fn prunes the subtree below the current node.
+func WithStack(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, node)
+		if !fn(node, stack) {
+			// Pruned: Inspect will not descend, and will not send the nil
+			// pop for this node either — unwind it ourselves.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// CallsInExecutedCode reports every CallExpr in the subtree of n that is
+// executed when n's statement runs: it descends into immediately-invoked
+// function literals, go statements, and defer statements, but not into
+// function-literal values that are merely created (assigned or passed along),
+// whose bodies run at some other time.
+func CallsInExecutedCode(n ast.Node, fn func(call *ast.CallExpr)) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.CallExpr:
+			fn(v)
+			return true
+		case *ast.FuncLit:
+			// A literal reached here was not the Fun of a CallExpr we just
+			// visited in invoked position... distinguish by parent: handled
+			// below via the CallExpr case descending naturally. We prune all
+			// literals and re-enter only the invoked ones explicitly.
+			return false
+		}
+		return true
+	})
+	// Second pass: immediately-invoked literals (func(){...}(), go func(){}(),
+	// defer func(){}() all parse as CallExpr{Fun: FuncLit}); their bodies are
+	// executed code, recursively.
+	ast.Inspect(n, func(node ast.Node) bool {
+		if call, ok := node.(*ast.CallExpr); ok {
+			if lit, ok := call.Fun.(*ast.FuncLit); ok {
+				CallsInExecutedCode(lit.Body, fn)
+			}
+		}
+		if _, ok := node.(*ast.FuncLit); ok {
+			// Bodies of non-invoked literals stay pruned; invoked ones were
+			// handled via their enclosing CallExpr above.
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package certorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/certorder"
+)
+
+func TestCertorder(t *testing.T) {
+	analysistest.Run(t, "testdata", certorder.Analyzer, "serveorder")
+}

@@ -1,0 +1,192 @@
+// Package ctxflow proves the cancellation-plumbing discipline that PR 3
+// established when ttserve gained real deadlines: library code under
+// internal/ must not mint root contexts (context.Background/TODO), and every
+// exported Solve* entry point must either accept a context.Context and
+// actually use it, or be a thin wrapper that delegates to a variant that
+// does. A solver that quietly roots its own context is a solver the server
+// cannot cancel — the O(N·2^K) sweep outlives the client that asked for it.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "internal/ library code must not call context.Background/TODO outside " +
+		"single-statement convenience wrappers, and exported Solve* entry points " +
+		"must thread a context.Context",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.Path, "/internal/") && !strings.HasPrefix(pass.Path, "internal/") {
+		return nil // binaries and examples legitimately root their own contexts
+	}
+	for _, file := range pass.Files {
+		if pass.TestFiles[file] {
+			continue // tests root contexts by design
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRootContexts(pass, fd)
+			checkSolveEntryPoint(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkRootContexts flags context.Background()/context.TODO() except inside a
+// thin wrapper (a single return statement delegating to a function that
+// receives the fresh context), the one place a root context is the documented
+// convenience rather than a severed cancellation chain.
+func checkRootContexts(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// In a thin wrapper, a root context is permitted only as a direct
+	// argument of the delegated call — `return SolveCtx(context.Background(), p)`.
+	// `return context.Background()` itself is still a severed chain.
+	allowed := map[*ast.CallExpr]bool{}
+	if isThinWrapper(fd) {
+		ret := fd.Body.List[0].(*ast.ReturnStmt)
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			for _, arg := range call.Args {
+				if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+					allowed[inner] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := rootContextName(pass, call)
+		if name == "" || allowed[call] {
+			return true
+		}
+		pass.Reportf(call.Pos(), "context.%s() in internal/ library code severs the caller's cancellation chain; thread a ctx parameter (or make this a single-return wrapper over the Ctx variant)", name)
+		return true
+	})
+}
+
+// rootContextName returns "Background" or "TODO" when call is that
+// context-package call, else "".
+func rootContextName(pass *analysis.Pass, call *ast.CallExpr) string {
+	for _, name := range []string{"Background", "TODO"} {
+		if analysis.IsPkgFunc(pass.TypesInfo, call, "context", name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// isThinWrapper reports whether fd's body is exactly one return statement
+// whose results are calls — the Solve(p) -> SolveCtx(context.Background(), p)
+// convenience shape.
+func isThinWrapper(fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, res := range ret.Results {
+		if _, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSolveEntryPoint enforces the entry-point contract on exported Solve*
+// functions: a context.Context first parameter that the body actually
+// references, or the thin-wrapper shape delegating to a context-taking
+// callee.
+func checkSolveEntryPoint(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || !strings.HasPrefix(fd.Name.Name, "Solve") {
+		return
+	}
+	ctxParam, hasCtxType := contextParam(pass, fd)
+	if !hasCtxType {
+		if isThinWrapper(fd) && wrapperPassesContext(pass, fd) {
+			return
+		}
+		pass.Reportf(fd.Name.Pos(), "exported solver entry point %s neither takes a context.Context nor delegates to a variant that does; it cannot be cancelled", fd.Name.Name)
+		return
+	}
+	if ctxParam == nil {
+		pass.Reportf(fd.Type.Params.Pos(), "%s discards its context parameter: deadlines and disconnects never reach the sweep", fd.Name.Name)
+		return
+	}
+	if ctxParam.Name == "_" {
+		pass.Reportf(ctxParam.Pos(), "%s discards its context parameter: deadlines and disconnects never reach the sweep", fd.Name.Name)
+		return
+	}
+	obj := pass.ObjectOf(ctxParam)
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj && id != ctxParam {
+			used = true
+		}
+		return !used
+	})
+	if !used {
+		pass.Reportf(ctxParam.Pos(), "%s accepts a context but never passes it down or polls it; deadlines and disconnects never reach the sweep", fd.Name.Name)
+	}
+}
+
+// contextParam inspects the first parameter: hasCtxType reports whether its
+// type is context.Context, and the ident is its name (nil when unnamed).
+func contextParam(pass *analysis.Pass, fd *ast.FuncDecl) (*ast.Ident, bool) {
+	if fd.Type.Params == nil || len(fd.Type.Params.List) == 0 {
+		return nil, false
+	}
+	first := fd.Type.Params.List[0]
+	if !isContextType(pass.TypeOf(first.Type)) {
+		return nil, false
+	}
+	if len(first.Names) == 0 {
+		return nil, true
+	}
+	return first.Names[0], true
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == "context" && obj.Name() == "Context"
+}
+
+// wrapperPassesContext reports whether the wrapper's delegated call receives
+// a context argument (a root context or a forwarded one).
+func wrapperPassesContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	ret := fd.Body.List[0].(*ast.ReturnStmt)
+	for _, res := range ret.Results {
+		call, ok := ast.Unparen(res).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		for _, arg := range call.Args {
+			if isContextType(pass.TypeOf(arg)) {
+				return true
+			}
+		}
+	}
+	return false
+}

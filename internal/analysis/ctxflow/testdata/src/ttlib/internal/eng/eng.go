@@ -1,0 +1,89 @@
+// Seeded true positives and near-miss negatives for the ctxflow analyzer.
+package eng
+
+import "context"
+
+// Result is a stand-in for a solver answer.
+type Result struct{ Cost uint64 }
+
+// True positive: minting a root context deep in library code severs the
+// caller's cancellation chain.
+func helperRoots(n int) *Result {
+	ctx := context.Background() // want "severs the caller's cancellation chain"
+	_ = ctx
+	return &Result{Cost: uint64(n)}
+}
+
+// True positive: TODO is no better than Background.
+func todoRoots() context.Context {
+	return context.TODO() // want "severs the caller's cancellation chain"
+}
+
+// True positive: returning Background directly is not the wrapper shape —
+// nothing downstream receives it as a cancellable parent.
+func bareBackground() context.Context {
+	return context.Background() // want "severs the caller's cancellation chain"
+}
+
+// True positive: exported solver entry point with no context at all.
+func SolveBlind(n int) *Result { // want "neither takes a context.Context nor delegates"
+	return &Result{Cost: uint64(n)}
+}
+
+// True positive: takes a context but never uses it.
+func SolveDeaf(ctx context.Context, n int) *Result { // want "never passes it down"
+	return &Result{Cost: uint64(n)}
+}
+
+// True positive: an unnamed context parameter is discarded by construction.
+func SolveMute(context.Context, int) *Result { // want "discards its context parameter"
+	return &Result{}
+}
+
+// True positive: a wrapper that delegates without passing any context.
+func SolveForgetful(n int) *Result { // want "neither takes a context.Context nor delegates"
+	return solveInner(n)
+}
+
+func solveInner(n int) *Result { return &Result{Cost: uint64(n)} }
+
+// Negative: the canonical threaded entry point.
+func SolveCtx(ctx context.Context, n int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{Cost: uint64(n)}, nil
+}
+
+// Near-miss negative: the documented single-return convenience wrapper —
+// the one place a root context is allowed in internal/ code.
+func Solve(n int) (*Result, error) {
+	return SolveCtx(context.Background(), n)
+}
+
+// Negative: forwarding an inherited context is always fine.
+func SolveTwice(ctx context.Context, n int) (*Result, error) {
+	if _, err := SolveCtx(ctx, n); err != nil {
+		return nil, err
+	}
+	return SolveCtx(ctx, n)
+}
+
+// Negative: polling the context counts as using it even without forwarding.
+func SolvePolling(ctx context.Context, n int) (*Result, error) {
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+	}
+	return &Result{Cost: uint64(n)}, nil
+}
+
+// Negative: unexported helpers are not entry points; only the root-context
+// rule applies to them, and this one inherits its context properly.
+func solveQuiet(ctx context.Context, n int) *Result {
+	_ = ctx.Err()
+	return &Result{Cost: uint64(n)}
+}

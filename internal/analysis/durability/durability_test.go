@@ -1,0 +1,12 @@
+package durability_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/durability"
+)
+
+func TestDurability(t *testing.T) {
+	analysistest.Run(t, "testdata", durability.Analyzer, "durable")
+}

@@ -1,0 +1,245 @@
+// Package flushcheck proves the buffered-writer discipline: a function that
+// creates a buffered writer owns its flush, and the flush's error must be
+// looked at. Dropping it silently truncates output on a full disk or closed
+// pipe — the exact bug fixed three separate times in this repo (ttbench -o
+// and benchjson in PR 3, then ttsolve/ttgen/bvmrun in PR 4), which is what
+// earned it an analyzer.
+package flushcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the flushcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "flushcheck",
+	Doc: "a bufio/tabwriter/gzip/zlib writer created in a function must have its " +
+		"Flush/Close error checked or returned; unflushed or error-dropped buffers " +
+		"silently truncate output on a full disk",
+	Run: run,
+}
+
+// finisher names the method whose error completes a writer of the given
+// constructor.
+var constructors = map[string]map[string]string{
+	"bufio":     {"NewWriter": "Flush", "NewWriterSize": "Flush"},
+	"tabwriter": {"NewWriter": "Flush"},
+	"gzip":      {"NewWriter": "Close", "NewWriterLevel": "Close"},
+	"zlib":      {"NewWriter": "Close", "NewWriterLevel": "Close"},
+}
+
+// tracked is one buffered writer created in the function under analysis.
+type tracked struct {
+	obj     types.Object // the local variable holding the writer
+	created token.Pos
+	method  string // Flush or Close
+	escaped bool   // stored/returned somewhere we cannot see the flush
+	// finishes records each Flush/Close call site and whether its error was
+	// consumed.
+	finishes []finish
+}
+
+type finish struct {
+	pos     token.Pos
+	checked bool
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc analyzes one function body, nested literals included — the
+// deferred-flush idiom (defer func() { err = w.Flush() }()) lives in a
+// literal and must count.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	writers := map[types.Object]*tracked{}
+
+	// Pass 1: find creations.
+	analysis.WithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			method := constructorOf(pass, call)
+			if method == "" {
+				continue
+			}
+			if len(as.Lhs) <= i && len(as.Rhs) != 1 {
+				continue
+			}
+			lhs := as.Lhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				lhs = as.Lhs[i]
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			writers[obj] = &tracked{obj: obj, created: call.Pos(), method: method}
+		}
+		return true
+	})
+	if len(writers) == 0 {
+		return
+	}
+
+	// Pass 2: classify every other use of each writer variable.
+	analysis.WithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		w, ok := writers[obj]
+		if !ok {
+			return true
+		}
+		classifyUse(pass, w, id, stack)
+		return true
+	})
+
+	for _, w := range writers {
+		if w.escaped {
+			continue
+		}
+		if len(w.finishes) == 0 {
+			pass.Reportf(w.created, "buffered writer is never %sed: output is silently truncated on early return or a full disk", verb(w.method))
+			continue
+		}
+		anyChecked := false
+		for _, f := range w.finishes {
+			if f.checked {
+				anyChecked = true
+			}
+		}
+		if anyChecked {
+			continue
+		}
+		for _, f := range w.finishes {
+			pass.Reportf(f.pos, "%s error is dropped: a full disk or closed pipe truncates output silently here", w.method)
+		}
+	}
+}
+
+// constructorOf reports the finisher method when call creates a tracked
+// buffered writer, or "".
+func constructorOf(pass *analysis.Pass, call *ast.CallExpr) string {
+	obj := analysis.CalleeObj(pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if methods, ok := constructors[obj.Pkg().Name()]; ok {
+		return methods[obj.Name()]
+	}
+	return ""
+}
+
+// classifyUse inspects one appearance of the writer variable: a finisher
+// call (was its error consumed?), or an escape (returned or stored where the
+// flush happens out of sight). Plain argument passing is not an escape — an
+// io.Writer consumer writes, it does not own the buffer's lifecycle.
+func classifyUse(pass *analysis.Pass, w *tracked, id *ast.Ident, stack []ast.Node) {
+	if len(stack) < 2 {
+		return
+	}
+	parent := stack[len(stack)-2]
+
+	// w.Flush() / w.Close(): find the enclosing call and how its value is used.
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id && sel.Sel.Name == w.method {
+		if len(stack) >= 3 {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == sel {
+				w.finishes = append(w.finishes, finish{pos: call.Pos(), checked: errorConsumed(stack[:len(stack)-3])})
+				return
+			}
+		}
+	}
+
+	switch p := parent.(type) {
+	case *ast.ReturnStmt:
+		w.escaped = true
+	case *ast.CompositeLit:
+		w.escaped = true
+	case *ast.KeyValueExpr:
+		w.escaped = true
+	case *ast.SendStmt:
+		if p.Value == id {
+			w.escaped = true
+		}
+	case *ast.AssignStmt:
+		// Appearing on the RHS of an assignment to a non-local (field, index,
+		// or previously-declared writer var we already track) escapes; plain
+		// re-binding to another local ident keeps tracking via that object's
+		// own creation entry, so treat any aliasing as escape to stay sound.
+		for _, rhs := range p.Rhs {
+			if containsIdent(rhs, id) {
+				w.escaped = true
+			}
+		}
+	}
+}
+
+// errorConsumed reports whether the call whose ancestor stack is given has
+// its result used: assigned to a non-blank variable, returned, compared, or
+// passed along — anything but a bare statement or a blank assign.
+func errorConsumed(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.ExprStmt:
+		return false
+	case *ast.DeferStmt, *ast.GoStmt:
+		return false
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				return true
+			}
+		}
+		return false
+	default:
+		// if err := w.Flush(); ... / return w.Flush() / f(w.Flush()) /
+		// w.Flush() != nil — all consume the value.
+		return true
+	}
+}
+
+func containsIdent(e ast.Expr, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == id {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func verb(method string) string {
+	if method == "Close" {
+		return "Clos"
+	}
+	return "Flush"
+}

@@ -1,0 +1,12 @@
+package flushcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/flushcheck"
+)
+
+func TestFlushcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", flushcheck.Analyzer, "flush")
+}

@@ -1,0 +1,119 @@
+// Seeded true positives and near-miss negatives for the flushcheck analyzer.
+package flush
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"os"
+	"text/tabwriter"
+)
+
+// True positive: the buffer is never flushed at all; everything shorter than
+// one bufio block is lost on return.
+func truncates() {
+	w := bufio.NewWriter(os.Stdout) // want "never Flushed"
+	fmt.Fprintln(w, "hello")
+}
+
+// True positive: flushed, but the error goes nowhere — the /dev/full bug.
+func drops() {
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintln(w, "hello")
+	w.Flush() // want "Flush error is dropped"
+}
+
+// True positive: an explicit blank assignment is still a drop.
+func blankAssign() {
+	w := bufio.NewWriter(os.Stdout)
+	_ = w.Flush() // want "Flush error is dropped"
+}
+
+// True positive: a deferred call discards its value by construction.
+func deferredDrop() {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush() // want "Flush error is dropped"
+	fmt.Fprintln(w, "hello")
+}
+
+// True positive: gzip writers finish with Close, and its error carries the
+// final flushed block.
+func gzipDrop() {
+	zw := gzip.NewWriter(os.Stdout)
+	fmt.Fprintln(zw, "hello")
+	zw.Close() // want "Close error is dropped"
+}
+
+// True positive: tabwriter buffers everything until Flush.
+func tabDrop() {
+	tw := tabwriter.NewWriter(os.Stdout, 0, 8, 1, ' ', 0)
+	fmt.Fprintln(tw, "a\tb")
+	tw.Flush() // want "Flush error is dropped"
+}
+
+// Negative: returning the flush error is the canonical shape.
+func returned() error {
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintln(w, "x")
+	return w.Flush()
+}
+
+// Negative: checked in an if-init.
+func ifChecked() {
+	w := bufio.NewWriter(os.Stdout)
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+}
+
+// Near-miss negative: the flush lives in a deferred closure and lands in the
+// named return — exactly how the repo's CLIs surface it.
+func deferClosure() (err error) {
+	w := bufio.NewWriter(os.Stdout)
+	defer func() {
+		if ferr := w.Flush(); err == nil && ferr != nil {
+			err = ferr
+		}
+	}()
+	fmt.Fprintln(w, "x")
+	return nil
+}
+
+// Near-miss negative: one mid-stream flush is unchecked but the final one is
+// checked; the function still observes failure before returning.
+func midStream() error {
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintln(w, "part 1")
+	w.Flush()
+	fmt.Fprintln(w, "part 2")
+	return w.Flush()
+}
+
+// Near-miss negative: the writer escapes by return; the caller owns it.
+func escapesByReturn() *bufio.Writer {
+	return bufio.NewWriter(os.Stdout)
+}
+
+func escapesVar() *bufio.Writer {
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintln(w, "header")
+	return w
+}
+
+// Near-miss negative: stored into a struct; lifecycle is the holder's.
+type holder struct{ w *bufio.Writer }
+
+func escapesByField(h *holder) {
+	w := bufio.NewWriterSize(os.Stdout, 1<<16)
+	h.w = w
+}
+
+// Negative: passing the writer as an io.Writer argument is not an escape —
+// consumers write, the creator still flushes (and checks).
+func passedDownstream() error {
+	w := bufio.NewWriter(os.Stdout)
+	emit(w)
+	return w.Flush()
+}
+
+func emit(w *bufio.Writer) { fmt.Fprintln(w, "emitted") }

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked analysis unit: a package's production
+// files plus (optionally) its in-package _test.go files.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	TestFiles map[*ast.File]bool
+	Pkg       *types.Package
+	Info      *types.Info
+}
+
+// LoadConfig tunes Load.
+type LoadConfig struct {
+	Dir          string // module directory the patterns are resolved in ("" = cwd)
+	IncludeTests bool   // also parse and type-check in-package _test.go files
+}
+
+// listPkg is the subset of `go list -json` output the driver needs.
+type listPkg struct {
+	ImportPath  string
+	Dir         string
+	Standard    bool
+	DepOnly     bool
+	ForTest     string
+	Export      string
+	GoFiles     []string
+	CgoFiles    []string
+	TestGoFiles []string
+	Module      *struct{ Path string }
+	Error       *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") with the go command, type-checks every
+// matched package from source against compiled export data for its
+// dependencies, and returns the units ready for analysis.
+//
+// Dependencies — including the standard library — are imported from export
+// data produced by `go list -export`, which the go command materializes from
+// the build cache; nothing is fetched, so Load works in the same offline
+// environments the build does.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-e", "-export", "-deps", "-json"}
+	if cfg.IncludeTests {
+		// -test compiles the test variants too, so export data exists for
+		// test-only imports (testing, net/http/httptest, ...).
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list failed: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil && !p.Standard && !p.DepOnly {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		path := p.ImportPath
+		// Test variants list as "pkg [other.test]"; their export data is for
+		// the variant build, which only exists when the plain build has none.
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = path[:i]
+		}
+		if p.Export != "" {
+			if _, have := exports[path]; !have || !strings.Contains(p.ImportPath, " ") {
+				exports[path] = p.Export
+			}
+		}
+		if p.Standard || p.DepOnly || p.ForTest != "" ||
+			strings.Contains(p.ImportPath, " ") || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		q := p
+		targets = append(targets, &q)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 && len(t.CgoFiles) == 0 {
+			continue
+		}
+		u := &Package{
+			Path:      t.ImportPath,
+			Fset:      fset,
+			TestFiles: map[*ast.File]bool{},
+			Info:      newInfo(),
+		}
+		names := append([]string{}, t.GoFiles...)
+		names = append(names, t.CgoFiles...)
+		nonTest := len(names)
+		if cfg.IncludeTests {
+			names = append(names, t.TestGoFiles...)
+		}
+		for i, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			u.Files = append(u.Files, f)
+			if i >= nonTest {
+				u.TestFiles[f] = true
+			}
+		}
+		conf := types.Config{Importer: imp, Error: func(error) {}}
+		pkg, err := conf.Check(t.ImportPath, fset, u.Files, u.Info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", t.ImportPath, err)
+		}
+		u.Pkg = pkg
+		pkgs = append(pkgs, u)
+	}
+	return pkgs, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

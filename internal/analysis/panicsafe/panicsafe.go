@@ -1,0 +1,232 @@
+// Package panicsafe proves the worker-pool recovery discipline from the PR 3
+// SolveParallel incident: a panic in a pooled goroutine that nobody recovers
+// either kills the whole process or — when the pool's WaitGroup accounting
+// dies with the goroutine — deadlocks every waiter forever. Any goroutine
+// launched inside a loop (the worker-pool shape) must install a recover
+// handler: a deferred function literal that calls recover(), or a deferred /
+// directly-called package-local function that does.
+package panicsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the panicsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicsafe",
+	Doc: "goroutines launched inside loops (worker pools) must install a " +
+		"recover that reports into the pool's error path; an unrecovered worker " +
+		"panic crashes the process or deadlocks the pool (PR 3 SolveParallel bug)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// installs: functions whose body installs a deferred recover — running one
+	// of these as the whole worker body is safe. direct: functions that call
+	// recover() in their own frame — deferring one of these is safe.
+	installs, direct := recoveringFuncs(pass)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body, installs, direct)
+		}
+	}
+	return nil
+}
+
+// recoveringFuncs classifies package-level declarations and locally-bound
+// closures (runUnit := func(...) { defer recover... }) two ways: installs
+// holds bodies that defer a recover (safe as a goroutine body), direct holds
+// bodies that call recover() in their own frame (safe as a deferred helper).
+func recoveringFuncs(pass *analysis.Pass) (installs, direct map[types.Object]bool) {
+	installs = map[types.Object]bool{}
+	direct = map[types.Object]bool{}
+	record := func(obj types.Object, body *ast.BlockStmt) {
+		if obj == nil {
+			return
+		}
+		if installsRecover(body, nil) {
+			installs[obj] = true
+		}
+		if recoversDirectly(body) {
+			direct[obj] = true
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			record(pass.ObjectOf(fd.Name), fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i, rhs := range as.Rhs {
+					lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					if id, ok := as.Lhs[i].(*ast.Ident); ok {
+						record(pass.ObjectOf(id), lit.Body)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return installs, direct
+}
+
+// recoversDirectly reports whether body calls the builtin recover() in its
+// own frame — nested function literals are a different frame, where recover
+// no longer stops this function's panic.
+func recoversDirectly(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, installs, direct map[types.Object]bool) {
+	analysis.WithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if !insideLoop(stack) {
+			return true // a lone goroutine is not a pool; out of scope
+		}
+		switch fun := ast.Unparen(g.Call.Fun).(type) {
+		case *ast.FuncLit:
+			if installsRecover(fun.Body, func(call *ast.CallExpr) bool {
+				return direct[analysis.CalleeObj(pass.TypesInfo, call)]
+			}) {
+				return true
+			}
+			// A worker whose entire loop body is a call to a recovering
+			// function is also safe: each unit of work is shielded, and the
+			// code between units cannot panic on user input.
+			if workerDelegatesToRecovering(pass, fun.Body, installs) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "pooled goroutine has no deferred recover: a worker panic kills the process or deadlocks the pool's WaitGroup; recover and report into the pool's error path")
+		default:
+			obj := analysis.CalleeObj(pass.TypesInfo, g.Call)
+			if obj == nil || installs[obj] {
+				return true // unresolvable (function value), or known safe
+			}
+			// Only flag functions defined in this package: foreign callees'
+			// bodies are invisible and vet noise is worse than silence.
+			if obj.Pkg() == pass.Pkg {
+				pass.Reportf(g.Pos(), "pooled goroutine %s has no deferred recover: a worker panic kills the process or deadlocks the pool's WaitGroup", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// insideLoop reports whether the innermost enclosing function scope of the
+// node at the top of stack contains it within a for/range statement.
+func insideLoop(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false // left the goroutine's launching function
+		}
+	}
+	return false
+}
+
+// installsRecover reports whether body has a top-level defer that reaches
+// recover(): `defer func() { ... recover() ... }()` or `defer helper()` where
+// helper is known (via isRecoveringCall) to recover.
+func installsRecover(body *ast.BlockStmt, isRecoveringCall func(*ast.CallExpr) bool) bool {
+	for _, stmt := range body.List {
+		d, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			if callsRecover(lit.Body) {
+				return true
+			}
+			continue
+		}
+		if isRecoveringCall != nil && isRecoveringCall(d.Call) {
+			return true
+		}
+	}
+	return false
+}
+
+// callsRecover reports whether the builtin recover() is called anywhere in
+// n (nested literals included — they are still within the deferred frame).
+func callsRecover(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// workerDelegatesToRecovering matches the pool shape
+//
+//	for unit := range jobs { runUnit(unit) }
+//
+// where runUnit itself defers a recover: every statement that does work is a
+// call to a recovering package-local function.
+func workerDelegatesToRecovering(pass *analysis.Pass, body *ast.BlockStmt, recovers map[types.Object]bool) bool {
+	delegated := false
+	for _, stmt := range body.List {
+		switch st := stmt.(type) {
+		case *ast.DeferStmt:
+			continue // wg.Done() etc.
+		case *ast.RangeStmt:
+			for _, inner := range st.Body.List {
+				es, ok := inner.(*ast.ExprStmt)
+				if !ok {
+					return false
+				}
+				call, ok := es.X.(*ast.CallExpr)
+				if !ok || !recovers[analysis.CalleeObj(pass.TypesInfo, call)] {
+					return false
+				}
+				delegated = true
+			}
+		default:
+			return false
+		}
+	}
+	return delegated
+}

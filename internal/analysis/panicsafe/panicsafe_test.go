@@ -1,0 +1,12 @@
+package panicsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/panicsafe"
+)
+
+func TestPanicsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", panicsafe.Analyzer, "pool")
+}

@@ -1,0 +1,132 @@
+// Seeded true positives and near-miss negatives for the panicsafe analyzer,
+// shaped like the repo's SolveParallel worker pools.
+package pool
+
+import (
+	"fmt"
+	"sync"
+)
+
+func work(j int) {}
+
+// True positive: the PR 3 shape — pooled workers with wg.Done but no recover;
+// a panicking worker either crashes the process or strands wg.Wait forever.
+func badPool(jobs chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { // want "no deferred recover"
+			defer wg.Done()
+			for j := range jobs {
+				work(j)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// True positive: a named worker function without a recover is no better.
+func namedPool(jobs chan int) {
+	for i := 0; i < 2; i++ {
+		go drain(jobs) // want "pooled goroutine drain has no deferred recover"
+	}
+}
+
+func drain(jobs chan int) {
+	for range jobs {
+	}
+}
+
+// True positive: range-launched workers are pools too.
+func rangePool(shards []chan int) {
+	for _, ch := range shards {
+		ch := ch
+		go func() { // want "no deferred recover"
+			for j := range ch {
+				work(j)
+			}
+		}()
+	}
+}
+
+// Negative: the fixed shape — recover reports into the pool's error channel.
+func goodPool(jobs chan int, errs chan error) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					select {
+					case errs <- fmt.Errorf("worker panic: %v", r):
+					default:
+					}
+				}
+			}()
+			for j := range jobs {
+				work(j)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Negative: deferring a named recovering helper is equivalent.
+func helperPool(jobs chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer reportPanic()
+			for j := range jobs {
+				work(j)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func reportPanic() {
+	if r := recover(); r != nil {
+		_ = r
+	}
+}
+
+// Near-miss negative: the SolveParallel shape — the worker's whole loop body
+// delegates to a locally-bound closure that installs the recover, so every
+// unit of work is shielded even though the goroutine literal has no defer
+// recover of its own.
+func delegatingPool(jobs chan int, errs chan error) {
+	runUnit := func(j int) {
+		defer func() {
+			if r := recover(); r != nil {
+				select {
+				case errs <- fmt.Errorf("unit panic: %v", r):
+				default:
+				}
+			}
+		}()
+		work(j)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				runUnit(j)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Near-miss negative: a lone goroutine outside any loop is not a pool; the
+// single-waiter patterns around it are out of scope.
+func loneGoroutine(done chan error, run func() error) {
+	go func() {
+		done <- run()
+	}()
+}

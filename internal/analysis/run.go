@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// IgnorePrefix starts a suppression comment. The full syntax is
+//
+//	//ttlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the flagged line or the line directly above it. The reason is
+// mandatory: a suppression that cannot say why it exists is a finding in its
+// own right, and the runner reports it as one.
+const IgnorePrefix = "ttlint:ignore"
+
+type suppression struct {
+	names  map[string]bool // suppressed analyzer names; "all" matches every analyzer
+	reason string
+	line   int
+	file   string
+	used   bool
+}
+
+// Run executes every analyzer over every package and returns the surviving
+// diagnostics, sorted by position. Findings covered by a well-formed
+// //ttlint:ignore comment are dropped; malformed (reason-less) or unused
+// suppressions are themselves reported.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var sups []*suppression
+	seen := map[*ast.File]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			fileSups, bad := collectSuppressions(pkg, f)
+			sups = append(sups, fileSups...)
+			diags = append(diags, bad...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				Path:      pkg.Path,
+				TestFiles: pkg.TestFiles,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	// Apply suppressions: a comment covers findings on its own line and the
+	// line below (comment-above-the-statement style).
+	byLoc := map[string][]*suppression{}
+	for _, s := range sups {
+		byLoc[s.file] = append(byLoc[s.file], s)
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range byLoc[d.File] {
+			if (s.line == d.Line || s.line == d.Line-1) &&
+				(s.names["all"] || s.names[d.Analyzer]) {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			kept = append(kept, Diagnostic{
+				Analyzer: "suppress",
+				Message:  fmt.Sprintf("unused //%s suppression (%s): nothing it covers fires here anymore; delete it", IgnorePrefix, s.reason),
+				File:     s.file, Line: s.line, Col: 1,
+			})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].File != kept[j].File {
+			return kept[i].File < kept[j].File
+		}
+		if kept[i].Line != kept[j].Line {
+			return kept[i].Line < kept[j].Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept, nil
+}
+
+// collectSuppressions scans one file's comments for //ttlint:ignore markers.
+// Malformed markers (no analyzer list, or no reason) are returned as
+// diagnostics rather than silently honored.
+func collectSuppressions(pkg *Package, f *ast.File) ([]*suppression, []Diagnostic) {
+	var sups []*suppression
+	var bad []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, IgnorePrefix) {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(text, IgnorePrefix))
+			names, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if names == "" || reason == "" {
+				bad = append(bad, Diagnostic{
+					Analyzer: "suppress",
+					Message:  fmt.Sprintf("malformed suppression: want //%s <analyzer>[,<analyzer>] <reason>", IgnorePrefix),
+					File:     pos.Filename, Line: pos.Line, Col: pos.Column,
+				})
+				continue
+			}
+			s := &suppression{names: map[string]bool{}, reason: reason, line: pos.Line, file: pos.Filename}
+			for _, n := range strings.Split(names, ",") {
+				s.names[strings.TrimSpace(n)] = true
+			}
+			sups = append(sups, s)
+		}
+	}
+	return sups, bad
+}

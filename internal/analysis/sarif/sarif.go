@@ -1,0 +1,146 @@
+// Package sarif encodes analysis results as SARIF 2.1.0, the interchange
+// format CI systems (GitHub code scanning among them) ingest to annotate PR
+// diffs. It covers the subset of the schema both ttlint and `bvmrun lint`
+// need: one run, a rule per analyzer/category, and physical locations with
+// line/column regions.
+package sarif
+
+import (
+	"encoding/json"
+	"io"
+)
+
+const (
+	version   = "2.1.0"
+	schemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+// Levels rank results, per the SARIF reportingLevel vocabulary.
+const (
+	LevelNone    = "none"
+	LevelNote    = "note"
+	LevelWarning = "warning"
+	LevelError   = "error"
+)
+
+// Log is a complete SARIF document.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []*Run `json:"runs"`
+}
+
+// Run is one tool invocation's results.
+type Run struct {
+	Tool    tool     `json:"tool"`
+	Results []Result `json:"results"`
+
+	rules map[string]int // ruleId -> index in Tool.Driver.Rules
+}
+
+type tool struct {
+	Driver driver `json:"driver"`
+}
+
+type driver struct {
+	Name           string `json:"name"`
+	Version        string `json:"version,omitempty"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+// Rule describes one analyzer or diagnostic category.
+type Rule struct {
+	ID   string `json:"id"`
+	Desc *struct {
+		Text string `json:"text"`
+	} `json:"shortDescription,omitempty"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID    string     `json:"ruleId"`
+	RuleIndex int        `json:"ruleIndex"`
+	Level     string     `json:"level"`
+	Message   Message    `json:"message"`
+	Locations []Location `json:"locations,omitempty"`
+}
+
+// Message carries the human-readable finding text.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Location is a physical artifact position.
+type Location struct {
+	Physical PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation names an artifact and an optional region within it.
+type PhysicalLocation struct {
+	Artifact ArtifactLocation `json:"artifactLocation"`
+	Region   *Region          `json:"region,omitempty"`
+}
+
+// ArtifactLocation is the file (or program) the finding is in.
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// Region is a start position within the artifact.
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// NewLog builds a document with a single run for the named tool.
+func NewLog(toolName, toolVersion, infoURI string) (*Log, *Run) {
+	run := &Run{
+		Tool:    tool{Driver: driver{Name: toolName, Version: toolVersion, InformationURI: infoURI, Rules: []Rule{}}},
+		Results: []Result{},
+		rules:   map[string]int{},
+	}
+	return &Log{Schema: schemaURI, Version: version, Runs: []*Run{run}}, run
+}
+
+// AddRule registers (or finds) a rule and returns its index.
+func (r *Run) AddRule(id, shortDesc string) int {
+	if i, ok := r.rules[id]; ok {
+		return i
+	}
+	rule := Rule{ID: id}
+	if shortDesc != "" {
+		rule.Desc = &struct {
+			Text string `json:"text"`
+		}{Text: shortDesc}
+	}
+	r.rules[id] = len(r.Tool.Driver.Rules)
+	r.Tool.Driver.Rules = append(r.Tool.Driver.Rules, rule)
+	return r.rules[id]
+}
+
+// AddResult appends one finding. line <= 0 omits the region (program-level
+// findings such as bvmcheck's unpaired-mark diagnostics).
+func (r *Run) AddResult(ruleID, level, message, uri string, line, col int) {
+	res := Result{
+		RuleID:    ruleID,
+		RuleIndex: r.AddRule(ruleID, ""),
+		Level:     level,
+		Message:   Message{Text: message},
+	}
+	if uri != "" {
+		loc := Location{Physical: PhysicalLocation{Artifact: ArtifactLocation{URI: uri}}}
+		if line > 0 {
+			loc.Physical.Region = &Region{StartLine: line, StartColumn: col}
+		}
+		res.Locations = []Location{loc}
+	}
+	r.Results = append(r.Results, res)
+}
+
+// Encode writes the document as indented JSON.
+func (l *Log) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}

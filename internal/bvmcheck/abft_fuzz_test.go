@@ -1,0 +1,242 @@
+package bvmcheck_test
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/bvm"
+	"repro/internal/bvmcheck"
+	"repro/internal/bvmtt"
+	"repro/internal/core"
+)
+
+// This file fuzzes the abft-window lint differentially: mutants of the real
+// solver's recorded program — marks shifted, dropped, duplicated, re-covered,
+// kind-flipped — are linted and compared against an independent oracle that
+// re-derives the documented mark-window semantics from scratch. Every harmful
+// mutant must be flagged, and every harmless one must lint clean; the seeded
+// corpus pins one mutant per defect class.
+
+// solverProgram records the §6 tt solve (with ABFT instrumentation live)
+// once; every fuzz iteration mutates a copy of its mark list.
+var solverProgram = sync.OnceValues(func() (*bvm.Program, error) {
+	p := &core.Problem{
+		K:       3,
+		Weights: []uint64{4, 2, 1},
+		Actions: []core.Action{
+			{Name: "t01", Set: core.SetOf(0, 1), Cost: 2},
+			{Name: "r0", Set: core.SetOf(0), Cost: 3, Treatment: true},
+			{Name: "r1", Set: core.SetOf(1), Cost: 3, Treatment: true},
+			{Name: "r2", Set: core.SetOf(2), Cost: 5, Treatment: true},
+		},
+	}
+	res, err := bvmtt.SolveOpts(context.Background(), p, bvmtt.Options{Record: true, Verify: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Program, nil
+})
+
+// Mutation opcodes: op % nMutations selects the defect class.
+const (
+	mutShift    = iota // slide a mark's instruction boundary by delta
+	mutDrop            // delete a mark (orphans its partner)
+	mutCover           // extend a mark's coverage by one register
+	mutUncover         // shrink a mark's coverage
+	mutFlipKind        // checksum <-> barrier
+	mutDup             // duplicate a mark at a shifted boundary
+	nMutations
+)
+
+// mutate applies one deterministic mutation to a copy of p's marks. The
+// instruction stream is shared: the lint and the oracle both only read it.
+func mutate(p *bvm.Program, op, markSel uint8, delta int16, reg uint8) *bvm.Program {
+	marks := append([]bvm.Mark(nil), p.Marks...)
+	out := &bvm.Program{Name: p.Name + "-mutant", Instrs: p.Instrs}
+	if len(marks) == 0 {
+		out.Marks = marks
+		return out
+	}
+	i := int(markSel) % len(marks)
+	clamp := func(idx int) int {
+		if idx < 0 {
+			return 0
+		}
+		if idx > len(p.Instrs) {
+			return len(p.Instrs)
+		}
+		return idx
+	}
+	switch int(op) % nMutations {
+	case mutShift:
+		marks[i].Index = clamp(marks[i].Index + int(delta))
+	case mutDrop:
+		marks = append(marks[:i], marks[i+1:]...)
+	case mutCover:
+		regs := append([]int(nil), marks[i].Regs...)
+		marks[i].Regs = append(regs, int(reg))
+	case mutUncover:
+		if n := len(marks[i].Regs); n > 0 {
+			marks[i].Regs = append([]int(nil), marks[i].Regs[:n-1]...)
+		}
+	case mutFlipKind:
+		switch marks[i].Kind {
+		case bvm.MarkABFTChecksum:
+			marks[i].Kind = bvm.MarkABFTBarrier
+		case bvm.MarkABFTBarrier:
+			marks[i].Kind = bvm.MarkABFTChecksum
+		}
+	case mutDup:
+		dup := marks[i]
+		dup.Index = clamp(dup.Index + int(delta))
+		dup.Regs = append([]int(nil), dup.Regs...)
+		marks = append(marks, bvm.Mark{})
+		copy(marks[i+1:], marks[i:])
+		marks[i+1] = dup
+	}
+	out.Marks = marks
+	return out
+}
+
+// abftOracle is an independent re-derivation of the mark-window contract:
+// a barrier closes the nearest preceding open checksum (a fresh checksum
+// supersedes an open one), writes to covered registers inside a closed
+// window are violations, a barrier with nothing open is an orphan, and a
+// checksum still open at the end is never verified.
+type abftOracle struct {
+	windowWrites   []int // instruction indices of in-window covered writes
+	orphanBarriers int
+	dangling       bool
+}
+
+func runOracle(p *bvm.Program) abftOracle {
+	var o abftOracle
+	open := -1 // index into p.Marks of the governing checksum
+	for mi, mk := range p.Marks {
+		switch mk.Kind {
+		case bvm.MarkABFTChecksum:
+			open = mi
+		case bvm.MarkABFTBarrier:
+			if open < 0 {
+				o.orphanBarriers++
+				continue
+			}
+			cs := p.Marks[open]
+			covered := map[int]bool{}
+			for _, r := range cs.Regs {
+				covered[r] = true
+			}
+			for j := cs.Index; j < mk.Index && j < len(p.Instrs); j++ {
+				dst := p.Instrs[j].Dst
+				if dst.Kind == bvm.KindR && covered[dst.Index] {
+					o.windowWrites = append(o.windowWrites, j)
+				}
+			}
+			open = -1
+		}
+	}
+	o.dangling = open >= 0
+	return o
+}
+
+func FuzzABFTWindowMutants(f *testing.F) {
+	base, err := solverProgram()
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(base.Marks) == 0 {
+		f.Fatal("solver program carries no ABFT marks; the fuzz would be vacuous")
+	}
+	cfg, err := bvmcheck.DefaultConfig(2)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// Seeded defect corpus: one mutant per class, plus a harmless identity.
+	f.Add(uint8(mutShift), uint8(1), int16(-500), uint8(0)) // barrier dragged far left: window swallows writes
+	f.Add(uint8(mutShift), uint8(0), int16(0), uint8(0))    // zero shift: harmless identity
+	f.Add(uint8(mutDrop), uint8(1), int16(0), uint8(0))     // dropped barrier: dangling checksum
+	f.Add(uint8(mutDrop), uint8(0), int16(0), uint8(0))     // dropped checksum: orphan barrier
+	f.Add(uint8(mutCover), uint8(0), int16(0), uint8(1))    // checksum claims a register the window writes
+	f.Add(uint8(mutUncover), uint8(0), int16(0), uint8(0))  // narrower coverage: still clean
+	f.Add(uint8(mutFlipKind), uint8(0), int16(0), uint8(0)) // checksum turned barrier: orphans
+	f.Add(uint8(mutDup), uint8(1), int16(200), uint8(0))    // duplicated barrier: second one orphaned
+
+	f.Fuzz(func(t *testing.T, op, markSel uint8, delta int16, reg uint8) {
+		mutant := mutate(base, op, markSel, delta, reg)
+		want := runOracle(mutant)
+		rep := bvmcheck.Lint(mutant, cfg)
+
+		var gotWrites []int
+		var gotOrphans int
+		var gotDangling int
+		for _, d := range rep.Diags {
+			if d.Category != bvmcheck.CatABFTWindow {
+				continue
+			}
+			switch {
+			case d.Index >= 0:
+				gotWrites = append(gotWrites, d.Index)
+			case d.Index == -1 && containsStr(d.Message, "no preceding abft-checksum"):
+				gotOrphans++
+			case d.Index == -1 && containsStr(d.Message, "never verified"):
+				gotDangling++
+			default:
+				t.Fatalf("unclassifiable abft-window diagnostic: %+v", d)
+			}
+		}
+		sort.Ints(gotWrites)
+		wantWrites := append([]int(nil), want.windowWrites...)
+		sort.Ints(wantWrites)
+		if !equalInts(gotWrites, wantWrites) {
+			t.Errorf("window-write diags at %v, oracle says %v (op=%d sel=%d delta=%d reg=%d)",
+				gotWrites, wantWrites, op, markSel, delta, reg)
+		}
+		if gotOrphans != want.orphanBarriers {
+			t.Errorf("orphan-barrier diags = %d, oracle says %d", gotOrphans, want.orphanBarriers)
+		}
+		wantDangling := 0
+		if want.dangling {
+			wantDangling = 1
+		}
+		if gotDangling != wantDangling {
+			t.Errorf("dangling-checksum diags = %d, oracle says %d", gotDangling, wantDangling)
+		}
+
+		// The contract the corpus exists for: every harmful mutant is flagged,
+		// every harmless one lints clean.
+		harmful := len(want.windowWrites) > 0 || want.orphanBarriers > 0 || want.dangling
+		flagged := len(gotWrites) > 0 || gotOrphans > 0 || gotDangling > 0
+		if harmful != flagged {
+			t.Fatalf("harmful=%v but flagged=%v (op=%d sel=%d delta=%d reg=%d)",
+				harmful, flagged, op, markSel, delta, reg)
+		}
+	})
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || indexStr(s, sub) >= 0)
+}
+
+func indexStr(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

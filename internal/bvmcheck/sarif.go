@@ -1,0 +1,35 @@
+package bvmcheck
+
+import (
+	"repro/internal/analysis/sarif"
+)
+
+// SARIF converts the report to a SARIF 2.1.0 log, sharing the encoder with
+// cmd/ttlint so both linters feed the same CI ingestion. Rules are diagnostic
+// categories; the artifact is the program listing, with Disassemble's 0-based
+// instruction indices mapped to SARIF's 1-based lines (program-level
+// diagnostics, Index -1, carry no region).
+func (r *Report) SARIF() *sarif.Log {
+	log, run := sarif.NewLog("bvmcheck", "", "")
+	for _, cat := range []string{
+		CatBadRegister, CatBadDestination, CatBadRoute, CatBadActivation,
+		CatReadBeforeWrite, CatDeadStore, CatSweep, CatPressure, CatABFTWindow,
+	} {
+		run.AddRule(cat, "")
+	}
+	for _, d := range r.Diags {
+		level := sarif.LevelNote
+		switch d.Severity {
+		case SevWarning:
+			level = sarif.LevelWarning
+		case SevError:
+			level = sarif.LevelError
+		}
+		msg := d.Message
+		if d.Instr != "" {
+			msg += " [" + d.Instr + "]"
+		}
+		run.AddResult(d.Category, level, msg, r.Program, d.Index+1, 1)
+	}
+	return log
+}

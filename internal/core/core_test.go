@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -242,6 +243,20 @@ func TestSolveMatchesMemoAndExhaustive(t *testing.T) {
 		if exh != sol.Cost {
 			t.Fatalf("trial %d: Solve=%d SolveExhaustive=%d", trial, sol.Cost, exh)
 		}
+	}
+}
+
+// TestMemoAndExhaustiveHonorCancellation: the Ctx variants must notice an
+// already-cancelled context and return its error instead of sweeping.
+func TestMemoAndExhaustiveHonorCancellation(t *testing.T) {
+	p := randomProblem(rand.New(rand.NewSource(3)), 4, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveMemoCtx(ctx, p); err != context.Canceled {
+		t.Fatalf("SolveMemoCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := SolveExhaustiveCtx(ctx, p); err != context.Canceled {
+		t.Fatalf("SolveExhaustiveCtx on cancelled ctx: err = %v, want context.Canceled", err)
 	}
 }
 

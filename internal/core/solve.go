@@ -102,7 +102,17 @@ func (s *Solution) Adequate() bool { return s.Cost < Inf }
 // recurrence, used to cross-check Solve: memoized recursion with an explicit
 // on-stack guard instead of evaluation-order reasoning. It returns only C(U).
 func SolveMemo(p *Problem) (uint64, error) {
+	return SolveMemoCtx(context.Background(), p)
+}
+
+// SolveMemoCtx is SolveMemo with cancellation: the context is polled every
+// ctxStride memoized evaluations, so the top-down sweep honors deadlines and
+// disconnects like every other solver entry point.
+func SolveMemoCtx(ctx context.Context, p *Problem) (uint64, error) {
 	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
 	size := 1 << uint(p.K)
@@ -114,10 +124,19 @@ func SolveMemo(p *Problem) (uint64, error) {
 		psum[s] = satAdd(psum[s&(s-1)], p.Weights[bits.TrailingZeros(uint(low))])
 	}
 	known[0] = true
+	var evals int
+	var ctxErr error
 	var rec func(s Set) uint64
 	rec = func(s Set) uint64 {
 		if known[s] {
 			return memo[s]
+		}
+		evals++
+		if evals&(ctxStride-1) == 0 && ctxErr == nil {
+			ctxErr = ctx.Err()
+		}
+		if ctxErr != nil {
+			return Inf // unwind; the partial memo is discarded
 		}
 		best := Inf
 		for _, a := range p.Actions {
@@ -139,7 +158,11 @@ func SolveMemo(p *Problem) (uint64, error) {
 		memo[s], known[s] = best, true
 		return best
 	}
-	return rec(Universe(p.K)), nil
+	got := rec(Universe(p.K))
+	if ctxErr != nil {
+		return 0, ctxErr
+	}
+	return got, nil
 }
 
 // String summarizes the solution.

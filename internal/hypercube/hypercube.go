@@ -137,30 +137,66 @@ func goroutinePass[T any](dim, lo, hi int, init []T, op Op[T], descending bool) 
 			inbox[i][t] = make(chan T, 1)
 		}
 	}
-	var wg sync.WaitGroup
+	// A panic in op must not kill the process (no recover can cross a
+	// goroutine boundary) or strand partner PEs mid-exchange: the first
+	// panicking PE records its value and aborts every pending exchange, and
+	// the pass re-panics in the caller's frame once all PEs have exited.
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+		abort     = make(chan struct{})
+	)
+	fail := func(r any) {
+		panicOnce.Do(func() {
+			panicVal = r
+			close(abort)
+		})
+	}
 	wg.Add(n)
 	for x := 0; x < n; x++ {
 		go func(x int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(r)
+				}
+			}()
 			v := init[x]
-			step := func(t int) {
+			step := func(t int) bool {
 				partner := x ^ 1<<t
-				inbox[partner][t] <- v
-				pv := <-inbox[x][t]
-				v = op(t, x, v, pv)
+				select {
+				case inbox[partner][t] <- v:
+				case <-abort:
+					return false
+				}
+				select {
+				case pv := <-inbox[x][t]:
+					v = op(t, x, v, pv)
+				case <-abort:
+					return false
+				}
+				return true
 			}
 			if descending {
 				for t := hi - 1; t >= lo; t-- {
-					step(t)
+					if !step(t) {
+						return
+					}
 				}
 			} else {
 				for t := lo; t < hi; t++ {
-					step(t)
+					if !step(t) {
+						return
+					}
 				}
 			}
 			out[x] = v
 		}(x)
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func minOp(t, addr int, self, partner uint64) uint64 {
@@ -178,6 +179,37 @@ func TestGoroutinesMatchLockstep(t *testing.T) {
 		if !reflect.DeepEqual(gotD, m2.State()) {
 			t.Fatalf("dim %d: goroutine descend disagrees with lockstep", dim)
 		}
+	}
+}
+
+// TestGoroutinesPanicPropagates: a panic in op used to kill the whole process
+// (no recover can cross a goroutine boundary) or deadlock partner PEs waiting
+// mid-exchange; now it aborts the pass and re-panics in the caller's frame,
+// where this test — like the serving layer — can recover it.
+func TestGoroutinesPanicPropagates(t *testing.T) {
+	dim := 4
+	init := make([]uint64, 1<<dim)
+	op := func(tt, addr int, self, partner uint64) uint64 {
+		if tt == 2 && addr == 5 {
+			panic("op exploded")
+		}
+		return self + partner
+	}
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		AscendGoroutines(dim, 0, dim, init, op)
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("panicking op completed without panicking")
+		}
+		if s, ok := r.(string); !ok || s != "op exploded" {
+			t.Fatalf("recovered %v, want the op's panic value", r)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pass deadlocked instead of propagating the panic")
 	}
 }
 

@@ -336,6 +336,7 @@ func (s *Server) RecoverCheckpoints(ctx context.Context) (resumed, discarded int
 	}
 	snaps, discard, err := checkpoint.Scan(s.cfg.CheckpointFS, s.cfg.CheckpointDir)
 	if err != nil {
+		//ttlint:ignore durability startup maintenance with no answer in flight: an unreadable directory must abort recovery loudly
 		return 0, 0, err
 	}
 	fsys := s.cfg.CheckpointFS

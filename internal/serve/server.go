@@ -179,6 +179,7 @@ func New(cfg Config) *Server {
 		cfg.Logger.Warn("invalid certify mode, using fast", "mode", cfg.CertifyMode)
 		mode = certify.ModeFast
 	}
+	//ttlint:ignore ctxflow the server's lifecycle root: every request context derives from it and Close cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:         cfg,
