@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke serve-smoke chaos-smoke certify-smoke
+.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke bench-diff serve-smoke chaos-smoke certify-smoke
 
 build:
 	$(GO) build ./...
@@ -47,17 +47,29 @@ golden:
 # BENCH_bvm.json holds the pre-kernel scalar baseline that the route-kernel
 # speedups in EXPERIMENTS.md are measured against; rerun this target to
 # re-baseline after an intentional performance change.
-BENCH_PATTERN = BenchmarkExecPerRoute|BenchmarkExecActivation|BenchmarkApply3|BenchmarkGather|BenchmarkE3CycleID|BenchmarkE13BVMTT|BenchmarkA2WavefrontBVM|BenchmarkCertifyOverhead
+BENCH_PATTERN = BenchmarkExecPerRoute|BenchmarkExecActivation|BenchmarkExecStriped|BenchmarkApply3|BenchmarkGather|BenchmarkE3CycleID|BenchmarkE13BVMTT|BenchmarkA2WavefrontBVM|BenchmarkCertifyOverhead|BenchmarkSolveLevelPair|BenchmarkSolveBatch|BenchmarkSolveReuse
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 200ms ./internal/bvm ./internal/bitvec . \
 		| $(GO) run ./cmd/benchjson > BENCH_bvm.json
 
 # One-iteration benchmark smoke: exercises every route kernel, Apply3 fast
-# path, and the certification pipeline under the bench harness so a silent
-# fallback to the scalar path (or a kernel panic on any geometry, or a
-# certifier regression) fails CI fast.
+# path, striped Exec, the level-pair/batched DP sweeps, and the certification
+# pipeline under the bench harness so a silent fallback to the scalar path
+# (or a kernel panic on any geometry, or a certifier regression) fails CI
+# fast.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkExecPerRoute|BenchmarkApply3|BenchmarkE3CycleID|BenchmarkCertifyOverhead' -benchtime 1x ./internal/bvm ./internal/bitvec .
+	$(GO) test -run '^$$' -bench 'BenchmarkExecPerRoute|BenchmarkExecStriped|BenchmarkApply3|BenchmarkE3CycleID|BenchmarkCertifyOverhead|BenchmarkSolveLevelPair|BenchmarkSolveBatch' -benchtime 1x ./internal/bvm ./internal/bitvec .
+
+# Regression gate against the committed baseline: rerun the suite, render it
+# to JSON, and diff against BENCH_bvm.json. The threshold is generous (CI
+# hardware differs run to run); it exists to catch order-of-magnitude
+# regressions — a kernel silently degraded to scalar, a pooled table
+# reallocated per call — not single-digit noise.
+BENCH_DIFF_THRESHOLD ?= 300
+bench-diff:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 200ms ./internal/bvm ./internal/bitvec . \
+		| $(GO) run ./cmd/benchjson > BENCH_new.json
+	$(GO) run ./cmd/benchjson -diff BENCH_bvm.json BENCH_new.json -threshold $(BENCH_DIFF_THRESHOLD)
 
 # End-to-end smoke of the solver service: boots ttserve on a random port
 # through its real run loop, then drives a solve, a cache hit, an oversized

@@ -5,14 +5,15 @@ package repro_test
 // reproduction runnable as `go test -bench=.`.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
 	"repro/internal/bvm"
 	"repro/internal/bvmalg"
 	"repro/internal/bvmtt"
-	"repro/internal/certify"
 	"repro/internal/cccsim"
+	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hypercube"
@@ -106,6 +107,106 @@ func BenchmarkE9SequentialDP(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSolveLevelPair — the cache-resident table restructure (ISSUE 7):
+// the classic three-table sweep against the cost-only level-pair layout, at
+// the k=16 serving sweet spot and the k=20 cache-pressure regime where the
+// classic layout's 24 bytes/subset stop fitting in L2.
+func BenchmarkSolveLevelPair(b *testing.B) {
+	for _, k := range []int{16, 20} {
+		p := workload.Random(2, k, 16, 16)
+		b.Run(benchName("classic", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol, err := core.Solve(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sol.Release()
+			}
+		})
+		b.Run(benchName("levelpair", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol, err := core.SolveLevelPair(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sol.Release()
+			}
+		})
+	}
+}
+
+// BenchmarkSolveReuse pins the pooled no-alloc steady state: after warmup,
+// a solve-release cycle must not allocate fresh 2^k tables. The allocs/op
+// figure is the regression gate (see TestSolveSteadyStateAllocs for the
+// hard assertion).
+func BenchmarkSolveReuse(b *testing.B) {
+	p := workload.Random(2, 14, 16, 16)
+	// Warm the pools so the measurement starts in steady state.
+	for i := 0; i < 3; i++ {
+		sol, err := core.Solve(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sol.Release()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := core.Solve(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sol.Release()
+	}
+}
+
+func benchName(layout string, k int) string {
+	return fmt.Sprintf("%s/k%d", layout, k)
+}
+
+// BenchmarkSolveBatch — shared-lattice amortization (ISSUE 7): G instances
+// differing only in costs and weights, solved one-by-one versus in a single
+// enumerate-once re-price-per-instance sweep. The batched row's advantage is
+// the enumeration work (Gosper, S∩T_i/S−T_i, guards) paid once per group.
+func BenchmarkSolveBatch(b *testing.B) {
+	const k, G = 14, 8
+	base := workload.Random(2, k, 16, 16)
+	group := make([]*core.Problem, G)
+	group[0] = base
+	for g := 1; g < G; g++ {
+		q := base.Clone()
+		for j := range q.Weights {
+			q.Weights[j] = uint64(g*131+j*17)%20 + 1
+		}
+		for i := range q.Actions {
+			q.Actions[i].Cost = uint64(g*37+i*11)%30 + 1
+		}
+		group[g] = q
+	}
+	b.Run(fmt.Sprintf("solo/G%d", G), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range group {
+				sol, err := core.SolveLevelPair(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sol.Release()
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("batched/G%d", G), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sols, err := core.SolveBatch(group, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range sols {
+				s.Release()
+			}
+		}
+	})
 }
 
 // BenchmarkE10CCCAscend / BenchmarkE10HypercubeAscend — the slowdown pair on

@@ -6,12 +6,19 @@
 // Usage:
 //
 //	go test -run '^$' -bench . ./... | go run ./cmd/benchjson > BENCH.json
+//	go run ./cmd/benchjson -diff BENCH_bvm.json new.json -threshold 25
+//
+// In -diff mode the two JSON baselines are compared benchmark by benchmark
+// and a delta table is printed; any benchmark slower than the old baseline by
+// more than the threshold percentage is a regression, and the exit status is
+// nonzero when at least one exists — the CI bench gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -26,8 +33,50 @@ type Result struct {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit status.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) > 0 && (args[0] == "-diff" || args[0] == "--diff") {
+		var files []string
+		threshold := 25.0
+		rest := args[1:]
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
+			case "-threshold", "--threshold":
+				i++
+				if i >= len(rest) {
+					fmt.Fprintln(stderr, "benchjson: -threshold needs a percentage")
+					return 2
+				}
+				v, err := strconv.ParseFloat(rest[i], 64)
+				if err != nil || v < 0 {
+					fmt.Fprintf(stderr, "benchjson: bad -threshold %q\n", rest[i])
+					return 2
+				}
+				threshold = v
+			default:
+				files = append(files, rest[i])
+			}
+		}
+		if len(files) != 2 {
+			fmt.Fprintln(stderr, "usage: benchjson -diff old.json new.json [-threshold pct]")
+			return 2
+		}
+		return diff(files[0], files[1], threshold, stdout, stderr)
+	}
+	if len(args) > 0 {
+		fmt.Fprintf(stderr, "benchjson: unknown arguments %v\nusage: benchjson [-diff old.json new.json [-threshold pct]]\n", args)
+		return 2
+	}
+	return convert(stdin, stdout, stderr)
+}
+
+// convert parses `go test -bench` text into the sorted JSON baseline form.
+func convert(stdin io.Reader, stdout, stderr io.Writer) int {
 	var results []Result
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -53,22 +102,107 @@ func main() {
 		results = append(results, Result{Name: name, Iterations: iters, NsPerOp: ns})
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 	// Write through an explicit buffer and check the Flush: stdout is
 	// normally a redirect to BENCH.json, and a full disk that only surfaces
 	// at flush time must not silently truncate the committed baseline.
-	out := bufio.NewWriter(os.Stdout)
+	out := bufio.NewWriter(stdout)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
 	}
 	if err := out.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
 	}
+	return 0
+}
+
+// loadBaseline reads one committed benchmark JSON file into a by-name map
+// plus the sorted name list (first occurrence wins on duplicates).
+func loadBaseline(path string) (map[string]Result, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var results []Result
+	if err := json.NewDecoder(f).Decode(&results); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(results))
+	names := make([]string, 0, len(results))
+	for _, r := range results {
+		if _, dup := byName[r.Name]; dup {
+			continue
+		}
+		byName[r.Name] = r
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return byName, names, nil
+}
+
+// diff compares two baselines and prints a delta table; benchmarks slower
+// than threshold percent are regressions and make the exit status 1.
+// Benchmarks present on only one side are reported (REMOVED/NEW) but never
+// gate — a PR adding or retiring a benchmark should not trip the perf gate.
+func diff(oldPath, newPath string, threshold float64, stdout, stderr io.Writer) int {
+	oldBy, oldNames, err := loadBaseline(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	newBy, newNames, err := loadBaseline(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	w := bufio.NewWriter(stdout)
+	nameW := len("benchmark")
+	for _, n := range append(append([]string{}, oldNames...), newNames...) {
+		nameW = max(nameW, len(n))
+	}
+	fmt.Fprintf(w, "%-*s  %14s  %14s  %9s\n", nameW, "benchmark", "old ns/op", "new ns/op", "delta")
+	regressions := 0
+	for _, name := range oldNames {
+		o := oldBy[name]
+		n, ok := newBy[name]
+		if !ok {
+			fmt.Fprintf(w, "%-*s  %14.1f  %14s  %9s\n", nameW, name, o.NsPerOp, "-", "REMOVED")
+			continue
+		}
+		pct := 0.0
+		if o.NsPerOp > 0 {
+			pct = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		flag := ""
+		if pct > threshold {
+			flag = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-*s  %14.1f  %14.1f  %+8.1f%%%s\n", nameW, name, o.NsPerOp, n.NsPerOp, pct, flag)
+	}
+	added := 0
+	for _, name := range newNames {
+		if _, ok := oldBy[name]; !ok {
+			fmt.Fprintf(w, "%-*s  %14s  %14.1f  %9s\n", nameW, name, "-", newBy[name].NsPerOp, "NEW")
+			added++
+		}
+	}
+	fmt.Fprintf(w, "\n%d benchmarks compared, %d regressions over +%.0f%%, %d new\n",
+		len(oldNames), regressions, threshold, added)
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	if regressions > 0 {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFast-8   	 1000000	       123.4 ns/op
+BenchmarkSlow-8   	     100	   9876543 ns/op	      12 B/op	       1 allocs/op
+BenchmarkSub/case/k16-8 	    5000	     456.7 ns/op
+not a benchmark line
+PASS
+`
+
+func writeBaseline(t *testing.T, results []Result) string {
+	t.Helper()
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestConvert pins the text→JSON path: parsed names (GOMAXPROCS suffix
+// stripped, subbenchmark slashes kept), sorted output, chatter ignored.
+func TestConvert(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader(benchText), &out, &errb); code != 0 {
+		t.Fatalf("convert exited %d: %s", code, errb.String())
+	}
+	var got []Result
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	want := []Result{
+		{Name: "BenchmarkFast", Iterations: 1000000, NsPerOp: 123.4},
+		{Name: "BenchmarkSlow", Iterations: 100, NsPerOp: 9876543},
+		{Name: "BenchmarkSub/case/k16", Iterations: 5000, NsPerOp: 456.7},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDiffGate: the -diff mode passes within the threshold, fails beyond it,
+// never gates on added/removed benchmarks, and prints the delta table.
+func TestDiffGate(t *testing.T) {
+	oldPath := writeBaseline(t, []Result{
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 1000},
+		{Name: "BenchmarkB", Iterations: 100, NsPerOp: 2000},
+		{Name: "BenchmarkGone", Iterations: 100, NsPerOp: 10},
+	})
+	newPath := writeBaseline(t, []Result{
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 1100}, // +10%
+		{Name: "BenchmarkB", Iterations: 100, NsPerOp: 3500}, // +75%
+		{Name: "BenchmarkNew", Iterations: 100, NsPerOp: 5},
+	})
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-diff", oldPath, newPath, "-threshold", "100"}, nil, &out, &errb)
+	if code != 0 {
+		t.Fatalf("within-threshold diff exited %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"BenchmarkA", "+10.0%", "+75.0%", "NEW", "REMOVED", "0 regressions"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("delta table missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	code = run([]string{"-diff", oldPath, newPath, "-threshold", "25"}, nil, &out, &errb)
+	if code != 1 {
+		t.Fatalf("25%%-threshold diff exited %d, want 1 (BenchmarkB regressed 75%%)", code)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "1 regressions") {
+		t.Fatalf("regression not flagged:\n%s", out.String())
+	}
+	// An improvement never gates, whatever the threshold.
+	improvedPath := writeBaseline(t, []Result{
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 400},
+		{Name: "BenchmarkB", Iterations: 100, NsPerOp: 500},
+	})
+	if code := run([]string{"-diff", oldPath, improvedPath, "-threshold", "0"}, nil, &out, &errb); code != 0 {
+		t.Fatalf("pure improvement exited %d, want 0", code)
+	}
+}
+
+// TestDiffUsageErrors: malformed invocations and unreadable baselines exit 2
+// and never report a clean gate.
+func TestDiffUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diff", "only-one.json"}, nil, &out, &errb); code != 2 {
+		t.Fatalf("missing file arg exited %d, want 2", code)
+	}
+	if code := run([]string{"-diff", "a.json", "b.json", "-threshold", "nope"}, nil, &out, &errb); code != 2 {
+		t.Fatalf("bad threshold exited %d, want 2", code)
+	}
+	if code := run([]string{"-diff", "/does/not/exist.json", "/nor/this.json"}, nil, &out, &errb); code != 2 {
+		t.Fatalf("unreadable baseline exited %d, want 2", code)
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok := writeBaseline(t, []Result{{Name: "BenchmarkA", NsPerOp: 1}})
+	if code := run([]string{"-diff", ok, garbage}, nil, &out, &errb); code != 2 {
+		t.Fatalf("corrupt baseline exited %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, nil, &out, &errb); code != 2 {
+		t.Fatalf("unknown args exited %d, want 2", code)
+	}
+}
+
+// TestDiffRoundTrip: a baseline diffed against itself is always clean, even
+// at threshold 0 — the identity gate the CI smoke run relies on.
+func TestDiffRoundTrip(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader(benchText), &out, &errb); code != 0 {
+		t.Fatal("convert failed")
+	}
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var table bytes.Buffer
+	if code := run([]string{"-diff", path, path, "-threshold", "0"}, nil, &table, &errb); code != 0 {
+		t.Fatalf("self-diff exited %d: %s", code, table.String())
+	}
+}

@@ -213,8 +213,8 @@ func runVet(cfgPath string, stderr io.Writer) int {
 func typecheckUnit(cfg *vetConfig) (*analysis.Package, error) {
 	fset := token.NewFileSet()
 	u := &analysis.Package{
-		Path: cfg.ImportPath,
-		Fset: fset,
+		Path:      cfg.ImportPath,
+		Fset:      fset,
 		TestFiles: map[*ast.File]bool{},
 		Info: &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},

@@ -16,6 +16,7 @@
 // Endpoints:
 //
 //	POST /v1/solve?engine=seq|parallel|lockstep|goroutine|ccc|bvm&certify=off|fast|audit&timeout_ms=...&tree=1&greedy=1
+//	POST /v1/solve/batch?certify=...&timeout_ms=...&tree=1 — solve related instances together, amortizing shared-lattice enumeration (docs/SERVING.md)
 //	POST /v1/eval                     — price a stored policy under a weight vector
 //	GET  /healthz                     — liveness (503 while draining)
 //	GET  /v1/stats                    — per-server counters and latency histograms
@@ -59,6 +60,8 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	maxK := fs.Int("max-k", 0, "largest universe accepted; larger instances get 422 (0 = 20)")
 	maxActions := fs.Int("max-actions", 0, "most actions accepted (0 = 64)")
 	workers := fs.Int("workers", 0, "worker goroutines per parallel solve (0 = GOMAXPROCS)")
+	stripeWorkers := fs.Int("stripe-workers", 0, "dedicated stripe-pool workers for striped/batched sweeps (0 = share the process-wide pool)")
+	maxBatch := fs.Int("max-batch", 0, "most instances accepted per /v1/solve/batch request (0 = 16)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 	cacheBytes := fs.Int64("cache-bytes", 0, "LRU byte budget across cached solutions (0 = entry count only)")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for durable mid-solve checkpoints; crashes resume from here (empty disables)")
@@ -103,6 +106,8 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		MaxK:             *maxK,
 		MaxActions:       *maxActions,
 		Workers:          *workers,
+		StripeWorkers:    *stripeWorkers,
+		MaxBatch:         *maxBatch,
 		DefaultEngine:    *engine,
 		Logger:           logger,
 		BreakerThreshold: *breakerThreshold,

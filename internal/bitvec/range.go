@@ -1,0 +1,253 @@
+package bitvec
+
+import "fmt"
+
+// Word-range variants of the BVM-cycle kernels, the substrate of the striped
+// executor (internal/bvm + internal/stripe): each method applies its
+// full-vector counterpart to the destination words [lo, hi) only, reading
+// sources wherever the kernel's structure requires (always outside any other
+// shard's destination range). Splitting a vector's words into disjoint
+// [lo, hi) spans and running one span per worker is therefore race-free and
+// bit-identical to the full-vector call, for any partition.
+//
+// All range variants preserve the tail invariant: the span containing the
+// final word re-masks it.
+
+// WordCount returns the number of 64-bit words backing the vector — the unit
+// the range kernels shard over.
+func (v *Vector) WordCount() int { return len(v.words) }
+
+func (v *Vector) checkRange(lo, hi int) {
+	if lo < 0 || hi < lo || hi > len(v.words) {
+		panic(fmt.Sprintf("bitvec: word range [%d,%d) outside [0,%d)", lo, hi, len(v.words)))
+	}
+}
+
+// maskTailRange re-establishes the tail invariant when the span includes the
+// final word.
+func (v *Vector) maskTailRange(hi int) {
+	if hi == len(v.words) {
+		v.maskTail()
+	}
+}
+
+// Apply3Range is Apply3 restricted to words [lo, hi) of v.
+func (v *Vector) Apply3Range(tt uint8, a, b, c *Vector, lo, hi int) {
+	v.sameLen(a)
+	v.sameLen(b)
+	v.sameLen(c)
+	v.checkRange(lo, hi)
+	vw, aw, bw, cw := v.words[lo:hi], a.words[lo:hi], b.words[lo:hi], c.words[lo:hi]
+	switch tt {
+	case 0x00: // constant 0
+		for i := range vw {
+			vw[i] = 0
+		}
+	case 0xFF: // constant 1
+		for i := range vw {
+			vw[i] = ^uint64(0)
+		}
+	case 0xF0: // F
+		copy(vw, aw)
+	case 0xCC: // D
+		copy(vw, bw)
+	case 0xAA: // B
+		copy(vw, cw)
+	case 0x0F: // ~F
+		for i := range vw {
+			vw[i] = ^aw[i]
+		}
+	case 0x33: // ~D
+		for i := range vw {
+			vw[i] = ^bw[i]
+		}
+	case 0xC0: // F & D
+		for i := range vw {
+			vw[i] = aw[i] & bw[i]
+		}
+	case 0xFC: // F | D
+		for i := range vw {
+			vw[i] = aw[i] | bw[i]
+		}
+	case 0x3C: // F ^ D
+		for i := range vw {
+			vw[i] = aw[i] ^ bw[i]
+		}
+	case 0x30: // F & ~D
+		for i := range vw {
+			vw[i] = aw[i] &^ bw[i]
+		}
+	case 0xD8: // B ? D : F
+		for i := range vw {
+			sel := cw[i]
+			vw[i] = bw[i]&sel | aw[i]&^sel
+		}
+	case 0x96: // F ^ D ^ B
+		for i := range vw {
+			vw[i] = aw[i] ^ bw[i] ^ cw[i]
+		}
+	case 0xE8: // majority(F, D, B)
+		for i := range vw {
+			x, y := aw[i], bw[i]
+			vw[i] = x&y | cw[i]&(x|y)
+		}
+	default:
+		var e [8]uint64
+		for m := 0; m < 8; m++ {
+			if tt>>uint(m)&1 == 1 {
+				e[m] = ^uint64(0)
+			}
+		}
+		for i := range vw {
+			x, y, z := aw[i], bw[i], cw[i]
+			u0 := e[0]&^z | e[1]&z
+			u1 := e[2]&^z | e[3]&z
+			u2 := e[4]&^z | e[5]&z
+			u3 := e[6]&^z | e[7]&z
+			t0 := u0&^y | u1&y
+			t1 := u2&^y | u3&y
+			vw[i] = t0&^x | t1&x
+		}
+	}
+	v.maskTailRange(hi)
+}
+
+// MaskedCopyRange is MaskedCopy restricted to words [lo, hi) of v.
+func (v *Vector) MaskedCopyRange(mask, src *Vector, lo, hi int) {
+	v.sameLen(mask)
+	v.sameLen(src)
+	v.checkRange(lo, hi)
+	vw, mw, sw := v.words[lo:hi], mask.words[lo:hi], src.words[lo:hi]
+	for i := range vw {
+		m := mw[i]
+		vw[i] = vw[i]&^m | sw[i]&m
+	}
+}
+
+// CopyFromRange is CopyFrom restricted to words [lo, hi) of v.
+func (v *Vector) CopyFromRange(src *Vector, lo, hi int) {
+	v.sameLen(src)
+	v.checkRange(lo, hi)
+	copy(v.words[lo:hi], src.words[lo:hi])
+}
+
+// AndRange is And restricted to words [lo, hi) of v.
+func (v *Vector) AndRange(a, b *Vector, lo, hi int) {
+	v.sameLen(a)
+	v.sameLen(b)
+	v.checkRange(lo, hi)
+	vw, aw, bw := v.words[lo:hi], a.words[lo:hi], b.words[lo:hi]
+	for i := range vw {
+		vw[i] = aw[i] & bw[i]
+	}
+}
+
+// RotateWithinBlocksRange is RotateWithinBlocks restricted to words [lo, hi)
+// of v. Blocks never straddle words (block divides 64), so the span reads
+// only its own source words; v may alias src.
+func (v *Vector) RotateWithinBlocksRange(src *Vector, block, shift, lo, hi int) {
+	v.rotateWithinBlocksRange(src, block, shift, ^uint64(0), lo, hi)
+}
+
+// RotateWithinBlocksMaskedRange is RotateWithinBlocksMasked restricted to
+// words [lo, hi) of v. v must not alias src.
+func (v *Vector) RotateWithinBlocksMaskedRange(src *Vector, block, shift int, sel uint64, lo, hi int) {
+	if v == src {
+		panic("bitvec: RotateWithinBlocksMaskedRange dst aliases src")
+	}
+	v.rotateWithinBlocksRange(src, block, shift, sel, lo, hi)
+}
+
+func (v *Vector) rotateWithinBlocksRange(src *Vector, block, shift int, sel uint64, lo, hi int) {
+	v.sameLen(src)
+	checkBlock(block)
+	if v.n%block != 0 {
+		panic(fmt.Sprintf("bitvec: length %d not a multiple of block %d", v.n, block))
+	}
+	v.checkRange(lo, hi)
+	vw, sw := v.words[lo:hi], src.words[lo:hi]
+	s := ((shift % block) + block) % block
+	if s == 0 {
+		for i, w := range sw {
+			vw[i] = vw[i]&^sel | w&sel
+		}
+		return
+	}
+	loMask := repeatPattern(block, 1<<uint(block-s)-1)
+	hiMask := ^loMask
+	up := uint(s)
+	down := uint(block - s)
+	for i, w := range sw {
+		rot := w>>up&loMask | w<<down&hiMask
+		vw[i] = vw[i]&^sel | rot&sel
+	}
+	v.maskTailRange(hi)
+}
+
+// StrideSwapRange is StrideSwap restricted to words [lo, hi) of v.
+func (v *Vector) StrideSwapRange(src *Vector, stride, lo, hi int) {
+	v.StrideSwapMaskedRange(src, stride, ^uint64(0), lo, hi)
+}
+
+// StrideSwapMaskedRange is StrideSwapMasked restricted to words [lo, hi) of
+// v. For strides of a word or more the span reads the partner words of src,
+// which may lie outside [lo, hi) — source reads are safe under any disjoint
+// destination partition because src must not alias v.
+func (v *Vector) StrideSwapMaskedRange(src *Vector, stride int, sel uint64, lo, hi int) {
+	v.sameLen(src)
+	if stride <= 0 || stride&(stride-1) != 0 {
+		panic(fmt.Sprintf("bitvec: stride %d is not a positive power of two", stride))
+	}
+	if v == src {
+		panic("bitvec: StrideSwap dst aliases src")
+	}
+	if v.n%(2*stride) != 0 {
+		panic(fmt.Sprintf("bitvec: length %d not a multiple of 2*stride %d", v.n, 2*stride))
+	}
+	v.checkRange(lo, hi)
+	if stride < wordBits {
+		loSel := repeatPattern(2*stride, 1<<uint(stride)-1)
+		hiSel := loSel << uint(stride)
+		vw, sw := v.words[lo:hi], src.words[lo:hi]
+		for i, w := range sw {
+			swp := w>>uint(stride)&loSel | w<<uint(stride)&hiSel
+			vw[i] = vw[i]&^sel | swp&sel
+		}
+		v.maskTailRange(hi)
+		return
+	}
+	wstride := stride / wordBits
+	for wi := lo; wi < hi; wi++ {
+		v.words[wi] = v.words[wi]&^sel | src.words[wi^wstride]&sel
+	}
+	v.maskTailRange(hi)
+}
+
+// ShiftUp1Range is ShiftUp1 restricted to words [lo, hi) of v: word i reads
+// source words i and i-1, with the external bit entering at word 0. Unlike
+// ShiftUp1 it neither returns the shifted-out bit (read src's top bit before
+// sharding) nor tolerates aliasing — v must not alias src, because the word
+// below a span boundary belongs to another shard.
+func (v *Vector) ShiftUp1Range(src *Vector, in bool, lo, hi int) {
+	v.sameLen(src)
+	if v == src {
+		panic("bitvec: ShiftUp1Range dst aliases src")
+	}
+	v.checkRange(lo, hi)
+	if v.n == 0 || lo == hi {
+		return
+	}
+	start := lo
+	if lo == 0 {
+		w0 := src.words[0] << 1
+		if in {
+			w0 |= 1
+		}
+		v.words[0] = w0
+		start = 1
+	}
+	for i := start; i < hi; i++ {
+		v.words[i] = src.words[i]<<1 | src.words[i-1]>>(wordBits-1)
+	}
+	v.maskTailRange(hi)
+}

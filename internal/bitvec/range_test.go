@@ -1,0 +1,179 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// partitions yields a few representative disjoint word partitions of a
+// wc-word vector: single span, even halves, uneven thirds, and per-word.
+func partitions(wc int) [][][2]int {
+	cut := func(bounds ...int) [][2]int {
+		var spans [][2]int
+		prev := 0
+		for _, b := range bounds {
+			spans = append(spans, [2]int{prev, b})
+			prev = b
+		}
+		spans = append(spans, [2]int{prev, wc})
+		return spans
+	}
+	parts := [][][2]int{cut()}
+	if wc >= 2 {
+		parts = append(parts, cut(wc/2))
+	}
+	if wc >= 3 {
+		parts = append(parts, cut(wc/3, 2*wc/3+1))
+		perWord := make([][2]int, wc)
+		for i := range perWord {
+			perWord[i] = [2]int{i, i + 1}
+		}
+		parts = append(parts, perWord)
+	}
+	return parts
+}
+
+// TestRangeKernelsMatchFullVector pins every range kernel bit-identical to
+// its full-vector counterpart under arbitrary disjoint word partitions.
+func TestRangeKernelsMatchFullVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{64, 192, 2048, 2048 + 64} {
+		a, b, c := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+		mask := randVec(rng, n)
+		base := randVec(rng, n)
+		wc := base.WordCount()
+		for _, spans := range partitions(wc) {
+			// Apply3: all fast-path truth tables plus generic ones.
+			for _, tt := range []uint8{0x00, 0xFF, 0xF0, 0xCC, 0xAA, 0x0F, 0x33, 0xC0, 0xFC, 0x3C, 0x30, 0xD8, 0x96, 0xE8, 0x17, 0xB2} {
+				want := base.Clone()
+				want.Apply3(tt, a, b, c)
+				got := base.Clone()
+				for _, s := range spans {
+					got.Apply3Range(tt, a, b, c, s[0], s[1])
+				}
+				if !got.Equal(want) {
+					t.Fatalf("n=%d tt=%#02x spans=%v: Apply3Range mismatch", n, tt, spans)
+				}
+			}
+
+			// MaskedCopy / CopyFrom / And.
+			want := base.Clone()
+			want.MaskedCopy(mask, a)
+			got := base.Clone()
+			for _, s := range spans {
+				got.MaskedCopyRange(mask, a, s[0], s[1])
+			}
+			if !got.Equal(want) {
+				t.Fatalf("n=%d spans=%v: MaskedCopyRange mismatch", n, spans)
+			}
+			want = base.Clone()
+			want.CopyFrom(a)
+			got = base.Clone()
+			for _, s := range spans {
+				got.CopyFromRange(a, s[0], s[1])
+			}
+			if !got.Equal(want) {
+				t.Fatalf("n=%d spans=%v: CopyFromRange mismatch", n, spans)
+			}
+			want = base.Clone()
+			want.And(a, b)
+			got = base.Clone()
+			for _, s := range spans {
+				got.AndRange(a, b, s[0], s[1])
+			}
+			if !got.Equal(want) {
+				t.Fatalf("n=%d spans=%v: AndRange mismatch", n, spans)
+			}
+
+			// Route kernels.
+			for _, block := range []int{2, 8, 64} {
+				for _, shift := range []int{0, 1, block / 2, block - 1} {
+					want = base.Clone()
+					want.RotateWithinBlocks(a, block, shift)
+					got = base.Clone()
+					for _, s := range spans {
+						got.RotateWithinBlocksRange(a, block, shift, s[0], s[1])
+					}
+					if !got.Equal(want) {
+						t.Fatalf("n=%d block=%d shift=%d spans=%v: RotateWithinBlocksRange mismatch", n, block, shift, spans)
+					}
+					sel := rng.Uint64()
+					want = base.Clone()
+					want.RotateWithinBlocksMasked(a, block, shift, sel)
+					got = base.Clone()
+					for _, s := range spans {
+						got.RotateWithinBlocksMaskedRange(a, block, shift, sel, s[0], s[1])
+					}
+					if !got.Equal(want) {
+						t.Fatalf("n=%d block=%d shift=%d spans=%v: RotateWithinBlocksMaskedRange mismatch", n, block, shift, spans)
+					}
+				}
+			}
+			for stride := 1; 2*stride <= n && n%(2*stride) == 0; stride *= 2 {
+				want = base.Clone()
+				want.StrideSwap(a, stride)
+				got = base.Clone()
+				for _, s := range spans {
+					got.StrideSwapRange(a, stride, s[0], s[1])
+				}
+				if !got.Equal(want) {
+					t.Fatalf("n=%d stride=%d spans=%v: StrideSwapRange mismatch", n, stride, spans)
+				}
+				sel := rng.Uint64()
+				want = base.Clone()
+				want.StrideSwapMasked(a, stride, sel)
+				got = base.Clone()
+				for _, s := range spans {
+					got.StrideSwapMaskedRange(a, stride, sel, s[0], s[1])
+				}
+				if !got.Equal(want) {
+					t.Fatalf("n=%d stride=%d spans=%v: StrideSwapMaskedRange mismatch", n, stride, spans)
+				}
+			}
+			for _, in := range []bool{false, true} {
+				want = base.Clone()
+				want.ShiftUp1(a, in)
+				got = base.Clone()
+				for _, s := range spans {
+					got.ShiftUp1Range(a, in, s[0], s[1])
+				}
+				if !got.Equal(want) {
+					t.Fatalf("n=%d in=%v spans=%v: ShiftUp1Range mismatch", n, in, spans)
+				}
+			}
+		}
+	}
+}
+
+// TestRangeKernelsRespectSpanBounds verifies a range call leaves words
+// outside [lo, hi) untouched.
+func TestRangeKernelsRespectSpanBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	n := 64 * 8
+	a, b, c := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+	base := randVec(rng, n)
+	lo, hi := 2, 5
+	got := base.Clone()
+	got.Apply3Range(0x96, a, b, c, lo, hi)
+	for wi := 0; wi < base.WordCount(); wi++ {
+		in := wi >= lo && wi < hi
+		if !in && got.words[wi] != base.words[wi] {
+			t.Fatalf("word %d outside [%d,%d) modified", wi, lo, hi)
+		}
+	}
+}
+
+func TestRangeChecksBounds(t *testing.T) {
+	v := New(128)
+	src := New(128)
+	for _, r := range [][2]int{{-1, 1}, {1, 0}, {0, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("range [%d,%d) not rejected", r[0], r[1])
+				}
+			}()
+			v.CopyFromRange(src, r[0], r[1])
+		}()
+	}
+}

@@ -3,6 +3,8 @@ package bvm
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/stripe"
 )
 
 // BenchmarkExecPerRoute measures one Exec per D-operand route on the 2048-PE
@@ -54,6 +56,46 @@ func BenchmarkExecPerRoute(b *testing.B) {
 				m.Exec(in)
 			}
 		})
+	}
+}
+
+// BenchmarkExecStriped measures the pool-striped Exec path against the
+// scalar kernels on the r=4 machine (2^20 PEs, 16384 words per register) —
+// the geometry the striping tier exists for. The scalar sub-benchmark is the
+// baseline; the striped ones shard the same instruction across worker pools.
+func BenchmarkExecStriped(b *testing.B) {
+	mixes := []struct {
+		name string
+		in   Instr
+	}{
+		{"local", Instr{Dst: R(0), FTT: TTXorFD, GTT: TTB, F: R(1), D: Loc(R(2))}},
+		{"routeL", Instr{Dst: R(0), FTT: TTD, GTT: TTB, F: A, D: Via(R(1), RouteL)}},
+		{"gated", Instr{Dst: R(0), FTT: TTMuxB, GTT: TTMajority, F: R(1), D: Via(R(2), RouteS), Cond: IF(0, 2)}},
+	}
+	for _, mix := range mixes {
+		b.Run(mix.name+"/scalar", func(b *testing.B) {
+			m, err := New(4, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Exec(mix.in)
+			}
+		})
+		for _, workers := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/stripe%d", mix.name, workers), func(b *testing.B) {
+				m, err := New(4, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.SetStriped(stripe.New(workers), 0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Exec(mix.in)
+				}
+			})
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/ccc"
+	"repro/internal/stripe"
 )
 
 // DefaultRegisters is the register count of the machine the paper describes
@@ -221,6 +222,12 @@ type Machine struct {
 	// refExec, when true, forces the scalar reference execution path.
 	refExec bool
 
+	// stripePool, when non-nil, shards Exec's word-plane work across the
+	// pool whenever the machine has at least stripeMin words per register
+	// (see SetStriped in stripe.go).
+	stripePool *stripe.Pool
+	stripeMin  int
+
 	// InstrCount is the number of executed instructions; the experiment
 	// harness treats it as the machine's time in cycles.
 	InstrCount int64
@@ -335,6 +342,25 @@ func (m *Machine) Exec(in Instr) {
 	if in.Dst.Kind == KindB {
 		panic("bvm: B cannot be the f destination; it is written by g")
 	}
+	if m.stripePool != nil && !m.refExec && m.sD.WordCount() >= m.stripeMin {
+		m.execStriped(in)
+	} else {
+		m.execScalar(in)
+	}
+	m.applyFaults()
+	m.InstrCount++
+	m.routeTally[in.D.Via]++
+	if m.rec != nil {
+		m.rec.Instrs = append(m.rec.Instrs, in)
+	}
+	if m.tracer != nil {
+		m.tracer(m.InstrCount, in, m)
+	}
+}
+
+// execScalar is the single-threaded execution path (both the word-parallel
+// kernels and, under SetReferenceExec, the scalar per-bit reference).
+func (m *Machine) execScalar(in Instr) {
 	vF := m.reg(in.F)
 	srcD := m.reg(in.D.Reg)
 
@@ -385,16 +411,6 @@ func (m *Machine) Exec(in Instr) {
 	default:
 		m.sGate.And(m.activationMask(in.Cond), m.e)
 		m.writeBack(in, m.sGate, writeB)
-	}
-
-	m.applyFaults()
-	m.InstrCount++
-	m.routeTally[in.D.Via]++
-	if m.rec != nil {
-		m.rec.Instrs = append(m.rec.Instrs, in)
-	}
-	if m.tracer != nil {
-		m.tracer(m.InstrCount, in, m)
 	}
 }
 

@@ -1,0 +1,155 @@
+package bvm
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/stripe"
+)
+
+// Striped execution: Exec's word-plane work sharded across a reusable worker
+// pool (internal/stripe). The paper's machine is embarrassingly parallel
+// across word-planes — every kernel in the route → apply → writeback cycle is
+// either pointwise per word or reads only source words outside every other
+// shard's destination span (see the bitvec range-kernel contracts) — so each
+// Exec dispatches its word range over the pool and merges at a hard barrier
+// before any host-visible state (counters, faults, recording, Output) is
+// touched. Results are bit-identical to the scalar path and therefore to
+// SetReferenceExec, for any worker count and any partition; the certify and
+// checkpoint layers above see the same architectural state either way.
+//
+// Two barriers per routed instruction, one otherwise:
+//
+//	phase 1  route D into the sD scratch plane (cross-shard *reads* of the
+//	         source register are safe; no shard writes outside its span)
+//	phase 2  apply truth tables, compute the gate from the pre-instruction
+//	         E, and write back — all pointwise, one dispatch
+//
+// The phases cannot fuse: routing reads neighbor words of srcD (ShiftUp1
+// reads word i-1, lateral strides ≥ 64 read word wi^wstride), and srcD may
+// alias the destination register (e.g. Mov(dst, Via(dst, RouteI)) in
+// LoadViaInput), so writeback in shard s could race the route read in shard
+// s+1 without the intervening barrier.
+
+// SetStriped shards Exec across pool whenever registers span at least
+// minWords 64-bit words (minWords <= 0 selects DefaultStripeMinWords; small
+// machines fall back to the scalar path, where sharding would cost more in
+// dispatch than it saves). A nil pool restores pure scalar execution.
+// Reference mode (SetReferenceExec) always wins over striping.
+func (m *Machine) SetStriped(pool *stripe.Pool, minWords int) {
+	if minWords <= 0 {
+		minWords = DefaultStripeMinWords
+	}
+	m.stripePool = pool
+	m.stripeMin = minWords
+}
+
+// DefaultStripeMinWords is the register width, in words, below which striping
+// is not worth the dispatch overhead: at r=3 a register is 32 words (~one
+// cache line pair), while r=4's 16384 words amortize the two barriers well.
+const DefaultStripeMinWords = 1024
+
+// execStriped is the pool-sharded counterpart of execScalar.
+func (m *Machine) execStriped(in Instr) {
+	vF := m.reg(in.F)
+	srcD := m.reg(in.D.Reg)
+	pool := m.stripePool
+	wc := m.sD.WordCount()
+	shards := min(pool.Workers(), wc)
+
+	var vD *bitvec.Vector
+	switch in.D.Via {
+	case Local:
+		vD = srcD
+	case RouteI:
+		// Host bookkeeping first: the emitted bit and the external input bit
+		// are read from pre-instruction state, outside the parallel region.
+		m.Output = append(m.Output, srcD.Get(m.Top.N-1))
+		inBit := m.nextInput()
+		pool.Run(shards, func(s int) {
+			lo, hi := stripe.Range(wc, shards, s)
+			m.sD.ShiftUp1Range(srcD, inBit, lo, hi)
+		})
+		vD = m.sD
+	default:
+		via := in.D.Via
+		q := m.Top.Q
+		pool.Run(shards, func(s int) {
+			lo, hi := stripe.Range(wc, shards, s)
+			switch via {
+			case RouteS:
+				m.sD.RotateWithinBlocksRange(srcD, q, 1, lo, hi)
+			case RouteP:
+				m.sD.RotateWithinBlocksRange(srcD, q, -1, lo, hi)
+			case RouteXS:
+				m.sD.StrideSwapRange(srcD, 1, lo, hi)
+			case RouteXP:
+				m.sD.RotateWithinBlocksMaskedRange(srcD, q, 1, m.oddSel, lo, hi)
+				m.sD.RotateWithinBlocksMaskedRange(srcD, q, -1, ^m.oddSel, lo, hi)
+			case RouteL:
+				for p := 0; p < q; p++ {
+					m.sD.StrideSwapMaskedRange(srcD, m.Top.LateralStride(p), m.posSel[p], lo, hi)
+				}
+			default:
+				panic(fmt.Sprintf("bvm: unknown route %v", via))
+			}
+		})
+		if via == RouteL && len(m.brokenLat) > 0 {
+			for pe := range m.brokenLat {
+				m.sD.Set(pe, false)
+			}
+		}
+		vD = m.sD
+	}
+
+	writeB := in.GTT != TTB
+	eDest := in.Dst.Kind == KindE
+	var dst *bitvec.Vector
+	if !eDest {
+		dst = m.reg(in.Dst)
+	}
+	fastPath := in.Cond == nil && m.eAllOnes
+	var actMask *bitvec.Vector
+	if !fastPath {
+		// Mask composition memoizes into actCache — do it on the host, once,
+		// before fanning out.
+		actMask = m.activationMask(in.Cond)
+	}
+	pool.Run(shards, func(s int) {
+		lo, hi := stripe.Range(wc, shards, s)
+		// Results first: every read of vF/vD/B in this span happens before
+		// any write to the span, so destination aliasing is safe exactly as
+		// in the scalar path.
+		m.sRes.Apply3Range(in.FTT, vF, vD, m.b, lo, hi)
+		if writeB {
+			m.sResB.Apply3Range(in.GTT, vF, vD, m.b, lo, hi)
+		}
+		switch {
+		case fastPath:
+			if eDest {
+				m.e.CopyFromRange(m.sRes, lo, hi)
+			} else {
+				dst.CopyFromRange(m.sRes, lo, hi)
+			}
+			if writeB {
+				m.b.CopyFromRange(m.sResB, lo, hi)
+			}
+		default:
+			// Gate from the pre-instruction E, before this span of E can be
+			// overwritten below; pointwise, so no cross-shard hazard.
+			m.sGate.AndRange(actMask, m.e, lo, hi)
+			if eDest {
+				// E is always written, ignoring both masks.
+				m.e.CopyFromRange(m.sRes, lo, hi)
+			} else {
+				dst.MaskedCopyRange(m.sGate, m.sRes, lo, hi)
+			}
+			if writeB {
+				m.b.MaskedCopyRange(m.sGate, m.sResB, lo, hi)
+			}
+		}
+	})
+	if eDest {
+		m.noteEWrite()
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ccc"
 	"repro/internal/certify"
 	"repro/internal/core"
+	"repro/internal/stripe"
 )
 
 // MaxDim caps the bit-level simulation at the 2048-PE machine (r = 3); the
@@ -150,6 +151,16 @@ type Options struct {
 	// With a healthy machine the result is bit-identical to an unverified
 	// run (Repairs = 0).
 	Verify bool
+	// Stripe, when non-nil, shards the machine's word-plane execution across
+	// the pool (bvm.Machine.SetStriped). Striping is gated on the machine
+	// being at least StripeMinWords words wide, so small geometries run the
+	// scalar kernels unchanged; results are bit-identical either way, and the
+	// ABFT verify/repair layer observes identical state at every barrier.
+	Stripe *stripe.Pool
+	// StripeMinWords overrides the striping threshold (0 means
+	// bvm.DefaultStripeMinWords). Tests use 1 to force the pool path on the
+	// small machines MaxDim admits.
+	StripeMinWords int
 }
 
 // Solve runs the TT program on the smallest BVM that fits the instance.
@@ -240,6 +251,9 @@ func solve(ctx context.Context, p *core.Problem, opt Options) (*Result, error) {
 	m, err := bvm.New(top.R, bvm.DefaultRegisters)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Stripe != nil {
+		m.SetStriped(opt.Stripe, opt.StripeMinWords)
 	}
 	if machineHook != nil {
 		machineHook(m)

@@ -1,0 +1,50 @@
+package bvmtt
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stripe"
+)
+
+// TestSolveStripedMatchesScalar pins the full instruction-level TT program
+// under striped execution (forced onto the pool with StripeMinWords=1)
+// bit-identical to the scalar run: same C plane, same instruction counts,
+// with and without the ABFT verify layer at the round barriers.
+func TestSolveStripedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pool := stripe.New(3)
+	for trial := 0; trial < 6; trial++ {
+		k := rng.Intn(3) + 2
+		p := randomProblem(rng, k, rng.Intn(3)+2)
+		scalar, err := SolveOpts(context.Background(), p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, verify := range []bool{false, true} {
+			striped, err := SolveOpts(context.Background(), p, Options{
+				Verify:         verify,
+				Stripe:         pool,
+				StripeMinWords: 1,
+			})
+			if err != nil {
+				t.Fatalf("trial %d verify=%v: %v", trial, verify, err)
+			}
+			if striped.Cost != scalar.Cost {
+				t.Fatalf("trial %d verify=%v: striped C(U)=%d, scalar %d", trial, verify, striped.Cost, scalar.Cost)
+			}
+			for s := range striped.C {
+				if striped.C[s] != scalar.C[s] {
+					t.Fatalf("trial %d verify=%v: C[%b] striped %d, scalar %d", trial, verify, s, striped.C[s], scalar.C[s])
+				}
+			}
+			if striped.Instructions != scalar.Instructions {
+				t.Fatalf("trial %d verify=%v: instruction count %d != %d", trial, verify, striped.Instructions, scalar.Instructions)
+			}
+			if striped.Repairs != 0 {
+				t.Fatalf("trial %d verify=%v: healthy striped run reported %d repairs", trial, verify, striped.Repairs)
+			}
+		}
+	}
+}

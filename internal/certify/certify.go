@@ -398,7 +398,7 @@ func Cells(p *core.Problem, c []uint64, choice []int32, sample int, seed int64) 
 			inter, diff := s&a.Set, s&^a.Set
 			if core.SatAdd(psum(p, inter), psum(p, diff)) != ps {
 				r.add(Violation{Kind: BadConservation, Set: s, Action: i, Want: ps,
-					Got: core.SatAdd(psum(p, inter), psum(p, diff)),
+					Got:    core.SatAdd(psum(p, inter), psum(p, diff)),
 					Detail: "p(S∩T) + p(S−T) ≠ p(S)"})
 			}
 		}

@@ -3,8 +3,8 @@ package checkpoint
 import (
 	"context"
 	"errors"
-	"os"
 	"math/bits"
+	"os"
 	"path/filepath"
 	"testing"
 

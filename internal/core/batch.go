@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/stripe"
+)
+
+// Batched shared-lattice solving (ISSUE 7 tentpole c, after Ünlüyurt's
+// framing in PAPERS.md): instances that differ only in action costs and
+// object weights share the identical subset lattice — the same K, the same
+// (Set, Treatment) per action index — so the expensive part of the sweep
+// (Gosper enumeration, S∩T_i / S−T_i computation, the adequacy guards) can
+// run ONCE for the whole group while only the cheap saturating arithmetic is
+// repeated per instance ("enumerate once, re-price per instance").
+//
+// The group sweeps a single interleaved cost table CG with CG[s*G + g] =
+// C_g(S): the G instances' values for one subset are adjacent, so the
+// per-action reads CG[inter*G..], CG[diff*G..] bring every instance's
+// operand in with the same cache line(s) — one enumeration's worth of misses
+// serves the whole group. Results are destrided into per-instance cost-only
+// Solutions, bit-identical to solving each instance alone (the arithmetic per
+// instance is exactly SolveLevelPair's, in the same order).
+
+// SameLattice reports whether a and b share a subset lattice: equal K and
+// per-index equal (Set, Treatment). Costs, weights, and names are free.
+func SameLattice(a, b *Problem) bool {
+	if a.K != b.K || len(a.Actions) != len(b.Actions) {
+		return false
+	}
+	for i := range a.Actions {
+		if a.Actions[i].Set != b.Actions[i].Set || a.Actions[i].Treatment != b.Actions[i].Treatment {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveBatch is SolveBatchCtx on the background context's plumbing-free
+// path; see SolveBatchCtx.
+func SolveBatch(ps []*Problem, workers int) ([]*Solution, error) {
+	return SolveBatchCtx(context.Background(), ps, workers, nil)
+}
+
+// SolveBatchCtx solves a group of same-lattice instances in one
+// level-synchronous sweep over the shared subset lattice, re-pricing every
+// subset for all instances at each enumeration step. Each returned Solution
+// is cost-only (C and Cost set, Choice/PSum nil — extract trees with
+// TreeFromCosts) and bit-identical to SolveLevelPairCtx on that instance
+// alone. `workers` controls level range splitting exactly as in
+// SolveParallelCtx; a nil pool selects the process-wide stripe pool. The
+// context is polled every ctxStride enumeration steps and at level barriers.
+func SolveBatchCtx(ctx context.Context, ps []*Problem, workers int, pool *stripe.Pool) ([]*Solution, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	for g, p := range ps {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("core: batch instance %d: %w", g, err)
+		}
+		if !SameLattice(ps[0], p) {
+			return nil, fmt.Errorf("core: batch instance %d does not share instance 0's lattice", g)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if pool == nil {
+		pool = stripe.Shared()
+	}
+	G := len(ps)
+	if G == 1 {
+		sol, err := SolveLevelPairCtx(ctx, ps[0])
+		if err != nil {
+			return nil, err
+		}
+		return []*Solution{sol}, nil
+	}
+	k := ps[0].K
+	size := 1 << uint(k)
+	n := len(ps[0].Actions)
+
+	// Interleaved tables: cg[s*G+g] is C_g(S); costG[i*G+g] is instance g's
+	// cost for action i, so the inner re-pricing loop walks both unit-stride.
+	cg := make([]uint64, size*G)
+	for g := range ps {
+		cg[g] = 0 // C_g(∅); every other cell is written before being read
+	}
+	costG := make([]uint64, n*G)
+	for g, p := range ps {
+		for i, a := range p.Actions {
+			costG[i*G+g] = a.Cost
+		}
+	}
+	actions := ps[0].Actions // lattice structure: Set/Treatment per index
+
+	// stop/fail mirror SolveParallel's shutdown discipline: first failure
+	// (cancellation or a recovered worker panic) wins, in-flight ranges bail
+	// at their next stride poll.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var failErr error
+	fail := func(err error) {
+		stopOnce.Do(func() {
+			failErr = err
+			close(stop)
+		})
+	}
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	type gosperRange struct {
+		start uint32
+		count uint64
+	}
+	runRange := func(jb gosperRange) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(fmt.Errorf("core: SolveBatch worker panicked: %v", r))
+			}
+		}()
+		if stopped() {
+			return
+		}
+		ps2 := make([]uint64, G)  // p_g(S) for the current subset
+		best := make([]uint64, G) // running minima
+		v := jb.start
+		for i := uint64(0); i < jb.count; i++ {
+			if i&(ctxStride-1) == ctxStride-1 {
+				if stopped() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+			}
+			s := Set(v)
+			for g, p := range ps {
+				ps2[g] = psumOf(p.Weights, s)
+				best[g] = Inf
+			}
+			// Enumeration work — once per (subset, action)...
+			for ai := range actions {
+				a := &actions[ai]
+				inter := s & a.Set
+				diff := s &^ a.Set
+				if inter == 0 || (!a.Treatment && diff == 0) {
+					continue
+				}
+				cRow := costG[ai*G:]
+				dRow := cg[int(diff)*G:]
+				// ...re-pricing work — the only per-instance part.
+				if a.Treatment {
+					for g := 0; g < G; g++ {
+						cost := satAdd(satMul(cRow[g], ps2[g]), dRow[g])
+						if cost < best[g] {
+							best[g] = cost
+						}
+					}
+				} else {
+					iRow := cg[int(inter)*G:]
+					for g := 0; g < G; g++ {
+						cost := satAdd(satMul(cRow[g], ps2[g]), satAdd(iRow[g], dRow[g]))
+						if cost < best[g] {
+							best[g] = cost
+						}
+					}
+				}
+			}
+			copy(cg[int(s)*G:int(s)*G+G], best)
+			// Gosper: next higher number with the same popcount.
+			c := v & -v
+			r := v + c
+			v = (r^v)>>2/c | r
+		}
+	}
+
+	ranges := make([]gosperRange, 0, workers)
+	for level := 1; level <= k; level++ {
+		total := binomial(k, level)
+		chunk := (total + uint64(workers) - 1) / uint64(workers)
+		ranges = ranges[:0]
+		for lo := uint64(0); lo < total; lo += chunk {
+			cnt := min(chunk, total-lo)
+			ranges = append(ranges, gosperRange{start: nthSubset(lo, level), count: cnt})
+		}
+		if !stopped() {
+			// The level barrier: level j+1 reads level j's CG values only
+			// after every range (and every instance) of level j has merged.
+			pool.Run(len(ranges), func(i int) { runRange(ranges[i]) })
+		}
+		if stopped() {
+			return nil, failErr
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Destride into per-instance cost-only solutions on pooled tables.
+	out := make([]*Solution, G)
+	for g := range ps {
+		c := getU64(k)
+		for s := 0; s < size; s++ {
+			c[s] = cg[s*G+g]
+		}
+		out[g] = &Solution{
+			C:    c,
+			Cost: c[size-1],
+			Ops:  int64(size-1) * int64(n+1),
+		}
+	}
+	return out, nil
+}

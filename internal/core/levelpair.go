@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+)
+
+// Level-pair DP: the cache-resident restructure of the exact solver's table
+// layout (ISSUE 7 tentpole b). The classic sweeps in solve.go and
+// solveparallel.go keep three full 2^K arrays resident — C, Choice, and PSum,
+// 24 bytes per subset — although the recurrence itself only ever *needs*
+// C: PSum[S] is a pure function of S recomputable in O(popcount) saturating
+// adds, and Choice is write-only during the sweep, consulted solely by tree
+// extraction afterwards (which visits at most 2K-1 of the 2^K entries).
+//
+// SolveLevelPair therefore sweeps cost-only: one 2^K cost plane, p(S)
+// recomputed on the fly, no Choice plane at all. The sweep runs in
+// level-synchronous Gosper order, so the plane being written is a contiguous
+// run of the combinadic sequence and the treatment-heavy reads C[S−T_i] land
+// in the recently written neighbor levels — the "two hot planes" working set;
+// only sparse test reads C[S∩T_i] reach cold levels. Table memory drops 3x
+// and per-subset table traffic drops from three streams to one, which is
+// what the BenchmarkSolveLevelPair entries in BENCH_bvm.json track against
+// the classic layout.
+//
+// Bit-identity: satAdd saturates to Inf exactly when the true integer sum
+// exceeds Inf, so a saturating sum is min(Σ, Inf) regardless of association
+// order — recomputed p(S) equals PSum[S] bit for bit, and every C value
+// equals Solve's (same recurrence, same strict-< tie-breaking). ChoiceFor
+// reconstructs any Choice entry on demand by re-running one set's argmin,
+// reproducing Solve's Choice exactly.
+
+// psumOf recomputes p(S) — the total weight of S — from scratch, adding
+// weights from the highest element down (the same association order the PSum
+// table construction uses; any order yields the same saturated value).
+func psumOf(weights []uint64, s Set) uint64 {
+	var sum uint64
+	v := uint32(s)
+	for v != 0 {
+		e := bits.Len32(v) - 1
+		sum = satAdd(sum, weights[e])
+		v &^= 1 << uint(e)
+	}
+	return sum
+}
+
+// SolveLevelPair is the cost-only level-pair sweep. The returned Solution
+// carries the full C plane (and Cost, Ops) but nil Choice and PSum; extract
+// trees with TreeFromCosts, or reconstruct individual argmins with ChoiceFor.
+func SolveLevelPair(p *Problem) (*Solution, error) {
+	return SolveLevelPairCtx(context.Background(), p)
+}
+
+// SolveLevelPairCtx is SolveLevelPair with cancellation, polled every
+// ctxStride subsets like every other solver entry point.
+func SolveLevelPairCtx(ctx context.Context, p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	size := 1 << uint(p.K)
+	sol := &Solution{C: getU64(p.K)}
+	// Pooled table, dirty contents: C[0] is the only cell read before being
+	// assigned (treatments covering all of S read C[∅]).
+	sol.C[0] = 0
+	sol.Ops = int64(size-1) * int64(len(p.Actions)+1)
+	polled := 0
+	for level := 1; level <= p.K; level++ {
+		v := uint32(1)<<uint(level) - 1
+		limit := uint32(1) << uint(p.K)
+		for ; v < limit; polled++ {
+			if polled&(ctxStride-1) == ctxStride-1 {
+				if err := ctx.Err(); err != nil {
+					sol.Release()
+					return nil, err
+				}
+			}
+			s := Set(v)
+			ps := psumOf(p.Weights, s)
+			best := Inf
+			for _, a := range p.Actions {
+				inter := s & a.Set
+				diff := s &^ a.Set
+				if inter == 0 || (!a.Treatment && diff == 0) {
+					continue // would not shrink S: excluded
+				}
+				cost := satMul(a.Cost, ps)
+				if a.Treatment {
+					cost = satAdd(cost, sol.C[diff])
+				} else {
+					cost = satAdd(cost, satAdd(sol.C[inter], sol.C[diff]))
+				}
+				if cost < best {
+					best = cost
+				}
+			}
+			sol.C[s] = best
+			// Gosper: next higher number with the same popcount.
+			c := v & -v
+			r := v + c
+			v = (r^v)>>2/c | r
+		}
+	}
+	sol.Cost = sol.C[size-1]
+	return sol, nil
+}
+
+// ChoiceFor reconstructs the minimizing action index for set s from a
+// finished cost plane, reproducing Solve's Choice[s] exactly: the recurrence
+// is re-evaluated in action order with strict < comparison, so the first
+// minimizer (lowest action index) wins, as in every table-building sweep.
+// Returns -1 for the empty set or an infinite C[s].
+func ChoiceFor(p *Problem, c []uint64, s Set) int32 {
+	if s == 0 {
+		return -1
+	}
+	ps := psumOf(p.Weights, s)
+	best, bestIdx := Inf, int32(-1)
+	for ai, a := range p.Actions {
+		inter := s & a.Set
+		diff := s &^ a.Set
+		if inter == 0 || (!a.Treatment && diff == 0) {
+			continue
+		}
+		cost := satMul(a.Cost, ps)
+		if a.Treatment {
+			cost = satAdd(cost, c[diff])
+		} else {
+			cost = satAdd(cost, satAdd(c[inter], c[diff]))
+		}
+		if cost < best {
+			best, bestIdx = cost, int32(ai)
+		}
+	}
+	return bestIdx
+}
+
+// TreeFromCosts extracts an optimal procedure tree from a cost-only plane,
+// reconstructing each visited node's Choice on demand — at most 2K-1 argmin
+// re-evaluations, O(N·K) total, against the 2^K-entry plane the classic
+// layout keeps resident for the same answer. The tree is identical to
+// Solution.Tree's on a table-building solver's output.
+func TreeFromCosts(p *Problem, c []uint64) (*Node, error) {
+	sol := &Solution{C: c, Cost: c[len(c)-1]}
+	if !sol.Adequate() {
+		return nil, fmt.Errorf("core: inadequate instance has no procedure tree")
+	}
+	return buildNodeFromCosts(p, c, Universe(p.K))
+}
+
+func buildNodeFromCosts(p *Problem, c []uint64, set Set) (*Node, error) {
+	if set == 0 {
+		return nil, nil
+	}
+	idx := ChoiceFor(p, c, set)
+	if idx < 0 {
+		return nil, fmt.Errorf("core: no action recorded for set %v", set)
+	}
+	a := p.Actions[idx]
+	n := &Node{Action: int(idx), Set: set}
+	var err error
+	if a.Treatment {
+		n.Neg, err = buildNodeFromCosts(p, c, set&^a.Set)
+		if err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	if n.Pos, err = buildNodeFromCosts(p, c, set&a.Set); err != nil {
+		return nil, err
+	}
+	if n.Neg, err = buildNodeFromCosts(p, c, set&^a.Set); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

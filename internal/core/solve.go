@@ -48,18 +48,30 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	}
 	size := 1 << uint(p.K)
 	sol := &Solution{
-		C:      make([]uint64, size),
-		Choice: make([]int32, size),
-		PSum:   make([]uint64, size),
+		C:      getU64(p.K),
+		Choice: getI32(p.K),
+		PSum:   getU64(p.K),
 	}
+	// Pooled tables come back dirty; index 0 is the only cell read before
+	// being assigned, so it is reset here and every other cell is written by
+	// the sweep before any read.
+	sol.C[0], sol.PSum[0], sol.Choice[0] = 0, 0, -1
 	for s := 1; s < size; s++ {
+		if s&(ctxStride-1) == 0 {
+			// The setup scan is O(2^K) too: poll so an abandoned request
+			// stops here, not after the scan completes.
+			if err := ctx.Err(); err != nil {
+				sol.Release()
+				return nil, err
+			}
+		}
 		low := s & -s
 		sol.PSum[s] = satAdd(sol.PSum[s&(s-1)], p.Weights[bits.TrailingZeros(uint(low))])
 	}
-	sol.Choice[0] = -1
 	for s := 1; s < size; s++ {
 		if s&(ctxStride-1) == 0 {
 			if err := ctx.Err(); err != nil {
+				sol.Release()
 				return nil, err
 			}
 		}

@@ -6,6 +6,8 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+
+	"repro/internal/stripe"
 )
 
 // ctxStride is how many subsets a solver processes between context polls: a
@@ -52,7 +54,19 @@ func SolveParallelCtx(ctx context.Context, p *Problem, workers int) (*Solution, 
 // preemption point: all sets of the level are final, none of the next level
 // started). Results are bit-identical to Solve whether or not the sweep was
 // interrupted. Resuming requires a frontier with choices.
+//
+// Levels are swept on the process-wide stripe pool (internal/stripe) rather
+// than a per-call goroutine pool, so concurrent solves share one bounded
+// worker set; `workers` still controls how many ranges each level is split
+// into (the unit of load balancing), not how many goroutines exist.
 func SolveParallelCheckpointedCtx(ctx context.Context, p *Problem, workers int, f *Frontier, ck Checkpointer) (*Solution, error) {
+	return SolveParallelPooledCtx(ctx, p, workers, stripe.Shared(), f, ck)
+}
+
+// SolveParallelPooledCtx is SolveParallelCheckpointedCtx on an explicit
+// stripe pool — the entry point for callers that own a sized pool (the
+// serving layer). A nil pool selects the shared process-wide one.
+func SolveParallelPooledCtx(ctx context.Context, p *Problem, workers int, pool *stripe.Pool, f *Frontier, ck Checkpointer) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -62,25 +76,40 @@ func SolveParallelCheckpointedCtx(ctx context.Context, p *Problem, workers int, 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if pool == nil {
+		pool = stripe.Shared()
+	}
 	size := 1 << uint(p.K)
 	sol := &Solution{
-		C:      make([]uint64, size),
-		Choice: make([]int32, size),
-		PSum:   make([]uint64, size),
+		C:      getU64(p.K),
+		Choice: getI32(p.K),
+		PSum:   getU64(p.K),
 	}
+	// Pooled tables come back dirty; see SolveCtx for the write-before-read
+	// argument. Index 0 is reset, everything else is assigned by the sweep.
+	sol.C[0], sol.PSum[0], sol.Choice[0] = 0, 0, -1
 	for s := 1; s < size; s++ {
+		if s&(ctxStride-1) == 0 {
+			// The setup scan is O(2^K) too: poll so a request abandoned
+			// during table fill stops here, not after the scan completes.
+			if err := ctx.Err(); err != nil {
+				sol.Release()
+				return nil, err
+			}
+		}
 		low := s & -s
 		sol.PSum[s] = satAdd(sol.PSum[s&(s-1)], p.Weights[bits.TrailingZeros(uint(low))])
 	}
-	sol.Choice[0] = -1
 	// Ops accounting matches Solve: (N+1) per non-empty subset.
 	sol.Ops = int64(size-1) * int64(len(p.Actions)+1)
 	startLevel := 1
 	if f != nil {
 		if err := f.Validate(p.K); err != nil {
+			sol.Release()
 			return nil, err
 		}
 		if !f.HasChoice() {
+			sol.Release()
 			return nil, fmt.Errorf("core: cost-only frontier cannot seed a choice-producing resume")
 		}
 		copy(sol.C, f.C)
@@ -95,7 +124,6 @@ func SolveParallelCheckpointedCtx(ctx context.Context, p *Problem, workers int, 
 		start uint32
 		count uint64
 	}
-	jobs := make(chan gosperRange)
 	// stop is closed at the first failure (context cancellation seen by any
 	// goroutine, or a recovered worker panic); failErr records why. Ranges
 	// already in flight notice it at their next stride poll and bail out.
@@ -117,9 +145,7 @@ func SolveParallelCheckpointedCtx(ctx context.Context, p *Problem, workers int, 
 		}
 	}
 
-	var wg sync.WaitGroup // in-flight ranges of the current level
 	runRange := func(jb gosperRange) {
-		defer wg.Done()
 		defer func() {
 			if r := recover(); r != nil {
 				fail(fmt.Errorf("core: SolveParallel worker panicked: %v", r))
@@ -168,38 +194,26 @@ func SolveParallelCheckpointedCtx(ctx context.Context, p *Problem, workers int, 
 		}
 	}
 
-	var poolWG sync.WaitGroup // the workers themselves
-	for w := 0; w < workers; w++ {
-		poolWG.Add(1)
-		go func() {
-			defer poolWG.Done()
-			for jb := range jobs {
-				runRange(jb)
-			}
-		}()
-	}
-	defer func() {
-		close(jobs)
-		poolWG.Wait()
-	}()
-
+	ranges := make([]gosperRange, 0, workers)
 	for level := startLevel; level <= p.K; level++ {
 		total := binomial(p.K, level)
 		chunk := (total + uint64(workers) - 1) / uint64(workers)
-		for lo := uint64(0); lo < total && !stopped(); lo += chunk {
+		ranges = ranges[:0]
+		for lo := uint64(0); lo < total; lo += chunk {
 			n := min(chunk, total-lo)
-			wg.Add(1)
-			select {
-			case jobs <- gosperRange{start: nthSubset(lo, level), count: n}:
-			case <-stop:
-				wg.Done() // never dispatched
-			}
+			ranges = append(ranges, gosperRange{start: nthSubset(lo, level), count: n})
 		}
-		wg.Wait() // barrier: level j+1 reads level j's C values
+		if !stopped() {
+			// Run is the level barrier: level j+1 reads level j's C values
+			// only after every range of level j has merged.
+			pool.Run(len(ranges), func(i int) { runRange(ranges[i]) })
+		}
 		if stopped() {
+			sol.Release()
 			return nil, failErr
 		}
 		if err := ctx.Err(); err != nil {
+			sol.Release()
 			return nil, err
 		}
 		if ck != nil && level < p.K {

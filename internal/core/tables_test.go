@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSolveSteadyStateAllocs pins the pooled steady state: once the per-size
+// pools are warm, a solve-release cycle performs only constant bookkeeping
+// allocations (the Solution struct and the pool's pointer boxes), never a
+// fresh 2^k table. The bound of 8 is deliberately loose against Go runtime
+// jitter while still catching any reintroduced table allocation, which would
+// add at least 3 allocs and ~100KB at k=12.
+func TestSolveSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	p := randomProblem(rng, 12, 8)
+	warm := func() {
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol.Release()
+	}
+	warm()
+	warm()
+	avg := testing.AllocsPerRun(20, warm)
+	if avg > 8 {
+		t.Fatalf("steady-state solve-release cycle allocates %.1f objects/op, want <= 8 (table pooling broken?)", avg)
+	}
+
+	lpWarm := func() {
+		sol, err := SolveLevelPair(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol.Release()
+	}
+	lpWarm()
+	lpWarm()
+	if avg := testing.AllocsPerRun(20, lpWarm); avg > 8 {
+		t.Fatalf("steady-state level-pair cycle allocates %.1f objects/op, want <= 8", avg)
+	}
+}
+
+// TestTableKBounds pins the pool-size guard: non-power-of-two and oversized
+// tables are never pooled (Release just drops them).
+func TestTableKBounds(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{0, -1}, {1, 0}, {2, 1}, {3, -1}, {1024, 10}, {1 << MaxK, MaxK},
+	}
+	for _, c := range cases {
+		if got := tableK(c.n); got != c.want {
+			t.Fatalf("tableK(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Releasing odd-length tables must not panic or poison the pools.
+	s := &Solution{C: make([]uint64, 3), Choice: make([]int32, 5), PSum: nil}
+	s.Release()
+	var nilSol *Solution
+	nilSol.Release() // nil-safe
+}

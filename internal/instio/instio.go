@@ -43,6 +43,44 @@ func Read(r io.Reader) (*core.Problem, error) {
 	if err := dec.Decode(&w); err != nil {
 		return nil, fmt.Errorf("instio: parsing instance: %w", err)
 	}
+	return fromWire(w)
+}
+
+// wireBatch is the /v1/solve/batch request body: several instances in one
+// envelope. The instances need not share anything — grouping related ones is
+// the server's job — but batches of same-structure, different-price variants
+// are the intended use.
+type wireBatch struct {
+	Comment   string        `json:"comment,omitempty"`
+	Instances []wireProblem `json:"instances"`
+}
+
+// ReadBatch parses and validates a batch envelope
+// ({"instances": [<instance>, ...]}); errors name the offending instance by
+// its position in the envelope.
+func ReadBatch(r io.Reader) ([]*core.Problem, error) {
+	var b wireBatch
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("instio: parsing batch: %w", err)
+	}
+	if len(b.Instances) == 0 {
+		return nil, fmt.Errorf("instio: batch has no instances")
+	}
+	ps := make([]*core.Problem, len(b.Instances))
+	for i, w := range b.Instances {
+		p, err := fromWire(w)
+		if err != nil {
+			return nil, fmt.Errorf("instio: batch instance %d: %w", i, err)
+		}
+		ps[i] = p
+	}
+	return ps, nil
+}
+
+// fromWire converts one decoded wire instance into a validated Problem.
+func fromWire(w wireProblem) (*core.Problem, error) {
 	p := &core.Problem{K: len(w.Weights), Weights: w.Weights}
 	for i, a := range w.Actions {
 		for _, o := range a.Objects {
@@ -79,8 +117,33 @@ func ReadFile(path string) (*core.Problem, error) {
 
 // Write serializes an instance with stable, human-diffable formatting.
 func Write(w io.Writer, p *core.Problem, comment string) error {
-	if err := p.Validate(); err != nil {
+	wp, err := toWire(p, comment)
+	if err != nil {
 		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wp)
+}
+
+// WriteBatch serializes a batch envelope in ReadBatch's wire form.
+func WriteBatch(w io.Writer, ps []*core.Problem, comment string) error {
+	b := wireBatch{Comment: comment, Instances: make([]wireProblem, len(ps))}
+	for i, p := range ps {
+		wp, err := toWire(p, "")
+		if err != nil {
+			return fmt.Errorf("instio: batch instance %d: %w", i, err)
+		}
+		b.Instances[i] = wp
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+func toWire(p *core.Problem, comment string) (wireProblem, error) {
+	if err := p.Validate(); err != nil {
+		return wireProblem{}, err
 	}
 	wp := wireProblem{Comment: comment, Weights: p.Weights}
 	for _, a := range p.Actions {
@@ -91,7 +154,5 @@ func Write(w io.Writer, p *core.Problem, comment string) error {
 			Treatment: a.Treatment,
 		})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(wp)
+	return wp, nil
 }

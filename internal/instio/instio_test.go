@@ -27,6 +27,49 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBatchRoundTrip(t *testing.T) {
+	ps := []*core.Problem{
+		workload.MedicalDiagnosis(1, 5),
+		workload.MedicalDiagnosis(2, 6),
+		workload.FaultLocation(3, 4, 2),
+	}
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, ps, "batch round-trip"); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ReadBatch(&buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(ps, qs) {
+		t.Fatal("batch round trip changed an instance")
+	}
+}
+
+func TestBatchReadValidates(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `instances: 1`,
+		"unknown field": `{"bogus": 1, "instances": []}`,
+		"no instances":  `{"instances": []}`,
+		"bad member": `{"instances": [
+			{"weights": [1], "actions": [{"objects": [0], "cost": 1, "treatment": true}]},
+			{"weights": [1], "actions": []}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadBatch(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// A bad member's error names its index so batch clients can fix it.
+	bad := `{"instances": [
+		{"weights": [1], "actions": [{"objects": [0], "cost": 1, "treatment": true}]},
+		{"weights": [1], "actions": []}]}`
+	_, err := ReadBatch(strings.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), "instance 1") {
+		t.Fatalf("member error does not name its index: %v", err)
+	}
+}
+
 func TestReadValidates(t *testing.T) {
 	cases := map[string]string{
 		"unknown field": `{"bogus": 1, "weights": [1], "actions": []}`,

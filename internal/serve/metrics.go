@@ -71,6 +71,12 @@ type Metrics struct {
 	ClientGone     atomic.Int64 // client disconnected before the answer
 	Failures       atomic.Int64 // 5xx
 
+	// Shared-lattice batch solving (batch.go).
+	BatchRequests atomic.Int64 // POST /v1/solve/batch requests admitted past parsing
+	BatchGroups   atomic.Int64 // shared-lattice groups solved by one enumerate-once sweep
+	BatchRepriced atomic.Int64 // instances priced by riding another instance's enumeration
+	BatchFallback atomic.Int64 // batch instances that fell back to a per-instance solve
+
 	// Self-healing path (resilience.go).
 	EngineFailures atomic.Int64 // solve attempts that failed for non-context reasons
 	Retries        atomic.Int64 // backoff retries taken after a failed attempt
@@ -128,6 +134,10 @@ func (m *Metrics) Snapshot() map[string]any {
 		"timeouts":              m.Timeouts.Load(),
 		"client_gone":           m.ClientGone.Load(),
 		"failures":              m.Failures.Load(),
+		"batch_requests":        m.BatchRequests.Load(),
+		"batch_groups":          m.BatchGroups.Load(),
+		"batch_repriced":        m.BatchRepriced.Load(),
+		"batch_fallback":        m.BatchFallback.Load(),
 		"engine_failures":       m.EngineFailures.Load(),
 		"retries":               m.Retries.Load(),
 		"fallbacks":             m.Fallbacks.Load(),

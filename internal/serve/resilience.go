@@ -160,7 +160,9 @@ func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Prob
 		cost    uint64
 		choices []int32
 		cplane  []uint64
+		relSol  *core.Solution // pooled DP tables, recycled once the answer is certified
 	)
+	defer func() { relSol.Release() }()
 	switch engine {
 	case "seq":
 		sol, err := core.SolveCheckpointedCtx(ctx, canon, frontier, ck)
@@ -168,12 +170,14 @@ func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Prob
 			return nil, err
 		}
 		cost, choices, cplane = sol.Cost, sol.Choice, sol.C
+		relSol = sol
 	case "parallel":
-		sol, err := core.SolveParallelCheckpointedCtx(ctx, canon, s.cfg.Workers, frontier, ck)
+		sol, err := core.SolveParallelPooledCtx(ctx, canon, s.cfg.Workers, s.stripe, frontier, ck)
 		if err != nil {
 			return nil, err
 		}
 		cost, choices, cplane = sol.Cost, sol.Choice, sol.C
+		relSol = sol
 	case "lockstep", "goroutine", "ccc":
 		res, err := parttsolve.SolveOpts(ctx, canon, engineKinds[engine],
 			parttsolve.Options{Frontier: frontier, Checkpointer: ck, Verify: verify})
@@ -183,7 +187,7 @@ func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Prob
 		cost, choices, cplane = res.Cost, res.Choice, res.C
 	case "bvm":
 		res, err := bvmtt.SolveOpts(ctx, canon,
-			bvmtt.Options{Frontier: frontier, Checkpointer: ck, Verify: verify})
+			bvmtt.Options{Frontier: frontier, Checkpointer: ck, Verify: verify, Stripe: s.stripe})
 		if err != nil {
 			return nil, err
 		}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/instio"
 	"repro/internal/parttsolve"
+	"repro/internal/stripe"
 )
 
 // maxBodyBytes bounds request bodies; the largest admissible instance is a
@@ -61,7 +62,9 @@ type Config struct {
 	MaxTimeout     time.Duration // ceiling on client-requested timeouts (default 60s)
 	MaxK           int           // admission: largest universe accepted (default 20)
 	MaxActions     int           // admission: most actions accepted (default 64)
+	MaxBatch       int           // admission: most instances per /v1/solve/batch request (default 16)
 	Workers        int           // worker goroutines per parallel solve (default GOMAXPROCS)
+	StripeWorkers  int           // dedicated stripe-pool workers for striped/batched sweeps (default 0: share the process-wide pool)
 	DefaultEngine  string        // engine when the request names none (default "seq")
 	CertifyMode    string        // answer certification: "off", "fast", "audit" (default "fast"); per-request certify= overrides
 	Logger         *slog.Logger  // structured request log (default slog.Default())
@@ -104,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxActions <= 0 {
 		c.MaxActions = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
 	}
 	if c.DefaultEngine == "" {
 		c.DefaultEngine = "seq"
@@ -160,6 +166,8 @@ type Server struct {
 	reqID    atomic.Int64
 	draining atomic.Bool
 
+	stripe *stripe.Pool // worker pool behind striped Exec, pooled parallel DP, and batch sweeps
+
 	baseCtx    context.Context // parent of every solve context; Close cancels it
 	baseCancel context.CancelFunc
 
@@ -194,7 +202,13 @@ func New(cfg Config) *Server {
 		flights:     make(map[string]*flightCall),
 		breakers:    make(map[string]*breaker),
 	}
+	if cfg.StripeWorkers > 0 {
+		s.stripe = stripe.New(cfg.StripeWorkers)
+	} else {
+		s.stripe = stripe.Shared()
+	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -414,27 +428,46 @@ func (s *Server) admit(p *core.Problem, engine string) error {
 // stops as soon as the last waiter is gone.
 func (s *Server) solveShared(ctx context.Context, hash string, canon *core.Problem, engine string, mode certify.Mode, timeout time.Duration) (ent *cacheEntry, cached, coalesced bool, err error) {
 	key := hash + "|" + mode.String()
-	s.mu.Lock()
-	if e := s.cache.get(key); e != nil {
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		if e := s.cache.get(key); e != nil {
+			s.mu.Unlock()
+			s.metrics.CacheHits.Add(1)
+			return e, true, false, nil
+		}
+		s.metrics.CacheMisses.Add(1)
+		if c, ok := s.flights[key]; ok {
+			c.waiters++
+			s.mu.Unlock()
+			s.metrics.Coalesced.Add(1)
+			e, err := s.await(ctx, c)
+			if err != nil && errors.Is(err, context.Canceled) {
+				// The flight was cancelled by its other waiters abandoning
+				// it — that cancellation was theirs, not ours.
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					// Our own context ended too (await's select can surface
+					// either side when both fire together): report our own
+					// terminal state — a deadline must map to 504, not to a
+					// "request cancelled" the client never issued.
+					return e, false, true, ctxErr
+				}
+				if attempt < 2 {
+					// We joined in the narrow window after the last waiter
+					// abandoned the flight but before it was unmapped —
+					// re-enter and solve fresh.
+					continue
+				}
+			}
+			return e, false, true, err
+		}
+		solveCtx, cancel := context.WithTimeout(s.baseCtx, timeout)
+		c := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		s.flights[key] = c
 		s.mu.Unlock()
-		s.metrics.CacheHits.Add(1)
-		return e, true, false, nil
-	}
-	s.metrics.CacheMisses.Add(1)
-	if c, ok := s.flights[key]; ok {
-		c.waiters++
-		s.mu.Unlock()
-		s.metrics.Coalesced.Add(1)
+		go s.runSolve(solveCtx, hash, c, canon, engine, mode)
 		e, err := s.await(ctx, c)
-		return e, false, true, err
+		return e, false, false, err
 	}
-	solveCtx, cancel := context.WithTimeout(s.baseCtx, timeout)
-	c := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
-	s.flights[key] = c
-	s.mu.Unlock()
-	go s.runSolve(solveCtx, hash, c, canon, engine, mode)
-	e, err := s.await(ctx, c)
-	return e, false, false, err
 }
 
 // await blocks until the shared solve finishes or this request's own
@@ -463,14 +496,22 @@ func (s *Server) await(ctx context.Context, c *flightCall) (*cacheEntry, error) 
 func (s *Server) runSolve(ctx context.Context, hash string, c *flightCall, canon *core.Problem, engine string, mode certify.Mode) {
 	defer c.cancel()
 	key := hash + "|" + mode.String()
+	// A panicking solve must still publish to its waiters — as a failure —
+	// or they block on c.done forever. Successful answers are published in
+	// the straight-line path below, after certification, so this handler
+	// never inserts into the cache.
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			delete(s.flights, key)
+			c.entry, c.err = nil, fmt.Errorf("serve: %s engine panicked: %v", engine, r)
+			s.mu.Unlock()
+			close(c.done)
+		}
+	}()
 	var ent *cacheEntry
 	var err error
 	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				ent, err = nil, fmt.Errorf("serve: %s engine panicked: %v", engine, r)
-			}
-		}()
 		if s.pending.Add(1) > int64(s.cfg.MaxPending) {
 			s.pending.Add(-1)
 			err = errBusy
@@ -613,6 +654,7 @@ func (s *Server) statsPayload() map[string]any {
 	s.brMu.Unlock()
 	out["breakers"] = breakers
 	out["pending"] = s.pending.Load()
+	out["stripe_workers"] = s.stripe.Workers()
 	return out
 }
 

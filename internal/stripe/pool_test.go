@@ -1,0 +1,130 @@
+package stripe
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesEveryShardExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		for _, shards := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]atomic.Int32, max(shards, 1))
+			p.Run(shards, func(i int) { hits[i].Add(1) })
+			for i := 0; i < shards; i++ {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d shards=%d: shard %d ran %d times", workers, shards, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRunIsABarrier(t *testing.T) {
+	p := New(4)
+	var done atomic.Int32
+	p.Run(100, func(int) { done.Add(1) })
+	if got := done.Load(); got != 100 {
+		t.Fatalf("Run returned with %d/100 shards complete", got)
+	}
+}
+
+func TestShardPanicReRaisedAfterBarrier(t *testing.T) {
+	p := New(2)
+	var completed atomic.Int32
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("shard panic did not propagate to the caller")
+			}
+			if fmt.Sprint(r) != "boom 3" {
+				t.Fatalf("unexpected panic value %v", r)
+			}
+		}()
+		p.Run(8, func(i int) {
+			if i == 3 {
+				panic(fmt.Sprintf("boom %d", i))
+			}
+			completed.Add(1)
+		})
+	}()
+	// The barrier held: every non-panicking shard finished before the
+	// panic was re-raised.
+	if got := completed.Load(); got != 7 {
+		t.Fatalf("%d/7 non-panicking shards completed before re-raise", got)
+	}
+	// The pool survives a panicking job.
+	var n atomic.Int32
+	p.Run(16, func(int) { n.Add(1) })
+	if n.Load() != 16 {
+		t.Fatal("pool unusable after a shard panic")
+	}
+}
+
+// TestConcurrentRuns drives many simultaneous jobs through one small pool:
+// the overflow-runs-inline rule must keep every job completing even when the
+// jobs outnumber the workers many times over.
+func TestConcurrentRuns(t *testing.T) {
+	p := New(2)
+	var wg sync.WaitGroup
+	for j := 0; j < 32; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum atomic.Int64
+			p.Run(50, func(i int) { sum.Add(int64(i)) })
+			if got := sum.Load(); got != 50*49/2 {
+				t.Errorf("concurrent Run summed %d", got)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestNestedRun proves a shard may itself call Run without deadlocking the
+// pool (the inner job overflows inline when no worker is free).
+func TestNestedRun(t *testing.T) {
+	p := New(2)
+	var inner atomic.Int32
+	p.Run(4, func(int) {
+		p.Run(4, func(int) { inner.Add(1) })
+	})
+	if got := inner.Load(); got != 16 {
+		t.Fatalf("nested runs completed %d/16 inner shards", got)
+	}
+}
+
+func TestSharedPoolSizedToHost(t *testing.T) {
+	p := Shared()
+	if p != Shared() {
+		t.Fatal("Shared returned distinct pools")
+	}
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("shared pool has %d workers, want %d", got, want)
+	}
+}
+
+func TestRangePartition(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 100, 1 << 14} {
+		for _, shards := range []int{1, 2, 3, 7, 16} {
+			prev := 0
+			for i := 0; i < shards; i++ {
+				lo, hi := Range(n, shards, i)
+				if lo != prev {
+					t.Fatalf("Range(%d,%d,%d) = [%d,%d): gap after %d", n, shards, i, lo, hi, prev)
+				}
+				if hi < lo {
+					t.Fatalf("Range(%d,%d,%d) inverted", n, shards, i)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("Range(%d,%d,·) covers %d units", n, shards, prev)
+			}
+		}
+	}
+}
