@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke bench-diff serve-smoke chaos-smoke certify-smoke
+.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke bench-diff serve-smoke chaos-smoke certify-smoke route-smoke
 
 build:
 	$(GO) build ./...
@@ -47,9 +47,9 @@ golden:
 # BENCH_bvm.json holds the pre-kernel scalar baseline that the route-kernel
 # speedups in EXPERIMENTS.md are measured against; rerun this target to
 # re-baseline after an intentional performance change.
-BENCH_PATTERN = BenchmarkExecPerRoute|BenchmarkExecActivation|BenchmarkExecStriped|BenchmarkApply3|BenchmarkGather|BenchmarkE3CycleID|BenchmarkE13BVMTT|BenchmarkA2WavefrontBVM|BenchmarkCertifyOverhead|BenchmarkSolveLevelPair|BenchmarkSolveBatch|BenchmarkSolveReuse
+BENCH_PATTERN = BenchmarkExecPerRoute|BenchmarkExecActivation|BenchmarkExecStriped|BenchmarkApply3|BenchmarkGather|BenchmarkE3CycleID|BenchmarkE13BVMTT|BenchmarkA2WavefrontBVM|BenchmarkCertifyOverhead|BenchmarkSolveLevelPair|BenchmarkSolveBatch|BenchmarkSolveReuse|BenchmarkRouteStep|BenchmarkRouteBatch
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 200ms ./internal/bvm ./internal/bitvec . \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 200ms ./internal/bvm ./internal/bitvec ./internal/policy . \
 		| $(GO) run ./cmd/benchjson > BENCH_bvm.json
 
 # One-iteration benchmark smoke: exercises every route kernel, Apply3 fast
@@ -58,7 +58,7 @@ bench-json:
 # (or a kernel panic on any geometry, or a certifier regression) fails CI
 # fast.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkExecPerRoute|BenchmarkExecStriped|BenchmarkApply3|BenchmarkE3CycleID|BenchmarkCertifyOverhead|BenchmarkSolveLevelPair|BenchmarkSolveBatch' -benchtime 1x ./internal/bvm ./internal/bitvec .
+	$(GO) test -run '^$$' -bench 'BenchmarkExecPerRoute|BenchmarkExecStriped|BenchmarkApply3|BenchmarkE3CycleID|BenchmarkCertifyOverhead|BenchmarkSolveLevelPair|BenchmarkSolveBatch|BenchmarkRouteStep' -benchtime 1x ./internal/bvm ./internal/bitvec ./internal/policy .
 
 # Regression gate against the committed baseline: rerun the suite, render it
 # to JSON, and diff against BENCH_bvm.json. The threshold is generous (CI
@@ -67,7 +67,7 @@ bench-smoke:
 # reallocated per call — not single-digit noise.
 BENCH_DIFF_THRESHOLD ?= 300
 bench-diff:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 200ms ./internal/bvm ./internal/bitvec . \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 200ms ./internal/bvm ./internal/bitvec ./internal/policy . \
 		| $(GO) run ./cmd/benchjson > BENCH_new.json
 	$(GO) run ./cmd/benchjson -diff BENCH_bvm.json BENCH_new.json -threshold $(BENCH_DIFF_THRESHOLD)
 
@@ -91,3 +91,11 @@ chaos-smoke:
 # and docs/RESILIENCE.md).
 certify-smoke:
 	$(GO) test -race -count=1 -run 'TestCertifySmoke' -v ./cmd/ttserve
+
+# Route-plane smoke: boots the real ttserve binary, publishes a policy from
+# a real certified solve over HTTP, then walks 10k stateless sessions to
+# completion through /v1/route/batch, asserting zero sessions end on a leaf
+# that does not treat their object (see cmd/ttserve/route_smoke_test.go and
+# docs/SERVING.md).
+route-smoke:
+	$(GO) test -race -count=1 -run 'TestRouteSmoke' -v ./cmd/ttserve

@@ -18,6 +18,9 @@
 //	POST /v1/solve?engine=seq|parallel|lockstep|goroutine|ccc|bvm&certify=off|fast|audit&timeout_ms=...&tree=1&greedy=1
 //	POST /v1/solve/batch?certify=...&timeout_ms=...&tree=1 — solve related instances together, amortizing shared-lattice enumeration (docs/SERVING.md)
 //	POST /v1/eval                     — price a stored policy under a weight vector
+//	POST /v1/policy                   — solve, certify, and publish a compiled route policy
+//	GET  /v1/policies                 — list resident policy versions
+//	POST /v1/route, /v1/route/batch   — stateless per-session policy traversal via signed cursors
 //	GET  /healthz                     — liveness (503 while draining)
 //	GET  /v1/stats                    — per-server counters and latency histograms
 //	GET  /debug/vars, /debug/pprof/*  — expvar and profiling
@@ -62,6 +65,8 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	workers := fs.Int("workers", 0, "worker goroutines per parallel solve (0 = GOMAXPROCS)")
 	stripeWorkers := fs.Int("stripe-workers", 0, "dedicated stripe-pool workers for striped/batched sweeps (0 = share the process-wide pool)")
 	maxBatch := fs.Int("max-batch", 0, "most instances accepted per /v1/solve/batch request (0 = 16)")
+	policyBytes := fs.Int64("policy-bytes", 0, "byte budget across published route policies (0 = 64MiB, negative unbounded)")
+	routeMaxBatch := fs.Int("route-max-batch", 0, "most sessions accepted per /v1/route/batch request (0 = 4096)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 	cacheBytes := fs.Int64("cache-bytes", 0, "LRU byte budget across cached solutions (0 = entry count only)")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for durable mid-solve checkpoints; crashes resume from here (empty disables)")
@@ -108,6 +113,8 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		Workers:          *workers,
 		StripeWorkers:    *stripeWorkers,
 		MaxBatch:         *maxBatch,
+		PolicyBytes:      *policyBytes,
+		RouteMaxBatch:    *routeMaxBatch,
 		DefaultEngine:    *engine,
 		Logger:           logger,
 		BreakerThreshold: *breakerThreshold,

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/instio"
+	"repro/internal/serve"
+)
+
+// routeSmokeProblem is a small adequate instance whose optimal procedure
+// mixes tests and treatments, so routed sessions take real multi-step walks
+// rather than terminating at the root.
+func routeSmokeProblem() *core.Problem {
+	return &core.Problem{
+		K:       4,
+		Weights: []uint64{5, 3, 2, 1},
+		Actions: []core.Action{
+			{Name: "tA", Set: core.SetOf(0, 1), Cost: 2},
+			{Name: "tB", Set: core.SetOf(0, 2), Cost: 3},
+			{Name: "r0", Set: core.SetOf(0), Cost: 4, Treatment: true},
+			{Name: "r1", Set: core.SetOf(1), Cost: 4, Treatment: true},
+			{Name: "r2", Set: core.SetOf(2), Cost: 4, Treatment: true},
+			{Name: "r3", Set: core.SetOf(3), Cost: 4, Treatment: true},
+			{Name: "rAll", Set: core.SetOf(0, 1, 2, 3), Cost: 20, Treatment: true},
+		},
+	}
+}
+
+// TestRouteSmoke is the `make route-smoke` sequence: boot the real service
+// through its own run loop, publish a policy from a real solve over HTTP,
+// then drive 10k sessions to completion through /v1/route/batch — every
+// session must end on a treatment leaf that covers its simulated object
+// (zero wrong leaves), with sessions carried entirely in signed cursors.
+func TestRouteSmoke(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-route-max-batch", "2000"}, io.Discard, ready, stop)
+	}()
+	var url string
+	select {
+	case addr := <-ready:
+		url = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// Publish: the instance is solved by the default engine, certified, and
+	// compiled — the only path that can mint a route policy.
+	p := routeSmokeProblem()
+	var buf bytes.Buffer
+	if err := instio.Write(&buf, p, ""); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/policy", "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr serve.PolicyResponse
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("publish: status %d: %s", resp.StatusCode, b)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	t.Logf("published policy %s v%d: cost %d, %d nodes, %d bytes (engine %s)",
+		pr.Policy, pr.Version, pr.Cost, pr.Nodes, pr.Bytes, pr.SolvedBy)
+
+	// outcome simulates the physical world for a session whose faulty object
+	// is obj: a test is positive iff obj is in its set; a treatment cures iff
+	// it covers obj.
+	outcome := func(action int32, obj int) bool {
+		for _, o := range pr.Actions[action].Objects {
+			if o == obj {
+				return true
+			}
+		}
+		return false
+	}
+	postBatch := func(req *serve.RouteBatchRequest) *serve.RouteBatchResponse {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(url+"/v1/route/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("route batch: status %d: %s", resp.StatusCode, b)
+		}
+		var br serve.RouteBatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range br.Errors {
+			if e != "" {
+				t.Fatalf("batch member %d failed: %s", i, e)
+			}
+		}
+		return &br
+	}
+
+	const sessions = 10_000
+	const chunk = 2000
+	completed, wrongLeaves, steps := 0, 0, 0
+	for off := 0; off < sessions; off += chunk {
+		br := postBatch(&serve.RouteBatchRequest{Policy: pr.Policy, Sessions: chunk})
+		type live struct {
+			cursor string
+			action int32
+			obj    int
+		}
+		cur := make([]live, 0, chunk)
+		for i := 0; i < chunk; i++ {
+			cur = append(cur, live{br.Cursors[i], br.Actions[i], int(br.Sessions[i]) % p.K})
+		}
+		for round := 0; len(cur) > 0; round++ {
+			if round > pr.Nodes {
+				t.Fatalf("chunk at %d did not converge after %d rounds", off, round)
+			}
+			req := serve.RouteBatchRequest{
+				Cursors:  make([]string, len(cur)),
+				Outcomes: make([]bool, len(cur)),
+			}
+			for i, l := range cur {
+				req.Cursors[i] = l.cursor
+				req.Outcomes[i] = outcome(l.action, l.obj)
+			}
+			sr := postBatch(&req)
+			steps += len(cur)
+			next := cur[:0]
+			for i, l := range cur {
+				if sr.Done[i] {
+					// The session ended on the action it just reported; a
+					// correct leaf is a treatment covering its object.
+					if !pr.Actions[l.action].Treatment || !outcome(l.action, l.obj) {
+						wrongLeaves++
+					}
+					completed++
+					continue
+				}
+				next = append(next, live{sr.Cursors[i], sr.Actions[i], l.obj})
+			}
+			cur = next
+		}
+	}
+	if completed != sessions {
+		t.Fatalf("completed %d of %d sessions", completed, sessions)
+	}
+	if wrongLeaves != 0 {
+		t.Fatalf("%d sessions ended on a wrong leaf", wrongLeaves)
+	}
+	t.Logf("routed %d sessions in %d total steps, zero wrong leaves", sessions, steps)
+
+	// Graceful shutdown: the run loop drains and returns nil.
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never shut down")
+	}
+}

@@ -196,20 +196,47 @@ func (e *LevelError) Error() string {
 // fault that corrupts both the answer and the table cannot also corrupt the
 // audit. The problem is assumed Validate()-clean.
 func Tree(p *core.Problem, root *core.Node, reported uint64) *Report {
-	r := &Report{}
+	r, total, priced := treeChecks(p, root)
+	if !priced {
+		return r // structure is broken; the price is meaningless
+	}
+	if total != reported {
+		r.add(Violation{Kind: BadPrice, Set: core.Universe(p.K), Action: -1, Got: reported, Want: total,
+			Detail: "bottom-up re-priced tree cost disagrees with reported C(U)"})
+	}
+	return r
+}
+
+// TreeStructure runs the structural and termination checks of Tree without a
+// reported optimum to compare against: it certifies that root is a
+// well-formed, successful TT procedure for p, nothing more. This is the gate
+// for caller-supplied trees (serve's /v1/eval) whose cost is about to be
+// *computed* rather than verified — a malformed tree must be rejected before
+// any pricing walk trusts its shape.
+func TreeStructure(p *core.Problem, root *core.Node) *Report {
+	r, _, _ := treeChecks(p, root)
+	return r
+}
+
+// treeChecks is the shared body of Tree and TreeStructure: root/universe
+// validation, the recursive structure check, and the per-object termination
+// walk. It returns the bottom-up price and whether that price is meaningful
+// (the structural recursion found no violation).
+func treeChecks(p *core.Problem, root *core.Node) (r *Report, total uint64, priced bool) {
+	r = &Report{}
 	if root == nil {
 		r.add(Violation{Kind: BadStructure, Action: -1, Detail: "nil procedure tree"})
-		return r
+		return r, 0, false
 	}
 	u := core.Universe(p.K)
 	if root.Set != u {
 		r.add(Violation{Kind: BadStructure, Set: root.Set, Action: -1,
 			Detail: fmt.Sprintf("root candidate set is not the universe %v", u)})
-		return r
+		return r, 0, false
 	}
-	total := priceNode(p, root, r)
+	total = priceNode(p, root, r)
 	if !r.OK() {
-		return r // structure is broken; the price is meaningless
+		return r, 0, false
 	}
 	// Belt and braces on termination: the structural recursion already
 	// guarantees every object is treated exactly once (child sets partition,
@@ -236,11 +263,7 @@ func Tree(p *core.Problem, root *core.Node, reported uint64) *Report {
 				Detail: fmt.Sprintf("object %d is never treated", j)})
 		}
 	}
-	if total != reported {
-		r.add(Violation{Kind: BadPrice, Set: u, Action: -1, Got: reported, Want: total,
-			Detail: "bottom-up re-priced tree cost disagrees with reported C(U)"})
-	}
-	return r
+	return r, total, true
 }
 
 // priceNode recursively validates one node's structure and returns the

@@ -1,0 +1,51 @@
+package certify
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Certificate is an unforgeable witness that a (problem, tree, cost) triple
+// passed full tree certification: the tree is a structurally valid,
+// successful TT procedure for the problem and its bottom-up price equals the
+// claimed optimum. Only this package can mint one (the fields are
+// unexported and the only constructor is Certify), which makes the
+// certificate a capability: code that demands a *Certificate — the policy
+// compiler — can only ever be handed certify-passing answers. This is the
+// compile-after-certify discipline, the same shape as serve's
+// certify-before-cache contract.
+//
+// A Certificate pins the exact values it checked; accessors return them so
+// the consumer cannot be handed a certificate for one tree and bytes of
+// another.
+type Certificate struct {
+	problem *core.Problem
+	root    *core.Node
+	cost    uint64
+}
+
+// Certify checks the triple and mints a certificate, or reports why not.
+// The problem must be Validate()-clean and the tree must pass Tree against
+// the claimed cost.
+func Certify(p *core.Problem, root *core.Node, cost uint64) (*Certificate, error) {
+	if p == nil {
+		return nil, fmt.Errorf("certify: nil problem")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if rep := Tree(p, root, cost); !rep.OK() {
+		return nil, rep.Err()
+	}
+	return &Certificate{problem: p, root: root, cost: cost}, nil
+}
+
+// Problem returns the certified problem.
+func (c *Certificate) Problem() *core.Problem { return c.problem }
+
+// Root returns the certified procedure tree.
+func (c *Certificate) Root() *core.Node { return c.root }
+
+// Cost returns the certified optimum C(U).
+func (c *Certificate) Cost() uint64 { return c.cost }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -540,5 +541,35 @@ func BenchmarkGreedy(b *testing.B) {
 		if _, err := GreedyCost(p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestTreeCostCtxCancelled: pricing honors its context — an already-ended
+// context fails at entry, and a long walk is interrupted at a poll stride.
+func TestTreeCostCtxCancelled(t *testing.T) {
+	p := &Problem{
+		K:       1,
+		Weights: []uint64{1},
+		Actions: []Action{
+			{Set: SetOf(), Cost: 1},               // test matching nothing: walk goes Neg
+			{Set: SetOf(0), Cost: 1, Treatment: true},
+		},
+	}
+	// A handcrafted chain longer than one poll stride: TreeCost's walk
+	// follows Neg links without shrinking the set (such a tree is invalid —
+	// certify would reject it — but pricing must stay interruptible even on
+	// adversarial shapes, which is exactly when it matters).
+	leaf := &Node{Action: 1, Set: SetOf(0)}
+	root := leaf
+	for i := 0; i < 5000; i++ {
+		root = &Node{Action: 0, Set: SetOf(0), Neg: root}
+	}
+	if _, err := TreeCost(p, root); err != nil {
+		t.Fatalf("uncancelled pricing failed: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TreeCostCtx(ctx, p, root); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled pricing returned %v, want context.Canceled", err)
 	}
 }

@@ -76,7 +76,12 @@ func (pol *Policy) ActionAt(s Set) (int, bool) {
 // States returns the number of reachable decision states stored.
 func (pol *Policy) States() int { return len(pol.choices) }
 
-// Tree reconstructs the procedure tree the policy encodes.
+// Tree reconstructs the procedure tree the policy encodes. Choices that do
+// not strictly shrink the candidate set — a test with S∩T_i ∈ {∅, S}, a
+// treatment with S∩T_i = ∅ — are rejected: no optimal policy contains one
+// (the DP prices them at infinity), and recursing on them would never
+// terminate. Policies arrive from untrusted JSON (serve's /v1/eval), so this
+// is a load-bearing guard, not an assertion.
 func (pol *Policy) Tree() (*Node, error) {
 	var build func(s Set) (*Node, error)
 	build = func(s Set) (*Node, error) {
@@ -88,14 +93,22 @@ func (pol *Policy) Tree() (*Node, error) {
 			return nil, fmt.Errorf("core: policy has no action for set %v", s)
 		}
 		a := pol.Actions[idx]
+		inter, diff := s&a.Set, s&^a.Set
+		if a.Treatment {
+			if inter == 0 {
+				return nil, fmt.Errorf("core: policy treatment %d treats nothing in set %v", idx, s)
+			}
+		} else if inter == 0 || diff == 0 {
+			return nil, fmt.Errorf("core: policy test %d does not split set %v", idx, s)
+		}
 		n := &Node{Action: int(idx), Set: s}
 		var err error
 		if !a.Treatment {
-			if n.Pos, err = build(s & a.Set); err != nil {
+			if n.Pos, err = build(inter); err != nil {
 				return nil, err
 			}
 		}
-		if n.Neg, err = build(s &^ a.Set); err != nil {
+		if n.Neg, err = build(diff); err != nil {
 			return nil, err
 		}
 		return n, nil

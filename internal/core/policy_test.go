@@ -116,3 +116,40 @@ func TestPolicyInadequateRejected(t *testing.T) {
 		t.Fatal("policy built for inadequate instance")
 	}
 }
+
+// TestPolicyTreeRejectsNonShrinkingChoices pins the fix for a crash: a
+// caller-supplied policy whose choice does not strictly shrink the candidate
+// set (a test with S∩T ∈ {∅, S}, or a treatment touching nothing in S) used
+// to recurse forever in Tree() — a stack overflow any /v1/eval client could
+// trigger with a few lines of JSON. Such choices must be rejected as
+// malformed, not followed.
+func TestPolicyTreeRejectsNonShrinkingChoices(t *testing.T) {
+	cases := map[string]string{
+		// Test covering the whole universe: positive branch recurses on S.
+		"test covers S": `{"k": 2, "actions": [
+			{"objects": [0, 1], "cost": 1},
+			{"objects": [0, 1], "cost": 5, "treatment": true}],
+			"choices": {"3": 0}}`,
+		// Test disjoint from the state: negative branch recurses on S.
+		"test misses S": `{"k": 2, "actions": [
+			{"objects": [], "cost": 1},
+			{"objects": [0, 1], "cost": 5, "treatment": true}],
+			"choices": {"3": 0}}`,
+		// Treatment treating nothing in the state: failure branch is S again.
+		"treat misses S": `{"k": 2, "actions": [
+			{"objects": [], "cost": 1, "treatment": true},
+			{"objects": [0, 1], "cost": 5, "treatment": true}],
+			"choices": {"3": 0}}`,
+	}
+	for name, in := range cases {
+		var pol Policy
+		if err := json.Unmarshal([]byte(in), &pol); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		// Must return an error promptly — before the fix this was an
+		// unbounded recursion.
+		if _, err := pol.Tree(); err == nil {
+			t.Errorf("%s: non-shrinking policy accepted", name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -61,12 +62,31 @@ func (s *Solution) buildNode(p *Problem, set Set) (*Node, error) {
 // branches are inconsistent with its action. It is deliberately ignorant of
 // the DP so it can serve as an oracle for Solve.
 func TreeCost(p *Problem, root *Node) (uint64, error) {
+	return TreeCostCtx(context.Background(), p, root)
+}
+
+// TreeCostCtx is TreeCost with cancellation: the context is polled every
+// ctxStride visited nodes, so pricing an adversarially large caller-supplied
+// tree (serve's /v1/eval accepts up to 2^K policy states) stops promptly
+// when the request is abandoned.
+func TreeCostCtx(ctx context.Context, p *Problem, root *Node) (uint64, error) {
+	// A small valid tree finishes well inside one stride, so an
+	// already-abandoned request must be caught here, not at the first poll.
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	var total uint64
+	var visited int
 	for j := 0; j < p.K; j++ {
 		var pathCost uint64
 		n := root
 		treated := false
 		for n != nil {
+			if visited++; visited&(ctxStride-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
 			if !n.Set.Has(j) {
 				return 0, fmt.Errorf("core: object %d reached node with set %v not containing it", j, n.Set)
 			}

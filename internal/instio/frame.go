@@ -1,0 +1,104 @@
+package instio
+
+// The artifact frame is instio's binary envelope for compiled, immutable
+// artifacts — today the policy artifacts of internal/policy, built so a
+// future mmap loader can use the bytes in place:
+//
+//	offset  size  field
+//	     0     4  magic "TTAF"
+//	     4     4  frame format version (little-endian uint32)
+//	     8     4  payload kind (registered below)
+//	    12     4  CRC-32C of the payload (Castagnoli, the checkpoint polynomial)
+//	    16     8  payload length in bytes (little-endian uint64)
+//	    24     8  reserved, must be zero
+//	    32     …  payload
+//
+// The header is exactly 32 bytes, so the payload begins 8-byte aligned for
+// any aligned mapping of the file, and every fixed-width field inside a
+// payload that keeps its own records 8-byte aligned stays aligned in the
+// map. ReadFrame verifies magic, version, kind registration, a sane length,
+// and the payload checksum before returning a byte of payload — a torn or
+// bit-flipped artifact is an error, never a struct.
+//
+// The CRC gates accidental corruption only; tamper-evidence for artifacts
+// whose content must be trusted (compiled policies) is layered above by the
+// payload format itself (internal/policy seals its payload with SHA-256).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// FrameKind identifies what a frame's payload encodes.
+type FrameKind uint32
+
+const (
+	// FramePolicy is a compiled policy artifact (internal/policy).
+	FramePolicy FrameKind = 1
+)
+
+const (
+	frameMagic   = "TTAF"
+	frameVersion = 1
+	// FrameHeaderLen is the fixed frame header size; payloads start here.
+	FrameHeaderLen = 32
+	// maxFramePayload bounds a frame's declared payload so a corrupt length
+	// field cannot drive an allocation by itself. The largest real artifact
+	// (2^MaxK reachable states, fixed-width nodes) is far below this.
+	maxFramePayload = 1 << 30
+)
+
+var crcCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteFrame writes one artifact frame: the 32-byte header followed by the
+// payload.
+func WriteFrame(w io.Writer, kind FrameKind, payload []byte) error {
+	var hdr [FrameHeaderLen]byte
+	copy(hdr[0:4], frameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], frameVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(kind))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(payload, crcCastagnoli))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("instio: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("instio: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads and verifies one artifact frame, returning its kind and
+// payload. Any structural defect — bad magic, unknown version, oversized
+// length, short payload, checksum mismatch — is an error.
+func ReadFrame(r io.Reader) (FrameKind, []byte, error) {
+	var hdr [FrameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("instio: reading frame header: %w", err)
+	}
+	if string(hdr[0:4]) != frameMagic {
+		return 0, nil, fmt.Errorf("instio: bad frame magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != frameVersion {
+		return 0, nil, fmt.Errorf("instio: unsupported frame version %d", v)
+	}
+	kind := FrameKind(binary.LittleEndian.Uint32(hdr[8:12]))
+	wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
+	n := binary.LittleEndian.Uint64(hdr[16:24])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("instio: frame payload length %d exceeds cap", n)
+	}
+	if rsv := binary.LittleEndian.Uint64(hdr[24:32]); rsv != 0 {
+		return 0, nil, fmt.Errorf("instio: frame reserved field is %#x, want 0", rsv)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("instio: reading frame payload: %w", err)
+	}
+	if got := crc32.Checksum(payload, crcCastagnoli); got != wantCRC {
+		return 0, nil, fmt.Errorf("instio: frame payload checksum mismatch (got %#x want %#x)", got, wantCRC)
+	}
+	return kind, payload, nil
+}

@@ -1,0 +1,468 @@
+// Package policy compiles certified procedure trees into immutable,
+// versioned policy artifacts and serves per-step traversals over them — the
+// deployed-procedure plane of ROADMAP item 1. The paper's output is a
+// test-and-treatment *procedure*; the million-user workload is not solving
+// fresh instances but walking an already-certified tree one response at a
+// time (a patient answering tests, a device under diagnosis). This package
+// supplies the substrate for that workload:
+//
+//   - Compile flattens a certified tree into an array-of-nodes Artifact: no
+//     pointers, index-linked children in preorder (every child index is
+//     strictly greater than its parent's, so traversals and decoders
+//     terminate by construction), fixed-width 16-byte node records. A step
+//     is a bounds-checked array read.
+//   - Compile demands a *certify.Certificate — the unforgeable witness that
+//     the tree passed the engine-independent certifier. Compile-after-certify
+//     mirrors serve's certify-before-cache discipline: there is no code path
+//     that turns an unverified tree into a routable artifact.
+//   - Artifacts serialize into an instio artifact frame (CRC-gated) whose
+//     payload embeds the full pricing context (weights, actions, certified
+//     optimum) and is sealed with SHA-256. Decode re-derives the tree from
+//     the records and re-certifies it against the embedded problem, so a
+//     tampered-but-CRC-valid artifact is rejected at load.
+//   - Store (store.go) keeps published artifacts in a versioned in-memory
+//     registry with lock-free lookups and LRU byte budgeting; Cursor
+//     (cursor.go) is the tamper-evident session token that makes the serving
+//     endpoints stateless.
+package policy
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/certify"
+	"repro/internal/core"
+	"repro/internal/instio"
+)
+
+// Child-index sentinels. Non-negative values index Artifact.Nodes.
+const (
+	// Done ends the procedure: the faulty object has been treated.
+	Done int32 = -1
+	// None marks an impossible outcome (the negative branch of a treatment
+	// that covers its whole candidate set). Reporting it is a client error.
+	None int32 = -2
+)
+
+// Node is one flattened tree vertex: the action to perform there and the
+// node to move to for each outcome. The wire record is 16 bytes (action,
+// pos, neg, pad), so a mapped artifact can be walked in place.
+type Node struct {
+	Action int32 // index into Artifact.Actions
+	Pos    int32 // next node on a positive outcome (test positive / treated)
+	Neg    int32 // next node on a negative outcome
+}
+
+// Action mirrors core.Action in a form the route plane can hand out.
+type Action struct {
+	Name      string
+	Set       core.Set
+	Cost      uint64
+	Treatment bool
+}
+
+// Artifact is one compiled, immutable policy. After Store.Publish assigns a
+// version and seals it, nothing mutates it again; every reader shares it.
+type Artifact struct {
+	ID      string // canonical instance hash of the certified solve
+	Version uint32 // assigned by the store at publish; 0 = unpublished
+	K       int
+	Cost    uint64 // certified optimum C(U)
+	Weights []uint64
+	Actions []Action
+	Nodes   []Node
+	Root    int32
+
+	sum   [32]byte // SHA-256 seal over the encoded payload; zero until sealed
+	bytes int64    // resident size estimate, for the store's byte budget
+}
+
+// Compile flattens a certified procedure tree into an artifact. The
+// *certify.Certificate parameter is the compile gate: only certify can mint
+// one, so only certify-passing (problem, tree, cost) triples are compilable.
+// id names the policy — serve passes the canonical instance hash, so a
+// policy and the solve cache agree on identity.
+func Compile(cert *certify.Certificate, id string) (*Artifact, error) {
+	if cert == nil {
+		return nil, fmt.Errorf("policy: compile requires a certificate (compile-after-certify)")
+	}
+	if id == "" {
+		return nil, fmt.Errorf("policy: compile requires a policy id")
+	}
+	p, root := cert.Problem(), cert.Root()
+	art := &Artifact{
+		ID:      id,
+		K:       p.K,
+		Cost:    cert.Cost(),
+		Weights: append([]uint64(nil), p.Weights...),
+	}
+	for _, a := range p.Actions {
+		art.Actions = append(art.Actions, Action{Name: a.Name, Set: a.Set, Cost: a.Cost, Treatment: a.Treatment})
+	}
+	var flatten func(n *core.Node) (int32, error)
+	flatten = func(n *core.Node) (int32, error) {
+		idx := int32(len(art.Nodes))
+		art.Nodes = append(art.Nodes, Node{Action: int32(n.Action)})
+		a := p.Actions[n.Action]
+		if a.Treatment {
+			art.Nodes[idx].Pos = Done
+			if n.Neg == nil {
+				art.Nodes[idx].Neg = None
+			} else {
+				neg, err := flatten(n.Neg)
+				if err != nil {
+					return 0, err
+				}
+				art.Nodes[idx].Neg = neg
+			}
+			return idx, nil
+		}
+		if n.Pos == nil || n.Neg == nil {
+			// Unreachable for a certified tree; refuse rather than emit a
+			// broken artifact if the invariant is ever violated.
+			return 0, fmt.Errorf("policy: test node missing a branch")
+		}
+		pos, err := flatten(n.Pos)
+		if err != nil {
+			return 0, err
+		}
+		art.Nodes[idx].Pos = pos
+		neg, err := flatten(n.Neg)
+		if err != nil {
+			return 0, err
+		}
+		art.Nodes[idx].Neg = neg
+		return idx, nil
+	}
+	r, err := flatten(root)
+	if err != nil {
+		return nil, err
+	}
+	art.Root = r
+	return art, nil
+}
+
+// Step advances one session: from node, with a positive or negative
+// outcome, to the next node index — Done, None, or a valid index. ok is
+// false when node itself is not a valid index. This is the route plane's
+// innermost operation: two bounds checks and an array read, no locks, no
+// allocation.
+func (a *Artifact) Step(node int32, positive bool) (next int32, ok bool) {
+	if node < 0 || int(node) >= len(a.Nodes) {
+		return 0, false
+	}
+	n := a.Nodes[node]
+	if positive {
+		return n.Pos, true
+	}
+	return n.Neg, true
+}
+
+// ActionAt returns the action to perform at a node.
+func (a *Artifact) ActionAt(node int32) (Action, bool) {
+	if node < 0 || int(node) >= len(a.Nodes) {
+		return Action{}, false
+	}
+	idx := a.Nodes[node].Action
+	if idx < 0 || int(idx) >= len(a.Actions) {
+		return Action{}, false
+	}
+	return a.Actions[idx], true
+}
+
+// Key is the 64-bit cursor-binding key: the first 8 bytes of the seal.
+// Cursors carry it, so a cursor is bound to the exact sealed bytes of one
+// artifact version — not to a name that could be re-published.
+func (a *Artifact) Key() uint64 {
+	return binary.LittleEndian.Uint64(a.sum[:8])
+}
+
+// Bytes is the artifact's resident size estimate.
+func (a *Artifact) Bytes() int64 { return a.bytes }
+
+// Sealed reports whether the artifact has been sealed (published or loaded).
+func (a *Artifact) Sealed() bool { return a.sum != [32]byte{} }
+
+// --- encoding ---
+//
+// Payload layout (little-endian, sections in order, 8-byte-aligned records):
+//
+//	header   40 B: format u32, K u32, actions u32, nodes u32, root u32,
+//	              version u32, cost u64, idLen u32, nameBlobLen u32
+//	weights  K × 8 B
+//	actions  actions × 24 B: set u32, flags u32, cost u64, nameOff u32, nameLen u32
+//	nodes    nodes × 16 B: action i32, pos i32, neg i32, pad u32
+//	id       idLen B (policy id, UTF-8)
+//	names    nameBlobLen B (action names, referenced by off/len)
+//	pad      to an 8-byte boundary
+//	seal     32 B: SHA-256 over everything above
+//
+// The whole payload travels inside an instio artifact frame (kind
+// FramePolicy), which adds the CRC gate for torn or bit-flipped files.
+
+const (
+	payloadFormat  = 1
+	payloadHdrLen  = 40
+	actionRecLen   = 24
+	nodeRecLen     = 16
+	sealLen        = sha256.Size
+	maxArtActions  = 1 << 12
+	maxArtNodes    = 1 << 22
+	maxArtNameBlob = 1 << 20
+)
+
+// encode renders the sealable payload (seal included) for the artifact's
+// current contents. Deterministic: equal artifacts encode to equal bytes.
+func (a *Artifact) encode() ([]byte, error) {
+	if a.K < 1 || a.K > core.MaxK || len(a.Weights) != a.K {
+		return nil, fmt.Errorf("policy: artifact has %d weights for K=%d", len(a.Weights), a.K)
+	}
+	if len(a.Actions) == 0 || len(a.Actions) > maxArtActions {
+		return nil, fmt.Errorf("policy: artifact has %d actions", len(a.Actions))
+	}
+	if len(a.Nodes) == 0 || len(a.Nodes) > maxArtNodes {
+		return nil, fmt.Errorf("policy: artifact has %d nodes", len(a.Nodes))
+	}
+	var names bytes.Buffer
+	type nameRef struct{ off, n int }
+	refs := make([]nameRef, len(a.Actions))
+	for i, act := range a.Actions {
+		refs[i] = nameRef{off: names.Len(), n: len(act.Name)}
+		names.WriteString(act.Name)
+	}
+	if names.Len() > maxArtNameBlob {
+		return nil, fmt.Errorf("policy: action names total %d bytes", names.Len())
+	}
+	fixed := payloadHdrLen + 8*a.K + actionRecLen*len(a.Actions) + nodeRecLen*len(a.Nodes)
+	varLen := len(a.ID) + names.Len()
+	pad := (8 - (fixed+varLen)%8) % 8
+	buf := make([]byte, fixed+varLen+pad+sealLen)
+
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], payloadFormat)
+	le.PutUint32(buf[4:], uint32(a.K))
+	le.PutUint32(buf[8:], uint32(len(a.Actions)))
+	le.PutUint32(buf[12:], uint32(len(a.Nodes)))
+	le.PutUint32(buf[16:], uint32(a.Root))
+	le.PutUint32(buf[20:], a.Version)
+	le.PutUint64(buf[24:], a.Cost)
+	le.PutUint32(buf[32:], uint32(len(a.ID)))
+	le.PutUint32(buf[36:], uint32(names.Len()))
+	off := payloadHdrLen
+	for _, w := range a.Weights {
+		le.PutUint64(buf[off:], w)
+		off += 8
+	}
+	for i, act := range a.Actions {
+		le.PutUint32(buf[off:], uint32(act.Set))
+		var flags uint32
+		if act.Treatment {
+			flags = 1
+		}
+		le.PutUint32(buf[off+4:], flags)
+		le.PutUint64(buf[off+8:], act.Cost)
+		le.PutUint32(buf[off+16:], uint32(refs[i].off))
+		le.PutUint32(buf[off+20:], uint32(refs[i].n))
+		off += actionRecLen
+	}
+	for _, n := range a.Nodes {
+		le.PutUint32(buf[off:], uint32(n.Action))
+		le.PutUint32(buf[off+4:], uint32(n.Pos))
+		le.PutUint32(buf[off+8:], uint32(n.Neg))
+		off += nodeRecLen
+	}
+	off += copy(buf[off:], a.ID)
+	off += copy(buf[off:], names.Bytes())
+	off += pad
+	sum := sha256.Sum256(buf[:off])
+	copy(buf[off:], sum[:])
+	return buf, nil
+}
+
+// seal encodes the artifact, records its seal hash and resident size, and
+// returns the sealed payload. Store.Publish calls it after assigning the
+// version; an artifact's Key is undefined before sealing.
+func (a *Artifact) seal() ([]byte, error) {
+	payload, err := a.encode()
+	if err != nil {
+		return nil, err
+	}
+	copy(a.sum[:], payload[len(payload)-sealLen:])
+	a.bytes = int64(len(payload)) + 256 // struct, slice headers, map slot
+	return payload, nil
+}
+
+// WriteTo serializes the sealed artifact as an instio policy frame.
+func (a *Artifact) WriteTo(w io.Writer) (int64, error) {
+	payload, err := a.encode()
+	if err != nil {
+		return 0, err
+	}
+	if !a.Sealed() {
+		return 0, fmt.Errorf("policy: artifact is unsealed; publish it first")
+	}
+	if !bytes.Equal(payload[len(payload)-sealLen:], a.sum[:]) {
+		return 0, fmt.Errorf("policy: artifact mutated after sealing")
+	}
+	if err := instio.WriteFrame(w, instio.FramePolicy, payload); err != nil {
+		return 0, err
+	}
+	return int64(instio.FrameHeaderLen + len(payload)), nil
+}
+
+// Read loads one artifact from an instio policy frame and fully re-verifies
+// it: frame CRC (instio), payload geometry and index bounds, the SHA-256
+// seal, and finally a re-certification of the decoded tree against the
+// embedded problem and optimum. A tampered artifact — even one whose CRC
+// and seal were recomputed consistently — must still encode a valid,
+// correctly priced procedure to load.
+func Read(r io.Reader) (*Artifact, error) {
+	kind, payload, err := instio.ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if kind != instio.FramePolicy {
+		return nil, fmt.Errorf("policy: frame kind %d is not a policy artifact", kind)
+	}
+	return decode(payload)
+}
+
+func decode(payload []byte) (*Artifact, error) {
+	le := binary.LittleEndian
+	if len(payload) < payloadHdrLen+sealLen {
+		return nil, fmt.Errorf("policy: artifact payload truncated (%d bytes)", len(payload))
+	}
+	if f := le.Uint32(payload[0:]); f != payloadFormat {
+		return nil, fmt.Errorf("policy: unsupported artifact format %d", f)
+	}
+	k := int(le.Uint32(payload[4:]))
+	nActions := int(le.Uint32(payload[8:]))
+	nNodes := int(le.Uint32(payload[12:]))
+	root := int32(le.Uint32(payload[16:]))
+	version := le.Uint32(payload[20:])
+	cost := le.Uint64(payload[24:])
+	idLen := int(le.Uint32(payload[32:]))
+	nameLen := int(le.Uint32(payload[36:]))
+	if k < 1 || k > core.MaxK || nActions < 1 || nActions > maxArtActions ||
+		nNodes < 1 || nNodes > maxArtNodes || nameLen > maxArtNameBlob || idLen > 1<<10 {
+		return nil, fmt.Errorf("policy: artifact header out of bounds (k=%d actions=%d nodes=%d)", k, nActions, nNodes)
+	}
+	fixed := payloadHdrLen + 8*k + actionRecLen*nActions + nodeRecLen*nNodes
+	varLen := idLen + nameLen
+	pad := (8 - (fixed+varLen)%8) % 8
+	if len(payload) != fixed+varLen+pad+sealLen {
+		return nil, fmt.Errorf("policy: artifact payload is %d bytes, want %d", len(payload), fixed+varLen+pad+sealLen)
+	}
+	sealOff := len(payload) - sealLen
+	if sum := sha256.Sum256(payload[:sealOff]); !bytes.Equal(sum[:], payload[sealOff:]) {
+		return nil, fmt.Errorf("policy: artifact seal mismatch — content was altered after sealing")
+	}
+	art := &Artifact{K: k, Cost: cost, Root: root, Version: version}
+	copy(art.sum[:], payload[sealOff:])
+	off := payloadHdrLen
+	art.Weights = make([]uint64, k)
+	for i := range art.Weights {
+		art.Weights[i] = le.Uint64(payload[off:])
+		off += 8
+	}
+	id := payload[fixed : fixed+idLen]
+	names := payload[fixed+idLen : fixed+idLen+nameLen]
+	art.ID = string(id)
+	u := core.Universe(k)
+	art.Actions = make([]Action, nActions)
+	for i := range art.Actions {
+		set := core.Set(le.Uint32(payload[off:]))
+		flags := le.Uint32(payload[off+4:])
+		acost := le.Uint64(payload[off+8:])
+		nOff := int(le.Uint32(payload[off+16:]))
+		nLen := int(le.Uint32(payload[off+20:]))
+		off += actionRecLen
+		if set&^u != 0 || flags > 1 || nOff < 0 || nLen < 0 || nOff+nLen > len(names) {
+			return nil, fmt.Errorf("policy: artifact action %d record out of bounds", i)
+		}
+		art.Actions[i] = Action{Name: string(names[nOff : nOff+nLen]), Set: set, Cost: acost, Treatment: flags == 1}
+	}
+	art.Nodes = make([]Node, nNodes)
+	for i := range art.Nodes {
+		n := Node{
+			Action: int32(le.Uint32(payload[off:])),
+			Pos:    int32(le.Uint32(payload[off+4:])),
+			Neg:    int32(le.Uint32(payload[off+8:])),
+		}
+		off += nodeRecLen
+		if n.Action < 0 || int(n.Action) >= nActions {
+			return nil, fmt.Errorf("policy: node %d action index out of range", i)
+		}
+		// Preorder invariant: children strictly follow their parent, so any
+		// walk of the records terminates (no cycles representable).
+		for _, c := range [2]int32{n.Pos, n.Neg} {
+			if c != Done && c != None && (c <= int32(i) || int(c) >= nNodes) {
+				return nil, fmt.Errorf("policy: node %d child %d breaks the preorder invariant", i, c)
+			}
+		}
+		art.Nodes[i] = n
+	}
+	if int(root) >= nNodes || root != 0 {
+		return nil, fmt.Errorf("policy: artifact root %d is not the first preorder node", root)
+	}
+	// Semantic gate: rebuild the procedure tree and re-certify it against
+	// the embedded problem and optimum. Loading is re-certification.
+	p := art.problem()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("policy: artifact problem invalid: %w", err)
+	}
+	tree, err := art.tree(root, u)
+	if err != nil {
+		return nil, err
+	}
+	if rep := certify.Tree(p, tree, cost); !rep.OK() {
+		return nil, fmt.Errorf("policy: artifact failed load re-certification: %w", rep.Err())
+	}
+	return art, nil
+}
+
+// problem reconstructs the embedded pricing problem.
+func (a *Artifact) problem() *core.Problem {
+	p := &core.Problem{K: a.K, Weights: a.Weights}
+	for _, act := range a.Actions {
+		p.Actions = append(p.Actions, core.Action{Name: act.Name, Set: act.Set, Cost: act.Cost, Treatment: act.Treatment})
+	}
+	return p
+}
+
+// tree rebuilds the core procedure tree rooted at node idx with candidate
+// set s. Terminates on any decodable artifact thanks to the preorder
+// invariant; structural sanity is certify's job afterwards.
+func (a *Artifact) tree(idx int32, s core.Set) (*core.Node, error) {
+	nd := a.Nodes[idx]
+	act := a.Actions[nd.Action]
+	n := &core.Node{Action: int(nd.Action), Set: s}
+	pos, neg := s&act.Set, s&^act.Set
+	var err error
+	if act.Treatment {
+		if nd.Pos != Done {
+			return nil, fmt.Errorf("policy: treatment node %d does not terminate on success", idx)
+		}
+	} else {
+		if nd.Pos == Done || nd.Pos == None {
+			return nil, fmt.Errorf("policy: test node %d has no positive branch", idx)
+		}
+		if n.Pos, err = a.tree(nd.Pos, pos); err != nil {
+			return nil, err
+		}
+	}
+	switch nd.Neg {
+	case None:
+		// no negative subtree (full-cover treatment)
+	case Done:
+		return nil, fmt.Errorf("policy: node %d ends the procedure on a negative outcome", idx)
+	default:
+		if n.Neg, err = a.tree(nd.Neg, neg); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,95 @@
+package policy
+
+import (
+	"testing"
+)
+
+// benchFixture publishes one artifact into a store and precomputes, for
+// every node, the outcome a router would report there when chasing the
+// deepest path — so the benchmark loop walks real sessions end to end and
+// wraps around, with no per-iteration setup.
+type benchFixture struct {
+	st   *Store
+	kr   *Keyring
+	art  *Artifact
+	outs []bool // outcome to report at each node index
+}
+
+func newBenchFixture(b *testing.B) *benchFixture {
+	b.Helper()
+	st := NewStore(0)
+	art, err := st.Publish(compiled(b, "bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &benchFixture{st: st, kr: newTestKeyring(7), art: art, outs: make([]bool, len(art.Nodes))}
+	for i, n := range art.Nodes {
+		// Prefer the branch that keeps the session alive (deeper walk);
+		// fall back to the terminating positive outcome.
+		switch {
+		case n.Neg >= 0:
+			f.outs[i] = false
+		case n.Pos >= 0:
+			f.outs[i] = true
+		default:
+			f.outs[i] = true // treatment with full cover: positive ends it
+		}
+	}
+	return f
+}
+
+// step performs one complete route-plane step exactly as the serve handler
+// does on its hot path: verify the cursor MAC, resolve the artifact by key
+// (lock-free store lookup), advance one node, and sign the next cursor.
+// Returns the next cursor, or the restarted session when the walk ended.
+func (f *benchFixture) step(cur string) string {
+	c, err := f.kr.Verify(cur)
+	if err != nil {
+		panic(err)
+	}
+	art, ok := f.st.ByKey(c.Artifact)
+	if !ok {
+		panic("artifact missing")
+	}
+	next, ok := art.Step(c.Node, f.outs[c.Node])
+	if !ok {
+		panic("bad node")
+	}
+	if next < 0 {
+		return f.kr.Sign(Cursor{Artifact: c.Artifact, Node: art.Root, Session: c.Session + 1})
+	}
+	return f.kr.Sign(Cursor{Artifact: c.Artifact, Node: next, Session: c.Session, Step: c.Step + 1})
+}
+
+// BenchmarkRouteStep measures one full stateless routing step — cursor
+// verify, artifact resolve, node transition, cursor re-sign. The route
+// plane's acceptance target is a sub-microsecond mean here.
+func BenchmarkRouteStep(b *testing.B) {
+	f := newBenchFixture(b)
+	cur := f.kr.Sign(Cursor{Artifact: f.art.Key(), Node: f.art.Root})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur = f.step(cur)
+	}
+}
+
+// BenchmarkRouteBatch steps a batch of 1024 concurrent sessions once each
+// per iteration, the amortized shape of /v1/route/batch; per-session cost
+// is ns/op ÷ 1024.
+func BenchmarkRouteBatch(b *testing.B) {
+	const sessions = 1024
+	f := newBenchFixture(b)
+	curs := make([]string, sessions)
+	for i := range curs {
+		curs[i] = f.kr.Sign(Cursor{Artifact: f.art.Key(), Node: f.art.Root, Session: uint32(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range curs {
+			curs[j] = f.step(curs[j])
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/sessions, "ns/step")
+}

@@ -1,0 +1,410 @@
+package policy
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/certify"
+	"repro/internal/core"
+)
+
+// testProblem is a small adequate instance with real structure: two tests
+// that split the universe and a treatment per object plus one broad
+// treatment, so the optimal tree mixes tests and treatments.
+func testProblem(t testing.TB) *core.Problem {
+	t.Helper()
+	p := &core.Problem{
+		K:       4,
+		Weights: []uint64{5, 3, 2, 1},
+		Actions: []core.Action{
+			{Name: "tA", Set: core.SetOf(0, 1), Cost: 2},
+			{Name: "tB", Set: core.SetOf(0, 2), Cost: 3},
+			{Name: "r0", Set: core.SetOf(0), Cost: 4, Treatment: true},
+			{Name: "r1", Set: core.SetOf(1), Cost: 4, Treatment: true},
+			{Name: "r2", Set: core.SetOf(2), Cost: 4, Treatment: true},
+			{Name: "r3", Set: core.SetOf(3), Cost: 4, Treatment: true},
+			{Name: "rAll", Set: core.SetOf(0, 1, 2, 3), Cost: 20, Treatment: true},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("test problem invalid: %v", err)
+	}
+	return p
+}
+
+func certified(t testing.TB, p *core.Problem) *certify.Certificate {
+	t.Helper()
+	sol, err := core.Solve(p)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	tree, err := sol.Tree(p)
+	if err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	cert, err := certify.Certify(p, tree, sol.Cost)
+	if err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+	return cert
+}
+
+func compiled(t testing.TB, id string) *Artifact {
+	t.Helper()
+	p := testProblem(t)
+	art, err := Compile(certified(t, p), id)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return art
+}
+
+func TestCompileGate(t *testing.T) {
+	if _, err := Compile(nil, "x"); err == nil {
+		t.Fatal("Compile accepted a nil certificate")
+	}
+	p := testProblem(t)
+	if _, err := Compile(certified(t, p), ""); err == nil {
+		t.Fatal("Compile accepted an empty policy id")
+	}
+}
+
+// walk drives one session for object j through the artifact, returning the
+// total cost paid and the last action applied before termination.
+func walk(t *testing.T, art *Artifact, j int) (cost uint64, last Action) {
+	t.Helper()
+	node := art.Root
+	for steps := 0; ; steps++ {
+		if steps > len(art.Nodes) {
+			t.Fatalf("object %d: walk exceeded node count — cycle?", j)
+		}
+		act, ok := art.ActionAt(node)
+		if !ok {
+			t.Fatalf("object %d: bad node %d", j, node)
+		}
+		cost += act.Cost
+		positive := act.Set.Has(j)
+		next, ok := art.Step(node, positive)
+		if !ok {
+			t.Fatalf("object %d: step failed at node %d", j, node)
+		}
+		if positive && act.Treatment {
+			if next != Done {
+				t.Fatalf("object %d: successful treatment did not end the procedure", j)
+			}
+			return cost, act
+		}
+		if next == None {
+			t.Fatalf("object %d: walked into an impossible branch at node %d", j, node)
+		}
+		if next == Done {
+			t.Fatalf("object %d: procedure ended without treating it", j)
+		}
+		node = next
+	}
+}
+
+func TestRouteAllObjectsReachCorrectLeaf(t *testing.T) {
+	p := testProblem(t)
+	cert := certified(t, p)
+	art, err := Compile(cert, "test-policy")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var expected uint64
+	for j := 0; j < p.K; j++ {
+		cost, last := walk(t, art, j)
+		if !last.Treatment || !last.Set.Has(j) {
+			t.Fatalf("object %d terminated on %q which does not treat it", j, last.Name)
+		}
+		expected += cost * p.Weights[j]
+	}
+	if expected != art.Cost {
+		t.Fatalf("routed expected cost %d != certified optimum %d", expected, art.Cost)
+	}
+}
+
+func TestStepBounds(t *testing.T) {
+	art := compiled(t, "bounds")
+	for _, bad := range []int32{-1, -2, int32(len(art.Nodes)), 1 << 30} {
+		if _, ok := art.Step(bad, true); ok {
+			t.Fatalf("Step accepted out-of-range node %d", bad)
+		}
+		if _, ok := art.ActionAt(bad); ok {
+			t.Fatalf("ActionAt accepted out-of-range node %d", bad)
+		}
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	st := NewStore(0)
+	art, err := st.Publish(compiled(t, "round-trip"))
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := art.WriteTo(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.ID != art.ID || got.Version != art.Version || got.Cost != art.Cost || got.K != art.K {
+		t.Fatalf("round trip changed identity: %+v vs %+v", got, art)
+	}
+	if got.Key() != art.Key() {
+		t.Fatalf("round trip changed key: %#x vs %#x", got.Key(), art.Key())
+	}
+	if len(got.Nodes) != len(art.Nodes) || got.Root != art.Root {
+		t.Fatalf("round trip changed shape")
+	}
+	for i := range got.Nodes {
+		if got.Nodes[i] != art.Nodes[i] {
+			t.Fatalf("node %d changed: %+v vs %+v", i, got.Nodes[i], art.Nodes[i])
+		}
+	}
+	for i := range got.Actions {
+		if got.Actions[i] != art.Actions[i] {
+			t.Fatalf("action %d changed", i)
+		}
+	}
+}
+
+func TestUnsealedArtifactDoesNotSerialize(t *testing.T) {
+	art := compiled(t, "unsealed")
+	var buf bytes.Buffer
+	if _, err := art.WriteTo(&buf); err == nil {
+		t.Fatal("WriteTo accepted an unpublished (unsealed) artifact")
+	}
+}
+
+// TestTamperRejected flips every byte of the serialized artifact in turn
+// and demands Read reject each mutant: header damage trips the frame
+// checks, payload damage trips the CRC, and a hypothetical consistent
+// rewrite would still have to pass seal verification and re-certification.
+func TestTamperRejected(t *testing.T) {
+	st := NewStore(0)
+	art, err := st.Publish(compiled(t, "tamper"))
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := art.WriteTo(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	orig := buf.Bytes()
+	if _, err := Read(bytes.NewReader(orig)); err != nil {
+		t.Fatalf("pristine artifact rejected: %v", err)
+	}
+	mutant := make([]byte, len(orig))
+	for i := range orig {
+		copy(mutant, orig)
+		mutant[i] ^= 0x40
+		if _, err := Read(bytes.NewReader(mutant)); err == nil {
+			t.Fatalf("byte %d: flipped artifact loaded cleanly", i)
+		}
+	}
+	for _, cut := range []int{0, 1, len(orig) / 2, len(orig) - 1} {
+		if _, err := Read(bytes.NewReader(orig[:cut])); err == nil {
+			t.Fatalf("truncation at %d loaded cleanly", cut)
+		}
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	kr, err := NewKeyring()
+	if err != nil {
+		t.Fatalf("keyring: %v", err)
+	}
+	want := Cursor{Artifact: 0xdeadbeefcafe0123, Node: 7, Session: 42, Step: 3}
+	s := kr.Sign(want)
+	if len(s) != CursorLen {
+		t.Fatalf("cursor length %d, want %d", len(s), CursorLen)
+	}
+	got, err := kr.Verify(s)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if got != want {
+		t.Fatalf("cursor round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestCursorTamperRejected(t *testing.T) {
+	kr := newTestKeyring(1)
+	s := kr.Sign(Cursor{Artifact: 99, Node: 1, Session: 2, Step: 3})
+	for i := range s {
+		for _, repl := range []byte{'A', 'z', '0', '_'} {
+			if s[i] == repl {
+				continue
+			}
+			mut := s[:i] + string(repl) + s[i+1:]
+			if _, err := kr.Verify(mut); err == nil {
+				t.Fatalf("altered cursor at %d accepted", i)
+			}
+		}
+	}
+	if _, err := kr.Verify(s[:len(s)-1]); err == nil {
+		t.Fatal("truncated cursor accepted")
+	}
+	if _, err := kr.Verify(""); err == nil {
+		t.Fatal("empty cursor accepted")
+	}
+	other := newTestKeyring(2)
+	if _, err := other.Verify(s); err == nil {
+		t.Fatal("cursor signed by another keyring accepted")
+	}
+}
+
+func TestStoreVersioning(t *testing.T) {
+	st := NewStore(0)
+	a1, err := st.Publish(compiled(t, "pol"))
+	if err != nil {
+		t.Fatalf("publish 1: %v", err)
+	}
+	a2, err := st.Publish(compiled(t, "pol"))
+	if err != nil {
+		t.Fatalf("publish 2: %v", err)
+	}
+	if a1.Version != 1 || a2.Version != 2 {
+		t.Fatalf("versions %d,%d want 1,2", a1.Version, a2.Version)
+	}
+	if a1.Key() == a2.Key() {
+		t.Fatal("distinct versions share a key")
+	}
+	if got, ok := st.Get("pol", 0); !ok || got != a2 {
+		t.Fatal("Get latest did not return v2")
+	}
+	if got, ok := st.Get("pol", 1); !ok || got != a1 {
+		t.Fatal("Get v1 failed")
+	}
+	if _, ok := st.Get("pol", 3); ok {
+		t.Fatal("Get nonexistent version succeeded")
+	}
+	if _, ok := st.Get("missing", 0); ok {
+		t.Fatal("Get unknown id succeeded")
+	}
+	for _, a := range []*Artifact{a1, a2} {
+		if got, ok := st.ByKey(a.Key()); !ok || got != a {
+			t.Fatalf("ByKey(%#x) failed", a.Key())
+		}
+	}
+	infos := st.List()
+	if len(infos) != 2 || infos[0].Version != 1 || infos[1].Version != 2 {
+		t.Fatalf("List: %+v", infos)
+	}
+	if n, b := st.Stats(); n != 2 || b != a1.Bytes()+a2.Bytes() {
+		t.Fatalf("Stats: %d artifacts %d bytes", n, b)
+	}
+}
+
+// sealedBytes probes the sealed size of this package's test artifact for a
+// one-character id (size is only set at publish, and the id is embedded).
+func sealedBytes(t *testing.T) int64 {
+	t.Helper()
+	probe := NewStore(0)
+	a, err := probe.Publish(compiled(t, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Bytes()
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	one := sealedBytes(t)         // all 1-char-id test artifacts are the same size
+	st := NewStore(2*one + one/2) // room for two
+	a1, err := st.Publish(compiled(t, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := st.Publish(compiled(t, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch a1 so b1 is the LRU victim when c arrives.
+	if _, ok := st.ByKey(a1.Key()); !ok {
+		t.Fatal("a1 lookup failed")
+	}
+	c1, err := st.Publish(compiled(t, "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.ByKey(b1.Key()); ok {
+		t.Fatal("LRU artifact b1 survived eviction")
+	}
+	if _, ok := st.Get("b", 0); ok {
+		t.Fatal("evicted id still resolvable")
+	}
+	for _, a := range []*Artifact{a1, c1} {
+		if _, ok := st.ByKey(a.Key()); !ok {
+			t.Fatalf("recently used artifact %q evicted", a.ID)
+		}
+	}
+	if n, bytes := st.Stats(); n != 2 || bytes > st.budget {
+		t.Fatalf("Stats after eviction: %d artifacts, %d bytes (budget %d)", n, bytes, st.budget)
+	}
+	// An artifact alone over budget is refused outright.
+	tiny := NewStore(16)
+	if _, err := tiny.Publish(compiled(t, "huge")); err == nil {
+		t.Fatal("oversized artifact accepted")
+	}
+}
+
+// TestStoreConcurrentAccess hammers lock-free reads against publishes and
+// evictions; run under -race this is the store's memory-model test.
+func TestStoreConcurrentAccess(t *testing.T) {
+	one := sealedBytes(t)
+	st := NewStore(4 * one) // tight budget so eviction churns
+	ids := []string{"w", "x", "y", "z", "q", "r"}
+	// Pre-compile on the test goroutine (helpers may t.Fatal); each publish
+	// consumes a fresh artifact since Publish seals in place.
+	batches := make([][]*Artifact, len(ids))
+	for i, id := range ids {
+		for j := 0; j < 20; j++ {
+			batches[i] = append(batches[i], compiled(t, id))
+		}
+	}
+	var pubs, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for i, id := range ids {
+		pubs.Add(1)
+		go func(id string, arts []*Artifact) {
+			defer pubs.Done()
+			for _, art := range arts {
+				if _, err := st.Publish(art); err != nil {
+					t.Errorf("publish %s: %v", id, err)
+					return
+				}
+			}
+		}(id, batches[i])
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, id := range ids {
+					if art, ok := st.Get(id, 0); ok {
+						// ByKey may miss if an eviction raced in — legal.
+						st.ByKey(art.Key())
+					}
+				}
+				st.List()
+				st.Stats()
+			}
+		}()
+	}
+	pubs.Wait()
+	close(stop)
+	readers.Wait()
+	if n, b := st.Stats(); n == 0 || b > 4*one {
+		t.Fatalf("final store state: %d artifacts %d bytes (budget %d)", n, b, 4*one)
+	}
+}

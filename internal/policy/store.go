@@ -1,0 +1,205 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Store is the versioned in-memory policy registry. Reads — the per-step
+// hot path — are lock-free: lookups load an immutable snapshot through an
+// atomic pointer and touch a per-entry atomic recency clock. Writers
+// (Publish, eviction) serialize on a mutex and install a fresh snapshot by
+// copy-on-write, so a reader never observes a map mid-mutation.
+//
+// Resident bytes are bounded by a budget (serve wires its -policy-bytes
+// flag here, accounted alongside the solve cache's cache_bytes); when a
+// publish would exceed it, least-recently-used artifacts are evicted.
+// Evicted versions disappear atomically: cursors bound to them fail lookup
+// and the session must restart on a resident version.
+type Store struct {
+	budget int64
+	clock  atomic.Int64
+	mu     sync.Mutex // guards publish/evict; snapshot swaps are atomic
+	snap   atomic.Pointer[snapshot]
+}
+
+type snapshot struct {
+	byKey map[uint64]*entry   // sealed key → artifact (cursor lookups)
+	byID  map[string][]*entry // id → resident versions, ascending
+	total int64
+}
+
+type entry struct {
+	art  *Artifact
+	used atomic.Int64 // logical-clock recency stamp
+}
+
+// NewStore creates a store bounded to budget resident bytes; budget <= 0
+// means unbounded.
+func NewStore(budget int64) *Store {
+	s := &Store{budget: budget}
+	s.snap.Store(&snapshot{byKey: map[uint64]*entry{}, byID: map[string][]*entry{}})
+	return s
+}
+
+// Publish seals an artifact (assigning the next version for its ID),
+// registers it, and evicts LRU artifacts as needed to respect the byte
+// budget. The artifact must come from Compile and must not be mutated
+// afterwards. Returns the sealed artifact (same pointer) for convenience.
+func (s *Store) Publish(art *Artifact) (*Artifact, error) {
+	if art == nil || art.ID == "" {
+		return nil, fmt.Errorf("policy: cannot publish a nil or unnamed artifact")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.snap.Load()
+	art.Version = 1
+	if vs := old.byID[art.ID]; len(vs) > 0 {
+		art.Version = vs[len(vs)-1].art.Version + 1
+	}
+	if _, err := art.seal(); err != nil {
+		return nil, err
+	}
+	if s.budget > 0 && art.bytes > s.budget {
+		return nil, fmt.Errorf("policy: artifact of %d bytes exceeds the %d-byte policy budget", art.bytes, s.budget)
+	}
+	e := &entry{art: art}
+	e.used.Store(s.clock.Add(1))
+	next := cloneSnapshot(old)
+	if dup, ok := next.byKey[art.Key()]; ok {
+		// Identical sealed bytes (same id, version, content) — e.g. the same
+		// version re-published after its successor was evicted. Idempotent.
+		if dup.art.ID == art.ID && dup.art.Version == art.Version {
+			dup.used.Store(s.clock.Add(1))
+			return dup.art, nil
+		}
+		return nil, fmt.Errorf("policy: artifact key collision on publish")
+	}
+	next.byKey[art.Key()] = e
+	next.byID[art.ID] = append(append([]*entry(nil), next.byID[art.ID]...), e)
+	next.total += art.bytes
+	if s.budget > 0 {
+		s.evictLocked(next, e)
+	}
+	s.snap.Store(next)
+	return art, nil
+}
+
+// evictLocked drops least-recently-used entries (never keep, the one just
+// published) until total fits the budget. Caller holds s.mu and owns next.
+func (s *Store) evictLocked(next *snapshot, keep *entry) {
+	for next.total > s.budget {
+		var victim *entry
+		for _, e := range next.byKey {
+			if e == keep {
+				continue
+			}
+			if victim == nil || e.used.Load() < victim.used.Load() {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // only the fresh publish remains; budget check passed above
+		}
+		delete(next.byKey, victim.art.Key())
+		vs := next.byID[victim.art.ID]
+		kept := vs[:0:0]
+		for _, e := range vs {
+			if e != victim {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(next.byID, victim.art.ID)
+		} else {
+			next.byID[victim.art.ID] = kept
+		}
+		next.total -= victim.art.bytes
+	}
+}
+
+func cloneSnapshot(old *snapshot) *snapshot {
+	next := &snapshot{
+		byKey: make(map[uint64]*entry, len(old.byKey)+1),
+		byID:  make(map[string][]*entry, len(old.byID)+1),
+		total: old.total,
+	}
+	for k, e := range old.byKey {
+		next.byKey[k] = e
+	}
+	for id, vs := range old.byID {
+		next.byID[id] = vs
+	}
+	return next
+}
+
+// ByKey resolves a cursor's artifact key to its artifact: one atomic
+// snapshot load, one map lookup, one recency stamp. Lock-free.
+func (s *Store) ByKey(key uint64) (*Artifact, bool) {
+	e, ok := s.snap.Load().byKey[key]
+	if !ok {
+		return nil, false
+	}
+	e.used.Store(s.clock.Add(1))
+	return e.art, true
+}
+
+// Get resolves a policy id to a resident artifact: the given version, or
+// the latest resident one when version is 0.
+func (s *Store) Get(id string, version uint32) (*Artifact, bool) {
+	vs := s.snap.Load().byID[id]
+	if len(vs) == 0 {
+		return nil, false
+	}
+	var e *entry
+	if version == 0 {
+		e = vs[len(vs)-1]
+	} else {
+		for _, cand := range vs {
+			if cand.art.Version == version {
+				e = cand
+				break
+			}
+		}
+		if e == nil {
+			return nil, false
+		}
+	}
+	e.used.Store(s.clock.Add(1))
+	return e.art, true
+}
+
+// Info describes one resident artifact for stats and listings.
+type Info struct {
+	ID      string `json:"policy"`
+	Version uint32 `json:"version"`
+	K       int    `json:"k"`
+	Cost    uint64 `json:"cost"`
+	Nodes   int    `json:"nodes"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// List returns all resident artifacts, ordered by id then version.
+func (s *Store) List() []Info {
+	snap := s.snap.Load()
+	out := make([]Info, 0, len(snap.byKey))
+	for _, e := range snap.byKey {
+		a := e.art
+		out = append(out, Info{ID: a.ID, Version: a.Version, K: a.K, Cost: a.Cost, Nodes: len(a.Nodes), Bytes: a.bytes})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// Stats returns the resident artifact count and byte total.
+func (s *Store) Stats() (count int, bytes int64) {
+	snap := s.snap.Load()
+	return len(snap.byKey), snap.total
+}

@@ -108,9 +108,7 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Requests.Add(1)
 	if s.draining.Load() {
-		s.metrics.RejectDraining.Add(1)
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		s.rejectShed(w, true)
 		return
 	}
 	q := r.URL.Query()

@@ -88,6 +88,14 @@ type Metrics struct {
 	CertifyPass atomic.Int64 // answers that passed certification
 	CertifyFail atomic.Int64 // answers refused: certification found a violation
 
+	// Route plane (route.go) and eval validation.
+	PolicyPublishes atomic.Int64 // compiled policy artifacts published
+	RouteSessions   atomic.Int64 // route sessions started
+	RouteSteps      atomic.Int64 // route steps served (solo and batch members)
+	RouteDone       atomic.Int64 // sessions that reached a treating leaf
+	RouteBadCursor  atomic.Int64 // cursors rejected: malformed, tampered, or bound to an evicted artifact
+	EvalMalformed   atomic.Int64 // 422: /v1/eval policy parsed but encodes no valid procedure
+
 	// Durable checkpoints (resilience.go).
 	CheckpointLevels     atomic.Int64 // level frontiers durably written
 	CheckpointErrors     atomic.Int64 // persistence failures (swallowed, solve continues)
@@ -144,6 +152,12 @@ func (m *Metrics) Snapshot() map[string]any {
 		"breaker_rejects":       m.BreakerRejects.Load(),
 		"certify_pass":          m.CertifyPass.Load(),
 		"certify_fail":          m.CertifyFail.Load(),
+		"policy_publishes":      m.PolicyPublishes.Load(),
+		"route_sessions":        m.RouteSessions.Load(),
+		"route_steps":           m.RouteSteps.Load(),
+		"route_done":            m.RouteDone.Load(),
+		"route_bad_cursor":      m.RouteBadCursor.Load(),
+		"eval_malformed":        m.EvalMalformed.Load(),
 		"checkpoint_levels":     m.CheckpointLevels.Load(),
 		"checkpoint_errors":     m.CheckpointErrors.Load(),
 		"checkpoints_resumed":   m.CheckpointsResumed.Load(),

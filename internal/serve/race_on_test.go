@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled scales heavyweight load tests down when the race detector
+// multiplies their cost; the build tag is the only reliable signal.
+const raceEnabled = true

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRouteMillionSessionLoad is the route plane's acceptance load test:
+// ~10^6 concurrent sessions driven through the HTTP handler to completion,
+// with zero sessions ending on a leaf that does not treat their object, and
+// no goroutine left behind. Sessions live entirely in client-held cursors,
+// so a million of them cost the server nothing but the steps themselves —
+// which is the property this test exists to hold. Scaled down under the
+// race detector (the same walk, ~8× fewer sessions) and skipped in -short.
+func TestRouteMillionSessionLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping million-session load test in -short mode")
+	}
+	sessions := 1 << 20
+	if raceEnabled {
+		sessions = 1 << 17
+	}
+	const chunk = 4096
+	s := New(Config{Logger: testLogger()})
+	defer s.Close()
+	h := s.Handler()
+	baseGoroutines := runtime.NumGoroutine()
+
+	p := routeProblem()
+	post := func(path string, body []byte) (*httptest.ResponseRecorder, error) {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec, nil
+	}
+	rec, _ := post("/v1/policy", instanceJSON(t, p))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("publish: status %d: %s", rec.Code, rec.Body)
+	}
+	var pr PolicyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+
+	nChunks := sessions / chunk
+	work := make(chan int, nChunks)
+	for i := 0; i < nChunks; i++ {
+		work <- i
+	}
+	close(work)
+	var completed, wrongLeaves, steps atomic.Int64
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				// Start one chunk of sessions.
+				body, _ := json.Marshal(RouteBatchRequest{Policy: pr.Policy, Sessions: chunk})
+				rec, _ := post("/v1/route/batch", body)
+				if rec.Code != http.StatusOK {
+					t.Errorf("batch start: status %d: %s", rec.Code, rec.Body)
+					return
+				}
+				var br RouteBatchResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+					t.Error(err)
+					return
+				}
+				// Walk every session to completion; session sid diagnoses
+				// object sid % K, outcomes simulated from the action sets.
+				type live struct {
+					cursor string
+					action int32
+					obj    int
+				}
+				cur := make([]live, 0, chunk)
+				for i := 0; i < chunk; i++ {
+					cur = append(cur, live{br.Cursors[i], br.Actions[i], int(br.Sessions[i]) % p.K})
+				}
+				for round := 0; len(cur) > 0; round++ {
+					if round > pr.Nodes {
+						t.Errorf("chunk did not converge after %d rounds", round)
+						return
+					}
+					req := RouteBatchRequest{
+						Cursors:  make([]string, len(cur)),
+						Outcomes: make([]bool, len(cur)),
+					}
+					for i, l := range cur {
+						req.Cursors[i] = l.cursor
+						req.Outcomes[i] = outcomeFor(&pr, l.action, l.obj)
+					}
+					body, _ := json.Marshal(req)
+					rec, _ := post("/v1/route/batch", body)
+					if rec.Code != http.StatusOK {
+						t.Errorf("batch step: status %d: %s", rec.Code, rec.Body)
+						return
+					}
+					var sr RouteBatchResponse
+					if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+						t.Error(err)
+						return
+					}
+					if len(sr.Errors) != 0 {
+						for _, e := range sr.Errors {
+							if e != "" {
+								t.Errorf("batch member error: %s", e)
+								return
+							}
+						}
+					}
+					steps.Add(int64(len(cur)))
+					next := cur[:0]
+					for i, l := range cur {
+						if sr.Done[i] {
+							// The session ended on the action it just
+							// reported; a correct leaf treats its object.
+							if !pr.Actions[l.action].Treatment || !outcomeFor(&pr, l.action, l.obj) {
+								wrongLeaves.Add(1)
+							}
+							completed.Add(1)
+							continue
+						}
+						next = append(next, live{sr.Cursors[i], sr.Actions[i], l.obj})
+					}
+					cur = next
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := completed.Load(); got != int64(sessions) {
+		t.Fatalf("completed %d of %d sessions", got, sessions)
+	}
+	if wl := wrongLeaves.Load(); wl != 0 {
+		t.Fatalf("%d sessions ended on a wrong leaf", wl)
+	}
+	if got := s.Metrics().RouteDone.Load(); got != int64(sessions) {
+		t.Fatalf("route_done %d, want %d", got, sessions)
+	}
+	t.Logf("routed %d sessions (%d steps) across %d workers", sessions, steps.Load(), workers)
+
+	// Goroutine-leak check: stateless stepping must not have spawned
+	// anything that outlives its request.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseGoroutines+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d now vs %d at start", runtime.NumGoroutine(), baseGoroutines)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

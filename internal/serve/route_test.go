@@ -1,0 +1,593 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instio"
+)
+
+// routeProblem is a small adequate instance whose optimal procedure mixes
+// tests and treatments, so routed sessions take real multi-step walks.
+func routeProblem() *core.Problem {
+	return &core.Problem{
+		K:       4,
+		Weights: []uint64{5, 3, 2, 1},
+		Actions: []core.Action{
+			{Name: "tA", Set: core.SetOf(0, 1), Cost: 2},
+			{Name: "tB", Set: core.SetOf(0, 2), Cost: 3},
+			{Name: "r0", Set: core.SetOf(0), Cost: 4, Treatment: true},
+			{Name: "r1", Set: core.SetOf(1), Cost: 4, Treatment: true},
+			{Name: "r2", Set: core.SetOf(2), Cost: 4, Treatment: true},
+			{Name: "r3", Set: core.SetOf(3), Cost: 4, Treatment: true},
+			{Name: "rAll", Set: core.SetOf(0, 1, 2, 3), Cost: 20, Treatment: true},
+		},
+	}
+}
+
+// postJSON posts v (marshaled) and decodes the reply into out (if non-nil),
+// returning the status code.
+func postJSON(t *testing.T, url string, v any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+// publishPolicy publishes an instance and returns the policy response.
+func publishPolicy(t *testing.T, ts *httptest.Server, query string, p *core.Problem) *PolicyResponse {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/policy"+query, "application/json", bytes.NewReader(instanceJSON(t, p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("publish: status %d: %s", resp.StatusCode, b)
+	}
+	var pr PolicyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	return &pr
+}
+
+// outcomeFor simulates the physical world for a session whose faulty
+// object is obj: a test is positive iff obj is in its set; a treatment
+// cures iff it covers obj.
+func outcomeFor(pr *PolicyResponse, action int32, obj int) bool {
+	for _, o := range pr.Actions[action].Objects {
+		if o == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPolicyPublishAndRouteSolo(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	p := routeProblem()
+	pr := publishPolicy(t, ts, "", p)
+	if pr.Version != 1 || pr.K != p.K || pr.Nodes == 0 || len(pr.Actions) != len(p.Actions) {
+		t.Fatalf("publish response: %+v", pr)
+	}
+	// Route one session per object; each must end at a leaf treating it and
+	// pay, summed over objects, exactly the certified optimum.
+	var total uint64
+	for obj := 0; obj < p.K; obj++ {
+		var rr RouteResponse
+		if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Policy: pr.Policy}, &rr); st != http.StatusOK {
+			t.Fatalf("start: status %d", st)
+		}
+		var cost uint64
+		for steps := 0; ; steps++ {
+			if steps > pr.Nodes {
+				t.Fatalf("object %d: session exceeded node count", obj)
+			}
+			cost += pr.Actions[rr.Action].Cost
+			out := outcomeFor(pr, rr.Action, obj)
+			treating := pr.Actions[rr.Action].Treatment && out
+			var next RouteResponse
+			if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Cursor: rr.Cursor, Outcome: &out}, &next); st != http.StatusOK {
+				t.Fatalf("object %d step: status %d", obj, st)
+			}
+			if next.Done {
+				if !treating {
+					t.Fatalf("object %d: done after an action that did not treat it", obj)
+				}
+				break
+			}
+			rr = next
+		}
+		total += cost * p.Weights[obj]
+	}
+	if total != pr.Cost {
+		t.Fatalf("routed total %d != certified optimum %d", total, pr.Cost)
+	}
+}
+
+func TestPolicyVersioningAndList(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	p := routeProblem()
+	pr1 := publishPolicy(t, ts, "", p)
+	pr2 := publishPolicy(t, ts, "", p)
+	if pr1.Policy != pr2.Policy || pr1.Version != 1 || pr2.Version != 2 {
+		t.Fatalf("versions: %d then %d", pr1.Version, pr2.Version)
+	}
+	resp, err := http.Get(ts.URL + "/v1/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Policies []struct {
+			Policy  string `json:"policy"`
+			Version uint32 `json:"version"`
+		} `json:"policies"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Policies) != 2 {
+		t.Fatalf("listed %d policies, want 2", len(list.Policies))
+	}
+	// Starting with version pinned reaches the pinned artifact.
+	var rr RouteResponse
+	if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Policy: pr1.Policy, Version: 1}, &rr); st != http.StatusOK || rr.Version != 1 {
+		t.Fatalf("pinned start: status %d version %d", st, rr.Version)
+	}
+}
+
+func TestRouteRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	pr := publishPolicy(t, ts, "", routeProblem())
+	var rr RouteResponse
+	if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Policy: pr.Policy}, &rr); st != http.StatusOK {
+		t.Fatalf("start: %d", st)
+	}
+	yes := true
+	cases := []struct {
+		name string
+		req  RouteRequest
+		want int
+	}{
+		{"empty", RouteRequest{}, http.StatusBadRequest},
+		{"unknown policy", RouteRequest{Policy: "nope"}, http.StatusNotFound},
+		{"unknown version", RouteRequest{Policy: pr.Policy, Version: 99}, http.StatusNotFound},
+		{"step without outcome", RouteRequest{Cursor: rr.Cursor}, http.StatusBadRequest},
+		{"start and step at once", RouteRequest{Policy: pr.Policy, Cursor: rr.Cursor, Outcome: &yes}, http.StatusBadRequest},
+		{"garbage cursor", RouteRequest{Cursor: "not-a-cursor", Outcome: &yes}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if st := postJSON(t, ts.URL+"/v1/route", c.req, nil); st != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, st, c.want)
+		}
+	}
+}
+
+func TestRouteCursorTamperRejected(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	pr := publishPolicy(t, ts, "", routeProblem())
+	var rr RouteResponse
+	if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Policy: pr.Policy}, &rr); st != http.StatusOK {
+		t.Fatalf("start: %d", st)
+	}
+	yes := true
+	before := s.Metrics().RouteBadCursor.Load()
+	for i := 0; i < len(rr.Cursor); i += 7 {
+		mut := []byte(rr.Cursor)
+		if mut[i] == 'A' {
+			mut[i] = 'B'
+		} else {
+			mut[i] = 'A'
+		}
+		if string(mut) == rr.Cursor {
+			continue
+		}
+		if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Cursor: string(mut), Outcome: &yes}, nil); st != http.StatusBadRequest {
+			t.Fatalf("tampered cursor at %d: status %d, want 400", i, st)
+		}
+	}
+	if s.Metrics().RouteBadCursor.Load() == before {
+		t.Fatal("bad-cursor counter did not move")
+	}
+	// The untouched cursor still works afterwards.
+	if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Cursor: rr.Cursor, Outcome: &yes}, nil); st != http.StatusOK {
+		t.Fatalf("original cursor: status %d", st)
+	}
+}
+
+func TestRouteImpossibleOutcome(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// K=1 with a single full-cover treatment: the root treats the only
+	// object, so a negative outcome is impossible.
+	p := &core.Problem{
+		K:       1,
+		Weights: []uint64{1},
+		Actions: []core.Action{{Name: "fix", Set: core.SetOf(0), Cost: 1, Treatment: true}},
+	}
+	pr := publishPolicy(t, ts, "", p)
+	var rr RouteResponse
+	if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Policy: pr.Policy}, &rr); st != http.StatusOK {
+		t.Fatalf("start: %d", st)
+	}
+	no := false
+	if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Cursor: rr.Cursor, Outcome: &no}, nil); st != http.StatusConflict {
+		t.Fatalf("impossible outcome: status %d, want 409", st)
+	}
+	yes := true
+	var done RouteResponse
+	if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Cursor: rr.Cursor, Outcome: &yes}, &done); st != http.StatusOK || !done.Done {
+		t.Fatalf("possible outcome: status %d done=%v", st, done.Done)
+	}
+}
+
+func TestRouteEvictedPolicyGone(t *testing.T) {
+	// A policy budget that fits exactly one artifact: publishing a second
+	// policy evicts the first, and its outstanding cursors answer 410.
+	// Probe the artifact size first (it depends on the encoding).
+	_, probeTS := newTestServer(t, Config{})
+	probe := publishPolicy(t, probeTS, "", routeProblem())
+	_, ts := newTestServer(t, Config{PolicyBytes: probe.Bytes + probe.Bytes/2})
+	pA := routeProblem()
+	prA := publishPolicy(t, ts, "", pA)
+	var rr RouteResponse
+	if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Policy: prA.Policy}, &rr); st != http.StatusOK {
+		t.Fatalf("start: %d", st)
+	}
+	pB := routeProblem()
+	pB.Weights = []uint64{1, 2, 3, 4} // different instance, different hash
+	prB := publishPolicy(t, ts, "", pB)
+	if prB.Policy == prA.Policy {
+		t.Fatal("expected a distinct policy id")
+	}
+	yes := true
+	if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Cursor: rr.Cursor, Outcome: &yes}, nil); st != http.StatusGone {
+		t.Fatalf("evicted policy cursor: status %d, want 410", st)
+	}
+	if st := postJSON(t, ts.URL+"/v1/route", RouteRequest{Policy: prA.Policy}, nil); st != http.StatusNotFound {
+		t.Fatalf("evicted policy start: status %d, want 404", st)
+	}
+}
+
+func TestRouteBatchLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	p := routeProblem()
+	pr := publishPolicy(t, ts, "", p)
+	const n = 64
+	var br RouteBatchResponse
+	if st := postJSON(t, ts.URL+"/v1/route/batch", RouteBatchRequest{Policy: pr.Policy, Sessions: n}, &br); st != http.StatusOK {
+		t.Fatalf("batch start: %d", st)
+	}
+	if len(br.Cursors) != n || len(br.Errors) != 0 {
+		t.Fatalf("batch start: %d cursors, errors %v", len(br.Cursors), br.Errors)
+	}
+	// Session i diagnoses object i%K. Step all sessions in lockstep until
+	// every one is done; a "wrong leaf" is a session that finishes on an
+	// action not treating its object.
+	type sess struct {
+		cursor  string
+		action  int32
+		done    bool
+	}
+	live := make([]sess, n)
+	for i := range live {
+		live[i] = sess{cursor: br.Cursors[i], action: br.Actions[i]}
+	}
+	for round := 0; ; round++ {
+		if round > pr.Nodes {
+			t.Fatal("sessions did not converge")
+		}
+		var cursors []string
+		var outcomes []bool
+		var idx []int
+		for i := range live {
+			if live[i].done {
+				continue
+			}
+			idx = append(idx, i)
+			cursors = append(cursors, live[i].cursor)
+			outcomes = append(outcomes, outcomeFor(pr, live[i].action, i%p.K))
+		}
+		if len(idx) == 0 {
+			break
+		}
+		var step RouteBatchResponse
+		if st := postJSON(t, ts.URL+"/v1/route/batch", RouteBatchRequest{Cursors: cursors, Outcomes: outcomes}, &step); st != http.StatusOK {
+			t.Fatalf("batch step: %d", st)
+		}
+		if len(step.Errors) != 0 {
+			t.Fatalf("batch step errors: %v", step.Errors)
+		}
+		for j, i := range idx {
+			if step.Done[j] {
+				obj := i % p.K
+				if !pr.Actions[live[i].action].Treatment || !outcomeFor(pr, live[i].action, obj) {
+					t.Fatalf("session %d: wrong leaf (action %d)", i, live[i].action)
+				}
+				live[i].done = true
+				continue
+			}
+			live[i].cursor = step.Cursors[j]
+			live[i].action = step.Actions[j]
+		}
+	}
+	if got := s.Metrics().RouteDone.Load(); got != n {
+		t.Fatalf("route_done %d, want %d", got, n)
+	}
+}
+
+func TestRouteBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{RouteMaxBatch: 8})
+	pr := publishPolicy(t, ts, "", routeProblem())
+	var br RouteBatchResponse
+	if st := postJSON(t, ts.URL+"/v1/route/batch", RouteBatchRequest{Policy: pr.Policy, Sessions: 2}, &br); st != http.StatusOK {
+		t.Fatalf("start: %d", st)
+	}
+	cases := []struct {
+		name string
+		req  RouteBatchRequest
+		want int
+	}{
+		{"empty", RouteBatchRequest{}, http.StatusBadRequest},
+		{"mixed", RouteBatchRequest{Policy: pr.Policy, Sessions: 1, Cursors: br.Cursors[:1], Outcomes: []bool{true}}, http.StatusBadRequest},
+		{"mismatched arrays", RouteBatchRequest{Cursors: br.Cursors[:2], Outcomes: []bool{true}}, http.StatusBadRequest},
+		{"over budget", RouteBatchRequest{Policy: pr.Policy, Sessions: 9}, http.StatusUnprocessableEntity},
+		{"unknown policy", RouteBatchRequest{Policy: "nope", Sessions: 1}, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		if st := postJSON(t, ts.URL+"/v1/route/batch", c.req, nil); st != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, st, c.want)
+		}
+	}
+	// Per-member faults do not fail the batch: one good cursor, one bad.
+	req := RouteBatchRequest{Cursors: []string{br.Cursors[0], "junk"}, Outcomes: []bool{true, true}}
+	var step RouteBatchResponse
+	if st := postJSON(t, ts.URL+"/v1/route/batch", req, &step); st != http.StatusOK {
+		t.Fatalf("partial batch: %d", st)
+	}
+	if len(step.Errors) != 2 || step.Errors[0] != "" || step.Errors[1] == "" {
+		t.Fatalf("partial batch errors: %v", step.Errors)
+	}
+}
+
+func TestPublishRejectsInadequateAndDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	inadequate := &core.Problem{
+		K:       2,
+		Weights: []uint64{1, 1},
+		Actions: []core.Action{{Set: core.SetOf(0), Cost: 1, Treatment: true}},
+	}
+	resp, err := http.Post(ts.URL+"/v1/policy", "application/json", bytes.NewReader(instanceJSON(t, inadequate)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("inadequate publish: status %d, want 422", resp.StatusCode)
+	}
+	s.SetDraining(true)
+	resp, err = http.Post(ts.URL+"/v1/policy", "application/json", bytes.NewReader(instanceJSON(t, routeProblem())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining publish: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
+
+// --- satellite: /v1/solve/batch 503s carry Retry-After on both shed paths ---
+
+func postBatchRaw(t *testing.T, ts *httptest.Server, ps []*core.Problem) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := instio.WriteBatch(&buf, ps, ""); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/solve/batch", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	io.Copy(io.Discard, resp.Body)
+	return resp
+}
+
+func TestBatchShedCarriesRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxPending: 1})
+	// Capacity shed: fill the admission quota so acquire returns errBusy.
+	s.pending.Add(int64(s.cfg.MaxPending))
+	resp := postBatchRaw(t, ts, []*core.Problem{routeProblem()})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("busy batch: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("busy batch 503 is missing Retry-After")
+	}
+	s.pending.Add(-int64(s.cfg.MaxPending))
+
+	// Draining shed: same contract through the same helper.
+	s.SetDraining(true)
+	resp = postBatchRaw(t, ts, []*core.Problem{routeProblem()})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining batch: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("draining batch Retry-After %q, want 1", ra)
+	}
+}
+
+// --- satellite: /v1/eval structural validation and context plumbing ---
+
+// TestEvalMalformedPolicy422 pins the fix for the /v1/eval hole: a policy
+// whose choices do not strictly shrink the candidate set used to drive
+// Policy.Tree into unbounded recursion (a remote crash); other structural
+// defects were priced rather than rejected. All of them must be 422s now.
+func TestEvalMalformedPolicy422(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	cases := map[string]string{
+		// The old stack-overflow reproducer: the test covers the universe,
+		// so the positive branch recurses on the same set forever.
+		"non-shrinking test": `{
+			"policy": {"k": 2,
+				"actions": [{"objects": [0, 1], "cost": 1}, {"objects": [0, 1], "cost": 5, "treatment": true}],
+				"choices": {"3": 0}},
+			"weights": [1, 1]}`,
+		// Missing state: the walk needs a choice for set {1} and there is none.
+		"missing choice": `{
+			"policy": {"k": 2,
+				"actions": [{"objects": [0], "cost": 1, "treatment": true}],
+				"choices": {"3": 0}},
+			"weights": [1, 1]}`,
+	}
+	for name, body := range cases {
+		resp, err := http.Post(ts.URL+"/v1/eval", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422 (%s)", name, resp.StatusCode, b)
+		}
+	}
+	if s.Metrics().EvalMalformed.Load() == 0 {
+		t.Fatal("eval_malformed counter did not move")
+	}
+	// A well-formed eval still works.
+	good := `{
+		"policy": {"k": 1,
+			"actions": [{"objects": [0], "cost": 3, "treatment": true}],
+			"choices": {"1": 0}},
+		"weights": [2]}`
+	resp, err := http.Post(ts.URL+"/v1/eval", "application/json", strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er EvalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || er.Cost != 6 {
+		t.Fatalf("good eval: status %d cost %d", resp.StatusCode, er.Cost)
+	}
+}
+
+// TestEvalHonorsRequestContext pins the other half of the eval fix: the
+// handler prices under the request context, so an abandoned request is not
+// priced at all.
+func TestEvalHonorsRequestContext(t *testing.T) {
+	s := New(Config{Logger: testLogger()})
+	defer s.Close()
+	body := `{
+		"policy": {"k": 1,
+			"actions": [{"objects": [0], "cost": 3, "treatment": true}],
+			"choices": {"1": 0}},
+		"weights": [2]}`
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone
+	req := httptest.NewRequest(http.MethodPost, "/v1/eval", strings.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled eval: status %d, want 503", rec.Code)
+	}
+	if s.Metrics().ClientGone.Load() == 0 {
+		t.Fatal("client_gone counter did not move")
+	}
+}
+
+// --- satellite: cache_bytes accounting parity between solo and batch ---
+
+// TestCacheBytesBatchParity solves the same instances through /v1/solve on
+// one server and through a single /v1/solve/batch (with a duplicated
+// member) on another: the shared LRU must account identical bytes — each
+// member charged exactly once, duplicates refreshing rather than
+// re-charging.
+func TestCacheBytesBatchParity(t *testing.T) {
+	pA := routeProblem()
+	pB := routeProblem()
+	pB.Weights = []uint64{1, 2, 3, 4}
+
+	solo, tsSolo := newTestServer(t, Config{})
+	for _, p := range []*core.Problem{pA, pB} {
+		if _, st := postSolve(t, tsSolo, "", instanceJSON(t, p)); st != http.StatusOK {
+			t.Fatalf("solo solve: %d", st)
+		}
+	}
+	soloBytes := cacheBytes(solo)
+	if soloBytes == 0 {
+		t.Fatal("solo path cached nothing")
+	}
+
+	batch, tsBatch := newTestServer(t, Config{})
+	resp := postBatchRaw(t, tsBatch, []*core.Problem{pA, pB, pA}) // pA duplicated
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch solve: %d", resp.StatusCode)
+	}
+	if got := cacheBytes(batch); got != soloBytes {
+		t.Fatalf("cache_bytes drift: batch %d vs solo %d", got, soloBytes)
+	}
+	// Re-solving a member solo must refresh, not re-charge.
+	if _, st := postSolve(t, tsBatch, "", instanceJSON(t, pA)); st != http.StatusOK {
+		t.Fatalf("re-solve: %d", st)
+	}
+	if got := cacheBytes(batch); got != soloBytes {
+		t.Fatalf("cache_bytes drift after refresh: %d vs %d", got, soloBytes)
+	}
+}
+
+func cacheBytes(s *Server) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.totalBytes
+}
+
+// statsHasRouteGauges keeps /v1/stats honest about the new plane.
+func TestStatsExposeRouteGauges(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	publishPolicy(t, ts, "", routeProblem())
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"policies", "policy_bytes", "policy_publishes", "route_sessions", "route_steps", "route_bad_cursor", "eval_malformed"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("stats missing %q", key)
+		}
+	}
+	if n, ok := stats["policies"].(float64); !ok || n != 1 {
+		t.Errorf("stats policies = %v, want 1", stats["policies"])
+	}
+}

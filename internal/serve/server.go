@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/instio"
 	"repro/internal/parttsolve"
+	"repro/internal/policy"
 	"repro/internal/stripe"
 )
 
@@ -63,6 +64,8 @@ type Config struct {
 	MaxK           int           // admission: largest universe accepted (default 20)
 	MaxActions     int           // admission: most actions accepted (default 64)
 	MaxBatch       int           // admission: most instances per /v1/solve/batch request (default 16)
+	PolicyBytes    int64         // byte budget for compiled route-plane policies (default 64 MiB; negative: unbounded)
+	RouteMaxBatch  int           // most sessions or cursors per /v1/route/batch request (default 4096)
 	Workers        int           // worker goroutines per parallel solve (default GOMAXPROCS)
 	StripeWorkers  int           // dedicated stripe-pool workers for striped/batched sweeps (default 0: share the process-wide pool)
 	DefaultEngine  string        // engine when the request names none (default "seq")
@@ -110,6 +113,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 16
+	}
+	if c.PolicyBytes == 0 {
+		c.PolicyBytes = 64 << 20
+	}
+	if c.RouteMaxBatch <= 0 {
+		c.RouteMaxBatch = 4096
 	}
 	if c.DefaultEngine == "" {
 		c.DefaultEngine = "seq"
@@ -166,6 +175,10 @@ type Server struct {
 	reqID    atomic.Int64
 	draining atomic.Bool
 
+	policies *policy.Store   // compiled route-plane artifacts (route.go)
+	keyring  *policy.Keyring // signs and verifies route session cursors
+	routeSID atomic.Uint32   // session ids for new route sessions
+
 	stripe *stripe.Pool // worker pool behind striped Exec, pooled parallel DP, and batch sweeps
 
 	baseCtx    context.Context // parent of every solve context; Close cancels it
@@ -207,9 +220,25 @@ func New(cfg Config) *Server {
 	} else {
 		s.stripe = stripe.Shared()
 	}
+	budget := cfg.PolicyBytes
+	if budget < 0 {
+		budget = 0 // store semantics: 0 = unbounded
+	}
+	s.policies = policy.NewStore(budget)
+	kr, err := policy.NewKeyring()
+	if err != nil {
+		// crypto/rand failing means the platform is unusable; refuse to build
+		// a server that would sign forgeable cursors.
+		panic(fmt.Sprintf("serve: cursor keyring: %v", err))
+	}
+	s.keyring = kr
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/policy", s.handlePolicyPublish)
+	s.mux.HandleFunc("GET /v1/policies", s.handlePolicyList)
+	s.mux.HandleFunc("POST /v1/route", s.handleRoute)
+	s.mux.HandleFunc("POST /v1/route/batch", s.handleRouteBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -291,14 +320,30 @@ func validEngine(e string) bool {
 	return false
 }
 
+// rejectShed is the single load-shedding rejection seam: every 503 the
+// server emits — draining or at capacity, solo or batch, solve or policy
+// publish — goes through it, so no handler can forget the Retry-After
+// header or the shed counter. Draining sheds with a constant 1s (the client
+// should move to a replica, not wait out this process); capacity sheds with
+// the queue-derived estimate.
+func (s *Server) rejectShed(w http.ResponseWriter, draining bool) {
+	if draining {
+		s.metrics.RejectDraining.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.metrics.RejectBusy.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	httpError(w, http.StatusServiceUnavailable, errBusy.Error())
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Requests.Add(1)
 	if s.draining.Load() {
 		// A draining process sheds new solves immediately: the client should
 		// retry against a replica, not wait out this process's shutdown.
-		s.metrics.RejectDraining.Add(1)
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		s.rejectShed(w, true)
 		return
 	}
 	q := r.URL.Query()
@@ -544,9 +589,7 @@ func (s *Server) solveError(w http.ResponseWriter, err error) {
 		s.metrics.Timeouts.Add(1)
 		httpError(w, http.StatusGatewayTimeout, "solve deadline exceeded")
 	case errors.Is(err, errBusy):
-		s.metrics.RejectBusy.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		s.rejectShed(w, false)
 	case errors.Is(err, context.Canceled):
 		// The client went away (or the server is closing); nobody will read
 		// the body, but account for it.
@@ -604,14 +647,35 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// The policy is caller-supplied JSON: a well-formed document can still
+	// encode a malformed procedure (non-shrinking choices, missing states,
+	// objects never treated). Tree() rejects choices that would not
+	// terminate, and the certifier's structural pass rejects everything
+	// else — both are 422s (the document parsed; the procedure is invalid),
+	// distinct from the 400s above where the request itself is bad.
 	tree, err := req.Policy.Tree()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		s.metrics.EvalMalformed.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	cost, err := core.TreeCost(p, tree)
+	if rep := certify.TreeStructure(p, tree); !rep.OK() {
+		s.metrics.EvalMalformed.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, rep.Err().Error())
+		return
+	}
+	// Pricing walks one path per object and is bounded by the request
+	// context: a client that disconnects stops paying for its own eval.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancel()
+	cost, err := core.TreeCostCtx(ctx, p, tree)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			s.solveError(w, ctxErr)
+			return
+		}
+		s.metrics.EvalMalformed.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, &EvalResponse{
@@ -646,6 +710,9 @@ func (s *Server) statsPayload() map[string]any {
 	out["cache_entries"] = s.cache.len()
 	out["cache_bytes"] = s.cache.totalBytes
 	s.mu.Unlock()
+	pc, pb := s.policies.Stats()
+	out["policies"] = pc
+	out["policy_bytes"] = pb
 	breakers := make(map[string]any)
 	s.brMu.Lock()
 	for name, b := range s.breakers {

@@ -3,9 +3,12 @@ package stripe
 import (
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunExecutesEveryShardExactlyOnce(t *testing.T) {
@@ -95,6 +98,144 @@ func TestNestedRun(t *testing.T) {
 	})
 	if got := inner.Load(); got != 16 {
 		t.Fatalf("nested runs completed %d/16 inner shards", got)
+	}
+}
+
+// goid reports the calling goroutine's id, parsed from a stack header.
+// Test-only: there is no supported API, but the header format
+// ("goroutine N [status]:") is stable and this is exactly the identity
+// question the inline-overflow contract is about.
+func goid() int {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := strings.Fields(string(buf[:n]))
+	id, _ := strconv.Atoi(fields[1])
+	return id
+}
+
+// TestInlineOverflowShardPanicReRaised pins the panic contract on the
+// overflow-inline path: when every worker is busy, shards run in the
+// submitting goroutine, and a panic there must carry exactly the
+// worker-shard semantics — recovered at the shard boundary, held until the
+// barrier, re-raised from Run only after every other shard has completed,
+// with the pool still usable afterwards.
+func TestInlineOverflowShardPanicReRaised(t *testing.T) {
+	p := New(1)
+
+	// Park the pool's only worker with a directly injected blocking task:
+	// the unbuffered send returns only once the worker has taken it, so from
+	// here the worker is provably busy until release closes.
+	release := make(chan struct{})
+	var parked sync.WaitGroup
+	parked.Add(1)
+	p.tasks <- task{fn: func(int) { <-release }, wg: &parked, grab: func(any) {}}
+
+	// Every submission below now finds the worker busy and takes the
+	// select-default overflow path, so all shards run inline right here.
+	caller := goid()
+	const shards = 8
+	var completed atomic.Int32
+	var offWorker atomic.Int32
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("inline shard panic did not propagate to the caller")
+			}
+			if fmt.Sprint(r) != "inline boom 2" {
+				t.Fatalf("unexpected panic value %v", r)
+			}
+		}()
+		p.Run(shards, func(i int) {
+			if goid() != caller {
+				offWorker.Add(1)
+			}
+			if i == 2 {
+				panic(fmt.Sprintf("inline boom %d", i))
+			}
+			completed.Add(1)
+		})
+	}()
+	if n := offWorker.Load(); n != 0 {
+		t.Fatalf("%d shards escaped to a worker while the pool was saturated", n)
+	}
+	// Same barrier discipline as a worker-shard panic: every non-panicking
+	// shard finished before the re-raise.
+	if got := completed.Load(); got != shards-1 {
+		t.Fatalf("%d/%d non-panicking shards completed before re-raise", got, shards-1)
+	}
+
+	close(release)
+	parked.Wait()
+
+	// And the pool survives, workers intact.
+	var n atomic.Int32
+	p.Run(16, func(int) { n.Add(1) })
+	if n.Load() != 16 {
+		t.Fatal("pool unusable after an inline shard panic")
+	}
+}
+
+// TestZeroLengthPlaneRanges holds the degenerate-geometry contract end to
+// end: a plane smaller than the shard count hands empty spans to the high
+// shards, and neither Range nor Run's barrier may wedge on them.
+func TestZeroLengthPlaneRanges(t *testing.T) {
+	// Range must stay well-formed when n < shards (empty spans, full cover)
+	// and when n == 0 (every span empty).
+	for _, tc := range []struct{ n, shards int }{
+		{0, 1}, {0, 8}, {1, 8}, {3, 8}, {7, 8},
+	} {
+		covered, empty := 0, 0
+		for i := 0; i < tc.shards; i++ {
+			lo, hi := Range(tc.n, tc.shards, i)
+			if hi < lo {
+				t.Fatalf("Range(%d,%d,%d) inverted: [%d,%d)", tc.n, tc.shards, i, lo, hi)
+			}
+			if lo == hi {
+				empty++
+			}
+			covered += hi - lo
+		}
+		if covered != tc.n {
+			t.Fatalf("Range(%d,%d,·) covers %d units", tc.n, tc.shards, covered)
+		}
+		if wantEmpty := max(tc.shards-tc.n, 0); empty != wantEmpty {
+			t.Fatalf("Range(%d,%d,·): %d empty spans, want %d", tc.n, tc.shards, empty, wantEmpty)
+		}
+	}
+	// Degenerate shards<=0 spans the whole plane (the sequential fallback).
+	if lo, hi := Range(5, 0, 0); lo != 0 || hi != 5 {
+		t.Fatalf("Range(5,0,0) = [%d,%d), want [0,5)", lo, hi)
+	}
+
+	// The barrier must not deadlock when most shards get nothing to do, and
+	// must still touch every unit exactly once. Run the sweep off the test
+	// goroutine so a wedged barrier fails fast instead of hanging the suite.
+	p := New(2)
+	done := make(chan struct{})
+	var hits [3]atomic.Int32
+	go func() {
+		defer close(done)
+		// 16 shards over a 3-unit plane: 13 shards see lo == hi.
+		p.Run(16, func(i int) {
+			lo, hi := Range(3, 16, i)
+			for j := lo; j < hi; j++ {
+				hits[j].Add(1)
+			}
+		})
+		// Zero shards is a no-op, not a hang (and must not invoke fn).
+		p.Run(0, func(int) { panic("fn invoked for zero shards") })
+		p.Run(-4, func(int) { panic("fn invoked for negative shards") })
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("barrier deadlocked on zero-length plane ranges")
+	}
+	for j := range hits {
+		if got := hits[j].Load(); got != 1 {
+			t.Fatalf("unit %d swept %d times", j, got)
+		}
 	}
 }
 
