@@ -109,6 +109,10 @@ func startServer(t *testing.T, bin string, extra ...string) (*exec.Cmd, string) 
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
 	addrCh := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)

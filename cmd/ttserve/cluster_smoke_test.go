@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/instio"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// TestClusterSmoke is the `make cluster-smoke` sequence: build the real
+// ttserve and ttworker binaries, stand up a three-worker fleet in which one
+// worker is persistently malicious, SIGKILL another mid-solve, and require
+// the coordinator to detect both — the rejected planes attributed, the dead
+// worker's slices reassigned — while still returning the certified answer,
+// bit-identical to the single-process reference. Then kill the rest of the
+// fleet and require the server to fail closed rather than serve uncertified.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real server and worker processes")
+	}
+	dir := t.TempDir()
+	serveBin := filepath.Join(dir, "ttserve")
+	workerBin := filepath.Join(dir, "ttworker")
+	if out, err := exec.Command("go", "build", "-o", serveBin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building ttserve: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", workerBin, "../ttworker").CombinedOutput(); err != nil {
+		t.Fatalf("building ttworker: %v\n%s", err, out)
+	}
+
+	victim, victimAddr := startWorker(t, workerBin, "-id", "victim")
+	honest, honestAddr := startWorker(t, workerBin, "-id", "honest")
+	evil, evilAddr := startWorker(t, workerBin, "-id", "evil", "-fault", "malicious")
+	fleet := strings.Join([]string{victimAddr, honestAddr, evilAddr}, ",")
+
+	// Full-audit certification and no fallback: every plane is recomputed
+	// cell by cell, and a cluster failure must surface, not degrade.
+	_, url := startServer(t, serveBin,
+		"-engine", "cluster", "-cluster", fleet,
+		"-cluster-audit", "1", "-cluster-deadline", "5s",
+		"-certify", "fast", "-no-fallback", "-retries", "-1",
+		"-chaos-level-delay", "200ms", "-timeout", "60s")
+
+	p := workload.MedicalDiagnosis(11, 10)
+	want, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := instio.Write(&body, p, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scenario A: SIGKILL the victim while the solve is between level
+	// barriers (the per-level chaos delay keeps the sweep in flight).
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body.Bytes()))
+		done <- result{resp, err}
+	}()
+	time.Sleep(600 * time.Millisecond)
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("solve never returned after the mid-level SIGKILL")
+	}
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	sr := decodeSolve(t, res.resp)
+	if sr.SolvedBy != "cluster" {
+		t.Fatalf("solved_by %q, want cluster (no fallback was allowed)", sr.SolvedBy)
+	}
+	if !sr.Adequate || sr.Cost == nil || *sr.Cost != want.Cost {
+		t.Fatalf("cluster cost %+v, want %d", sr.Cost, want.Cost)
+	}
+
+	stats := getStats(t, url)
+	for _, key := range []string{"cluster_solves", "cluster_workers_lost", "cluster_reassigned", "cluster_planes_rejected", "certify_pass"} {
+		if n, _ := stats[key].(float64); n < 1 {
+			t.Errorf("%s = %v, want >= 1 (stats: %v)", key, stats[key], stats)
+		}
+	}
+	goroutines := pprofGoroutines(t, url)
+	if goroutines > 50 {
+		t.Errorf("%d goroutines resident after the solve — the coordinator is leaking", goroutines)
+	}
+
+	// Scenario B: the whole fleet is gone. A fresh instance must fail
+	// closed — 5xx, never a wrong or uncertified answer.
+	for _, w := range []*exec.Cmd{honest, evil} {
+		w.Process.Kill()
+		w.Wait()
+	}
+	p2 := workload.MedicalDiagnosis(7, 8)
+	var body2 bytes.Buffer
+	if err := instio.Write(&body2, p2, ""); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 500 {
+		t.Fatalf("quorum loss answered with status %d, want 5xx", resp.StatusCode)
+	}
+	if after := pprofGoroutines(t, url); after > goroutines+20 {
+		t.Errorf("goroutines grew %d -> %d across the failed solve", goroutines, after)
+	}
+}
+
+// startWorker launches a built ttworker on a random port and returns the
+// running command plus its bound address, parsed from the ready log line.
+func startWorker(t *testing.T, bin string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "ttworker listening") {
+				for _, f := range strings.Fields(line) {
+					if a, ok := strings.CutPrefix(f, "addr="); ok {
+						addrCh <- a
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("worker never logged its listen address")
+		return nil, ""
+	}
+}
+
+// pprofGoroutines reads the resident goroutine count from the server's
+// pprof endpoint.
+func pprofGoroutines(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var n int
+	if _, err := fmt.Fscanf(resp.Body, "goroutine profile: total %d", &n); err != nil {
+		t.Fatalf("parsing goroutine profile: %v", err)
+	}
+	return n
+}
+
+func decodeSolve(t *testing.T, resp *http.Response) *serve.SolveResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, buf.String())
+	}
+	var sr serve.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return &sr
+}

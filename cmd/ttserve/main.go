@@ -11,11 +11,11 @@
 //
 // Usage:
 //
-//	ttserve [-addr :8080] [-engine seq] [-timeout 10s] [-checkpoint-dir /var/lib/ttserve] ...
+//	ttserve [-addr :8080] [-engine seq] [-timeout 10s] [-checkpoint-dir /var/lib/ttserve] [-cluster host:port,...] ...
 //
 // Endpoints:
 //
-//	POST /v1/solve?engine=seq|parallel|lockstep|goroutine|ccc|bvm&certify=off|fast|audit&timeout_ms=...&tree=1&greedy=1
+//	POST /v1/solve?engine=seq|parallel|lockstep|goroutine|ccc|bvm|cluster&certify=off|fast|audit&timeout_ms=...&tree=1&greedy=1
 //	POST /v1/solve/batch?certify=...&timeout_ms=...&tree=1 — solve related instances together, amortizing shared-lattice enumeration (docs/SERVING.md)
 //	POST /v1/eval                     — price a stored policy under a weight vector
 //	POST /v1/policy                   — solve, certify, and publish a compiled route policy
@@ -54,7 +54,7 @@ import (
 func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("ttserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	engine := fs.String("engine", "seq", "default solver engine: seq, parallel, lockstep, goroutine, ccc, or bvm")
+	engine := fs.String("engine", "seq", "default solver engine: seq, parallel, lockstep, goroutine, ccc, bvm, or cluster")
 	maxConcurrent := fs.Int("max-concurrent", 0, "simultaneous solver runs (0 = GOMAXPROCS)")
 	maxPending := fs.Int("max-pending", 0, "queued+running solves before shedding with 503 (0 = 4x max-concurrent)")
 	cacheEntries := fs.Int("cache", 0, "LRU capacity in solved instances (0 = 1024, negative disables)")
@@ -70,6 +70,12 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 	cacheBytes := fs.Int64("cache-bytes", 0, "LRU byte budget across cached solutions (0 = entry count only)")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for durable mid-solve checkpoints; crashes resume from here (empty disables)")
+	recoverTimeout := fs.Duration("recover-timeout", 0, "budget for the startup checkpoint-recovery scan and resumes (0 = drain budget)")
+	clusterWorkers := fs.String("cluster", "", "comma-separated ttworker addresses enabling the cluster engine (host:port,...)")
+	clusterDeadline := fs.Duration("cluster-deadline", 0, "plane deadline before an assigned worker counts as a straggler (0 = 30s)")
+	clusterQuorum := fs.Int("cluster-quorum", 0, "minimum live workers for a distributed solve to keep going (0 = 1)")
+	clusterAudit := fs.Float64("cluster-audit", 0, "fraction of each received plane's cells the coordinator recomputes (0 = 0.125)")
+	clusterDialTimeout := fs.Duration("cluster-dial-timeout", 0, "per-worker dial budget when a solve assembles its fleet (0 = 2s)")
 	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures opening an engine's circuit breaker (0 = 3, negative disables)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open breaker's half-open probe delay (0 = 5s)")
 	retries := fs.Int("retries", 0, "extra attempts per engine before falling back (0 = 1, negative disables)")
@@ -100,41 +106,57 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		defer restore()
 	}
 
+	fleet := splitWorkers(*clusterWorkers)
+	if *engine == "cluster" && len(fleet) == 0 {
+		return errors.New("ttserve: -engine cluster needs a worker fleet (-cluster host:port,...)")
+	}
+	// The recovery budget defaults to the drain budget: both bound "how long
+	// may this process do something other than serve".
+	if *recoverTimeout == 0 {
+		*recoverTimeout = *drain
+	}
+
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
 	srv := serve.New(serve.Config{
-		MaxConcurrent:    *maxConcurrent,
-		MaxPending:       *maxPending,
-		CacheEntries:     *cacheEntries,
-		CacheBytes:       *cacheBytes,
-		DefaultTimeout:   *timeout,
-		MaxTimeout:       *maxTimeout,
-		MaxK:             *maxK,
-		MaxActions:       *maxActions,
-		Workers:          *workers,
-		StripeWorkers:    *stripeWorkers,
-		MaxBatch:         *maxBatch,
-		PolicyBytes:      *policyBytes,
-		RouteMaxBatch:    *routeMaxBatch,
-		DefaultEngine:    *engine,
-		Logger:           logger,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
-		Retries:          *retries,
-		DisableFallback:  *noFallback,
-		CheckpointDir:    *checkpointDir,
-		CertifyMode:      *certifyMode,
-		EngineFault:      engineFault,
-		ResultFault:      resultFault,
-		LevelDelay:       *chaosLevelDelay,
+		MaxConcurrent:      *maxConcurrent,
+		MaxPending:         *maxPending,
+		CacheEntries:       *cacheEntries,
+		CacheBytes:         *cacheBytes,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		MaxK:               *maxK,
+		MaxActions:         *maxActions,
+		Workers:            *workers,
+		StripeWorkers:      *stripeWorkers,
+		MaxBatch:           *maxBatch,
+		PolicyBytes:        *policyBytes,
+		RouteMaxBatch:      *routeMaxBatch,
+		DefaultEngine:      *engine,
+		Logger:             logger,
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
+		Retries:            *retries,
+		DisableFallback:    *noFallback,
+		CheckpointDir:      *checkpointDir,
+		RecoverTimeout:     *recoverTimeout,
+		ClusterWorkers:     fleet,
+		ClusterDeadline:    *clusterDeadline,
+		ClusterQuorum:      *clusterQuorum,
+		ClusterAudit:       *clusterAudit,
+		ClusterDialTimeout: *clusterDialTimeout,
+		CertifyMode:        *certifyMode,
+		EngineFault:        engineFault,
+		ResultFault:        resultFault,
+		LevelDelay:         *chaosLevelDelay,
 	})
 
 	// Before accepting traffic, finish any solve a previous process died in
 	// the middle of: their durable level frontiers are on disk, and resuming
 	// them now means the requests that triggered them hit the cache on retry.
 	if *checkpointDir != "" {
-		rctx, rcancel := context.WithTimeout(context.Background(), *drain)
-		resumed, discarded, err := srv.RecoverCheckpoints(rctx)
-		rcancel()
+		// RecoverTimeout bounds the scan and resumes inside the server; on
+		// expiry recovery stops gracefully and the leftovers stay on disk.
+		resumed, discarded, err := srv.RecoverCheckpoints(context.Background())
 		if err != nil {
 			return fmt.Errorf("ttserve: recovering checkpoints: %w", err)
 		}
@@ -181,6 +203,18 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	}
 	logger.Info("drained cleanly")
 	return nil
+}
+
+// splitWorkers parses the -cluster flag: comma-separated worker addresses,
+// whitespace tolerated, empties dropped.
+func splitWorkers(spec string) []string {
+	var out []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // parseChaosSpec splits an "engine[:count]" chaos spec (count omitted =

@@ -1,0 +1,90 @@
+// Command ttworker runs one cluster solve worker (internal/cluster): it
+// listens for coordinator sessions, computes assigned level slices of the DP
+// lattice with the exact sequential recurrence, and exchanges CRC-framed
+// planes over the cluster wire protocol. A ttserve started with -cluster
+// dials a fleet of these per solve.
+//
+// Usage:
+//
+//	ttworker [-addr 127.0.0.1:0] [-id name] [-fault honest|offline|malicious|slow|corrupt-plane]
+//
+// The -fault flag wraps the honest machine in one of the fault-matrix
+// behaviors (internal/cluster/faults.go) so the multi-process smoke harness
+// and chaos drills can stand up byzantine fleets from the command line. The
+// bound address is printed to stderr as "ttworker listening addr=..." once
+// the listener is up.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cluster"
+)
+
+// run boots the worker and blocks until a shutdown signal (or a closed stop
+// channel, the test hook). When ready is non-nil it receives the bound
+// address once the listener is up.
+func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("ttworker", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address")
+	id := fs.String("id", "", "worker ID announced to coordinators (default host:port)")
+	fault := fs.String("fault", "honest", "TESTING: machine behavior: honest, offline, malicious, slow, or corrupt-plane")
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mt, err := cluster.ParseMachineType(*fault)
+	if err != nil {
+		return err
+	}
+	log := slog.New(slog.NewTextHandler(stderr, nil))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	bound := ln.Addr().String()
+	name := *id
+	if name == "" {
+		name = bound
+	}
+	if mt != cluster.Honest {
+		log.Warn("ttworker running with an injected fault", "fault", mt.String())
+	}
+	log.Info("ttworker listening", "addr", bound, "id", name, "fault", mt.String())
+	if ready != nil {
+		ready <- bound
+	}
+
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- cluster.Serve(ln, func() cluster.Machine { return cluster.NewMachine(mt, name) }, log)
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case s := <-sig:
+		log.Info("shutting down", "signal", s.String())
+	case <-stop:
+	case err := <-serveErr:
+		return err
+	}
+	_ = ln.Close()
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "ttworker:", err)
+		os.Exit(1)
+	}
+}

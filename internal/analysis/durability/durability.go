@@ -176,8 +176,25 @@ func latestTaint(ts []taint, pos token.Pos) bool {
 	return best.pos != token.NoPos && best.tainted
 }
 
+// codecFuncs is the checkpoint package's pure encode/decode surface — the
+// serializers the cluster wire protocol shares with the on-disk format.
+// Their errors mean corrupt bytes, a correctness signal that MUST propagate
+// (quarantine-over-trust, PR 5), not a failed durable write; only the
+// persistence surface (Writer, Scan, Load, FS) carries the best-effort
+// contract this analyzer enforces.
+var codecFuncs = map[string]bool{
+	"ProblemHash": true,
+	"Encode":      true,
+	"Decode":      true,
+	"EncodePlane": true,
+	"DecodePlane": true,
+	"AppendFrame": true,
+	"NextFrame":   true,
+}
+
 // exprHasDurabilityCall reports whether e contains, in executed position, a
-// call into the checkpoint package (functions or methods on its types).
+// call into the checkpoint package's persistence surface (functions or
+// methods on its types, minus the pure codec functions).
 func exprHasDurabilityCall(pass *analysis.Pass, checkpointPkg *types.Package, e ast.Expr) bool {
 	found := false
 	analysis.CallsInExecutedCode(e, func(call *ast.CallExpr) {
@@ -185,7 +202,7 @@ func exprHasDurabilityCall(pass *analysis.Pass, checkpointPkg *types.Package, e 
 			return
 		}
 		obj := analysis.CalleeObj(pass.TypesInfo, call)
-		if obj != nil && obj.Pkg() == checkpointPkg {
+		if obj != nil && obj.Pkg() == checkpointPkg && !codecFuncs[obj.Name()] {
 			found = true
 		}
 	})

@@ -40,3 +40,20 @@ func Scan(dir string) ([]string, error) {
 	}
 	return nil, nil
 }
+
+// DecodePlane parses a wire-format plane image — codec surface, not
+// persistence: its errors signal corruption and must propagate.
+func DecodePlane(data []byte) ([]uint64, error) {
+	if len(data) == 0 {
+		return nil, errors.New("checkpoint: corrupt plane")
+	}
+	return nil, nil
+}
+
+// ProblemHash canonically hashes an instance — codec surface.
+func ProblemHash(v any) (string, error) {
+	if v == nil {
+		return "", errors.New("checkpoint: nil problem")
+	}
+	return "h", nil
+}

@@ -80,6 +80,21 @@ func counted(w *checkpoint.Writer, log func(string, error)) {
 	}
 }
 
+// Negative: codec errors are corruption signals, not durability failures —
+// a receiver that swallowed them would merge garbage. They may be returned.
+func receivePlane(data []byte) ([]uint64, error) {
+	plane, err := checkpoint.DecodePlane(data)
+	if err != nil {
+		return nil, fmt.Errorf("plane rejected: %w", err)
+	}
+	return plane, nil
+}
+
+// Negative: hashing is codec surface too.
+func keyFor(v any) (string, error) {
+	return checkpoint.ProblemHash(v)
+}
+
 // Near-miss negative: middleware that implements checkpoint.FS is the store
 // itself — it must propagate durability errors to the layer that decides.
 type faultFS struct{ inner checkpoint.FS }

@@ -112,6 +112,7 @@ type Violation struct {
 	Action int      // action index involved, -1 when not applicable
 	Got    uint64   // the engine's value
 	Want   uint64   // the independently recomputed value
+	Node   string   // worker the value came from ("" for in-process engines)
 	Detail string
 }
 
@@ -120,6 +121,9 @@ func (v Violation) String() string {
 	fmt.Fprintf(&sb, "%s at S=%v", v.Kind, v.Set)
 	if v.Action >= 0 {
 		fmt.Fprintf(&sb, " action=%d", v.Action)
+	}
+	if v.Node != "" {
+		fmt.Fprintf(&sb, " node=%s", v.Node)
 	}
 	if v.Got != v.Want {
 		fmt.Fprintf(&sb, " got=%s want=%s", costStr(v.Got), costStr(v.Want))

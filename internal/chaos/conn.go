@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultyConn is a net.Conn wrapper that injects the network failures the
+// distributed solve plane must survive: added latency, a silent partition
+// (writes pretend to succeed, nothing arrives), duplicated frames, and a
+// frame truncated mid-write. Both the cluster unit tests and the
+// multi-process smoke harness drive the same wrapper, so the fault matrix
+// they prove is one matrix. Write counters are 1-based and count calls, not
+// bytes: the cluster wire layer writes exactly one frame per Write, so
+// "write number n" means "frame number n".
+type FaultyConn struct {
+	net.Conn
+
+	// Delay pauses before every Write — a slow link or an overloaded peer.
+	Delay time.Duration
+	// DropAfter makes writes numbered > DropAfter vanish (reported as fully
+	// written); 0 disables. A partitioned peer sees silence, not an error —
+	// the failure mode only deadlines and heartbeats can catch.
+	DropAfter int
+	// DuplicateAt sends write number DuplicateAt twice; 0 disables. The
+	// receiver must treat the duplicate frame as stale, not re-merge it.
+	DuplicateAt int
+	// TruncateAt sends only the first half of write number TruncateAt and
+	// then drops every later write, leaving a torn frame on the wire exactly
+	// like a peer dying mid-send; 0 disables.
+	TruncateAt int
+
+	mu     sync.Mutex
+	writes int
+}
+
+// DelayConn wraps c so every write pauses d first — pure added latency, no
+// loss. The straggler-detection shape: slow but honest.
+func DelayConn(c net.Conn, d time.Duration) *FaultyConn {
+	return &FaultyConn{Conn: c, Delay: d}
+}
+
+// PartitionConn wraps c so writes after the first n silently vanish — a
+// network partition from the sender's point of view. n = 0 partitions
+// immediately.
+func PartitionConn(c net.Conn, n int) *FaultyConn {
+	if n <= 0 {
+		n = -1 // DropAfter 0 disables; drop everything instead
+	}
+	return &FaultyConn{Conn: c, DropAfter: n}
+}
+
+// Writes reports how many Write calls have been attempted.
+func (f *FaultyConn) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// Write implements net.Conn with the configured faults applied in order:
+// delay, truncation, partition, duplication.
+func (f *FaultyConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	f.writes++
+	n := f.writes
+	truncate := f.TruncateAt != 0 && n == f.TruncateAt
+	drop := (f.DropAfter != 0 && (f.DropAfter < 0 || n > f.DropAfter)) ||
+		(f.TruncateAt != 0 && n > f.TruncateAt)
+	duplicate := f.DuplicateAt != 0 && n == f.DuplicateAt
+	f.mu.Unlock()
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	switch {
+	case truncate:
+		if _, err := f.Conn.Write(b[:len(b)/2]); err != nil {
+			return 0, err
+		}
+		return len(b), nil // the sender believes the whole frame went out
+	case drop:
+		return len(b), nil
+	case duplicate:
+		if _, err := f.Conn.Write(b); err != nil {
+			return 0, err
+		}
+		return f.Conn.Write(b)
+	default:
+		return f.Conn.Write(b)
+	}
+}

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// readN reads exactly n bytes from c or fails the test.
+func readN(t *testing.T, c net.Conn, n int) string {
+	t.Helper()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("reading %d bytes: %v", n, err)
+	}
+	return string(buf)
+}
+
+// expectSilence asserts nothing arrives on c within d.
+func expectSilence(t *testing.T, c net.Conn, d time.Duration) {
+	t.Helper()
+	if err := c.SetReadDeadline(time.Now().Add(d)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Read(make([]byte, 64))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("expected silence, read %d bytes (err %v)", n, err)
+	}
+}
+
+func TestDelayConn(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	const delay = 50 * time.Millisecond
+	f := DelayConn(a, delay)
+	start := time.Now()
+	go f.Write([]byte("ping"))
+	if got := readN(t, b, 4); got != "ping" {
+		t.Fatalf("read %q, want ping", got)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("delayed write arrived after %v, want >= %v", elapsed, delay)
+	}
+}
+
+func TestPartitionConn(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	f := PartitionConn(a, 1)
+	go f.Write([]byte("one"))
+	if got := readN(t, b, 3); got != "one" {
+		t.Fatalf("read %q, want one", got)
+	}
+	// The partitioned write reports full success without blocking — the
+	// sender cannot tell anything is wrong — and nothing arrives.
+	if n, err := f.Write([]byte("two")); n != 3 || err != nil {
+		t.Fatalf("partitioned write = (%d, %v), want silent success", n, err)
+	}
+	expectSilence(t, b, 100*time.Millisecond)
+	if f.Writes() != 2 {
+		t.Fatalf("Writes() = %d, want 2", f.Writes())
+	}
+}
+
+func TestPartitionConnImmediate(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	f := PartitionConn(a, 0)
+	if n, err := f.Write([]byte("lost")); n != 4 || err != nil {
+		t.Fatalf("write = (%d, %v), want silent success", n, err)
+	}
+	expectSilence(t, b, 100*time.Millisecond)
+}
+
+func TestFaultyConnDuplicateAt(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	f := &FaultyConn{Conn: a, DuplicateAt: 2}
+	go func() {
+		f.Write([]byte("aa"))
+		f.Write([]byte("bb"))
+	}()
+	if got := readN(t, b, 6); got != "aabbbb" {
+		t.Fatalf("read %q, want aabbbb (frame 2 duplicated)", got)
+	}
+}
+
+func TestFaultyConnTruncateAt(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	f := &FaultyConn{Conn: a, TruncateAt: 2}
+	go func() {
+		f.Write([]byte("aaaa"))
+		if n, err := f.Write([]byte("bbbb")); n != 4 || err != nil {
+			t.Errorf("truncated write = (%d, %v), want claimed success", n, err)
+		}
+		f.Write([]byte("cccc")) // after the tear the link is dead
+	}()
+	if got := readN(t, b, 4); got != "aaaa" {
+		t.Fatalf("read %q, want aaaa", got)
+	}
+	// Only the first half of frame 2 arrives, then the wire goes quiet.
+	if got := readN(t, b, 2); got != "bb" {
+		t.Fatalf("read %q, want torn prefix bb", got)
+	}
+	expectSilence(t, b, 100*time.Millisecond)
+}

@@ -4,6 +4,7 @@ import (
 	"io/fs"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/checkpoint"
 )
@@ -27,6 +28,11 @@ type FaultFS struct {
 	// disables. RenameErr overrides the default ENOSPC.
 	FailRenameAt int
 	RenameErr    error
+
+	// ReadDelay pauses every ReadFile — a slow or degraded disk. The
+	// startup-recovery tests use it to prove a huge or sick checkpoint
+	// directory cannot stall ttserve boot past its recovery budget.
+	ReadDelay time.Duration
 
 	mu      sync.Mutex
 	writes  int
@@ -83,7 +89,12 @@ func (f *FaultFS) Rename(oldname, newname string) error {
 }
 
 // ReadFile implements checkpoint.FS.
-func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner().ReadFile(name) }
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if f.ReadDelay > 0 {
+		time.Sleep(f.ReadDelay)
+	}
+	return f.inner().ReadFile(name)
+}
 
 // ReadDir implements checkpoint.FS.
 func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner().ReadDir(dir) }

@@ -24,6 +24,7 @@ package checkpoint
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -443,6 +444,20 @@ func Load(fsys FS, path string) (*Snapshot, error) {
 // (for the caller to delete — Scan itself never removes anything). A missing
 // directory is an empty scan, not an error.
 func Scan(fsys FS, dir string) (snaps []*Snapshot, discard []string, err error) {
+	return scan(nil, fsys, dir)
+}
+
+// ScanCtx is Scan bounded by a context: the context is checked before every
+// file load (each load re-derives its frontier, so a directory of large
+// checkpoints is real work), and on expiry the snapshots validated so far
+// are returned along with the context's error. Callers that treat the bound
+// as a budget rather than a failure — serve's startup recovery — keep the
+// partial results and move on; unscanned files stay on disk for next time.
+func ScanCtx(ctx context.Context, fsys FS, dir string) (snaps []*Snapshot, discard []string, err error) {
+	return scan(ctx, fsys, dir)
+}
+
+func scan(ctx context.Context, fsys FS, dir string) (snaps []*Snapshot, discard []string, err error) {
 	if fsys == nil {
 		fsys = OS{}
 	}
@@ -454,6 +469,11 @@ func Scan(fsys FS, dir string) (snaps []*Snapshot, discard []string, err error) 
 		return nil, nil, err
 	}
 	for _, name := range names {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return snaps, discard, err
+			}
+		}
 		path := filepath.Join(dir, name)
 		switch {
 		case strings.HasSuffix(name, tmpExt):

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+)
+
+// The fault matrix, as machine wrappers in the style of the mpc player
+// types: each wraps an honest core and perturbs exactly one behavior, so the
+// same matrix drives the in-process unit tests (over loopback conns, with
+// chaos.FaultyConn supplying the network faults) and the real ttworker
+// processes of the smoke harness (selected by its -fault flag).
+//
+//	Honest        correct worker, the baseline
+//	Offline       crashes (session error) after a configured number of assignments
+//	Malicious     returns well-framed planes with wrong costs — only the
+//	              ABFT verification can catch it
+//	Slow          computes correctly but too late — the straggler deadline
+//	              must catch it
+//	CorruptPlane  flips a bit in the encoded plane — the CRC framing must
+//	              catch it as ErrCorrupt, never as a wrong frontier
+type MachineType byte
+
+const (
+	Honest MachineType = iota
+	Offline
+	Malicious
+	Slow
+	CorruptPlane
+)
+
+// String renders the type as its ttworker -fault spelling.
+func (t MachineType) String() string {
+	switch t {
+	case Honest:
+		return "honest"
+	case Offline:
+		return "offline"
+	case Malicious:
+		return "malicious"
+	case Slow:
+		return "slow"
+	case CorruptPlane:
+		return "corrupt-plane"
+	default:
+		return fmt.Sprintf("machine-type-%d", byte(t))
+	}
+}
+
+// ParseMachineType parses a ttworker -fault value.
+func ParseMachineType(s string) (MachineType, error) {
+	for _, t := range []MachineType{Honest, Offline, Malicious, Slow, CorruptPlane} {
+		if s == t.String() {
+			return t, nil
+		}
+	}
+	return Honest, fmt.Errorf("cluster: unknown machine type %q", s)
+}
+
+// NewMachine builds a machine of the given type around a fresh honest core,
+// with the default fault parameters the smoke harness uses.
+func NewMachine(t MachineType, id string) Machine {
+	h := NewHonestMachine(id)
+	switch t {
+	case Offline:
+		return &OfflineMachine{Inner: h, FailAfter: 2}
+	case Malicious:
+		return &MaliciousMachine{Inner: h}
+	case Slow:
+		return &SlowMachine{Inner: h, Delay: 2 * time.Second}
+	case CorruptPlane:
+		return &CorruptPlaneMachine{Inner: h}
+	default:
+		return h
+	}
+}
+
+// OfflineMachine crashes after FailAfter assignments: the session errors
+// out, the conn closes, and the coordinator must detect the dead worker and
+// reassign its slice.
+type OfflineMachine struct {
+	Inner     Machine
+	FailAfter int // assignments answered honestly before the crash
+
+	assigns int
+}
+
+// ID implements Machine.
+func (m *OfflineMachine) ID() string { return m.Inner.ID() }
+
+// Handle implements Machine.
+func (m *OfflineMachine) Handle(msg Message) ([]Message, error) {
+	if msg.Type == msgAssign {
+		m.assigns++
+		if m.assigns > m.FailAfter {
+			return nil, errors.New("cluster: injected offline fault")
+		}
+	}
+	return m.Inner.Handle(msg)
+}
+
+// MaliciousMachine computes honest planes and then shaves every finite
+// nonzero cost by one: valid framing, valid CRCs, a truthful frozen
+// checksum — only the coordinator's semantic verification (audit,
+// monotonicity) can refuse it.
+type MaliciousMachine struct {
+	Inner Machine
+}
+
+// ID implements Machine.
+func (m *MaliciousMachine) ID() string { return m.Inner.ID() }
+
+// Handle implements Machine.
+func (m *MaliciousMachine) Handle(msg Message) ([]Message, error) {
+	replies, err := m.Inner.Handle(msg)
+	for i, r := range replies {
+		if r.Type != msgPlane || len(r.Body) < 8 {
+			continue
+		}
+		plane, derr := checkpoint.DecodePlane(r.Body[8:])
+		if derr != nil {
+			continue
+		}
+		for j, c := range plane.C {
+			if c != 0 && c != core.Inf {
+				plane.C[j] = c - 1 // claim everything is slightly cheaper
+			}
+		}
+		img, eerr := checkpoint.EncodePlane(plane)
+		if eerr != nil {
+			continue
+		}
+		replies[i].Body = append(append([]byte(nil), r.Body[:8]...), img...)
+	}
+	return replies, err
+}
+
+// SlowMachine computes correctly but sleeps before every assignment — the
+// straggler shape. The coordinator's plane deadline must reassign the slice,
+// and the late plane must be discarded as stale, not merged.
+type SlowMachine struct {
+	Inner Machine
+	Delay time.Duration
+}
+
+// ID implements Machine.
+func (m *SlowMachine) ID() string { return m.Inner.ID() }
+
+// Handle implements Machine.
+func (m *SlowMachine) Handle(msg Message) ([]Message, error) {
+	if msg.Type == msgAssign {
+		time.Sleep(m.Delay)
+	}
+	return m.Inner.Handle(msg)
+}
+
+// CorruptPlaneMachine flips one bit in the encoded plane image. The outer
+// wire frame is written after the flip, so it arrives CRC-clean; the
+// corruption sits in the plane's own framing and must surface as
+// checkpoint.ErrCorrupt at DecodePlane — never as plausible values.
+type CorruptPlaneMachine struct {
+	Inner Machine
+}
+
+// ID implements Machine.
+func (m *CorruptPlaneMachine) ID() string { return m.Inner.ID() }
+
+// Handle implements Machine.
+func (m *CorruptPlaneMachine) Handle(msg Message) ([]Message, error) {
+	replies, err := m.Inner.Handle(msg)
+	for i, r := range replies {
+		if r.Type != msgPlane || len(r.Body) < 16 {
+			continue
+		}
+		b := append([]byte(nil), r.Body...)
+		b[8+(len(b)-8)/2] ^= 0x40 // land inside the plane image, not the assign ID
+		replies[i].Body = b
+	}
+	return replies, err
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// The wire protocol: every message is one checkpoint CRC frame whose payload
+// is a 1-byte type followed by the body. TCP (or net.Pipe in tests) provides
+// ordering; the frame CRC provides integrity — a truncated or bit-flipped
+// frame surfaces as checkpoint.ErrCorrupt at the receiver, never as a
+// plausible message.
+//
+// Session shape, coordinator side:
+//
+//	→ Hello {hash, problem, frontier?}     (once, opens the session)
+//	← HelloOK {id, hash}
+//	→ Assign {id, level, lo, hi}           (any number, level barriers apply)
+//	← Plane  assignID ++ EncodePlane(...)
+//	→ Merged EncodePlane(full level)       (after each level j < K)
+//	→ Ping   / ← Pong                      (liveness, any time)
+//	→ Done                                 (closes the session)
+const (
+	msgHello byte = iota + 1
+	msgHelloOK
+	msgAssign
+	msgPlane
+	msgMerged
+	msgPing
+	msgPong
+	msgDone
+)
+
+// maxFrame bounds one wire frame: a merged plane of the widest admissible
+// level (C(26,13) cells at 12 bytes each) plus framing slack fits in 256 MiB,
+// and a corrupt length field cannot make a receiver allocate more.
+const maxFrame = 256 << 20
+
+// writeTimeout bounds every single conn write; a peer that stops draining
+// its socket surfaces as a write error, not a wedged event loop.
+const writeTimeout = 30 * time.Second
+
+// helloBody opens a session: the canonical instance bytes, their hash, and
+// optionally a checkpoint image of an already-merged frontier to resume from.
+// The worker re-derives the hash and re-validates the image, trusting nothing.
+type helloBody struct {
+	Hash     string `json:"hash"`
+	Problem  []byte `json:"problem"`            // instio wire form
+	Frontier []byte `json:"frontier,omitempty"` // checkpoint.Encode image
+}
+
+// helloOKBody acknowledges a Hello: the worker's self-declared ID and the
+// hash it derived, echoed so the coordinator can catch a mismatched worker.
+type helloOKBody struct {
+	ID   string `json:"id"`
+	Hash string `json:"hash"`
+}
+
+// assignBody hands one level slice to a worker. ID is a per-session
+// monotonic assignment number: the returned plane echoes it, which is how
+// late planes from reassigned slices are recognized as stale.
+type assignBody struct {
+	ID    uint64 `json:"id"`
+	Level int    `json:"level"`
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+}
+
+// writeMsg frames and sends one message under the write timeout.
+func writeMsg(c net.Conn, typ byte, body []byte) error {
+	payload := make([]byte, 0, 1+len(body))
+	payload = append(payload, typ)
+	payload = append(payload, body...)
+	if err := c.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
+		return err
+	}
+	_, err := c.Write(checkpoint.AppendFrame(nil, payload))
+	return err
+}
+
+// readMsg reads one framed message. A zero deadline blocks indefinitely —
+// the caller's own deadlines (plane, heartbeat) decide when silence is
+// failure. Framing defects wrap checkpoint.ErrCorrupt.
+func readMsg(c net.Conn, deadline time.Duration) (byte, []byte, error) {
+	if deadline > 0 {
+		if err := c.SetReadDeadline(time.Now().Add(deadline)); err != nil {
+			return 0, nil, err
+		}
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: wire frame of %d bytes", checkpoint.ErrCorrupt, n)
+	}
+	data := make([]byte, 8+n)
+	copy(data, hdr[:])
+	if _, err := io.ReadFull(c, data[4:]); err != nil {
+		return 0, nil, err
+	}
+	payload, _, err := checkpoint.NextFrame(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	return payload[0], payload[1:], nil
+}
+
+// writeJSON marshals body and sends it as one message of the given type.
+func writeJSON(c net.Conn, typ byte, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return writeMsg(c, typ, b)
+}

@@ -551,7 +551,7 @@ func TestTreeCostCtxCancelled(t *testing.T) {
 		K:       1,
 		Weights: []uint64{1},
 		Actions: []Action{
-			{Set: SetOf(), Cost: 1},               // test matching nothing: walk goes Neg
+			{Set: SetOf(), Cost: 1}, // test matching nothing: walk goes Neg
 			{Set: SetOf(0), Cost: 1, Treatment: true},
 		},
 	}

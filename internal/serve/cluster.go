@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// solveCluster runs one solve on the distributed plane: dial the configured
+// ttworker fleet, shard the level sweep across it, and merge only verified
+// planes. The dial is best-effort — the solve proceeds with whatever subset
+// of the fleet answered, and cluster.Solve degrades further as workers fail,
+// down to its quorum floor. Any failure here (no reachable workers, quorum
+// lost, a slice out of retries) is an ordinary engine fault: the breaker
+// counts it and the chain falls back to the in-process engines.
+func (s *Server) solveCluster(ctx context.Context, hash string, canon *core.Problem, frontier *core.Frontier, ck core.Checkpointer) (*core.Solution, error) {
+	if len(s.cfg.ClusterWorkers) == 0 {
+		return nil, fmt.Errorf("serve: cluster engine selected but no workers configured")
+	}
+	conns, err := cluster.Dial(ctx, s.cfg.ClusterWorkers, s.cfg.ClusterDialTimeout, s.log)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.ClusterSolves.Add(1)
+	sol, stats, err := cluster.Solve(ctx, canon, conns, cluster.Options{
+		PlaneDeadline: s.cfg.ClusterDeadline,
+		Quorum:        s.cfg.ClusterQuorum,
+		AuditFraction: s.cfg.ClusterAudit,
+		Seed:          certifySeed(hash),
+		Hash:          hash,
+		Frontier:      frontier,
+		Checkpointer:  ck,
+		Logger:        s.log,
+	})
+	s.metrics.ClusterPlanes.Add(stats.Planes)
+	s.metrics.ClusterPlanesRejected.Add(stats.PlanesRejected)
+	s.metrics.ClusterReassigned.Add(stats.Reassigned)
+	s.metrics.ClusterStragglers.Add(stats.Stragglers)
+	s.metrics.ClusterWorkersLost.Add(stats.WorkersLost)
+	for _, v := range stats.Violations {
+		s.log.Warn("cluster plane violation", "node", v.Node, "kind", string(v.Kind), "detail", v.Detail)
+	}
+	return sol, err
+}

@@ -36,6 +36,5 @@ func Canonicalize(p *core.Problem) *core.Problem {
 // same function by construction — a crash-resumed checkpoint lands in the
 // cache slot future requests for the instance will look up.
 func Hash(canon *core.Problem) (string, error) {
-	//ttlint:ignore durability ProblemHash is a pure identity helper (hashing, no persistence); its error is an encoding failure
 	return checkpoint.ProblemHash(canon)
 }

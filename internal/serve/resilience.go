@@ -28,6 +28,7 @@ var fallbackChains = map[string][]string{
 	"goroutine": {"goroutine", "parallel", "seq"},
 	"ccc":       {"ccc", "parallel", "seq"},
 	"bvm":       {"bvm", "parallel", "seq"},
+	"cluster":   {"cluster", "parallel", "seq"},
 }
 
 // breaker returns the engine's circuit breaker, or nil when breakers are
@@ -109,12 +110,19 @@ func (s *Server) solveResilient(ctx context.Context, hash string, canon *core.Pr
 	return nil, fmt.Errorf("serve: all engines failed: %w", firstErr)
 }
 
-// sleepBackoff waits 2^attempt × 10ms plus up to 50% jitter (capped at 1s),
-// or until the context ends; it reports whether the context is still live.
-func sleepBackoff(ctx context.Context, attempt int) bool {
+// backoffDelay is the retry pause for one failed attempt: 2^min(attempt,6)
+// × 10ms plus up to 100% jitter, clamped to 1s. Exposed separately from the
+// sleep so the clamp itself is testable — total retry latency under a
+// permanently failing engine must stay bounded.
+func backoffDelay(attempt int) time.Duration {
 	base := 10 * time.Millisecond << uint(min(attempt, 6))
-	d := min(base+time.Duration(rand.Int63n(int64(base))), time.Second)
-	t := time.NewTimer(d)
+	return min(base+time.Duration(rand.Int63n(int64(base))), time.Second)
+}
+
+// sleepBackoff waits backoffDelay(attempt) or until the context ends; it
+// reports whether the context is still live.
+func sleepBackoff(ctx context.Context, attempt int) bool {
+	t := time.NewTimer(backoffDelay(attempt))
 	defer t.Stop()
 	select {
 	case <-t.C:
@@ -192,6 +200,12 @@ func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Prob
 			return nil, err
 		}
 		cost, cplane = res.Cost, res.C
+	case "cluster":
+		sol, err := s.solveCluster(ctx, hash, canon, frontier, ck)
+		if err != nil {
+			return nil, err
+		}
+		cost, choices, cplane = sol.Cost, sol.Choice, sol.C
 	default:
 		return nil, fmt.Errorf("serve: unknown engine %q", engine)
 	}
@@ -338,10 +352,22 @@ func (s *Server) RecoverCheckpoints(ctx context.Context) (resumed, discarded int
 	if s.cfg.CheckpointDir == "" {
 		return 0, 0, nil
 	}
-	snaps, discard, err := checkpoint.Scan(s.cfg.CheckpointFS, s.cfg.CheckpointDir)
+	if t := s.cfg.RecoverTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	snaps, discard, err := checkpoint.ScanCtx(ctx, s.cfg.CheckpointFS, s.cfg.CheckpointDir)
 	if err != nil {
-		//ttlint:ignore durability startup maintenance with no answer in flight: an unreadable directory must abort recovery loudly
-		return 0, 0, err
+		if isContextErr(err) {
+			// The recovery budget ran out mid-scan: a slow disk or an enormous
+			// directory must not delay serving. Keep what was validated and
+			// leave the rest on disk for the next start.
+			s.log.Warn("checkpoint scan stopped early", "scanned", len(snaps), "err", err)
+		} else {
+			//ttlint:ignore durability startup maintenance with no answer in flight: an unreadable directory must abort recovery loudly
+			return 0, 0, err
+		}
 	}
 	fsys := s.cfg.CheckpointFS
 	if fsys == nil {
@@ -354,6 +380,11 @@ func (s *Server) RecoverCheckpoints(ctx context.Context) (resumed, discarded int
 		discarded++
 	}
 	for _, snap := range snaps {
+		if cerr := ctx.Err(); cerr != nil {
+			s.log.Warn("checkpoint recovery stopped early",
+				"resumed", resumed, "pending", len(snaps)-resumed, "err", cerr)
+			break
+		}
 		engine := snap.Engine
 		if !validEngine(engine) {
 			engine = s.cfg.DefaultEngine

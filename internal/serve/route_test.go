@@ -288,9 +288,9 @@ func TestRouteBatchLifecycle(t *testing.T) {
 	// every one is done; a "wrong leaf" is a session that finishes on an
 	// action not treating its object.
 	type sess struct {
-		cursor  string
-		action  int32
-		done    bool
+		cursor string
+		action int32
+		done   bool
 	}
 	live := make([]sess, n)
 	for i := range live {

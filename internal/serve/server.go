@@ -79,6 +79,17 @@ type Config struct {
 	DisableFallback  bool          // fail instead of degrading to the next engine in the chain
 	CheckpointDir    string        // durable level-frontier snapshots land here ("" disables)
 	CheckpointFS     checkpoint.FS // checkpoint filesystem (nil: real disk; tests inject chaos.FaultFS)
+	RecoverTimeout   time.Duration // budget for the startup checkpoint-recovery scan (default 0: caller's context only)
+
+	// Distributed solve plane (docs/CLUSTER.md): the "cluster" engine dials
+	// these ttworker addresses per solve. Empty leaves the engine
+	// unconfigured — requests for it fall straight through its fallback
+	// chain to the in-process engines.
+	ClusterWorkers     []string
+	ClusterDeadline    time.Duration // per-assignment plane deadline (default 30s)
+	ClusterQuorum      int           // minimum live workers to continue (default 1)
+	ClusterAudit       float64       // fraction of plane cells spot-audited (default 0.125; >=1 audits all)
+	ClusterDialTimeout time.Duration // per-worker dial budget (default 2s)
 
 	// Chaos hooks, wired to ttserve's -chaos-* flags; zero in production.
 	EngineFault func(engine string) error // called before each solve attempt; error or panic = engine fault
@@ -140,6 +151,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Retries < 0 {
 		c.Retries = 0
+	}
+	if c.ClusterDeadline <= 0 {
+		c.ClusterDeadline = 30 * time.Second
+	}
+	if c.ClusterQuorum <= 0 {
+		c.ClusterQuorum = 1
+	}
+	if c.ClusterAudit == 0 {
+		c.ClusterAudit = 0.125
+	}
+	if c.ClusterDialTimeout <= 0 {
+		c.ClusterDialTimeout = 2 * time.Second
 	}
 	return c
 }
@@ -314,7 +337,7 @@ var engineKinds = map[string]parttsolve.EngineKind{
 
 func validEngine(e string) bool {
 	switch e {
-	case "seq", "parallel", "lockstep", "goroutine", "ccc", "bvm":
+	case "seq", "parallel", "lockstep", "goroutine", "ccc", "bvm", "cluster":
 		return true
 	}
 	return false
