@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke bench-diff serve-smoke chaos-smoke certify-smoke route-smoke cluster-smoke
+.PHONY: build test race vet lint fuzz-short golden bench-json bench-smoke bench-diff serve-smoke chaos-smoke certify-smoke route-smoke cluster-smoke approx-smoke
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,7 @@ golden:
 # BENCH_bvm.json holds the pre-kernel scalar baseline that the route-kernel
 # speedups in EXPERIMENTS.md are measured against; rerun this target to
 # re-baseline after an intentional performance change.
-BENCH_PATTERN = BenchmarkExecPerRoute|BenchmarkExecActivation|BenchmarkExecStriped|BenchmarkApply3|BenchmarkGather|BenchmarkE3CycleID|BenchmarkE13BVMTT|BenchmarkA2WavefrontBVM|BenchmarkCertifyOverhead|BenchmarkSolveLevelPair|BenchmarkSolveBatch|BenchmarkSolveReuse|BenchmarkRouteStep|BenchmarkRouteBatch
+BENCH_PATTERN = BenchmarkExecPerRoute|BenchmarkExecActivation|BenchmarkExecStriped|BenchmarkApply3|BenchmarkGather|BenchmarkE3CycleID|BenchmarkE13BVMTT|BenchmarkA2WavefrontBVM|BenchmarkCertifyOverhead|BenchmarkSolveLevelPair|BenchmarkSolveBatch|BenchmarkSolveReuse|BenchmarkRouteStep|BenchmarkRouteBatch|BenchmarkGreedySolve|BenchmarkBranchAndBound
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 200ms ./internal/bvm ./internal/bitvec ./internal/policy . \
 		| $(GO) run ./cmd/benchjson > BENCH_bvm.json
@@ -101,6 +101,15 @@ certify-smoke:
 # cmd/ttserve/cluster_smoke_test.go and docs/CLUSTER.md).
 cluster-smoke:
 	$(GO) test -race -count=1 -run 'TestClusterSmoke' -v ./cmd/ttserve
+
+# Graceful-degradation smoke: boots the real ttserve binary with a tiny
+# exact K-cap, then verifies an over-budget instance is a structured 422
+# naming the exceeded budget with approx=off, a 200 carrying a certified
+# optimality gap with the approx knob on, and that the exact path's response
+# bytes are untouched by the approx plane (see
+# cmd/ttserve/approx_smoke_test.go and docs/RESILIENCE.md).
+approx-smoke:
+	$(GO) test -race -count=1 -run 'TestApproxSmoke' -v ./cmd/ttserve
 
 # Route-plane smoke: boots the real ttserve binary, publishes a policy from
 # a real certified solve over HTTP, then walks 10k stateless sessions to

@@ -5,10 +5,12 @@ package repro_test
 // reproduction runnable as `go test -bench=.`.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
 
+	"repro/internal/approx"
 	"repro/internal/bvm"
 	"repro/internal/bvmalg"
 	"repro/internal/bvmtt"
@@ -396,5 +398,39 @@ func BenchmarkA2WavefrontBVM(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bvmalg.MinReduceAllWavefront(m, val, shadow, 40)
+	}
+}
+
+// BenchmarkGreedySolve — the bounded-suboptimality plane's anytime floor: the
+// greedy portfolio plus gap certification on a K=22 instance, far past any
+// exact 2^K budget. This is the cost of "never 422 an oversized instance".
+func BenchmarkGreedySolve(b *testing.B) {
+	p := workload.Oversized(9, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := approx.Solve(context.Background(), p, approx.Options{NodeBudget: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := certify.CertifyGap(p, res.Tree, res.Cost, res.GapMilli); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBranchAndBound — the anytime improvement phase run to a proof:
+// branch-and-bound from the greedy incumbent down to certified optimality on
+// a K=12 instance (the same family BenchmarkCertifyOverhead prices exactly).
+func BenchmarkBranchAndBound(b *testing.B) {
+	p := workload.MedicalDiagnosis(14, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := approx.Solve(context.Background(), p, approx.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Exact {
+			b.Fatalf("branch-and-bound did not complete (nodes=%d)", res.Nodes)
+		}
 	}
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/certify"
+	"repro/internal/core"
+	"repro/internal/instio"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// TestApproxSmoke is the `make approx-smoke` drill: the real ttserve binary
+// runs with a tiny exact K-cap, and an over-budget instance is submitted
+// three ways. With approx=off it must be a structured 422 naming the exceeded
+// budget; with an approx knob it must be a 200 carrying a certified gap; and
+// the exact path for in-budget instances must be byte-identical to a server
+// that has no approx plane in play.
+func TestApproxSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives a real server process")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ttserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building ttserve: %v\n%s", err, out)
+	}
+
+	big := workload.Oversized(3, 10) // K=10, past the -max-k 6 cap below
+	var bigBody bytes.Buffer
+	if err := instio.Write(&bigBody, big, ""); err != nil {
+		t.Fatal(err)
+	}
+	small := workload.MedicalDiagnosis(5, 5)
+	var smallBody bytes.Buffer
+	if err := instio.Write(&smallBody, small, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, url := startServer(t, bin, "-max-k", "6")
+	defer func() {
+		srv.Process.Signal(os.Interrupt)
+		srv.Wait()
+	}()
+
+	// Over-budget with the knob off: a structured 422 that names the budget
+	// and hints at the smallest working approx setting.
+	resp, err := http.Post(url+"/v1/solve?approx=off", "application/json", bytes.NewReader(bigBody.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("approx=off: status %d, want 422: %s", resp.StatusCode, raw)
+	}
+	var reject struct {
+		Budget     string `json:"budget"`
+		Limit      int    `json:"limit"`
+		Got        int    `json:"got"`
+		ApproxHint string `json:"approx_hint"`
+	}
+	if err := json.Unmarshal(raw, &reject); err != nil {
+		t.Fatalf("422 body is not structured JSON: %v: %s", err, raw)
+	}
+	if reject.Budget != "k" || reject.Limit != 6 || reject.Got != 10 || reject.ApproxHint != "approx=1" {
+		t.Fatalf("422 body %+v, want budget=k limit=6 got=10 hint=approx=1", reject)
+	}
+
+	// The same instance with the knob on: 200 with a certified gap. K=10 is
+	// within the default branch-and-bound budget, so the answer is also the
+	// proven optimum.
+	sr := postSolveQuery(t, url, "?approx=1.5", bigBody.Bytes())
+	if sr.SolvedBy != "approx" || sr.Cost == nil || sr.GapMilli == nil || sr.LowerBound == nil {
+		t.Fatalf("approx route: %+v, want approx-served cost with gap fields", sr)
+	}
+	if *sr.GapMilli < certify.GapScale {
+		t.Fatalf("served gap %d below GapScale", *sr.GapMilli)
+	}
+	want, err := core.Solve(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *sr.Cost < want.Cost || *sr.LowerBound > want.Cost {
+		t.Fatalf("served cost %d / bound %d bracket the optimum %d wrongly",
+			*sr.Cost, *sr.LowerBound, want.Cost)
+	}
+
+	stats := getStats(t, url)
+	if n, _ := stats["approx_served"].(float64); n < 1 {
+		t.Fatalf("approx_served = %v, want >= 1", stats["approx_served"])
+	}
+	if n, _ := stats["certify_pass"].(float64); n < 1 {
+		t.Fatalf("certify_pass = %v, want >= 1 — the gap answer must have been certified", stats["certify_pass"])
+	}
+
+	// Exact path unchanged: an in-budget instance served by this server must
+	// produce byte-identical JSON (modulo the timing field) to a second
+	// server with no approx traffic at all.
+	exactHere := canonicalSolveBytes(t, url, smallBody.Bytes())
+	srv2, url2 := startServer(t, bin, "-max-k", "6")
+	defer func() {
+		srv2.Process.Signal(os.Interrupt)
+		srv2.Wait()
+	}()
+	exactThere := canonicalSolveBytes(t, url2, smallBody.Bytes())
+	if !bytes.Equal(exactHere, exactThere) {
+		t.Fatalf("exact path diverged:\n%s\nvs\n%s", exactHere, exactThere)
+	}
+	for _, field := range []string{"approx", "gap_milli", "lower_bound"} {
+		if bytes.Contains(exactHere, []byte(`"`+field+`"`)) {
+			t.Fatalf("exact response carries approx field %q: %s", field, exactHere)
+		}
+	}
+}
+
+// postSolveQuery posts an instance to /v1/solve with a raw query string and
+// decodes the 200 response.
+func postSolveQuery(t *testing.T, url, query string, body []byte) *serve.SolveResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/solve"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("%s: status %d: %s", query, resp.StatusCode, msg)
+	}
+	var sr serve.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return &sr
+}
+
+// canonicalSolveBytes posts an instance on the exact path and returns the
+// response with the only run-varying field (elapsed_ms) normalized, so two
+// servers' answers can be compared byte for byte.
+func canonicalSolveBytes(t *testing.T, url string, body []byte) []byte {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact solve: status %d: %s", resp.StatusCode, raw)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "elapsed_ms")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -15,7 +15,7 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve?engine=seq|parallel|lockstep|goroutine|ccc|bvm|cluster&certify=off|fast|audit&timeout_ms=...&tree=1&greedy=1
+//	POST /v1/solve?engine=seq|parallel|lockstep|goroutine|ccc|bvm|cluster&certify=off|fast|audit&timeout_ms=...&tree=1&greedy=1&approx=off|RATIO|DEADLINE
 //	POST /v1/solve/batch?certify=...&timeout_ms=...&tree=1 — solve related instances together, amortizing shared-lattice enumeration (docs/SERVING.md)
 //	POST /v1/eval                     — price a stored policy under a weight vector
 //	POST /v1/policy                   — solve, certify, and publish a compiled route policy
@@ -81,6 +81,10 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	retries := fs.Int("retries", 0, "extra attempts per engine before falling back (0 = 1, negative disables)")
 	noFallback := fs.Bool("no-fallback", false, "fail requests instead of degrading to the next engine in the chain")
 	certifyMode := fs.String("certify", "", "answer certification before caching/serving: off, fast, or audit (empty = fast); a failure counts as an engine fault")
+	approxDefault := fs.String("approx", "", "approx knob for requests that send none: off, a gap ratio >= 1, or a deadline like 200ms (empty = off)")
+	approxMaxK := fs.Int("approx-max-k", 0, "largest universe the approx plane accepts (0 = 26, the Set-type maximum)")
+	approxMaxActions := fs.Int("approx-max-actions", 0, "most actions the approx plane accepts (0 = 256)")
+	approxNodes := fs.Int64("approx-nodes", 0, "branch-and-bound node budget per approx solve (0 = 1<<20, negative = greedy only)")
 	chaosLevelDelay := fs.Duration("chaos-level-delay", 0, "TESTING: artificial pause at every DP level barrier")
 	chaosFailEngine := fs.String("chaos-fail-engine", "", "TESTING: inject solve faults, as engine[:count] (count omitted = every attempt)")
 	chaosCorruptEngine := fs.String("chaos-corrupt-engine", "", "TESTING: silently corrupt finished answers, as engine[:count] (count omitted = every attempt)")
@@ -145,6 +149,10 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		ClusterAudit:       *clusterAudit,
 		ClusterDialTimeout: *clusterDialTimeout,
 		CertifyMode:        *certifyMode,
+		DefaultApprox:      *approxDefault,
+		ApproxMaxK:         *approxMaxK,
+		ApproxMaxActions:   *approxMaxActions,
+		ApproxNodes:        *approxNodes,
 		EngineFault:        engineFault,
 		ResultFault:        resultFault,
 		LevelDelay:         *chaosLevelDelay,

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ttsolve [-engine seq|lockstep|goroutine|ccc|bvm] [-certify off|fast|audit] [-tree] [-greedy] [file.json]
+//	ttsolve [-engine seq|lockstep|goroutine|ccc|bvm] [-certify off|fast|audit] [-approx off|RATIO|DEADLINE] [-tree] [-greedy] [file.json]
 //
 // Reading from stdin when no file is given. The instance format:
 //
@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/approx"
 	"repro/internal/bvmtt"
 	"repro/internal/certify"
 	"repro/internal/core"
@@ -57,6 +58,7 @@ func solve(args []string, stdin io.Reader, stdout io.Writer) error {
 	policyOut := fs.String("policy", "", "write the reachable-state policy as JSON to this file (seq engine)")
 	explain := fs.Bool("explain", false, "print the per-action M[U,i] pricing table (seq engine)")
 	showGreedy := fs.Bool("greedy", false, "also report the greedy heuristic's cost")
+	approxFlag := fs.String("approx", "off", "anytime solve with a certified gap instead of the exact DP: a target ratio >= 1 (1.5 = within 50%) or a deadline like 200ms")
 	certifyFlag := fs.String("certify", "off", "certify the answer before reporting it: off, fast, or audit; simulated-machine engines also run their ABFT layer")
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -82,6 +84,14 @@ func solve(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "instance: %d objects, %d tests, %d treatments\n",
 		p.K, p.NumTests(), p.NumTreatments())
+
+	ap, err := approx.ParseSpec(*approxFlag)
+	if err != nil {
+		return fmt.Errorf("ttsolve: %w", err)
+	}
+	if ap.Enabled {
+		return solveApprox(p, ap, *showTree, stdout)
+	}
 
 	var (
 		cost    uint64
@@ -211,6 +221,43 @@ func solve(args []string, stdin io.Reader, stdout io.Writer) error {
 		} else {
 			fmt.Fprintf(stdout, "greedy heuristic cost = %d\n", g)
 		}
+	}
+	return nil
+}
+
+// solveApprox runs the bounded-suboptimality plane (internal/approx): the
+// anytime greedy-plus-branch-and-bound pipeline, then mandatory independent
+// gap certification — an approximate answer is only reported once the
+// certifier has re-priced the tree and re-derived the lower bound itself.
+func solveApprox(p *core.Problem, ap approx.Spec, showTree bool, stdout io.Writer) error {
+	res, err := approx.Solve(context.Background(), p, approx.Options{
+		Deadline:    ap.Deadline,
+		TargetMilli: ap.TargetMilli,
+	})
+	if err != nil {
+		return fmt.Errorf("ttsolve: %w", err)
+	}
+	if !res.Adequate {
+		if rep := certify.CheckInadequate(p); !rep.OK() {
+			return fmt.Errorf("ttsolve: inadequacy claim failed certification: %w", rep.Err())
+		}
+		fmt.Fprintf(stdout, "certify: PASS (inadequacy witness: object %d has no covering treatment)\n", res.Uncovered)
+		fmt.Fprintln(stdout, "result: INADEQUATE — no successful procedure exists")
+		return nil
+	}
+	cert, err := certify.CertifyGap(p, res.Tree, res.Cost, res.GapMilli)
+	if err != nil {
+		return fmt.Errorf("ttsolve: approx answer failed gap certification: %w", err)
+	}
+	fmt.Fprintf(stdout, "certify: PASS (gap, cost re-priced, bound re-derived)\n")
+	fmt.Fprintf(stdout, "approx cost = %d (policy %s, %d B&B nodes)\n", cert.Cost(), res.Policy, res.Nodes)
+	fmt.Fprintf(stdout, "lower bound = %d, certified gap = %d.%03d×\n",
+		cert.LowerBound(), cert.GapMilli()/certify.GapScale, cert.GapMilli()%certify.GapScale)
+	if res.Exact {
+		fmt.Fprintln(stdout, "branch-and-bound completed: this cost is the proven optimum")
+	}
+	if showTree {
+		fmt.Fprint(stdout, res.Tree.Render(p))
 	}
 	return nil
 }

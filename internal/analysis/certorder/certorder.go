@@ -14,6 +14,14 @@
 // walk cannot prove dominated is reported even if some exotic control flow
 // would certify it dynamically — which is the right polarity for this
 // invariant: the PR 5 incident class is silently serving unverified answers.
+//
+// The bounded-suboptimality plane (PR 10) tightens the rule: inside any
+// function whose name mentions approx, the certify.ModeOff/Off annotation is
+// NOT an accepted opt-out — gap certification has no off switch, because an
+// approximate answer's quality claim is only knowledge at all once it has
+// been independently verified. Such functions must be dominated by a real
+// certifying call (certify.CertifyGap, certify.CheckInadequate, ...) before
+// any sink.
 package certorder
 
 import (
@@ -29,7 +37,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "certorder",
 	Doc: "every cache-insert and solve-response-write site in a package that " +
 		"imports certify must be dominated by a certify call or an explicit " +
-		"certify.Off annotation (certify-before-cache, PR 5)",
+		"certify.Off annotation (certify-before-cache, PR 5); inside approx-path " +
+		"functions the Off annotation is not accepted — gap certification has no " +
+		"off switch (PR 10)",
 	Run: run,
 }
 
@@ -39,6 +49,10 @@ var cacheTypeRE = regexp.MustCompile(`(?i)(cache|lru)`)
 // responseTypeRE matches the response struct whose write is the serve
 // boundary.
 var responseTypeRE = regexp.MustCompile(`SolveResponse$`)
+
+// approxFuncRE marks functions on the bounded-suboptimality path, where the
+// ModeOff opt-out is disallowed: approximate answers are certified always.
+var approxFuncRE = regexp.MustCompile(`(?i)approx`)
 
 func run(pass *analysis.Pass) error {
 	certifyPkg := importedCertify(pass)
@@ -62,7 +76,8 @@ func run(pass *analysis.Pass) error {
 			if recvIsCache(pass, fd) {
 				continue // the cache's own methods are below the boundary
 			}
-			w := &walker{pass: pass, certifyPkg: certifyPkg, certifying: certifying}
+			w := &walker{pass: pass, certifyPkg: certifyPkg, certifying: certifying,
+				noOptOut: approxFuncRE.MatchString(fd.Name.Name)}
 			w.block(fd.Body, false)
 		}
 	}
@@ -166,6 +181,7 @@ type walker struct {
 	pass       *analysis.Pass
 	certifyPkg *types.Package
 	certifying map[types.Object]bool
+	noOptOut   bool // approx-path function: ModeOff mentions do not certify
 }
 
 // block walks stmts sequentially, threading the certified flag, and returns
@@ -287,7 +303,7 @@ func (w *walker) exprCertifies(e ast.Expr, certified bool) bool {
 			found = true
 		}
 	})
-	if !found && mentionsModeOff(w.pass, e, w.certifyPkg) {
+	if !found && !w.noOptOut && mentionsModeOff(w.pass, e, w.certifyPkg) {
 		found = true
 	}
 	return found
@@ -303,7 +319,7 @@ func (w *walker) stmtCertifies(s ast.Stmt) bool {
 			found = true
 		}
 	})
-	if !found && mentionsModeOff(w.pass, s, w.certifyPkg) {
+	if !found && !w.noOptOut && mentionsModeOff(w.pass, s, w.certifyPkg) {
 		found = true
 	}
 	return found

@@ -25,6 +25,21 @@ func Check(cost uint64) Report { return Report{ok: cost < 1<<40} }
 // VerifyEntry certifies a cache entry payload.
 func VerifyEntry(cost uint64, hash string) Report { return Report{ok: hash != ""} }
 
+// GapCert is a gap-certification verdict.
+type GapCert struct{ ok bool }
+
+// OK reports whether the gap claim held.
+func (c GapCert) OK() bool { return c.ok }
+
+// CertifyGap certifies an approximate answer's suboptimality claim.
+func CertifyGap(cost, gapMilli, lb uint64) GapCert { return GapCert{ok: cost*1000 <= gapMilli*lb} }
+
+// CheckInadequate certifies an inadequacy claim by its coverage witness.
+func CheckInadequate(k int) Report { return Report{ok: k >= 0} }
+
+// LowerBound derives a bound on the optimum; deriving is not certifying.
+func LowerBound(k int) uint64 { return uint64(k) }
+
 // ParseMode parses a mode name; it is not a certifying call.
 func ParseMode(s string) Mode {
 	if s == "off" {

@@ -143,3 +143,60 @@ func (s *server) runSolve(e *entry, done chan struct{}) {
 		s.cache.add(e)
 	}
 }
+
+// PR 10 cases: inside approx-path functions (name mentions approx) the
+// ModeOff opt-out is disallowed — gap certification has no off switch.
+
+// True positive: the opt-out annotation that excuses offMode above does NOT
+// excuse an approx-path function.
+func (s *server) approxOffMode(e *entry) {
+	if s.mode == certify.ModeOff {
+		s.cache.add(e) // want "cache insert is not dominated by a certify call"
+	}
+}
+
+// True positive: insert before the gap certification — the same incident
+// shape as badOrder, on the approx path.
+func (s *server) solveApproxBadOrder(e *entry) {
+	s.cache.add(e) // want "cache insert is not dominated by a certify call"
+	_ = certify.CertifyGap(e.cost, 1500, 10)
+}
+
+// True positive: deriving a lower bound is arithmetic, not certification.
+func (s *server) approxBoundIsNotCertify(e *entry) {
+	e.cost = certify.LowerBound(4)
+	s.cache.add(e) // want "cache insert is not dominated by a certify call"
+}
+
+// Negative: the real solveApproxAttempt shape — gap certification (or the
+// inadequacy witness check) dominates the insert and the response write.
+func (s *server) solveApproxGoodOrder(e *entry, adequate bool) {
+	if adequate {
+		if !certify.CertifyGap(e.cost, 1500, 10).OK() {
+			return
+		}
+	} else {
+		if !certify.CheckInadequate(3).OK() {
+			return
+		}
+	}
+	s.cache.add(e)
+	writeJSON(&SolveResponse{Cost: e.cost})
+}
+
+// Negative: gap certification through a package-local helper; the fixpoint
+// marks certifyApprox as certifying, and no ModeOff mention is involved.
+func (s *server) approxViaHelper(e *entry) error {
+	if err := s.certifyApprox(e); err != nil {
+		return err
+	}
+	s.cache.add(e)
+	return nil
+}
+
+func (s *server) certifyApprox(e *entry) error {
+	if !certify.CertifyGap(e.cost, 2000, 5).OK() {
+		return errors.New("gap claim refused")
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package approx
+
+import (
+	"repro/internal/core"
+)
+
+// state carries the per-instance precomputation shared by the greedy
+// policies and the branch-and-bound: cheapest covering treatment per object,
+// the global minimum action cost, and memoized subset masses and lower
+// bounds. Everything here is polynomial in K and N — no 2^K tables — which
+// is the point of the package.
+type state struct {
+	p       *core.Problem
+	tmin    []uint64            // per object: min cost over treatments covering it (Inf: uncovered)
+	cmin    uint64              // min cost over all actions
+	memoCap int                 // per-map memo entry cap; misses beyond it recompute
+	ps      map[core.Set]uint64 // subset mass memo
+	lb      map[core.Set]uint64 // lower-bound memo
+}
+
+func newState(p *core.Problem) *state {
+	st := &state{
+		p:       p,
+		tmin:    make([]uint64, p.K),
+		cmin:    core.Inf,
+		memoCap: 1 << 20,
+		ps:      make(map[core.Set]uint64),
+		lb:      make(map[core.Set]uint64),
+	}
+	for j := range st.tmin {
+		st.tmin[j] = core.Inf
+	}
+	for _, a := range p.Actions {
+		if a.Cost < st.cmin {
+			st.cmin = a.Cost
+		}
+		if a.Treatment {
+			for _, j := range a.Set.Objects() {
+				if a.Cost < st.tmin[j] {
+					st.tmin[j] = a.Cost
+				}
+			}
+		}
+	}
+	return st
+}
+
+// uncovered returns an object no treatment covers (the inadequacy witness),
+// or -1 when the instance is adequate.
+func (st *state) uncovered() int {
+	for j, t := range st.tmin {
+		if t == core.Inf {
+			return j
+		}
+	}
+	return -1
+}
+
+// psum is the mass of s, memoized; O(|s|) on a miss, no 2^K array.
+func (st *state) psum(s core.Set) uint64 {
+	if s == 0 {
+		return 0
+	}
+	if v, ok := st.ps[s]; ok {
+		return v
+	}
+	var t uint64
+	for _, j := range s.Objects() {
+		t = core.SatAdd(t, st.p.Weights[j])
+	}
+	if len(st.ps) < st.memoCap {
+		st.ps[s] = t
+	}
+	return t
+}
+
+// lower is a valid lower bound on C(s): the maximum of
+//
+//   - the treatment bound Σ_{j∈s} P_j·tmin_j — object j's run ends with a
+//     treatment covering j, paid at a candidate set still containing j;
+//   - the information bound cmin·p(s)·b, with b the largest integer such
+//     that 2^b times the largest treated-part mass stays under p(s) — the
+//     prefix-code argument spelled out at certify.LowerBound, which this
+//     per-set form must agree with at the universe (pinned by tests).
+//
+// Both depend only on the instance and s — never on the incumbent in force
+// when they were computed — so memoized values stay valid for every caller.
+func (st *state) lower(s core.Set) uint64 {
+	if s == 0 {
+		return 0
+	}
+	if v, ok := st.lb[s]; ok {
+		return v
+	}
+	var treat uint64
+	for _, j := range s.Objects() {
+		treat = core.SatAdd(treat, core.SatMul(st.p.Weights[j], st.tmin[j]))
+	}
+	v := treat
+	ps := st.psum(s)
+	if ps > 0 && st.cmin > 0 && st.cmin < core.Inf {
+		var maxMass uint64
+		for _, a := range st.p.Actions {
+			if a.Treatment {
+				if m := st.psum(a.Set & s); m > maxMass {
+					maxMass = m
+				}
+			}
+		}
+		if maxMass > 0 {
+			var b uint64
+			for b < 64 && core.SatMul(maxMass, uint64(1)<<uint(b+1)) < ps {
+				b++
+			}
+			if info := core.SatMul(st.cmin, core.SatMul(ps, b)); info > v {
+				v = info
+			}
+		}
+	}
+	if len(st.lb) < st.memoCap {
+		st.lb[s] = v
+	}
+	return v
+}

@@ -1,0 +1,52 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/certify"
+)
+
+// Spec is the parsed form of the user-facing approx knob (ttserve's
+// per-request approx= query parameter, ttsolve's -approx flag):
+//
+//	off          — exact answers only; oversized instances are rejected
+//	<ratio>      — e.g. "1.5": anytime-solve until the certified gap
+//	               reaches the ratio (1 demands proven optimality)
+//	<duration>   — e.g. "250ms": spend the duration improving, then
+//	               return the best incumbent with its certified gap
+type Spec struct {
+	Raw         string
+	Enabled     bool
+	Deadline    time.Duration // deadline mode: improvement budget
+	TargetMilli uint64        // ratio mode: stop at this certified gap
+}
+
+// maxTargetRatio caps ratio-mode targets; a gap demand beyond 1000× is a
+// typo, not a quality bar.
+const maxTargetRatio = 1000.0
+
+// ParseSpec parses the knob. "" and "off" disable; a number ≥ 1 selects
+// ratio mode; a positive Go duration selects deadline mode.
+func ParseSpec(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" {
+		return Spec{Raw: "off"}, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		if math.IsNaN(f) || f < 1 || f > maxTargetRatio {
+			return Spec{}, fmt.Errorf("approx ratio must be in [1, %g], got %q", maxTargetRatio, s)
+		}
+		return Spec{Raw: s, Enabled: true, TargetMilli: uint64(math.Round(f * certify.GapScale))}, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		if d <= 0 {
+			return Spec{}, fmt.Errorf("approx deadline must be positive, got %q", s)
+		}
+		return Spec{Raw: s, Enabled: true, Deadline: d}, nil
+	}
+	return Spec{}, fmt.Errorf("approx must be \"off\", a ratio ≥ 1, or a duration, got %q", s)
+}

@@ -1,0 +1,236 @@
+package certify
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// This file extends the certifier past exact answers: a GapCertificate
+// witnesses that a procedure tree's re-priced cost is within a claimed
+// multiplicative factor of the optimum, using a lower bound on C(U) that the
+// certifier derives from first principles — never from the solver under
+// test. It is what lets the bounded-suboptimality plane (internal/approx)
+// stay inside the certify-before-cache discipline: an approximate answer is
+// cacheable and servable exactly when its gap claim survives independent
+// re-pricing and re-bounding.
+
+// Gap-certification violation kinds, extending the exact-answer set in
+// certify.go.
+const (
+	// BadGap: the re-priced tree cost exceeds gap · lower-bound — the
+	// suboptimality claim does not hold.
+	BadGap Kind = "gap"
+	// BadBound: the bound side of the claim is wrong — an inadequacy claim
+	// for a coverable instance, or a lower bound of Inf alongside a valid
+	// tree.
+	BadBound Kind = "bound"
+)
+
+// GapScale is the fixed-point denominator for suboptimality ratios: a gap of
+// GapScale (1000) claims optimality, 1500 claims cost ≤ 1.5 · optimum.
+// Integer milli-units keep the certifier's comparison exact — no float
+// rounding can flip an accept into a reject across platforms.
+const GapScale = 1000
+
+// LowerBound derives a certified lower bound on C(U) from the instance
+// alone, in O(N·K) with no 2^K state — computable even for instances far
+// past any exact-DP budget. It is the maximum of two bounds:
+//
+//   - treatment bound: every object j's procedure path ends with a
+//     treatment covering j (that is what curing j means), and that final
+//     action is paid at a candidate set still containing j, so the run cost
+//     charged against j is at least P_j · min cost over treatments covering
+//     j. Summing over objects bounds the expected cost.
+//
+//   - information bound: expected cost is Σ_n t(n)·p(S_n) over the tree's
+//     nodes, ≥ cmin · Σ_n p(S_n); and Σ_n p(S_n) = Σ_j P_j·d_j, where d_j
+//     counts the actions on object j's run (j stays in the candidate set
+//     through its final treatment, so it is charged at every one). The
+//     terminal "cured here" events are the leaves of a binary outcome tree
+//     (tests branch on the outcome; treatments branch cured-exit vs
+//     continue), i.e. a prefix-free code over the terminal parts, and every
+//     part lies inside one treatment's set, so its mass is at most
+//     m = max_i p(T_i). The noiseless-coding bound then gives weighted
+//     depth Σ_j P_j·d_j ≥ p(U)·log2(p(U)/m) > p(U)·b for the largest
+//     integer b with m·2^b < p(U), hence cost ≥ cmin · p(U) · b.
+//
+// Returns core.Inf exactly when some object has no covering treatment — the
+// inadequate instances, where no successful procedure exists at any cost.
+func LowerBound(p *core.Problem) uint64 {
+	u := core.Universe(p.K)
+	pU := psum(p, u)
+	var treat uint64
+	for j := 0; j < p.K; j++ {
+		tmin := core.Inf
+		for _, a := range p.Actions {
+			if a.Treatment && a.Set.Has(j) && a.Cost < tmin {
+				tmin = a.Cost
+			}
+		}
+		if tmin == core.Inf {
+			return core.Inf // uncovered object: no successful procedure
+		}
+		treat = core.SatAdd(treat, core.SatMul(p.Weights[j], tmin))
+	}
+	info := infoBound(p, u, pU)
+	return max(treat, info)
+}
+
+// infoBound is the information-theoretic half of LowerBound, at an arbitrary
+// candidate set s with mass ps: cmin · p(s) · b, where b is the largest
+// number of strict doublings of the largest single-treatment mass that stays
+// under p(s). Zero when any action is free, when s is massless, or when one
+// treatment already covers (almost) all the mass.
+func infoBound(p *core.Problem, s core.Set, ps uint64) uint64 {
+	if ps == 0 {
+		return 0
+	}
+	cmin := core.Inf
+	var maxMass uint64
+	for _, a := range p.Actions {
+		if a.Cost < cmin {
+			cmin = a.Cost
+		}
+		if a.Treatment {
+			if m := psum(p, a.Set&s); m > maxMass {
+				maxMass = m
+			}
+		}
+	}
+	if cmin == 0 || cmin == core.Inf || maxMass == 0 {
+		return 0
+	}
+	var b uint64
+	for b < 64 && core.SatMul(maxMass, uint64(1)<<uint(b+1)) < ps {
+		b++
+	}
+	return core.SatMul(cmin, core.SatMul(ps, b))
+}
+
+// CheckInadequate certifies a claimed inadequate answer without any DP
+// table: a validated instance admits a successful procedure iff every object
+// is covered by at least one treatment (uncovered objects can never be
+// cured; fully covered universes are discharged by any treatment chain), so
+// one uncovered object is a complete finite witness of inadequacy.
+func CheckInadequate(p *core.Problem) *Report {
+	r := &Report{}
+	for j := 0; j < p.K; j++ {
+		covered := false
+		for _, a := range p.Actions {
+			if a.Treatment && a.Set.Has(j) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return r // witness found: object j is untreatable
+		}
+	}
+	r.add(Violation{Kind: BadBound, Action: -1,
+		Detail: "claimed inadequate, but every object is covered by a treatment — a successful procedure exists"})
+	return r
+}
+
+// GapCertificate is an unforgeable witness that a (problem, tree, cost,
+// gap) quadruple passed gap certification: the tree is a structurally valid
+// successful procedure whose bottom-up re-price equals cost, and
+// cost · GapScale ≤ gapMilli · LowerBound(problem). Like Certificate, only
+// this package can mint one, so code that demands a *GapCertificate — the
+// serving layer's approximate path — can only ever be handed answers whose
+// quality claim was independently verified.
+type GapCertificate struct {
+	problem    *core.Problem
+	root       *core.Node
+	cost       uint64
+	lowerBound uint64
+	gapMilli   uint64
+}
+
+// CertifyGap checks the quadruple and mints a certificate, or reports why
+// not. The lower bound is recomputed here from the instance — a solver's
+// claimed bound is never trusted — and the gap inequality is evaluated in
+// exact 128-bit arithmetic.
+func CertifyGap(p *core.Problem, root *core.Node, cost, gapMilli uint64) (*GapCertificate, error) {
+	if p == nil {
+		return nil, fmt.Errorf("certify: nil problem")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if rep := Tree(p, root, cost); !rep.OK() {
+		return nil, rep.Err()
+	}
+	lb := LowerBound(p)
+	if lb == core.Inf {
+		// Tree() just proved a successful procedure exists, so every object
+		// is covered and LowerBound cannot be Inf; reaching here means the
+		// bound computation itself is broken. Fail closed.
+		r := &Report{}
+		r.add(Violation{Kind: BadBound, Action: -1,
+			Detail: "lower bound Inf for an instance with a valid procedure tree"})
+		return nil, r.Err()
+	}
+	if !ratioLE(cost, gapMilli, lb) {
+		r := &Report{}
+		r.add(Violation{Kind: BadGap, Action: -1, Got: cost, Want: lb,
+			Detail: fmt.Sprintf("re-priced cost %d exceeds gap %d.%03d × lower bound %d",
+				cost, gapMilli/GapScale, gapMilli%GapScale, lb)})
+		return nil, r.Err()
+	}
+	return &GapCertificate{problem: p, root: root, cost: cost, lowerBound: lb, gapMilli: gapMilli}, nil
+}
+
+// Problem returns the certified problem.
+func (c *GapCertificate) Problem() *core.Problem { return c.problem }
+
+// Root returns the certified procedure tree.
+func (c *GapCertificate) Root() *core.Node { return c.root }
+
+// Cost returns the re-priced tree cost the certificate covers.
+func (c *GapCertificate) Cost() uint64 { return c.cost }
+
+// LowerBound returns the certified lower bound on the optimum.
+func (c *GapCertificate) LowerBound() uint64 { return c.lowerBound }
+
+// GapMilli returns the certified suboptimality ratio in milli-units
+// (GapScale = optimal).
+func (c *GapCertificate) GapMilli() uint64 { return c.gapMilli }
+
+// ratioLE reports cost · GapScale ≤ gapMilli · lb without overflow: both
+// products are formed exactly in 128 bits. Saturated operands (core.Inf)
+// participate as their literal values, which keeps the comparison
+// conservative in the only direction that matters — an overstated cost can
+// only cause a reject, never an accept.
+func ratioLE(cost, gapMilli, lb uint64) bool {
+	hi1, lo1 := bits.Mul64(cost, GapScale)
+	hi2, lo2 := bits.Mul64(gapMilli, lb)
+	return hi1 < hi2 || (hi1 == hi2 && lo1 <= lo2)
+}
+
+// GapFor returns the smallest gapMilli for which CertifyGap would accept a
+// cost against a lower bound: ceil(cost · GapScale / lb), GapScale when the
+// cost is zero, and core.Inf when no finite claim can hold (a positive cost
+// over a zero bound) or the quotient leaves 64 bits. Pure arithmetic — it
+// certifies nothing on its own.
+func GapFor(cost, lowerBound uint64) uint64 {
+	if cost == 0 {
+		return GapScale
+	}
+	if lowerBound == 0 || cost == core.Inf {
+		return core.Inf
+	}
+	hi, lo := bits.Mul64(cost, GapScale)
+	if hi >= lowerBound {
+		return core.Inf // quotient would not fit in 64 bits
+	}
+	q, r := bits.Div64(hi, lo, lowerBound)
+	if r > 0 {
+		if q == core.Inf {
+			return core.Inf
+		}
+		q++
+	}
+	return q
+}

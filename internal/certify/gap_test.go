@@ -1,0 +1,223 @@
+package certify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// gapProblem is a small adequate instance with a known optimum, used by the
+// accept-path cases below.
+func gapProblem() *core.Problem {
+	return &core.Problem{
+		K:       3,
+		Weights: []uint64{4, 2, 1},
+		Actions: []core.Action{
+			{Name: "t0", Set: core.SetOf(0), Cost: 2, Treatment: false},
+			{Name: "rx01", Set: core.SetOf(0, 1), Cost: 5, Treatment: true},
+			{Name: "rxAll", Set: core.Universe(3), Cost: 9, Treatment: true},
+		},
+	}
+}
+
+func TestLowerBoundSound(t *testing.T) {
+	// On every solvable random instance the derived bound must not exceed
+	// the true optimum, and must be positive whenever the optimum is.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		p := randomProblem(rng, 2+rng.Intn(5), 2+rng.Intn(6))
+		sol, err := core.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := LowerBound(p)
+		if !sol.Adequate() {
+			if lb != core.Inf {
+				t.Fatalf("inadequate instance got finite bound %d", lb)
+			}
+			continue
+		}
+		if lb > sol.Cost {
+			t.Fatalf("lower bound %d exceeds optimum %d for %v", lb, sol.Cost, p)
+		}
+		if sol.Cost > 0 && lb == 0 {
+			t.Fatalf("zero lower bound for instance with positive optimum %d", sol.Cost)
+		}
+	}
+}
+
+func TestLowerBoundInadequate(t *testing.T) {
+	p := &core.Problem{
+		K:       2,
+		Weights: []uint64{1, 1},
+		Actions: []core.Action{
+			{Name: "rx0", Set: core.SetOf(0), Cost: 1, Treatment: true},
+			{Name: "t1", Set: core.SetOf(1), Cost: 1, Treatment: false},
+		},
+	}
+	if lb := LowerBound(p); lb != core.Inf {
+		t.Fatalf("object 1 is uncovered; want Inf bound, got %d", lb)
+	}
+	if rep := CheckInadequate(p); !rep.OK() {
+		t.Fatalf("inadequacy witness should verify: %v", rep.Err())
+	}
+	// The same claim on a coverable instance must be refused.
+	if rep := CheckInadequate(gapProblem()); rep.OK() {
+		t.Fatal("inadequacy claim accepted for a coverable instance")
+	}
+}
+
+func TestCertifyGapAccepts(t *testing.T) {
+	p := gapProblem()
+	sol, root := solveTree(t, p)
+	lb := LowerBound(p)
+	gap := GapFor(sol.Cost, lb)
+	cert, err := CertifyGap(p, root, sol.Cost, gap)
+	if err != nil {
+		t.Fatalf("optimal tree at its own gap must certify: %v", err)
+	}
+	if cert.Cost() != sol.Cost || cert.LowerBound() != lb || cert.GapMilli() != gap {
+		t.Fatalf("certificate fields %d/%d/%d, want %d/%d/%d",
+			cert.Cost(), cert.LowerBound(), cert.GapMilli(), sol.Cost, lb, gap)
+	}
+	// Any looser claim also holds.
+	if _, err := CertifyGap(p, root, sol.Cost, gap+500); err != nil {
+		t.Fatalf("looser gap claim rejected: %v", err)
+	}
+	// A tighter claim than the achievable ratio must be refused.
+	if gap > GapScale {
+		if _, err := CertifyGap(p, root, sol.Cost, gap-1); err == nil {
+			t.Fatal("accepted a gap claim below the achievable ratio")
+		}
+	}
+}
+
+func TestCertifyGapRejectsWrongCost(t *testing.T) {
+	p := gapProblem()
+	sol, root := solveTree(t, p)
+	gap := GapFor(sol.Cost, LowerBound(p))
+	for _, bad := range []uint64{sol.Cost - 1, sol.Cost + 1, 0, core.Inf} {
+		if _, err := CertifyGap(p, root, bad, gap); err == nil {
+			t.Fatalf("accepted tampered cost %d (true %d)", bad, sol.Cost)
+		}
+	}
+}
+
+// TestCertifyGapMutationFuzz tampers with solved trees, costs, and gap claims
+// on random instances; every mutation that changes the priced quadruple must
+// be rejected.
+func TestCertifyGapMutationFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	accepted := 0
+	for i := 0; i < 200; i++ {
+		p := randomProblem(rng, 2+rng.Intn(4), 2+rng.Intn(5))
+		sol, err := core.Solve(p)
+		if err != nil || !sol.Adequate() {
+			continue
+		}
+		root, err := sol.Tree(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := LowerBound(p)
+		gap := GapFor(sol.Cost, lb)
+		if _, err := CertifyGap(p, root, sol.Cost, gap); err != nil {
+			t.Fatalf("honest quadruple rejected: %v", err)
+		}
+		accepted++
+
+		switch i % 4 {
+		case 0: // tamper: understate the cost
+			if sol.Cost > 0 {
+				if _, err := CertifyGap(p, root, sol.Cost-1, gap); err == nil {
+					t.Fatal("accepted understated cost")
+				}
+			}
+		case 1: // tamper: claim a gap below the achievable ratio
+			if gap > GapScale {
+				if _, err := CertifyGap(p, root, sol.Cost, GapScale-1); err == nil {
+					t.Fatal("accepted sub-optimal gap claim below GapScale")
+				}
+			}
+		case 2: // tamper: swap the root's action for another index
+			mut := *root
+			mut.Action = (mut.Action + 1) % len(p.Actions)
+			if _, err := CertifyGap(p, &mut, sol.Cost, gap); err == nil {
+				// Only a genuine change must reject; re-price to check.
+				if c, cerr := core.TreeCost(p, &mut); cerr != nil || c != sol.Cost {
+					t.Fatal("accepted tree with swapped root action")
+				}
+			}
+		case 3: // tamper: prune a subtree (drop the positive branch)
+			if root.Pos != nil || root.Neg != nil {
+				mut := *root
+				mut.Pos, mut.Neg = nil, nil
+				if _, err := CertifyGap(p, &mut, sol.Cost, gap); err == nil {
+					if c, cerr := core.TreeCost(p, &mut); cerr != nil || c != sol.Cost {
+						t.Fatal("accepted truncated tree")
+					}
+				}
+			}
+		}
+	}
+	if accepted < 50 {
+		t.Fatalf("fuzz exercised only %d honest instances; want >= 50", accepted)
+	}
+}
+
+func TestGapForEdges(t *testing.T) {
+	for _, tc := range []struct {
+		cost, lb, want uint64
+	}{
+		{0, 0, GapScale},               // zero cost is optimal regardless of bound
+		{0, 17, GapScale},              //
+		{5, 0, core.Inf},               // positive cost over a zero bound: no finite claim
+		{core.Inf, 9, core.Inf},        // saturated cost
+		{10, 10, GapScale},             // tight bound: exactly optimal
+		{15, 10, 1500},                 // exact ratio
+		{10, 3, 3334},                  // rounds up: 10000/3 = 3333.33…
+		{1 << 60, 1, core.Inf},         // quotient leaves 64 bits
+		{core.Inf, core.Inf, core.Inf}, // saturated cost never gets a finite claim
+	} {
+		if got := GapFor(tc.cost, tc.lb); got != tc.want {
+			t.Errorf("GapFor(%d, %d) = %d, want %d", tc.cost, tc.lb, got, tc.want)
+		}
+	}
+}
+
+func TestGapForRoundTrip(t *testing.T) {
+	// GapFor must return the smallest accepted gap: ratioLE holds at the
+	// returned value and fails one milli-unit below it.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		cost := uint64(rng.Intn(1 << 20))
+		lb := uint64(rng.Intn(1<<20) + 1)
+		g := GapFor(cost, lb)
+		if g == core.Inf {
+			continue
+		}
+		if !ratioLE(cost, g, lb) {
+			t.Fatalf("GapFor(%d,%d)=%d does not satisfy its own ratio", cost, lb, g)
+		}
+		if g > 0 && ratioLE(cost, g-1, lb) && cost != 0 {
+			// g-1 accepted means GapFor was not minimal — unless cost is 0,
+			// where GapScale is returned by convention.
+			if !(cost == 0) {
+				t.Fatalf("GapFor(%d,%d)=%d is not minimal: %d also accepted", cost, lb, g, g-1)
+			}
+		}
+	}
+}
+
+func TestRatioLEOverflow(t *testing.T) {
+	// Products past 64 bits must compare exactly, not wrap. cost·1000
+	// overflows uint64 here; the 128-bit compare must still order correctly.
+	big := uint64(1) << 62
+	if !ratioLE(big, 2000, big) { // big·1000 ≤ 2000·big
+		t.Fatal("128-bit compare rejected a true inequality")
+	}
+	if ratioLE(big, 999, big) { // big·1000 > 999·big
+		t.Fatal("128-bit compare accepted a false inequality")
+	}
+}

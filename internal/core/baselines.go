@@ -89,14 +89,30 @@ func SolveExhaustiveCtx(ctx context.Context, p *Problem) (uint64, error) {
 // and the lowest score is applied. Zero-progress denominators disqualify an
 // action. Returns an error when no applicable action exists at some
 // reachable set, which on a validated instance means inadequacy.
+//
+// Subset masses are computed on demand (memoized, O(|S|) a miss) rather
+// than from a precomputed 2^K table: the greedy visits O(K·N) sets, and
+// it is the fallback of choice exactly when 2^K state is unaffordable —
+// the bounded-suboptimality plane (internal/approx) runs it at every K the
+// Set type can express.
 func GreedyTree(p *Problem) (*Node, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	psum := make([]uint64, 1<<uint(p.K))
-	for s := 1; s < len(psum); s++ {
-		low := s & -s
-		psum[s] = satAdd(psum[s&(s-1)], p.Weights[bits.TrailingZeros(uint(low))])
+	masses := make(map[Set]uint64, 4*p.K*len(p.Actions))
+	psum := func(s Set) uint64 {
+		if s == 0 {
+			return 0
+		}
+		if v, ok := masses[s]; ok {
+			return v
+		}
+		var t uint64
+		for rest := uint32(s); rest != 0; rest &= rest - 1 {
+			t = satAdd(t, p.Weights[bits.TrailingZeros32(rest)])
+		}
+		masses[s] = t
+		return t
 	}
 	var build func(s Set) (*Node, error)
 	build = func(s Set) (*Node, error) {
@@ -111,12 +127,12 @@ func GreedyTree(p *Problem) (*Node, error) {
 			if inter == 0 || (!a.Treatment && diff == 0) {
 				continue
 			}
-			num := satMul(a.Cost, psum[s])
+			num := satMul(a.Cost, psum(s))
 			var den uint64
 			if a.Treatment {
-				den = psum[inter]
+				den = psum(inter)
 			} else {
-				den = min(psum[inter], psum[diff])
+				den = min(psum(inter), psum(diff))
 			}
 			if den == 0 {
 				continue // splits only zero-weight mass: no progress

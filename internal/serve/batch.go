@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/instio"
@@ -145,9 +146,15 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for i, p := range ps {
-		if err := s.admit(p, "seq"); err != nil {
+		if oerr := s.admit(p, "seq"); oerr != nil {
+			// Structured like the solo 422, naming the offending member.
+			// The batch path is exact-only (shared-lattice re-pricing has
+			// no approximate variant), so no approx hint is offered here.
 			s.metrics.RejectOversize.Add(1)
-			httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf("batch instance %d: %v", i, err))
+			writeJSON(w, http.StatusUnprocessableEntity, &oversizeBody{
+				Error:  fmt.Sprintf("batch instance %d: %v", i, oerr),
+				Budget: oerr.budget, Limit: oerr.limit, Got: oerr.got,
+			})
 			return
 		}
 	}
@@ -298,7 +305,7 @@ func (s *Server) certifyBatchAnswer(canon *core.Problem, hash string, sol *core.
 // records the outcome — success or error — on its batch item.
 func (s *Server) solveBatchFallback(ctx context.Context, i int, canon *core.Problem, items []BatchItem, mode certify.Mode, wantTree bool) {
 	s.metrics.BatchFallback.Add(1)
-	ent, err := s.solveResilient(ctx, items[i].InstanceHash, canon, "seq", mode)
+	ent, err := s.solveResilient(ctx, items[i].InstanceHash, canon, "seq", mode, approx.Spec{Raw: "off"})
 	if err != nil {
 		items[i].Error = err.Error()
 		return

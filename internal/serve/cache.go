@@ -22,6 +22,15 @@ type cacheEntry struct {
 	canon    *core.Problem // canonicalized instance (action order normalized)
 	tree     *core.Node    // optimal procedure over canon's action indices
 	bytes    int64         // estimated resident size, for the byte budget
+
+	// Bounded-suboptimality answers (approx.go). Only set when approx is
+	// true; such entries live under approx-qualified cache keys, so they
+	// are never handed to a request that demanded exactness.
+	approx       bool   // answer came from the approx engine: cost is certified ≤ gap·OPT, not exact
+	gapMilli     uint64 // certified suboptimality ratio (certify.GapScale = proven optimal)
+	lowerBound   uint64 // certified lower bound on the optimum
+	approxPolicy string // solver that produced the tree: greedy-ratio, greedy-gain, bb
+	approxExact  bool   // branch-and-bound completed: the answer is the proven optimum
 }
 
 // entryBytes estimates an entry's resident size: struct and hash overhead,

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/chaos"
 	"repro/internal/checkpoint"
 	"repro/internal/cluster"
@@ -153,7 +154,7 @@ func TestRetryLatencyBounded(t *testing.T) {
 	}
 	budget += 2 * time.Second // compute + scheduling headroom
 	start := time.Now()
-	_, err = s.solveResilient(context.Background(), hash, canon, "seq", s.certifyMode)
+	_, err = s.solveResilient(context.Background(), hash, canon, "seq", s.certifyMode, approx.Spec{Raw: "off"})
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("permanently failing engine returned an answer")

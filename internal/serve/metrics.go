@@ -88,6 +88,13 @@ type Metrics struct {
 	CertifyPass atomic.Int64 // answers that passed certification
 	CertifyFail atomic.Int64 // answers refused: certification found a violation
 
+	// Bounded-suboptimality plane (approx.go, docs/RESILIENCE.md).
+	ApproxServed   atomic.Int64  // answers produced by the approx engine (all gap-certified)
+	ApproxExact    atomic.Int64  // of those, proven optimal (branch-and-bound completed)
+	ApproxFallback atomic.Int64  // exact-engine requests degraded to approx by the fallback chain
+	approxGapMax   atomic.Uint64 // worst certified gap served, milli-units
+	approxGapSum   atomic.Uint64 // sum of certified gaps served, milli-units (mean = sum/served)
+
 	// Route plane (route.go) and eval validation.
 	PolicyPublishes atomic.Int64 // compiled policy artifacts published
 	RouteSessions   atomic.Int64 // route sessions started
@@ -116,6 +123,23 @@ type Metrics struct {
 
 func newMetrics() *Metrics {
 	return &Metrics{perEngine: make(map[string]*latencyHist)}
+}
+
+// observeGap records one gap-certified approx answer's certified ratio.
+// Inadequate answers report GapScale (their witness is exact); saturated
+// gaps are clamped so one pathological instance cannot wreck the sum.
+func (m *Metrics) observeGap(gapMilli uint64) {
+	const clamp = 1 << 32
+	if gapMilli > clamp {
+		gapMilli = clamp
+	}
+	m.approxGapSum.Add(gapMilli)
+	for {
+		cur := m.approxGapMax.Load()
+		if gapMilli <= cur || m.approxGapMax.CompareAndSwap(cur, gapMilli) {
+			return
+		}
+	}
 }
 
 // observe records one completed solver run for an engine.
@@ -160,6 +184,11 @@ func (m *Metrics) Snapshot() map[string]any {
 		"breaker_rejects":         m.BreakerRejects.Load(),
 		"certify_pass":            m.CertifyPass.Load(),
 		"certify_fail":            m.CertifyFail.Load(),
+		"approx_served":           m.ApproxServed.Load(),
+		"approx_exact":            m.ApproxExact.Load(),
+		"approx_fallback":         m.ApproxFallback.Load(),
+		"approx_gap_milli_max":    m.approxGapMax.Load(),
+		"approx_gap_milli_sum":    m.approxGapSum.Load(),
 		"policy_publishes":        m.PolicyPublishes.Load(),
 		"route_sessions":          m.RouteSessions.Load(),
 		"route_steps":             m.RouteSteps.Load(),

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/bvmtt"
 	"repro/internal/certify"
 	"repro/internal/checkpoint"
@@ -19,8 +20,12 @@ import (
 // exotic simulated machines degrade to the host-parallel DP, which degrades
 // to the plain sequential DP. Every chain ends in "seq" — the engine with no
 // machine to mis-simulate — so a request only fails when the DP itself
-// cannot run. All engines produce bit-identical costs, so a fallback changes
-// solved_by, never the answer.
+// cannot run. All exact engines produce bit-identical costs, so a fallback
+// changes solved_by, never the answer. When the request enabled approx,
+// solveResilient appends "approx" as the terminal rung: with every exact
+// engine faulting, a certified-gap answer beats a 5xx — and it is the only
+// rung where solved_by changes the answer's meaning, which the response
+// labels via the gap fields.
 var fallbackChains = map[string][]string{
 	"seq":       {"seq"},
 	"parallel":  {"parallel", "seq"},
@@ -29,6 +34,7 @@ var fallbackChains = map[string][]string{
 	"ccc":       {"ccc", "parallel", "seq"},
 	"bvm":       {"bvm", "parallel", "seq"},
 	"cluster":   {"cluster", "parallel", "seq"},
+	"approx":    {"approx"},
 }
 
 // breaker returns the engine's circuit breaker, or nil when breakers are
@@ -54,7 +60,7 @@ func (s *Server) breaker(engine string) *breaker {
 // engine panic, injected fault) counts against the engine's breaker, is
 // retried with jittered backoff, and finally falls through to the next
 // engine in the chain.
-func (s *Server) solveResilient(ctx context.Context, hash string, canon *core.Problem, engine string, mode certify.Mode) (*cacheEntry, error) {
+func (s *Server) solveResilient(ctx context.Context, hash string, canon *core.Problem, engine string, mode certify.Mode, ap approx.Spec) (*cacheEntry, error) {
 	chain := fallbackChains[engine]
 	if chain == nil {
 		return nil, fmt.Errorf("serve: unknown engine %q", engine)
@@ -62,10 +68,18 @@ func (s *Server) solveResilient(ctx context.Context, hash string, canon *core.Pr
 	if s.cfg.DisableFallback {
 		chain = chain[:1]
 	}
+	if ap.Enabled && engine != "approx" && s.admitApprox(canon) == nil && !s.cfg.DisableFallback {
+		// The request opted into certified-approximate answers, so the
+		// chain's true floor is the anytime engine, below even seq.
+		chain = append(append([]string(nil), chain...), "approx")
+	}
 	var firstErr error
 	for ci, eng := range chain {
 		if ci > 0 {
 			s.metrics.Fallbacks.Add(1)
+			if eng == "approx" {
+				s.metrics.ApproxFallback.Add(1)
+			}
 			s.log.Warn("falling back", "from", chain[ci-1], "to", eng, "hash", hash[:12])
 		}
 		br := s.breaker(eng)
@@ -79,7 +93,7 @@ func (s *Server) solveResilient(ctx context.Context, hash string, canon *core.Pr
 			}
 			s.metrics.Solves.Add(1)
 			start := time.Now()
-			ent, err := s.solveAttempt(ctx, hash, canon, eng, mode)
+			ent, err := s.solveAttempt(ctx, hash, canon, eng, mode, ap)
 			s.metrics.observe(eng, time.Since(start))
 			if err == nil {
 				if br != nil {
@@ -149,7 +163,7 @@ func isContextErr(err error) bool {
 // reported C(U) — must pass the engine-independent certifier. A failed
 // certification is an engine fault like any other: it feeds the breaker,
 // is retried, and falls through to the next engine in the chain.
-func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Problem, engine string, mode certify.Mode) (ent *cacheEntry, err error) {
+func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Problem, engine string, mode certify.Mode, ap approx.Spec) (ent *cacheEntry, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ent, err = nil, fmt.Errorf("serve: %s engine panicked: %v", engine, r)
@@ -159,6 +173,13 @@ func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Prob
 		if err := hook(engine); err != nil {
 			return nil, err
 		}
+	}
+	if engine == "approx" {
+		// The anytime path has its own certification discipline (gap
+		// certificates, with no off mode) and no checkpoint/frontier
+		// machinery — its solves are repriceable in milliseconds, not
+		// worth durable state.
+		return s.solveApproxAttempt(ctx, hash, canon, mode, ap)
 	}
 	frontier := s.loadResume(hash, engine)
 	ck, w := s.checkpointerFor(ctx, hash, canon, engine)
@@ -224,7 +245,7 @@ func (s *Server) solveAttempt(ctx context.Context, hash string, canon *core.Prob
 		}
 	}
 	ent = &cacheEntry{engine: engine, cost: cost, adequate: cost < core.Inf,
-		canon: canon, hash: hash, key: hash + "|" + mode.String()}
+		canon: canon, hash: hash, key: cacheKey(hash, mode, ap)}
 	if ent.adequate && choices != nil {
 		sol := &core.Solution{Cost: cost, Choice: choices}
 		tree, err := sol.Tree(canon)
@@ -389,7 +410,7 @@ func (s *Server) RecoverCheckpoints(ctx context.Context) (resumed, discarded int
 		if !validEngine(engine) {
 			engine = s.cfg.DefaultEngine
 		}
-		ent, err := s.solveResilient(ctx, snap.Hash, snap.Problem, engine, s.certifyMode)
+		ent, err := s.solveResilient(ctx, snap.Hash, snap.Problem, engine, s.certifyMode, approx.Spec{Raw: "off"})
 		if err != nil {
 			// Leave the file: the frontier is still good and the next start
 			// (or the next request for this instance) can try again.

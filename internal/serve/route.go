@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/certify"
 	"repro/internal/instio"
 	"repro/internal/policy"
@@ -93,7 +94,7 @@ func (s *Server) handlePolicyPublish(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
 	defer cancel()
 	start := time.Now()
-	ent, cached, _, err := s.solveShared(ctx, hash, canon, engine, mode, s.cfg.DefaultTimeout)
+	ent, cached, _, err := s.solveShared(ctx, hash, canon, engine, mode, approx.Spec{Raw: "off"}, s.cfg.DefaultTimeout)
 	if err != nil {
 		s.solveError(w, err)
 		return

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/bvmtt"
 	"repro/internal/ccc"
 	"repro/internal/certify"
@@ -71,6 +72,12 @@ type Config struct {
 	DefaultEngine  string        // engine when the request names none (default "seq")
 	CertifyMode    string        // answer certification: "off", "fast", "audit" (default "fast"); per-request certify= overrides
 	Logger         *slog.Logger  // structured request log (default slog.Default())
+
+	// Bounded-suboptimality plane (approx.go, docs/RESILIENCE.md).
+	DefaultApprox    string // approx knob when the request sends none: "off", a ratio ≥ 1, or a duration (default "off")
+	ApproxMaxK       int    // approx admission: largest universe accepted (default core.MaxK — every K the Set type expresses)
+	ApproxMaxActions int    // approx admission: most actions accepted (default 256)
+	ApproxNodes      int64  // branch-and-bound node budget per solve (default 1<<20; negative disables B&B, greedy only)
 
 	// Self-healing knobs (docs/RESILIENCE.md).
 	BreakerThreshold int           // consecutive failures opening an engine's breaker (default 3; negative disables breakers)
@@ -134,6 +141,18 @@ func (c Config) withDefaults() Config {
 	if c.DefaultEngine == "" {
 		c.DefaultEngine = "seq"
 	}
+	if c.DefaultApprox == "" {
+		c.DefaultApprox = "off"
+	}
+	if c.ApproxMaxK <= 0 || c.ApproxMaxK > core.MaxK {
+		c.ApproxMaxK = core.MaxK
+	}
+	if c.ApproxMaxActions <= 0 {
+		c.ApproxMaxActions = 256
+	}
+	if c.ApproxNodes == 0 {
+		c.ApproxNodes = 1 << 20
+	}
 	if c.CertifyMode == "" {
 		c.CertifyMode = "fast"
 	}
@@ -187,11 +206,12 @@ type flightCall struct {
 // Server is the solver service. Create with New, mount Handler on an
 // http.Server, and Close only after that server has drained.
 type Server struct {
-	cfg         Config
-	log         *slog.Logger
-	mux         *http.ServeMux
-	metrics     *Metrics
-	certifyMode certify.Mode // parsed Config.CertifyMode, the per-server default
+	cfg           Config
+	log           *slog.Logger
+	mux           *http.ServeMux
+	metrics       *Metrics
+	certifyMode   certify.Mode // parsed Config.CertifyMode, the per-server default
+	defaultApprox approx.Spec  // parsed Config.DefaultApprox, the per-server default
 
 	sem      chan struct{} // solver semaphore, capacity MaxConcurrent
 	pending  atomic.Int64  // queued+running solves, bounded by MaxPending
@@ -223,20 +243,26 @@ func New(cfg Config) *Server {
 		cfg.Logger.Warn("invalid certify mode, using fast", "mode", cfg.CertifyMode)
 		mode = certify.ModeFast
 	}
+	defaultApprox, err := approx.ParseSpec(cfg.DefaultApprox)
+	if err != nil {
+		cfg.Logger.Warn("invalid default approx setting, using off", "approx", cfg.DefaultApprox, "err", err)
+		defaultApprox = approx.Spec{Raw: "off"}
+	}
 	//ttlint:ignore ctxflow the server's lifecycle root: every request context derives from it and Close cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:         cfg,
-		certifyMode: mode,
-		log:         cfg.Logger,
-		mux:         http.NewServeMux(),
-		metrics:     newMetrics(),
-		sem:         make(chan struct{}, cfg.MaxConcurrent),
-		baseCtx:     ctx,
-		baseCancel:  cancel,
-		cache:       newLRU(cfg.CacheEntries, cfg.CacheBytes),
-		flights:     make(map[string]*flightCall),
-		breakers:    make(map[string]*breaker),
+		cfg:           cfg,
+		certifyMode:   mode,
+		defaultApprox: defaultApprox,
+		log:           cfg.Logger,
+		mux:           http.NewServeMux(),
+		metrics:       newMetrics(),
+		sem:           make(chan struct{}, cfg.MaxConcurrent),
+		baseCtx:       ctx,
+		baseCancel:    cancel,
+		cache:         newLRU(cfg.CacheEntries, cfg.CacheBytes),
+		flights:       make(map[string]*flightCall),
+		breakers:      make(map[string]*breaker),
 	}
 	if cfg.StripeWorkers > 0 {
 		s.stripe = stripe.New(cfg.StripeWorkers)
@@ -327,6 +353,16 @@ type SolveResponse struct {
 	Tree         string  `json:"tree,omitempty"`
 	Greedy       *uint64 `json:"greedy,omitempty"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
+
+	// Bounded-suboptimality answers only (absent on the exact path): the
+	// approx knob in force and the certified quality claim — re-priced
+	// cost ≤ gap_milli/1000 × optimum, lower_bound ≤ optimum, both verified
+	// by the certifier before the answer could be cached or returned.
+	Approx       string  `json:"approx,omitempty"`
+	GapMilli     *uint64 `json:"gap_milli,omitempty"`
+	LowerBound   *uint64 `json:"lower_bound,omitempty"`
+	ApproxPolicy string  `json:"approx_policy,omitempty"` // greedy-ratio, greedy-gain, bb
+	ApproxExact  bool    `json:"approx_exact,omitempty"`  // branch-and-bound completed: proven optimal
 }
 
 var engineKinds = map[string]parttsolve.EngineKind{
@@ -395,15 +431,30 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = min(time.Duration(n)*time.Millisecond, s.cfg.MaxTimeout)
 	}
+	ap := s.defaultApprox
+	if q.Has("approx") {
+		var err error
+		if ap, err = approx.ParseSpec(q.Get("approx")); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	p, err := instio.Read(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if err := s.admit(p, engine); err != nil {
-		s.metrics.RejectOversize.Add(1)
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
-		return
+	solveEngine := engine // the engine actually dispatched; resp.Engine echoes the request
+	if oerr := s.admit(p, engine); oerr != nil {
+		// Past the exact-DP budget. With approx enabled the instance routes
+		// to the anytime engine (its own, much looser, caps permitting)
+		// instead of failing; with approx off the 422 names the exceeded
+		// budget and the smallest setting that would have been accepted.
+		if !ap.Enabled || s.admitApprox(p) != nil {
+			s.rejectOversize(w, oerr, p)
+			return
+		}
+		solveEngine = "approx"
 	}
 	canon := Canonicalize(p)
 	hash, err := Hash(canon)
@@ -416,7 +467,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	start := time.Now()
-	ent, cached, coalesced, err := s.solveShared(ctx, hash, canon, engine, mode, timeout)
+	ent, cached, coalesced, err := s.solveShared(ctx, hash, canon, solveEngine, mode, ap, timeout)
 	if err != nil {
 		s.solveError(w, err)
 		return
@@ -437,6 +488,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		cost := ent.cost
 		resp.Cost = &cost
 	}
+	if ent.approx {
+		// All new fields ride only on approx-served answers, so the exact
+		// path's response bytes are identical to what they were before the
+		// approx plane existed.
+		gap, lb := ent.gapMilli, ent.lowerBound
+		resp.Approx = ap.Raw
+		resp.GapMilli = &gap
+		resp.LowerBound = &lb
+		resp.ApproxPolicy = ent.approxPolicy
+		resp.ApproxExact = ent.approxExact
+	}
 	if ent.tree != nil {
 		resp.FirstAction = actionName(ent.canon, ent.tree.Action)
 		if isTrue(q.Get("tree")) {
@@ -453,34 +515,45 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 // admit enforces the size budget: the global K/action caps plus the
 // engine-specific machine bounds, checked before any 2^K allocation so an
-// oversized instance costs the server nothing but the parse.
-func (s *Server) admit(p *core.Problem, engine string) error {
+// oversized instance costs the server nothing but the parse. The returned
+// rejection names the budget it enforces (for the structured 422 body) and
+// unwraps to errOversize.
+func (s *Server) admit(p *core.Problem, engine string) *oversizeError {
 	if p.K > s.cfg.MaxK {
-		return fmt.Errorf("%w: %d objects > max %d", errOversize, p.K, s.cfg.MaxK)
+		return &oversizeError{budget: "k", limit: s.cfg.MaxK, got: p.K,
+			msg: fmt.Sprintf("%v: %d objects > max %d", errOversize, p.K, s.cfg.MaxK)}
 	}
 	if len(p.Actions) > s.cfg.MaxActions {
-		return fmt.Errorf("%w: %d actions > max %d", errOversize, len(p.Actions), s.cfg.MaxActions)
+		return &oversizeError{budget: "actions", limit: s.cfg.MaxActions, got: len(p.Actions),
+			msg: fmt.Sprintf("%v: %d actions > max %d", errOversize, len(p.Actions), s.cfg.MaxActions)}
 	}
 	dim := p.K + parttsolve.PaddedLogN(len(p.Actions))
+	machine := func(got int, msg string) *oversizeError {
+		return &oversizeError{budget: "machine-dim", limit: core.MaxK, got: got, msg: msg}
+	}
 	switch engine {
 	case "lockstep", "goroutine":
 		if dim > core.MaxK {
-			return fmt.Errorf("%w: engine %s needs 2^%d simulated PEs", errOversize, engine, dim)
+			return machine(dim, fmt.Sprintf("%v: engine %s needs 2^%d simulated PEs", errOversize, engine, dim))
 		}
 	case "ccc":
 		top, err := ccc.ForPEs(1 << uint(dim))
 		if err != nil {
-			return fmt.Errorf("%w: engine ccc: %v", errOversize, err)
+			return machine(dim, fmt.Sprintf("%v: engine ccc: %v", errOversize, err))
 		}
 		if top.AddrBits > core.MaxK {
-			return fmt.Errorf("%w: engine ccc needs 2^%d simulated PEs", errOversize, top.AddrBits)
+			return machine(top.AddrBits, fmt.Sprintf("%v: engine ccc needs 2^%d simulated PEs", errOversize, top.AddrBits))
 		}
 	case "bvm":
 		if dim > bvmtt.MaxDim {
-			return fmt.Errorf("%w: engine bvm needs 2^%d PEs, bit-level cap is 2^%d", errOversize, dim, bvmtt.MaxDim)
+			e := machine(dim, fmt.Sprintf("%v: engine bvm needs 2^%d PEs, bit-level cap is 2^%d", errOversize, dim, bvmtt.MaxDim))
+			e.limit = bvmtt.MaxDim
+			return e
 		}
 		if width := bvmtt.SuggestWidth(p); width > 32 {
-			return fmt.Errorf("%w: engine bvm needs %d-bit words (max 32)", errOversize, width)
+			e := machine(width, fmt.Sprintf("%v: engine bvm needs %d-bit words (max 32)", errOversize, width))
+			e.limit = 32
+			return e
 		}
 	}
 	return nil
@@ -494,8 +567,8 @@ func (s *Server) admit(p *core.Problem, engine string) error {
 // its own context (derived from the server, bounded by timeout), so it
 // survives any single client's disconnect while other waiters remain — and
 // stops as soon as the last waiter is gone.
-func (s *Server) solveShared(ctx context.Context, hash string, canon *core.Problem, engine string, mode certify.Mode, timeout time.Duration) (ent *cacheEntry, cached, coalesced bool, err error) {
-	key := hash + "|" + mode.String()
+func (s *Server) solveShared(ctx context.Context, hash string, canon *core.Problem, engine string, mode certify.Mode, ap approx.Spec, timeout time.Duration) (ent *cacheEntry, cached, coalesced bool, err error) {
+	key := cacheKey(hash, mode, ap)
 	for attempt := 0; ; attempt++ {
 		s.mu.Lock()
 		if e := s.cache.get(key); e != nil {
@@ -532,7 +605,7 @@ func (s *Server) solveShared(ctx context.Context, hash string, canon *core.Probl
 		c := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
 		s.flights[key] = c
 		s.mu.Unlock()
-		go s.runSolve(solveCtx, hash, c, canon, engine, mode)
+		go s.runSolve(solveCtx, hash, key, c, canon, engine, mode, ap)
 		e, err := s.await(ctx, c)
 		return e, false, false, err
 	}
@@ -561,9 +634,8 @@ func (s *Server) await(ctx context.Context, c *flightCall) (*cacheEntry, error) 
 // publishes the result to every waiter and (on success) the cache. The solve
 // itself goes through the resilient path: fallback chain, retries, circuit
 // breakers, and durable checkpointing (resilience.go).
-func (s *Server) runSolve(ctx context.Context, hash string, c *flightCall, canon *core.Problem, engine string, mode certify.Mode) {
+func (s *Server) runSolve(ctx context.Context, hash, key string, c *flightCall, canon *core.Problem, engine string, mode certify.Mode, ap approx.Spec) {
 	defer c.cancel()
-	key := hash + "|" + mode.String()
 	// A panicking solve must still publish to its waiters — as a failure —
 	// or they block on c.done forever. Successful answers are published in
 	// the straight-line path below, after certification, so this handler
@@ -593,7 +665,7 @@ func (s *Server) runSolve(ctx context.Context, hash string, c *flightCall, canon
 			return
 		}
 		defer func() { <-s.sem }()
-		ent, err = s.solveResilient(ctx, hash, canon, engine, mode)
+		ent, err = s.solveResilient(ctx, hash, canon, engine, mode, ap)
 	}()
 	s.mu.Lock()
 	delete(s.flights, key)
@@ -660,9 +732,10 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Policy.K > s.cfg.MaxK {
-		s.metrics.RejectOversize.Add(1)
-		httpError(w, http.StatusUnprocessableEntity,
-			fmt.Sprintf("%v: %d objects > max %d", errOversize, req.Policy.K, s.cfg.MaxK))
+		// Eval walks a caller-supplied tree — there is no approximate
+		// variant to hint at, so the body names the budget and nothing else.
+		s.rejectOversize(w, &oversizeError{budget: "k", limit: s.cfg.MaxK, got: req.Policy.K,
+			msg: fmt.Sprintf("%v: %d objects > max %d", errOversize, req.Policy.K, s.cfg.MaxK)}, nil)
 		return
 	}
 	p := &core.Problem{K: req.Policy.K, Weights: req.Weights, Actions: req.Policy.Actions}

@@ -222,6 +222,52 @@ func BinaryTestingUniform(k int, treatCost uint64) *core.Problem {
 	return core.BinaryTesting(weights, tests, treatCost)
 }
 
+// Oversized returns an instance deliberately past the exact-DP comfort zone:
+// k objects (callers pass k above any serving K-cap, up to core.MaxK) with
+// skewed weights, address-bit tests for balanced splits, a spread of mid-size
+// random tests and treatments, and full treatment coverage so the instance is
+// adequate. It is the workload for the bounded-suboptimality plane — exact
+// engines refuse it or drown in the 2^k lattice; the anytime solvers must
+// still produce a gap-certified tree. Deterministic in the seed.
+func Oversized(seed int64, k int) *core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &core.Problem{K: k, Weights: make([]uint64, k)}
+	for j := range p.Weights {
+		p.Weights[j] = uint64(1 + 200/(j+2) + rng.Intn(5))
+	}
+	for b := 0; b < bitsFor(k); b++ {
+		var set core.Set
+		for j := 0; j < k; j++ {
+			if j>>uint(b)&1 == 1 {
+				set |= core.SetOf(j)
+			}
+		}
+		p.Actions = append(p.Actions, core.Action{
+			Name: fmt.Sprintf("addr-%d", b), Set: set, Cost: uint64(2 + rng.Intn(3))})
+	}
+	u := uint32(core.Universe(k))
+	for i := 0; i < k; i++ {
+		p.Actions = append(p.Actions, core.Action{
+			Name: fmt.Sprintf("probe-%d", i),
+			Set:  core.Set(rng.Intn(int(u)-1) + 1),
+			Cost: uint64(1 + rng.Intn(10)),
+		})
+	}
+	// Paired treatments cover neighbouring objects; a final catch-all keeps
+	// the instance adequate whatever k is.
+	for j := 0; j < k; j += 2 {
+		set := core.SetOf(j)
+		if j+1 < k {
+			set |= core.SetOf(j + 1)
+		}
+		p.Actions = append(p.Actions, core.Action{
+			Name: fmt.Sprintf("fix-%d", j), Set: set, Cost: uint64(20 + rng.Intn(20)), Treatment: true})
+	}
+	p.Actions = append(p.Actions, core.Action{
+		Name: "overhaul", Set: core.Universe(k), Cost: 400, Treatment: true})
+	return p
+}
+
 // zipf returns k weights proportional to 1/rank, scaled to small integers.
 func zipf(k int) []uint64 {
 	w := make([]uint64, k)
